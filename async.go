@@ -1,0 +1,22 @@
+package edf
+
+import "repro/internal/async"
+
+// AsyncOptions tune the exact asynchronous analysis.
+type AsyncOptions = async.Options
+
+// AsyncResult is the outcome of an exact asynchronous analysis.
+type AsyncResult = async.Result
+
+// AsyncExact decides feasibility of an asynchronous periodic set (releases
+// exactly at phase + k*period) by an EDF replay over [0, Φmax + 2H), the
+// exact horizon of Leung & Merrill.
+func AsyncExact(ts TaskSet, opt AsyncOptions) (AsyncResult, error) { return async.Exact(ts, opt) }
+
+// AsyncSufficient applies the synchronous reduction the paper adopts: the
+// all-approximated test on the phase-cleared set. Acceptance transfers to
+// any phasing; rejection is reported as NotAccepted.
+func AsyncSufficient(ts TaskSet, opt Options) Result { return async.Sufficient(ts, opt) }
+
+// AsyncHorizon returns the exact analysis horizon Φmax + 2·hyperperiod.
+func AsyncHorizon(ts TaskSet) (int64, bool) { return async.Horizon(ts) }

@@ -1,0 +1,49 @@
+package edf
+
+import (
+	"repro/internal/bounds"
+	"repro/internal/demand"
+)
+
+// BoundKind names a feasibility bound.
+type BoundKind = bounds.Kind
+
+// Feasibility bound kinds.
+const (
+	BoundBaruah        = bounds.KindBaruah
+	BoundGeorge        = bounds.KindGeorge
+	BoundSuperposition = bounds.KindSuperposition
+	BoundBusyPeriod    = bounds.KindBusyPeriod
+	BoundHyperperiod   = bounds.KindHyperperiod
+)
+
+// BaruahBound returns the feasibility bound of Baruah et al. (exclusive
+// upper limit on violation intervals) for constrained-deadline sets with
+// U < 1.
+func BaruahBound(ts TaskSet) (int64, bool) { return bounds.Baruah(ts) }
+
+// GeorgeBound returns the feasibility bound of George et al.
+func GeorgeBound(ts TaskSet) (int64, bool) { return bounds.GeorgeTasks(ts) }
+
+// SuperpositionBound returns the paper's new feasibility bound I_sup
+// (Section 4.3), never larger than George's bound where both apply.
+func SuperpositionBound(ts TaskSet) (int64, bool) { return bounds.SuperpositionTasks(ts) }
+
+// BusyPeriod returns the length of the synchronous processor busy period.
+func BusyPeriod(ts TaskSet) (int64, bool) { return bounds.BusyPeriod(ts) }
+
+// Hyperperiod returns lcm of the periods.
+func Hyperperiod(ts TaskSet) (int64, bool) { return bounds.Hyperperiod(ts) }
+
+// BestBound returns the smallest applicable cheap feasibility bound and its
+// name.
+func BestBound(ts TaskSet) (int64, BoundKind, bool) { return bounds.Best(ts) }
+
+// Dbf returns the exact demand bound function dbf(I, Γ) of the set.
+func Dbf(ts TaskSet, I int64) int64 { return demand.DbfSet(ts, I) }
+
+// DbfTask returns the exact demand bound function dbf(I, τ) of one task.
+func DbfTask(t Task, I int64) int64 { return demand.DbfTask(t, I) }
+
+// Utilization returns the total utilization as float64.
+func Utilization(ts TaskSet) float64 { return ts.UtilizationFloat() }

@@ -1,0 +1,128 @@
+// Package cmd_test builds and exercises the command line tools end to end.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one command into a temp dir and returns the binary
+// path.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(wd) // cmd/ -> repo root
+}
+
+func run(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
+}
+
+func TestEdffeasOnExamples(t *testing.T) {
+	bin := buildTool(t, "edffeas")
+	out, err := run(t, bin, "-example", "burns")
+	if err != nil {
+		t.Fatalf("edffeas: %v\n%s", err, out)
+	}
+	for _, want := range []string{"processor-demand", "allapprox", "feasible", "devi"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Unknown example must fail with a usage error.
+	if _, err := run(t, bin, "-example", "bogus"); err == nil {
+		t.Error("bogus example accepted")
+	}
+	// Missing input must fail.
+	if _, err := run(t, bin); err == nil {
+		t.Error("missing -set/-example accepted")
+	}
+}
+
+func TestEdffeasInfeasibleExitCode(t *testing.T) {
+	bin := buildTool(t, "edffeas")
+	set := filepath.Join(t.TempDir(), "bad.json")
+	payload := `{"tasks":[
+		{"wcet":3,"deadline":4,"period":10},
+		{"wcet":4,"deadline":5,"period":10},
+		{"wcet":3,"deadline":6,"period":10}]}`
+	if err := os.WriteFile(set, []byte(payload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, bin, "-set", set)
+	if err == nil {
+		t.Fatalf("expected exit code 1 for infeasible set\n%s", out)
+	}
+	if !strings.Contains(out, "infeasible") {
+		t.Errorf("output missing verdict:\n%s", out)
+	}
+}
+
+func TestEdfgenRoundTripsThroughEdffeas(t *testing.T) {
+	gen := buildTool(t, "edfgen")
+	feas := buildTool(t, "edffeas")
+	set := filepath.Join(t.TempDir(), "gen.json")
+	if out, err := run(t, gen, "-n", "12", "-u", "0.8", "-seed", "3", "-o", set); err != nil {
+		t.Fatalf("edfgen: %v\n%s", err, out)
+	}
+	out, err := run(t, feas, "-set", set, "-test", "allapprox")
+	if err != nil {
+		t.Fatalf("edffeas on generated set: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "feasible") {
+		t.Errorf("generated U=0.8 set not feasible?\n%s", out)
+	}
+}
+
+func TestEdfexpTable1(t *testing.T) {
+	bin := buildTool(t, "edfexp")
+	out, err := run(t, bin, "-exp", "table1", "-quiet")
+	if err != nil {
+		t.Fatalf("edfexp: %v\n%s", err, out)
+	}
+	for _, want := range []string{"Burns", "FAILED", "Gresser1", "Proc. Dem."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+	// CSV mode.
+	out, err = run(t, bin, "-exp", "table1", "-quiet", "-csv")
+	if err != nil {
+		t.Fatalf("edfexp csv: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "name,tasks,utilization") {
+		t.Errorf("csv header missing:\n%s", out)
+	}
+}
+
+func TestEdfsimTraceAndVerdict(t *testing.T) {
+	bin := buildTool(t, "edfsim")
+	out, err := run(t, bin, "-example", "gap", "-horizon", "100000", "-trace")
+	if err != nil {
+		t.Fatalf("edfsim: %v\n%s", err, out)
+	}
+	for _, want := range []string{"no deadline miss", "timer_interrupt", "feasible"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("edfsim output missing %q:\n%s", want, out)
+		}
+	}
+}

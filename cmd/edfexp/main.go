@@ -1,0 +1,113 @@
+// Command edfexp regenerates the figures and the table of the paper's
+// evaluation (Section 5) and prints them as ASCII tables or CSV.
+//
+// Usage:
+//
+//	edfexp -exp fig1|fig8|fig9|table1|rtc|all [-sets N] [-seed 1] [-csv]
+//	       [-paper] [-quiet]
+//
+// -paper selects the paper's original sample sizes (18,000 sets for
+// Figure 8, 4,000 per ratio for Figure 9); the default sizes preserve the
+// shape of every result and finish in seconds to minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig1|fig8|fig9|table1|all")
+		sets  = flag.Int("sets", 0, "override the number of task sets (per point where applicable)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of an ASCII table")
+		paper = flag.Bool("paper", false, "use the paper's original sample sizes")
+		quiet = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	var prog io.Writer = os.Stderr
+	if *quiet {
+		prog = nil
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig1":
+			cfg := experiments.Fig1Config{Seed: *seed, Progress: prog, SetsPerPoint: *sets}
+			if *paper && *sets == 0 {
+				cfg.SetsPerPoint = 2000
+			}
+			res := experiments.Fig1(cfg)
+			fmt.Println("# Figure 1: acceptance rate over utilization")
+			if *csv {
+				return res.RenderCSV(os.Stdout)
+			}
+			return res.RenderText(os.Stdout)
+		case "fig8":
+			cfg := experiments.Fig8Config{Seed: *seed, Progress: prog, Sets: *sets}
+			if *paper && *sets == 0 {
+				cfg.Sets = 18000
+			}
+			res := experiments.Fig8(cfg)
+			fmt.Println("# Figure 8: checked intervals over utilization (90-99%)")
+			if *csv {
+				return res.RenderCSV(os.Stdout)
+			}
+			return res.RenderText(os.Stdout)
+		case "fig9":
+			cfg := experiments.Fig9Config{Seed: *seed, Progress: prog, SetsPerRatio: *sets}
+			if *paper && *sets == 0 {
+				cfg.SetsPerRatio = 4000
+			}
+			res := experiments.Fig9(cfg)
+			fmt.Println("# Figure 9: checked intervals over the period ratio Tmax/Tmin")
+			if *csv {
+				return res.RenderCSV(os.Stdout)
+			}
+			return res.RenderText(os.Stdout)
+		case "table1":
+			res := experiments.Table1()
+			fmt.Println("# Table 1: iterations for example task graphs")
+			if *csv {
+				return res.RenderCSV(os.Stdout)
+			}
+			return res.RenderText(os.Stdout)
+		case "rtc":
+			cfg := experiments.RTCConfig{Seed: *seed, Progress: prog, SetsPerPoint: *sets}
+			res := experiments.RTCCompare(cfg)
+			fmt.Println("# Section 3.6: real-time calculus approximation vs Devi vs exact")
+			if *csv {
+				return res.RenderCSV(os.Stdout)
+			}
+			return res.RenderText(os.Stdout)
+		case "burst":
+			cfg := experiments.BurstConfig{Seed: *seed, Progress: prog, SetsPerPoint: *sets}
+			res := experiments.Burst(cfg)
+			fmt.Println("# Event stream extension: effort on bursty workloads by burst width")
+			if *csv {
+				return res.RenderCSV(os.Stdout)
+			}
+			return res.RenderText(os.Stdout)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "fig1", "fig8", "fig9", "rtc"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "edfexp:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,259 @@
+// Command edffeas analyzes the EDF feasibility of a task set.
+//
+// Usage:
+//
+//	edffeas -set tasks.json [-test all|devi|liu|superpos|pd|qpa|dynamic|allapprox]
+//	        [-level N] [-float] [-example name] [-wcrt] [-slack]
+//	        [-curve I] [-events stream.json]
+//
+// The task set file is JSON: {"tasks":[{"wcet":2,"deadline":8,"period":10}, ...]}
+// or a bare array of tasks. Alternatively -example selects one of the
+// literature sets (burns, mashin, gap, gresser1, gresser2).
+//
+// -wcrt adds Spuri worst-case response times, -slack per-task WCET margins.
+// -curve I dumps the exact dbf and the Devi/SuperPos(1) approximation up to
+// interval I as CSV (the content of Figures 2-3 of the paper). -events
+// analyzes a Gresser event-stream task set instead of a sporadic one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	edf "repro"
+)
+
+func main() {
+	var (
+		setPath = flag.String("set", "", "path to a task set JSON file")
+		example = flag.String("example", "", "literature set name (burns, mashin, gap, gresser1, gresser2)")
+		test    = flag.String("test", "all", "test to run: all|liu|devi|superpos|pd|qpa|dynamic|allapprox")
+		level   = flag.Int64("level", 3, "superposition level for -test superpos")
+		useF64  = flag.Bool("float", false, "use float64 accumulators instead of exact rationals")
+		wcrt    = flag.Bool("wcrt", false, "also report per-task worst-case response times (Spuri)")
+		slack   = flag.Bool("slack", false, "also report per-task WCET slack (sensitivity analysis)")
+		curve   = flag.Int64("curve", 0, "dump dbf and the SuperPos(1)/Devi approximation up to this interval as CSV (Figures 2-3 of the paper) and exit")
+		events  = flag.String("events", "", "path to an event-stream task set JSON file (Gresser model)")
+	)
+	flag.Parse()
+
+	opt := edf.Options{}
+	if *useF64 {
+		opt.Arithmetic = edf.ArithFloat64
+	}
+
+	if *events != "" {
+		if err := analyzeEvents(*events, *level, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "edffeas:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	ts, name, err := loadSet(*setPath, *example)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edffeas:", err)
+		os.Exit(2)
+	}
+	if err := ts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "edffeas:", err)
+		os.Exit(2)
+	}
+
+	if *curve > 0 {
+		if err := dumpCurve(ts, *curve); err != nil {
+			fmt.Fprintln(os.Stderr, "edffeas:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	fmt.Printf("task set %q: %d tasks, U = %.4f\n", name, len(ts), edf.Utilization(ts))
+	if b, kind, ok := edf.BestBound(ts); ok {
+		fmt.Printf("feasibility bound: %d (%s)\n", b, kind)
+	}
+
+	type row struct {
+		name string
+		res  edf.Result
+	}
+	var rows []row
+	add := func(n string, r edf.Result) { rows = append(rows, row{n, r}) }
+	switch *test {
+	case "all":
+		add("liu-layland", edf.LiuLayland(ts))
+		add("devi", edf.Devi(ts))
+		add(fmt.Sprintf("superpos(%d)", *level), edf.SuperPos(ts, *level, opt))
+		add("dynamic", edf.DynamicError(ts, opt))
+		add("allapprox", edf.AllApprox(ts, opt))
+		add("qpa", edf.QPA(ts, opt))
+		add("processor-demand", edf.ProcessorDemand(ts, opt))
+	case "liu":
+		add("liu-layland", edf.LiuLayland(ts))
+	case "devi":
+		add("devi", edf.Devi(ts))
+	case "superpos":
+		add(fmt.Sprintf("superpos(%d)", *level), edf.SuperPos(ts, *level, opt))
+	case "pd":
+		add("processor-demand", edf.ProcessorDemand(ts, opt))
+	case "qpa":
+		add("qpa", edf.QPA(ts, opt))
+	case "dynamic":
+		add("dynamic", edf.DynamicError(ts, opt))
+	case "allapprox":
+		add("allapprox", edf.AllApprox(ts, opt))
+	default:
+		fmt.Fprintf(os.Stderr, "edffeas: unknown test %q\n", *test)
+		os.Exit(2)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "test\tverdict\tintervals\trevisions\tfail@")
+	for _, r := range rows {
+		failAt := "-"
+		if r.res.FailureInterval > 0 {
+			failAt = fmt.Sprint(r.res.FailureInterval)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\n",
+			r.name, r.res.Verdict, r.res.Iterations, r.res.Revisions, failAt)
+	}
+	tw.Flush()
+
+	if *wcrt || *slack {
+		var wcrts, slacks []int64
+		if *wcrt {
+			if r, ok := edf.WCRTAll(ts, edf.ResponseOptions{}); ok {
+				wcrts = r
+			} else {
+				fmt.Println("worst-case response times: not available (U > 1 or cap hit)")
+			}
+		}
+		if *slack {
+			if s, err := edf.WCETSlack(ts, nil); err == nil {
+				slacks = s
+			} else {
+				fmt.Println("WCET slack: not available:", err)
+			}
+		}
+		if wcrts != nil || slacks != nil {
+			fmt.Println()
+			tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprint(tw, "task\tC\tD\tT")
+			if wcrts != nil {
+				fmt.Fprint(tw, "\tWCRT")
+			}
+			if slacks != nil {
+				fmt.Fprint(tw, "\tC-slack")
+			}
+			fmt.Fprintln(tw)
+			for i, task := range ts {
+				fmt.Fprintf(tw, "%s\t%d\t%d\t%d", task.Name, task.WCET, task.Deadline, task.Period)
+				if wcrts != nil {
+					fmt.Fprintf(tw, "\t%d", wcrts[i])
+				}
+				if slacks != nil {
+					fmt.Fprintf(tw, "\t%d", slacks[i])
+				}
+				fmt.Fprintln(tw)
+			}
+			tw.Flush()
+		}
+	}
+
+	// Exit code mirrors the strongest verdict: 0 feasible, 1 infeasible,
+	// 3 undecided.
+	for _, r := range rows {
+		if r.res.Verdict == edf.Infeasible {
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpCurve prints interval, exact dbf and the SuperPos(1) approximation
+// (Devi's demand line, Figures 2 and 3 of the paper) at every demand step
+// up to the given interval, as CSV for plotting.
+func dumpCurve(ts edf.TaskSet, upTo int64) error {
+	fmt.Println("interval,dbf,devi_approx")
+	prev := int64(-1)
+	emit := func(I int64) {
+		if I == prev || I > upTo {
+			return
+		}
+		prev = I
+		approx := 0.0
+		for _, t := range ts {
+			if I >= t.Deadline {
+				approx += float64(t.WCET) + float64(I-t.Deadline)*t.UtilizationFloat()
+			}
+		}
+		fmt.Printf("%d,%d,%.4f\n", I, edf.Dbf(ts, I), approx)
+	}
+	emit(0)
+	// Walk every job deadline <= upTo in ascending order.
+	for {
+		next := int64(-1)
+		for _, t := range ts {
+			d := t.Deadline
+			if prev >= d {
+				k := (prev-d)/t.Period + 1
+				d = t.Deadline + k*t.Period
+			}
+			if d <= upTo && (next == -1 || d < next) {
+				next = d
+			}
+		}
+		if next == -1 {
+			break
+		}
+		emit(next)
+	}
+	emit(upTo)
+	return nil
+}
+
+// analyzeEvents runs the iterative tests on an event-stream task set file.
+func analyzeEvents(path string, level int64, opt edf.Options) error {
+	tasks, name, err := edf.LoadEventTasks(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("event task set %q: %d tasks\n", name, len(tasks))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "test\tverdict\tintervals\trevisions")
+	for _, tc := range []struct {
+		name string
+		res  edf.Result
+	}{
+		{fmt.Sprintf("superpos(%d)", level), edf.EventSuperPos(tasks, level, opt)},
+		{"dynamic", edf.EventDynamicError(tasks, opt)},
+		{"allapprox", edf.EventAllApprox(tasks, opt)},
+		{"processor-demand", edf.EventProcessorDemand(tasks, opt)},
+		{"rtc-curves", edf.Result{Verdict: edf.RTCFeasibleEvents(tasks)}},
+	} {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\n", tc.name, tc.res.Verdict, tc.res.Iterations, tc.res.Revisions)
+	}
+	return tw.Flush()
+}
+
+func loadSet(path, example string) (edf.TaskSet, string, error) {
+	switch {
+	case path != "" && example != "":
+		return nil, "", fmt.Errorf("use either -set or -example, not both")
+	case path != "":
+		ts, name, err := edf.LoadTaskSet(path)
+		if name == "" {
+			name = path
+		}
+		return ts, name, err
+	case example != "":
+		ex, ok := edf.ExampleByName(example)
+		if !ok {
+			return nil, "", fmt.Errorf("unknown example %q", example)
+		}
+		return ex.Set, ex.Name, nil
+	default:
+		return nil, "", fmt.Errorf("one of -set or -example is required")
+	}
+}

@@ -1,0 +1,77 @@
+// Command edfgen generates random task sets with the paper's workload
+// model (UUniFast utilizations, uniform or log-uniform periods, average
+// deadline gap) and writes them as JSON.
+//
+// Usage:
+//
+//	edfgen -n 20 -u 0.95 -gap 0.3 -tmin 1000 -tmax 100000 [-log] [-seed 1]
+//	       [-count 1] [-o out.json]
+//
+// With -count > 1 the sets are written to out_001.json, out_002.json, ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	edf "repro"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 10, "number of tasks")
+		u     = flag.Float64("u", 0.9, "target utilization in (0,1]")
+		gap   = flag.Float64("gap", 0.2, "average relative deadline gap (T-D)/T in [0,0.5]")
+		tmin  = flag.Int64("tmin", 1000, "minimum period")
+		tmax  = flag.Int64("tmax", 100000, "maximum period")
+		logU  = flag.Bool("log", false, "draw periods log-uniformly")
+		seed  = flag.Int64("seed", 1, "random seed")
+		count = flag.Int("count", 1, "number of task sets")
+		out   = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	cfg := edf.GenConfig{
+		N: *n, Utilization: *u,
+		PeriodMin: *tmin, PeriodMax: *tmax,
+		LogUniformPeriods: *logU,
+		GapMean:           *gap,
+	}
+	for i := range *count {
+		ts, err := edf.Generate(cfg, rng)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edfgen:", err)
+			os.Exit(2)
+		}
+		name := fmt.Sprintf("random-%d", i+1)
+		switch {
+		case *out == "":
+			if err := ts.WriteJSON(os.Stdout, name); err != nil {
+				fmt.Fprintln(os.Stderr, "edfgen:", err)
+				os.Exit(1)
+			}
+		case *count == 1:
+			if err := ts.SaveFile(*out, name); err != nil {
+				fmt.Fprintln(os.Stderr, "edfgen:", err)
+				os.Exit(1)
+			}
+		default:
+			path := fmt.Sprintf("%s_%03d.json", trimJSON(*out), i+1)
+			if err := ts.SaveFile(path, name); err != nil {
+				fmt.Fprintln(os.Stderr, "edfgen:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func trimJSON(p string) string {
+	const ext = ".json"
+	if len(p) > len(ext) && p[len(p)-len(ext):] == ext {
+		return p[:len(p)-len(ext)]
+	}
+	return p
+}

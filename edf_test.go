@@ -1,0 +1,180 @@
+package edf_test
+
+import (
+	"math/rand"
+	"testing"
+
+	edf "repro"
+)
+
+func demoSet() edf.TaskSet {
+	return edf.TaskSet{
+		{Name: "a", WCET: 2, Deadline: 8, Period: 10},
+		{Name: "b", WCET: 5, Deadline: 20, Period: 25},
+		{Name: "c", WCET: 9, Deadline: 50, Period: 50},
+	}
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	ts := demoSet()
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := edf.Exact(ts)
+	if res.Verdict != edf.Feasible {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.Iterations < int64(len(ts)) {
+		t.Errorf("iterations %d below task count", res.Iterations)
+	}
+	for _, r := range []edf.Result{
+		edf.Devi(ts),
+		edf.SuperPos(ts, 2, edf.Options{}),
+		edf.DynamicError(ts, edf.Options{}),
+		edf.AllApprox(ts, edf.Options{}),
+		edf.ProcessorDemand(ts, edf.Options{}),
+		edf.QPA(ts, edf.Options{}),
+	} {
+		if r.Verdict != edf.Feasible {
+			t.Errorf("test verdict %v, want feasible", r.Verdict)
+		}
+	}
+}
+
+func TestFacadeBounds(t *testing.T) {
+	ts := demoSet()
+	g, okG := edf.GeorgeBound(ts)
+	s, okS := edf.SuperpositionBound(ts)
+	if !okG || !okS {
+		t.Fatalf("bounds not available")
+	}
+	if s > g && s > ts.MaxDeadline() {
+		t.Errorf("superposition %d above george %d", s, g)
+	}
+	if _, _, ok := edf.BestBound(ts); !ok {
+		t.Error("best bound missing")
+	}
+	if l, ok := edf.BusyPeriod(ts); !ok || l <= 0 {
+		t.Errorf("busy period %d,%v", l, ok)
+	}
+	if h, ok := edf.Hyperperiod(ts); !ok || h != 50 {
+		t.Errorf("hyperperiod %d,%v, want 50", h, ok)
+	}
+	if edf.Dbf(ts, 8) != 2 {
+		t.Errorf("dbf(8) = %d", edf.Dbf(ts, 8))
+	}
+}
+
+func TestFacadeSimulateAgreesWithExact(t *testing.T) {
+	ts := demoSet()
+	h, ok := edf.SimHorizon(ts)
+	if !ok {
+		t.Fatal("no horizon")
+	}
+	rep, err := edf.Simulate(ts, edf.SimOptions{Horizon: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missed {
+		t.Error("simulation missed a deadline on a feasible set")
+	}
+}
+
+func TestFacadeGenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ts, err := edf.Generate(edf.GenConfig{
+		N: 12, Utilization: 0.85, PeriodMin: 100, PeriodMax: 10000, GapMean: 0.2,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 12 {
+		t.Fatalf("n = %d", len(ts))
+	}
+	u := edf.Utilization(ts)
+	if u < 0.8 || u > 0.9 {
+		t.Errorf("U = %v", u)
+	}
+	shares := edf.UUniFast(5, 0.5, rng)
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum < 0.499 || sum > 0.501 {
+		t.Errorf("UUniFast sum %v", sum)
+	}
+}
+
+func TestFacadeExamples(t *testing.T) {
+	exs := edf.Examples()
+	if len(exs) != 5 {
+		t.Fatalf("examples: %d", len(exs))
+	}
+	if _, ok := edf.ExampleByName("gap"); !ok {
+		t.Error("gap example missing")
+	}
+	if _, ok := edf.ExampleByName("nope"); ok {
+		t.Error("bogus example found")
+	}
+}
+
+func TestFacadeEventStreams(t *testing.T) {
+	tasks := []edf.EventTask{
+		{Name: "periodic", Stream: edf.PeriodicStream(100), WCET: 10, Deadline: 50},
+		{Name: "burst", Stream: edf.BurstStream(1000, 3, 10), WCET: 20, Deadline: 200},
+	}
+	res := edf.EventAllApprox(tasks, edf.Options{})
+	if res.Verdict != edf.Feasible {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	pd := edf.EventProcessorDemand(tasks, edf.Options{})
+	if pd.Verdict != edf.Feasible {
+		t.Fatalf("pd verdict %v", pd.Verdict)
+	}
+	dyn := edf.EventDynamicError(tasks, edf.Options{})
+	if dyn.Verdict != edf.Feasible {
+		t.Fatalf("dynamic verdict %v", dyn.Verdict)
+	}
+	sp := edf.EventSuperPos(tasks, 2, edf.Options{})
+	if sp.Verdict == edf.Infeasible {
+		t.Fatalf("superpos verdict %v", sp.Verdict)
+	}
+}
+
+func TestFacadeInfeasibleSet(t *testing.T) {
+	ts := edf.TaskSet{
+		{WCET: 3, Deadline: 4, Period: 10},
+		{WCET: 4, Deadline: 5, Period: 10},
+		{WCET: 3, Deadline: 6, Period: 10},
+	}
+	for name, r := range map[string]edf.Result{
+		"exact":   edf.Exact(ts),
+		"pd":      edf.ProcessorDemand(ts, edf.Options{}),
+		"qpa":     edf.QPA(ts, edf.Options{}),
+		"dynamic": edf.DynamicError(ts, edf.Options{}),
+	} {
+		if r.Verdict != edf.Infeasible {
+			t.Errorf("%s verdict %v, want infeasible", name, r.Verdict)
+		}
+	}
+	h, _ := edf.SimHorizon(ts)
+	rep, err := edf.Simulate(ts, edf.SimOptions{Horizon: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Missed {
+		t.Error("simulation met all deadlines on an infeasible set")
+	}
+}
+
+func TestFacadeSuperPosEpsilon(t *testing.T) {
+	ts := demoSet()
+	r := edf.SuperPosEpsilon(ts, 0.25, edf.Options{})
+	if r.MaxLevel != 4 {
+		t.Errorf("epsilon 0.25 -> level %d, want 4", r.MaxLevel)
+	}
+	r = edf.SuperPosEpsilon(ts, 0.3, edf.Options{})
+	if r.MaxLevel != 4 { // ceil(1/0.3) = 4
+		t.Errorf("epsilon 0.3 -> level %d, want 4", r.MaxLevel)
+	}
+}

@@ -1,0 +1,58 @@
+package edf
+
+import (
+	"repro/internal/core"
+	"repro/internal/eventstream"
+)
+
+// EventElement is one event stream element (cycle, offset).
+type EventElement = eventstream.Element
+
+// EventStream is a Gresser event stream.
+type EventStream = eventstream.Stream
+
+// EventTask is an event-driven task: each event releases a job with the
+// task's WCET and relative deadline.
+type EventTask = eventstream.Task
+
+// LoadEventTasks reads an event-driven task set from a JSON file.
+func LoadEventTasks(path string) ([]EventTask, string, error) { return eventstream.LoadFile(path) }
+
+// SaveEventTasks writes an event-driven task set to a JSON file.
+func SaveEventTasks(path, name string, tasks []EventTask) error {
+	return eventstream.SaveFile(path, name, tasks)
+}
+
+// PeriodicStream returns the event stream of a strictly periodic
+// activation.
+func PeriodicStream(period int64) EventStream { return eventstream.Periodic(period) }
+
+// BurstStream returns a periodically repeating burst: count events spaced
+// by spacing, repeating every period.
+func BurstStream(period int64, count int, spacing int64) EventStream {
+	return eventstream.Burst(period, count, spacing)
+}
+
+// EventProcessorDemand runs the exact processor demand test on event-driven
+// tasks.
+func EventProcessorDemand(tasks []EventTask, opt Options) Result {
+	return core.ProcessorDemandSources(eventstream.Sources(tasks), opt)
+}
+
+// EventSuperPos runs the superposition approximation on event-driven tasks.
+func EventSuperPos(tasks []EventTask, level int64, opt Options) Result {
+	return core.SuperPosSources(eventstream.Sources(tasks), level, opt)
+}
+
+// EventDynamicError runs the dynamic error test on event-driven tasks.
+// The total utilization must stay below 1 (sources carry no hyperperiod
+// fallback for U == 1).
+func EventDynamicError(tasks []EventTask, opt Options) Result {
+	return core.DynamicErrorSources(eventstream.Sources(tasks), 0, opt)
+}
+
+// EventAllApprox runs the all-approximated test on event-driven tasks.
+// The total utilization must stay below 1.
+func EventAllApprox(tasks []EventTask, opt Options) Result {
+	return core.AllApproxSources(eventstream.Sources(tasks), 0, opt)
+}

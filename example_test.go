@@ -1,0 +1,123 @@
+package edf_test
+
+import (
+	"fmt"
+
+	edf "repro"
+)
+
+// ExampleExact shows the one-call exact feasibility decision.
+func ExampleExact() {
+	ts := edf.TaskSet{
+		{Name: "ctrl", WCET: 2, Deadline: 8, Period: 10},
+		{Name: "io", WCET: 3, Deadline: 15, Period: 15},
+	}
+	res := edf.Exact(ts)
+	fmt.Println(res.Verdict, res.Iterations)
+	// Output: feasible 2
+}
+
+// ExampleDevi shows the sufficient test of Definition 1 failing on a
+// feasible set with a tight-deadline burst task, the case motivating the
+// paper's exact tests.
+func ExampleDevi() {
+	ts := edf.TaskSet{
+		{Name: "fast", WCET: 1, Deadline: 5, Period: 5},
+		{Name: "burst", WCET: 2, Deadline: 2, Period: 16},
+		{Name: "dsp", WCET: 4, Deadline: 8, Period: 16},
+	}
+	fmt.Println("devi:", edf.Devi(ts).Verdict)
+	fmt.Println("exact:", edf.AllApprox(ts, edf.Options{}).Verdict)
+	// Output:
+	// devi: not-accepted
+	// exact: feasible
+}
+
+// ExampleSuperPos shows the adjustable approximation levels nesting
+// between Devi's test (level 1) and the exact verdict.
+func ExampleSuperPos() {
+	ts := edf.TaskSet{
+		{WCET: 1, Deadline: 5, Period: 5},
+		{WCET: 2, Deadline: 2, Period: 16},
+		{WCET: 4, Deadline: 8, Period: 16},
+	}
+	for _, level := range []int64{1, 4} {
+		r := edf.SuperPos(ts, level, edf.Options{})
+		fmt.Printf("SuperPos(%d): %v\n", level, r.Verdict)
+	}
+	// Output:
+	// SuperPos(1): not-accepted
+	// SuperPos(4): feasible
+}
+
+// ExampleProcessorDemand shows the classic exact test and its effort
+// metric next to the paper's all-approximated test.
+func ExampleProcessorDemand() {
+	ex, _ := edf.ExampleByName("gresser1")
+	pd := edf.ProcessorDemand(ex.Set, edf.Options{})
+	all := edf.AllApprox(ex.Set, edf.Options{})
+	fmt.Printf("processor demand: %v in %d intervals\n", pd.Verdict, pd.Iterations)
+	fmt.Printf("all-approximated: %v in %d intervals\n", all.Verdict, all.Iterations)
+	// Output:
+	// processor demand: feasible in 172 intervals
+	// all-approximated: feasible in 20 intervals
+}
+
+// ExampleSimulate shows replaying a schedule and inspecting the outcome.
+func ExampleSimulate() {
+	ts := edf.TaskSet{
+		{Name: "a", WCET: 2, Deadline: 5, Period: 5},
+		{Name: "b", WCET: 4, Deadline: 10, Period: 10},
+	}
+	rep, err := edf.Simulate(ts, edf.SimOptions{Horizon: 20})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.Missed, rep.JobsCompleted)
+	// Output: false 6
+}
+
+// ExampleBurstStream shows event-stream modelling of a frame burst.
+func ExampleBurstStream() {
+	burst := edf.BurstStream(1000, 3, 50) // 3 frames 50 apart, every 1000
+	for _, I := range []int64{0, 50, 100, 999, 1000} {
+		fmt.Printf("eta(%d)=%d ", I, burst.Events(I))
+	}
+	fmt.Println()
+	// Output: eta(0)=1 eta(50)=2 eta(100)=3 eta(999)=3 eta(1000)=4
+}
+
+// ExampleWCRTAll shows the response-time view of a task set.
+func ExampleWCRTAll() {
+	ts := edf.TaskSet{
+		{Name: "hi", WCET: 2, Deadline: 5, Period: 10},
+		{Name: "lo", WCET: 3, Deadline: 9, Period: 10},
+	}
+	rts, _ := edf.WCRTAll(ts, edf.ResponseOptions{})
+	fmt.Println(rts)
+	// Output: [2 5]
+}
+
+// ExampleCriticalScaling shows the sensitivity query "how much may every
+// WCET grow".
+func ExampleCriticalScaling() {
+	ts := edf.TaskSet{
+		{WCET: 2, Deadline: 10, Period: 10},
+		{WCET: 3, Deadline: 15, Period: 15},
+	}
+	num, _ := edf.CriticalScaling(ts, 100, nil)
+	fmt.Printf("alpha = %d/100\n", num)
+	// Output: alpha = 233/100
+}
+
+// ExampleAllApproxWithOverheads shows SRP blocking flipping a verdict.
+func ExampleAllApproxWithOverheads() {
+	ts := edf.TaskSet{
+		{Name: "urgent", WCET: 3, Deadline: 4, Period: 20},
+		{Name: "bulk", WCET: 8, Deadline: 40, Period: 40, CriticalSection: 2},
+	}
+	plain := edf.AllApprox(ts, edf.Options{})
+	blocked := edf.AllApproxWithOverheads(ts, edf.Overheads{}, edf.Options{})
+	fmt.Println(plain.Verdict, "->", blocked.Verdict)
+	// Output: feasible -> infeasible
+}

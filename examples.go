@@ -1,0 +1,13 @@
+package edf
+
+import "repro/internal/examplesets"
+
+// Example is a named literature task set from the paper's Table 1.
+type Example = examplesets.Example
+
+// Examples returns the five literature sets of Table 1 (Burns, Ma & Shin,
+// GAP, Gresser 1, Gresser 2; see DESIGN.md for substitution notes).
+func Examples() []Example { return examplesets.All() }
+
+// ExampleByName returns one literature set by its short name.
+func ExampleByName(name string) (Example, bool) { return examplesets.ByName(name) }

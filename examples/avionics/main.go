@@ -1,0 +1,65 @@
+// Avionics: analyze the Generic Avionics Platform workload (Locke, Vogel,
+// Mesler) and the other literature sets of the paper's Table 1, showing
+// where the classic sufficient test fails and how much cheaper the paper's
+// exact tests are than the processor demand test.
+package main
+
+import (
+	"fmt"
+
+	edf "repro"
+)
+
+func main() {
+	fmt.Println("Literature task sets (paper Table 1)")
+	fmt.Println()
+	for _, ex := range edf.Examples() {
+		ts := ex.Set
+		devi := edf.Devi(ts)
+		dyn := edf.DynamicError(ts, edf.Options{})
+		all := edf.AllApprox(ts, edf.Options{})
+		pd := edf.ProcessorDemand(ts, edf.Options{})
+
+		deviCol := fmt.Sprint(devi.Iterations)
+		if devi.Verdict != edf.Feasible {
+			deviCol = "FAILED"
+		}
+		fmt.Printf("%-10s n=%2d U=%.3f  Devi=%-7s Dynamic=%-4d AllApprox=%-4d ProcDemand=%d\n",
+			ex.Name, len(ts), edf.Utilization(ts), deviCol,
+			dyn.Iterations, all.Iterations, pd.Iterations)
+	}
+
+	// Deep dive on GAP: per-task view and schedule replay of the first
+	// 200 ms (the weapon-release deadline is 40x shorter than its period,
+	// the classic hard case for utilization-based arguments).
+	ex, _ := edf.ExampleByName("gap")
+	ts := ex.Set
+	fmt.Println("\nGeneric Avionics Platform, per task (microseconds):")
+	for _, t := range ts {
+		fmt.Printf("  %-18s C=%7d D=%7d T=%7d  (u=%.3f)\n",
+			t.Name, t.WCET, t.Deadline, t.Period, t.UtilizationFloat())
+	}
+
+	res := edf.Exact(ts)
+	fmt.Printf("\nexact verdict: %s in %d intervals", res.Verdict, res.Iterations)
+	pd := edf.ProcessorDemand(ts, edf.Options{})
+	fmt.Printf(" (processor demand needs %d)\n", pd.Iterations)
+
+	rep, err := edf.Simulate(ts, edf.SimOptions{Horizon: 200000, RecordTrace: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nfirst 200 ms of the EDF schedule: %d segments, %d jobs completed, miss=%v\n",
+		len(rep.Trace), rep.JobsCompleted, rep.Missed)
+	fmt.Println("first ten segments:")
+	for i, seg := range rep.Trace {
+		if i == 10 {
+			break
+		}
+		name := "idle"
+		if !seg.Idle() {
+			name = ts[seg.Task].Name
+		}
+		fmt.Printf("  [%6d,%6d) %s\n", seg.Start, seg.End, name)
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: build a small task set, run every feasibility test, and
+// compare their verdicts and costs.
+package main
+
+import (
+	"fmt"
+
+	edf "repro"
+)
+
+func main() {
+	// A control application: three periodic control loops, a logging task
+	// and a watchdog with a deadline well below its period.
+	ts := edf.TaskSet{
+		{Name: "inner-loop", WCET: 2, Deadline: 8, Period: 10},
+		{Name: "outer-loop", WCET: 5, Deadline: 20, Period: 25},
+		{Name: "supervisor", WCET: 9, Deadline: 50, Period: 50},
+		{Name: "logger", WCET: 12, Deadline: 90, Period: 100},
+		{Name: "watchdog", WCET: 4, Deadline: 30, Period: 300},
+	}
+	if err := ts.Validate(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("analyzing %d tasks, utilization %.1f%%\n\n", len(ts), 100*edf.Utilization(ts))
+
+	// The one-call answer: the all-approximated test is exact and fast.
+	res := edf.Exact(ts)
+	fmt.Printf("exact verdict: %s (%d test intervals, %d revisions)\n\n",
+		res.Verdict, res.Iterations, res.Revisions)
+
+	// The whole test ladder, from the cheapest sufficient test to the
+	// classic exact test.
+	fmt.Println("test ladder:")
+	for _, tc := range []struct {
+		name string
+		res  edf.Result
+	}{
+		{"liu-layland (sufficient)", edf.LiuLayland(ts)},
+		{"devi (sufficient)", edf.Devi(ts)},
+		{"superpos(3) (sufficient)", edf.SuperPos(ts, 3, edf.Options{})},
+		{"dynamic error (exact)", edf.DynamicError(ts, edf.Options{})},
+		{"all-approximated (exact)", edf.AllApprox(ts, edf.Options{})},
+		{"processor demand (exact)", edf.ProcessorDemand(ts, edf.Options{})},
+	} {
+		fmt.Printf("  %-28s %-13s %4d intervals\n", tc.name, tc.res.Verdict, tc.res.Iterations)
+	}
+
+	// Inspect the demand bound function around the watchdog deadline.
+	fmt.Println("\ndemand bound function:")
+	for _, I := range []int64{8, 20, 30, 50, 90, 200} {
+		fmt.Printf("  dbf(%3d) = %3d  (capacity %3d)\n", I, edf.Dbf(ts, I), I)
+	}
+
+	// Replay the schedule to see the verdict hold in a concrete run.
+	horizon, _ := edf.SimHorizon(ts)
+	rep, err := edf.Simulate(ts, edf.SimOptions{Horizon: horizon})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nsimulated %d time units: %d jobs released, %d completed, miss=%v\n",
+		rep.EndTime, rep.JobsReleased, rep.JobsCompleted, rep.Missed)
+}

@@ -1,0 +1,72 @@
+// Package examples_test builds and runs every example end to end, keeping
+// the documented entry points working.
+package examples_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runExample executes one example via `go run` from the repository root.
+func runExample(t *testing.T, name string) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./examples/"+name)
+	cmd.Dir = filepath.Dir(wd) // examples/ -> repo root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("example %s failed: %v\n%s", name, err, out)
+	}
+	return string(out)
+}
+
+func TestQuickstart(t *testing.T) {
+	out := runExample(t, "quickstart")
+	for _, want := range []string{"exact verdict: feasible", "test ladder", "demand bound function", "simulated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quickstart output missing %q", want)
+		}
+	}
+}
+
+func TestAvionics(t *testing.T) {
+	out := runExample(t, "avionics")
+	for _, want := range []string{"gap", "FAILED", "weapon_release", "first 200 ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("avionics output missing %q", want)
+		}
+	}
+}
+
+func TestAdmission(t *testing.T) {
+	out := runExample(t, "admission")
+	for _, want := range []string{"devi (sufficient)", "all-approx (exact)", "deadline miss: false"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("admission output missing %q", want)
+		}
+	}
+}
+
+func TestEventstream(t *testing.T) {
+	out := runExample(t, "eventstream")
+	for _, want := range []string{"eta(", "all-approximated (exact)", "sensitivity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("eventstream output missing %q", want)
+		}
+	}
+}
+
+func TestMargin(t *testing.T) {
+	out := runExample(t, "margin")
+	for _, want := range []string{"critical scaling factor", "WCRT", "exact phased analysis says feasible"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("margin output missing %q", want)
+		}
+	}
+}

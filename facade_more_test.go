@@ -1,0 +1,145 @@
+package edf_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	edf "repro"
+)
+
+func TestFacadeLoadTaskSet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	payload := `{"name":"demo","tasks":[{"wcet":1,"deadline":5,"period":5}]}`
+	if err := os.WriteFile(path, []byte(payload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts, name, err := edf.LoadTaskSet(path)
+	if err != nil || name != "demo" || len(ts) != 1 {
+		t.Fatalf("load: %v %q %v", ts, name, err)
+	}
+}
+
+func TestFacadeOverheads(t *testing.T) {
+	ts := edf.TaskSet{
+		{Name: "urgent", WCET: 3, Deadline: 4, Period: 20},
+		{Name: "bulk", WCET: 8, Deadline: 40, Period: 40, CriticalSection: 2},
+	}
+	inflated := edf.InflateOverheads(ts, edf.Overheads{ContextSwitch: 1})
+	if inflated[0].WCET != 5 {
+		t.Errorf("inflated WCET = %d, want 5", inflated[0].WCET)
+	}
+	b := edf.SRPBlocking(ts)
+	if b == nil {
+		t.Fatal("nil blocking function")
+	}
+	if got := b(0); got != 2 {
+		t.Errorf("blocking at 0 = %d, want 2", got)
+	}
+	if r := edf.AllApproxWithOverheads(ts, edf.Overheads{}, edf.Options{}); r.Verdict != edf.Infeasible {
+		t.Errorf("allapprox with blocking: %v", r.Verdict)
+	}
+	if r := edf.DynamicErrorWithOverheads(ts, edf.Overheads{}, edf.Options{}); r.Verdict != edf.Infeasible {
+		t.Errorf("dynamic with blocking: %v", r.Verdict)
+	}
+	if r := edf.ProcessorDemandWithOverheads(ts, edf.Overheads{}, edf.Options{}); r.Verdict != edf.Infeasible {
+		t.Errorf("pd with blocking: %v", r.Verdict)
+	}
+	if r := edf.DeviWithOverheads(ts, edf.Overheads{}); r.Verdict == edf.Feasible {
+		t.Errorf("devi with blocking accepted: %v", r.Verdict)
+	}
+}
+
+func TestFacadeResponse(t *testing.T) {
+	ts := demoSet()
+	r, ok := edf.WCRT(ts, 0, edf.ResponseOptions{})
+	if !ok || r < ts[0].WCET {
+		t.Fatalf("WCRT = %d,%v", r, ok)
+	}
+	all, ok := edf.WCRTAll(ts, edf.ResponseOptions{})
+	if !ok || len(all) != len(ts) {
+		t.Fatalf("WCRTAll = %v,%v", all, ok)
+	}
+	feasible, ok := edf.FeasibleByResponse(ts, edf.ResponseOptions{})
+	if !ok || !feasible {
+		t.Fatalf("FeasibleByResponse = %v,%v", feasible, ok)
+	}
+}
+
+func TestFacadeSensitivity(t *testing.T) {
+	ts := demoSet()
+	maxC, err := edf.MaxWCET(ts, 0, nil)
+	if err != nil || maxC < ts[0].WCET {
+		t.Fatalf("MaxWCET = %d, %v", maxC, err)
+	}
+	minD, err := edf.MinDeadline(ts, 1, nil)
+	if err != nil || minD > ts[1].Deadline {
+		t.Fatalf("MinDeadline = %d, %v", minD, err)
+	}
+	minT, err := edf.MinPeriod(ts, 2, nil)
+	if err != nil || minT > ts[2].Period {
+		t.Fatalf("MinPeriod = %d, %v", minT, err)
+	}
+	alpha, err := edf.CriticalScaling(ts, 100, nil)
+	if err != nil || alpha < 100 {
+		t.Fatalf("CriticalScaling = %d, %v (feasible set must scale >= 1)", alpha, err)
+	}
+}
+
+func TestFacadeAsync(t *testing.T) {
+	ts := edf.TaskSet{
+		{WCET: 1, Deadline: 1, Period: 2, Phase: 0},
+		{WCET: 1, Deadline: 1, Period: 2, Phase: 1},
+	}
+	res, err := edf.AsyncExact(ts, edf.AsyncOptions{})
+	if err != nil || res.Verdict != edf.Feasible {
+		t.Fatalf("AsyncExact = %v, %v", res.Verdict, err)
+	}
+	if r := edf.AsyncSufficient(ts, edf.Options{}); r.Verdict == edf.Feasible {
+		t.Fatalf("sync reduction accepted the phased-only set")
+	}
+	h, ok := edf.AsyncHorizon(ts)
+	if !ok || h != 1+2*2 {
+		t.Fatalf("AsyncHorizon = %d,%v, want 5", h, ok)
+	}
+}
+
+func TestFacadeGantt(t *testing.T) {
+	ts := demoSet()
+	rep, err := edf.Simulate(ts, edf.SimOptions{Horizon: 100, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := edf.RenderGantt(&b, ts, rep.Trace, edf.GanttOptions{Width: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(idle)") {
+		t.Errorf("gantt output: %q", b.String())
+	}
+}
+
+func TestFacadeBaruahAndBest(t *testing.T) {
+	ts := demoSet()
+	if b, ok := edf.BaruahBound(ts); !ok || b <= 0 {
+		t.Errorf("Baruah = %d,%v", b, ok)
+	}
+	if got := edf.DbfTask(ts[0], 8); got != 2 {
+		t.Errorf("DbfTask = %d", got)
+	}
+}
+
+func TestFacadeGenerateInBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ts, err := edf.GenerateInBand(edf.GenConfig{
+		N: 10, Utilization: 0.9, PeriodMin: 1000, PeriodMax: 50000, GapMean: 0.2,
+	}, 0.88, 0.92, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := edf.Utilization(ts); u < 0.88 || u > 0.92 {
+		t.Errorf("U = %v outside band", u)
+	}
+}

@@ -1,0 +1,25 @@
+package edf
+
+import (
+	"math/rand"
+
+	"repro/internal/taskgen"
+)
+
+// GenConfig describes a random task set in the paper's experimental setup
+// (UUniFast utilizations, uniform or log-uniform periods, average deadline
+// gap).
+type GenConfig = taskgen.Config
+
+// Generate creates one random task set.
+func Generate(cfg GenConfig, rng *rand.Rand) (TaskSet, error) { return taskgen.New(cfg, rng) }
+
+// GenerateInBand creates a random task set whose achieved utilization lies
+// in [lo, hi], retrying up to attempts times.
+func GenerateInBand(cfg GenConfig, lo, hi float64, attempts int, rng *rand.Rand) (TaskSet, error) {
+	return taskgen.NewInUtilizationBand(cfg, lo, hi, attempts, rng)
+}
+
+// UUniFast distributes total utilization u over n tasks without bias
+// (Bini & Buttazzo).
+func UUniFast(n int, u float64, rng *rand.Rand) []float64 { return taskgen.UUniFast(n, u, rng) }

@@ -1,0 +1,154 @@
+package async
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/sim"
+)
+
+// Result is the outcome of an exact asynchronous analysis.
+type Result struct {
+	Verdict core.Verdict
+	// Horizon is the analyzed interval [0, Horizon).
+	Horizon int64
+	// MissTask and MissTime identify the first miss for Infeasible.
+	MissTask int
+	MissTime int64
+}
+
+// Options tune the exact analysis.
+type Options struct {
+	// MaxHorizon caps the replay horizon Φmax + 2H (0 = 1<<40); beyond
+	// the cap the analysis returns Undecided instead of running forever.
+	MaxHorizon int64
+}
+
+func (o Options) maxHorizon() int64 {
+	if o.MaxHorizon == 0 {
+		return 1 << 40
+	}
+	return o.MaxHorizon
+}
+
+// Horizon returns the exact analysis horizon Φmax + 2·H for the set.
+// ok is false when the hyperperiod overflows.
+func Horizon(ts model.TaskSet) (int64, bool) {
+	h, ok := bounds.Hyperperiod(ts)
+	if !ok {
+		return 0, false
+	}
+	twoH, ok := numeric.MulChecked(2, h)
+	if !ok {
+		return 0, false
+	}
+	var phiMax int64
+	for _, t := range ts {
+		phiMax = max(phiMax, t.Phase)
+	}
+	return numeric.AddChecked(phiMax, twoH)
+}
+
+// Exact decides feasibility of the asynchronous periodic set (releases at
+// φi + k·Ti, exactly) by an EDF replay over [0, Φmax + 2H).
+func Exact(ts model.TaskSet, opt Options) (Result, error) {
+	if err := ts.Validate(); err != nil {
+		return Result{}, err
+	}
+	if ts.OverUtilized() {
+		// Demand exceeds capacity in the long run regardless of phasing.
+		return Result{Verdict: core.Infeasible}, nil
+	}
+	horizon, ok := Horizon(ts)
+	if !ok || horizon > opt.maxHorizon() {
+		return Result{Verdict: core.Undecided}, nil
+	}
+	rep, err := sim.Run(ts, sim.Options{Horizon: horizon})
+	if err != nil {
+		return Result{}, fmt.Errorf("async: %w", err)
+	}
+	if rep.Missed {
+		return Result{
+			Verdict: core.Infeasible, Horizon: horizon,
+			MissTask: rep.MissTask, MissTime: rep.MissTime,
+		}, nil
+	}
+	return Result{Verdict: core.Feasible, Horizon: horizon}, nil
+}
+
+// Sufficient runs the paper's synchronous all-approximated test on the set
+// with phases cleared. Acceptance is sufficient for every phasing; a
+// NotAccepted verdict means the synchronous reduction cannot decide (the
+// phased set may still be feasible — see Exact).
+func Sufficient(ts model.TaskSet, opt core.Options) core.Result {
+	r := core.AllApprox(ts.Synchronous(), opt)
+	if r.Verdict == core.Infeasible {
+		// The synchronous worst case need not be realizable with fixed
+		// phases, so infeasibility does not transfer.
+		r.Verdict = core.NotAccepted
+	}
+	return r
+}
+
+// windowDemand returns the demand of jobs released at or after s with
+// deadline at or before e, for the exact window criterion.
+func windowDemand(ts model.TaskSet, s, e int64) int64 {
+	var sum int64
+	for _, t := range ts {
+		// Releases r = φ + kT with r >= s and r + D <= e.
+		kLo := int64(0)
+		if s > t.Phase {
+			kLo = numeric.CeilDiv(s-t.Phase, t.Period)
+		}
+		top := e - t.Deadline - t.Phase
+		if top < 0 {
+			continue
+		}
+		kHi := top / t.Period
+		if kHi >= kLo {
+			sum += (kHi - kLo + 1) * t.WCET
+		}
+	}
+	return sum
+}
+
+// WindowExact decides feasibility with the window-based processor demand
+// criterion: the set is feasible iff demand([s,e)) <= e-s for every window
+// with s a release time and e an absolute deadline inside the horizon.
+// It is O(K^2) in the number K of events and exists to cross-validate
+// Exact; maxEvents caps K (exceeding it yields Undecided).
+func WindowExact(ts model.TaskSet, maxEvents int64) core.Verdict {
+	if ts.OverUtilized() {
+		return core.Infeasible
+	}
+	horizon, ok := Horizon(ts)
+	if !ok {
+		return core.Undecided
+	}
+	var releases, deadlines []int64
+	for _, t := range ts {
+		for r := t.Phase; r < horizon; r += t.Period {
+			releases = append(releases, r)
+			if d := r + t.Deadline; d <= horizon {
+				deadlines = append(deadlines, d)
+			}
+			if int64(len(releases)) > maxEvents {
+				return core.Undecided
+			}
+		}
+	}
+	for _, s := range releases {
+		for _, e := range deadlines {
+			if e <= s {
+				continue
+			}
+			if windowDemand(ts, s, e) > e-s {
+				return core.Infeasible
+			}
+		}
+	}
+	return core.Feasible
+}

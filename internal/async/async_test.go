@@ -1,0 +1,147 @@
+package async
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// offsetRescue is the classic example of phasing rescuing feasibility: two
+// unit jobs per two time units with unit deadlines collide synchronously
+// but interleave perfectly with offset 1.
+func offsetRescue() model.TaskSet {
+	return model.TaskSet{
+		{Name: "a", WCET: 1, Deadline: 1, Period: 2, Phase: 0},
+		{Name: "b", WCET: 1, Deadline: 1, Period: 2, Phase: 1},
+	}
+}
+
+func TestPhasingRescuesFeasibility(t *testing.T) {
+	ts := offsetRescue()
+	// Synchronous reduction cannot accept...
+	if r := Sufficient(ts, core.Options{}); r.Verdict == core.Feasible {
+		t.Fatalf("sync reduction accepted the colliding set")
+	}
+	// ...but the exact phased analysis does.
+	res, err := Exact(ts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != core.Feasible {
+		t.Fatalf("exact async: %v (miss task %d at %d)", res.Verdict, res.MissTask, res.MissTime)
+	}
+	// Removing the offset makes it genuinely infeasible.
+	sync := ts.Synchronous()
+	res, err = Exact(sync, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != core.Infeasible {
+		t.Fatalf("exact sync-phased: %v, want infeasible", res.Verdict)
+	}
+}
+
+func TestSufficiencyTransfers(t *testing.T) {
+	// If the synchronous test accepts, every phasing must be feasible.
+	rng := rand.New(rand.NewSource(91))
+	checked := 0
+	for range 1500 {
+		n := 1 + rng.Intn(4)
+		ts := make(model.TaskSet, 0, n)
+		for range n {
+			T := int64(2 + rng.Intn(12))
+			C := 1 + rng.Int63n(T)
+			D := C + rng.Int63n(T-C+1)
+			ts = append(ts, model.Task{
+				WCET: C, Deadline: D, Period: T, Phase: rng.Int63n(2 * T),
+			})
+		}
+		if Sufficient(ts, core.Options{}).Verdict != core.Feasible {
+			continue
+		}
+		checked++
+		res, err := Exact(ts, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != core.Feasible {
+			t.Fatalf("sync-accepted set infeasible with phases: %v", ts)
+		}
+	}
+	if checked < 300 {
+		t.Fatalf("only %d sets checked", checked)
+	}
+}
+
+func TestExactMatchesWindowCriterion(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	checked := 0
+	for range 800 {
+		n := 1 + rng.Intn(3)
+		ts := make(model.TaskSet, 0, n)
+		for range n {
+			T := int64(2 + rng.Intn(8))
+			C := 1 + rng.Int63n(T)
+			D := C + rng.Int63n(T-C+1)
+			ts = append(ts, model.Task{
+				WCET: C, Deadline: D, Period: T, Phase: rng.Int63n(T + 3),
+			})
+		}
+		if ts.OverUtilized() {
+			continue
+		}
+		window := WindowExact(ts, 4000)
+		if window == core.Undecided {
+			continue
+		}
+		checked++
+		res, err := Exact(ts, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != window {
+			t.Fatalf("replay %v, window criterion %v for %v", res.Verdict, window, ts)
+		}
+	}
+	if checked < 300 {
+		t.Fatalf("only %d sets checked", checked)
+	}
+}
+
+func TestOverUtilizedInfeasible(t *testing.T) {
+	ts := model.TaskSet{
+		{WCET: 2, Deadline: 2, Period: 2, Phase: 0},
+		{WCET: 2, Deadline: 2, Period: 2, Phase: 1},
+	}
+	res, err := Exact(ts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != core.Infeasible {
+		t.Fatalf("U>1: %v", res.Verdict)
+	}
+}
+
+func TestHorizonCap(t *testing.T) {
+	ts := model.TaskSet{{WCET: 1, Deadline: 10, Period: 10}}
+	res, err := Exact(ts, Options{MaxHorizon: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != core.Undecided {
+		t.Fatalf("capped horizon: %v, want undecided", res.Verdict)
+	}
+}
+
+func TestHorizonFormula(t *testing.T) {
+	ts := model.TaskSet{
+		{WCET: 1, Deadline: 4, Period: 4, Phase: 3},
+		{WCET: 1, Deadline: 6, Period: 6, Phase: 0},
+	}
+	h, ok := Horizon(ts)
+	if !ok || h != 3+2*12 {
+		t.Fatalf("horizon = %d,%v, want 27", h, ok)
+	}
+}

@@ -1,0 +1,23 @@
+// Package async analyzes asynchronous periodic task sets — tasks with
+// initial release phases — under preemptive EDF.
+//
+// Section 2 of the paper restricts the fast tests to the synchronous case
+// and notes that this is "a common assumption which also leads to a
+// sufficient test for the asynchronous case" (with reference [13],
+// Pellizzoni & Lipari, for better sufficient conditions). This package
+// provides both sides of that statement:
+//
+//   - Sufficient: run the paper's (synchronous) tests on the set with
+//     phases cleared; acceptance transfers to any phasing because the
+//     synchronous arrival sequence maximizes demand.
+//   - Exact: for periodic tasks with fixed phases and U <= 1, a deadline
+//     is missed if and only if one is missed in [0, Φmax + 2H) (Leung &
+//     Merrill / Baruah, Howell & Rosier), so an EDF replay over that
+//     horizon decides feasibility exactly. A window-based processor demand
+//     variant (demand over [s, e) windows) cross-validates the replay in
+//     the tests.
+//
+// The exact analysis is specific to strictly periodic releases: sporadic
+// tasks may always realize the synchronous worst case, for which the
+// synchronous tests are already exact.
+package async

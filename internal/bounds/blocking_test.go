@@ -1,0 +1,62 @@
+package bounds
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/model"
+)
+
+// TestGeorgeWithBlockingCoversViolations: every interval violating the
+// blocking-reduced capacity dbf(I) > I - B(I), with B bounded by bmax,
+// must lie below the widened bound.
+func TestGeorgeWithBlockingCoversViolations(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for range 1500 {
+		ts := randomConstrainedSet(rng, 1+rng.Intn(4), 16)
+		if ts.Utilization().Cmp(one) >= 0 {
+			continue
+		}
+		bmax := rng.Int63n(6)
+		srcs := demand.FromTasks(ts)
+		bound, ok := GeorgeWithBlocking(srcs, bmax)
+		if !ok {
+			t.Fatalf("bound failed for %v", ts)
+		}
+		// The worst-case blocking function: constant bmax (any valid
+		// non-increasing B is dominated by it).
+		for I := int64(1); I <= 2000; I++ {
+			if demand.Dbf(srcs, I) > I-bmax && I >= bound {
+				t.Fatalf("violation at %d beyond bound %d (bmax=%d) for %v",
+					I, bound, bmax, ts)
+			}
+		}
+	}
+}
+
+// TestGeorgeWithBlockingZeroMatchesGeorge: without blocking the widened
+// bound equals George's.
+func TestGeorgeWithBlockingZeroMatchesGeorge(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for range 500 {
+		ts := randomConstrainedSet(rng, 1+rng.Intn(5), 30)
+		if ts.Utilization().Cmp(one) >= 0 {
+			continue
+		}
+		srcs := demand.FromTasks(ts)
+		a, okA := George(srcs)
+		b, okB := GeorgeWithBlocking(srcs, 0)
+		if okA != okB || a != b {
+			t.Fatalf("george=%d,%v with-blocking(0)=%d,%v for %v", a, okA, b, okB, ts)
+		}
+	}
+}
+
+// TestGeorgeWithBlockingRejectsOverUtilization mirrors the plain bound.
+func TestGeorgeWithBlockingRejectsOverUtilization(t *testing.T) {
+	ts := model.TaskSet{{WCET: 3, Deadline: 2, Period: 2}}
+	if _, ok := GeorgeWithBlocking(demand.FromTasks(ts), 5); ok {
+		t.Error("U>1 accepted")
+	}
+}

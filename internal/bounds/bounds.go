@@ -1,0 +1,241 @@
+package bounds
+
+import (
+	"math/big"
+
+	"repro/internal/demand"
+	"repro/internal/model"
+	"repro/internal/numeric"
+)
+
+var one = big.NewRat(1, 1)
+
+// ceilRatInt64 rounds the non-negative rational up and reports whether the
+// result fits in int64.
+func ceilRatInt64(r *big.Rat) (int64, bool) {
+	if r.Sign() <= 0 {
+		return 0, true
+	}
+	num := new(big.Int).Set(r.Num())
+	den := r.Denom()
+	num.Add(num, new(big.Int).Sub(den, big.NewInt(1)))
+	q := num.Div(num, den)
+	if !q.IsInt64() {
+		return 0, false
+	}
+	return q.Int64(), true
+}
+
+// Baruah returns the bound of Baruah et al. (Definition 3):
+// I < U/(1-U) * max(Ti - Di). It applies only to constrained-deadline sets
+// (Di <= Ti for every task) with U < 1; otherwise ok is false. A zero bound
+// means no violation interval exists at all (every Di == Ti and U <= 1).
+func Baruah(ts model.TaskSet) (bound int64, ok bool) {
+	if !ts.Constrained() {
+		return 0, false
+	}
+	u := ts.Utilization()
+	if u.Cmp(one) >= 0 {
+		return 0, false
+	}
+	var maxGap int64
+	for _, t := range ts {
+		maxGap = max(maxGap, t.Period-t.Deadline)
+	}
+	if maxGap == 0 {
+		return 0, true
+	}
+	// U/(1-U) * maxGap
+	den := new(big.Rat).Sub(one, u)
+	b := new(big.Rat).Quo(u, den)
+	b.Mul(b, new(big.Rat).SetInt64(maxGap))
+	return ceilRatInt64(b)
+}
+
+// georgeTerm returns C - F*num/den for a source (first deadline F, slope
+// num/den), the per-source constant of the linear upper bound
+// dbf_s(I) <= U_s*I + (C - F*U_s).
+func georgeTerm(s demand.Source) *big.Rat {
+	num, den := s.UtilRat()
+	f := s.JobDeadline(1)
+	t := new(big.Rat).Mul(big.NewRat(num, den), new(big.Rat).SetInt64(f))
+	return t.Sub(new(big.Rat).SetInt64(s.WCET()), t)
+}
+
+// George returns the bound of George et al.:
+// I < Σ_{Di<=Ti} (1-Di/Ti)·Ci / (1-U). Sources whose term is negative
+// (deadline beyond period) are excluded, which keeps the bound sound.
+// ok is false when U >= 1 or the bound overflows.
+func George(srcs []demand.Source) (bound int64, ok bool) {
+	u := demand.Utilization(srcs)
+	if u.Cmp(one) >= 0 {
+		return 0, false
+	}
+	sum := new(big.Rat)
+	for _, s := range srcs {
+		if t := georgeTerm(s); t.Sign() > 0 {
+			sum.Add(sum, t)
+		}
+	}
+	sum.Quo(sum, new(big.Rat).Sub(one, u))
+	return ceilRatInt64(sum)
+}
+
+// GeorgeTasks is George over a sporadic task set.
+func GeorgeTasks(ts model.TaskSet) (int64, bool) { return George(demand.FromTasks(ts)) }
+
+// GeorgeWithBlocking extends George's bound to blocking-reduced capacity:
+// a violation dbf(I) > I - B(I) with B non-increasing and B(I) <= bmax
+// implies I < (Σ terms + bmax)/(1-U).
+func GeorgeWithBlocking(srcs []demand.Source, bmax int64) (bound int64, ok bool) {
+	u := demand.Utilization(srcs)
+	if u.Cmp(one) >= 0 {
+		return 0, false
+	}
+	sum := new(big.Rat).SetInt64(bmax)
+	for _, s := range srcs {
+		if t := georgeTerm(s); t.Sign() > 0 {
+			sum.Add(sum, t)
+		}
+	}
+	sum.Quo(sum, new(big.Rat).Sub(one, u))
+	return ceilRatInt64(sum)
+}
+
+// Superposition returns the new bound I_sup of Section 4.3:
+// the interval beyond which the all-approximated test can approximate every
+// task, I_sup = max(Dmax, Σ_all (1-Di/Ti)·Ci / (1-U)). Unlike George, the
+// sum ranges over every source including those with negative terms, which
+// is sound for intervals >= the largest first deadline and makes the bound
+// at most George's bound (the relationship the paper proves). ok is false
+// when U >= 1 or on overflow.
+func Superposition(srcs []demand.Source) (bound int64, ok bool) {
+	u := demand.Utilization(srcs)
+	if u.Cmp(one) >= 0 {
+		return 0, false
+	}
+	sum := new(big.Rat)
+	var dmax int64
+	for _, s := range srcs {
+		sum.Add(sum, georgeTerm(s))
+		dmax = max(dmax, s.JobDeadline(1))
+	}
+	sum.Quo(sum, new(big.Rat).Sub(one, u))
+	b, ok := ceilRatInt64(sum)
+	if !ok {
+		return 0, false
+	}
+	return max(b, dmax), true
+}
+
+// SuperpositionTasks is Superposition over a sporadic task set.
+func SuperpositionTasks(ts model.TaskSet) (int64, bool) {
+	return Superposition(demand.FromTasks(ts))
+}
+
+// busyPeriodMaxIter caps the fixpoint iteration of BusyPeriod; real task
+// sets converge in a handful of steps.
+const busyPeriodMaxIter = 100000
+
+// BusyPeriod returns the length of the synchronous processor busy period:
+// the least fixpoint of L = Σ ceil(L/Ti)·Ci starting from L0 = Σ Ci.
+// ok is false when U > 1, the iteration does not converge within the cap,
+// or an intermediate value overflows. The paper notes this bound can be
+// tighter than the superposition bound but is expensive to compute.
+func BusyPeriod(ts model.TaskSet) (length int64, ok bool) {
+	var l int64
+	for _, t := range ts {
+		var okAdd bool
+		l, okAdd = numeric.AddChecked(l, t.WCET)
+		if !okAdd {
+			return 0, false
+		}
+	}
+	for range busyPeriodMaxIter {
+		var next int64
+		for _, t := range ts {
+			jobs := numeric.CeilDiv(l, t.Period)
+			d, okMul := numeric.MulChecked(jobs, t.WCET)
+			if !okMul {
+				return 0, false
+			}
+			var okAdd bool
+			next, okAdd = numeric.AddChecked(next, d)
+			if !okAdd {
+				return 0, false
+			}
+		}
+		if next == l {
+			return l, true
+		}
+		l = next
+	}
+	return 0, false
+}
+
+// Hyperperiod returns lcm(T1,...,Tn), ok=false on int64 overflow.
+func Hyperperiod(ts model.TaskSet) (int64, bool) {
+	h := int64(1)
+	for _, t := range ts {
+		var ok bool
+		h, ok = numeric.LCM(h, t.Period)
+		if !ok {
+			return 0, false
+		}
+	}
+	return h, true
+}
+
+// Kind names a feasibility bound for reporting.
+type Kind string
+
+// Bound kinds.
+const (
+	KindBaruah        Kind = "baruah"
+	KindGeorge        Kind = "george"
+	KindSuperposition Kind = "superposition"
+	KindBusyPeriod    Kind = "busy-period"
+	KindHyperperiod   Kind = "hyperperiod"
+	KindNone          Kind = "none"
+)
+
+// Best returns the smallest applicable cheap bound (Baruah, George,
+// superposition) for a task set with U < 1, together with its name.
+// For U == 1 it falls back to hyperperiod + Dmax, which is sound because
+// dbf(I+H) = dbf(I) + H for I >= Dmax when U == 1. ok is false for U > 1
+// or when nothing applies within int64.
+func Best(ts model.TaskSet) (bound int64, kind Kind, ok bool) {
+	u := ts.Utilization()
+	switch u.Cmp(one) {
+	case 1:
+		return 0, KindNone, false
+	case 0:
+		h, okH := Hyperperiod(ts)
+		if !okH {
+			return 0, KindNone, false
+		}
+		b, okB := numeric.AddChecked(h, ts.MaxDeadline())
+		if !okB {
+			return 0, KindNone, false
+		}
+		// Exclusive bound: candidate violations lie at I <= H + Dmax.
+		b, okB = numeric.AddChecked(b, 1)
+		if !okB {
+			return 0, KindNone, false
+		}
+		return b, KindHyperperiod, true
+	}
+	bound, kind, ok = 0, KindNone, false
+	consider := func(b int64, k Kind, okB bool) {
+		if okB && (!ok || b < bound) {
+			bound, kind, ok = b, k, true
+		}
+	}
+	b, okB := Baruah(ts)
+	consider(b, KindBaruah, okB)
+	b, okB = GeorgeTasks(ts)
+	consider(b, KindGeorge, okB)
+	b, okB = SuperpositionTasks(ts)
+	consider(b, KindSuperposition, okB)
+	return bound, kind, ok
+}

@@ -1,0 +1,215 @@
+package bounds
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/model"
+)
+
+func randomConstrainedSet(rng *rand.Rand, n int, maxT int64) model.TaskSet {
+	ts := make(model.TaskSet, 0, n)
+	for range n {
+		T := 2 + rng.Int63n(maxT-1)
+		C := 1 + rng.Int63n(T)
+		D := C + rng.Int63n(T-C+1)
+		ts = append(ts, model.Task{WCET: C, Deadline: D, Period: T})
+	}
+	return ts
+}
+
+// TestBoundsCoverViolations is the soundness property: for any set, every
+// interval with dbf(I) > I must lie strictly below each applicable bound.
+func TestBoundsCoverViolations(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for range 2000 {
+		ts := randomConstrainedSet(rng, 1+rng.Intn(5), 20)
+		if ts.Utilization().Cmp(one) >= 0 {
+			continue
+		}
+		srcs := demand.FromTasks(ts)
+		// Find the first and the largest violation within a generous
+		// horizon.
+		horizon := int64(3000)
+		first, worst := int64(-1), int64(-1)
+		for I := int64(1); I <= horizon; I++ {
+			if demand.Dbf(srcs, I) > I {
+				if first < 0 {
+					first = I
+				}
+				worst = I
+			}
+		}
+		// Baruah, George and superposition cover EVERY violation interval.
+		check := func(name string, b int64, ok bool) {
+			if !ok {
+				return
+			}
+			if worst >= 0 && worst >= b {
+				t.Fatalf("%s bound %d misses violation at %d for %v", name, b, worst, ts)
+			}
+		}
+		b, ok := Baruah(ts)
+		check("baruah", b, ok)
+		b, ok = GeorgeTasks(ts)
+		check("george", b, ok)
+		b, ok = SuperpositionTasks(ts)
+		check("superposition", b, ok)
+		// The busy period covers only the FIRST violation (George et al.:
+		// if the set is infeasible, a deadline is missed within the first
+		// synchronous busy period).
+		if l, ok := BusyPeriod(ts); ok && first >= 0 && first > l {
+			t.Fatalf("busy period %d misses first violation at %d for %v", l, first, ts)
+		}
+	}
+}
+
+// TestSuperpositionNotAboveGeorge verifies the paper's Section 4.3 claim:
+// the superposition bound is at most George's bound whenever both exist and
+// the superposition bound exceeds the largest deadline.
+func TestSuperpositionNotAboveGeorge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for range 3000 {
+		ts := randomConstrainedSet(rng, 1+rng.Intn(6), 50)
+		if ts.Utilization().Cmp(one) >= 0 {
+			continue
+		}
+		g, okG := GeorgeTasks(ts)
+		s, okS := SuperpositionTasks(ts)
+		if !okG || !okS {
+			continue
+		}
+		if s > g && s > ts.MaxDeadline() {
+			t.Fatalf("superposition %d > george %d for %v", s, g, ts)
+		}
+	}
+}
+
+func TestBaruahRequiresConstrained(t *testing.T) {
+	ts := model.TaskSet{{WCET: 1, Deadline: 12, Period: 10}}
+	if _, ok := Baruah(ts); ok {
+		t.Error("Baruah accepted an unconstrained set")
+	}
+}
+
+func TestBaruahZeroForImplicit(t *testing.T) {
+	ts := model.TaskSet{{WCET: 1, Deadline: 10, Period: 10}}
+	b, ok := Baruah(ts)
+	if !ok || b != 0 {
+		t.Errorf("Baruah = %d,%v, want 0,true (no violation possible)", b, ok)
+	}
+}
+
+func TestBoundsRejectOverUtilization(t *testing.T) {
+	ts := model.TaskSet{{WCET: 3, Deadline: 2, Period: 2}}
+	if _, ok := Baruah(ts); ok {
+		t.Error("Baruah accepted U>1")
+	}
+	if _, ok := GeorgeTasks(ts); ok {
+		t.Error("George accepted U>1")
+	}
+	if _, ok := SuperpositionTasks(ts); ok {
+		t.Error("Superposition accepted U>1")
+	}
+}
+
+func TestBusyPeriodKnownValues(t *testing.T) {
+	// Single task: busy period = C.
+	ts := model.TaskSet{{WCET: 3, Deadline: 10, Period: 10}}
+	if l, ok := BusyPeriod(ts); !ok || l != 3 {
+		t.Errorf("busy period = %d,%v, want 3", l, ok)
+	}
+	// Two tasks C=2,T=4 and C=2,T=6: L0=4, L1=2*2+2=6, L2=2*ceil(6/4)+2*1... iterate:
+	// L=4: ceil(4/4)*2 + ceil(4/6)*2 = 2+2=4 -> fixpoint 4.
+	ts = model.TaskSet{
+		{WCET: 2, Deadline: 4, Period: 4},
+		{WCET: 2, Deadline: 6, Period: 6},
+	}
+	if l, ok := BusyPeriod(ts); !ok || l != 4 {
+		t.Errorf("busy period = %d,%v, want 4", l, ok)
+	}
+	// Full utilization can still close exactly at the hyperperiod scale.
+	ts = model.TaskSet{{WCET: 2, Deadline: 2, Period: 2}}
+	if l, ok := BusyPeriod(ts); !ok || l != 2 {
+		t.Errorf("busy period = %d,%v, want 2,true", l, ok)
+	}
+	// Over-utilization diverges and must hit the iteration cap.
+	ts = model.TaskSet{{WCET: 3, Deadline: 2, Period: 2}}
+	if _, ok := BusyPeriod(ts); ok {
+		t.Error("busy period converged at U>1")
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	ts := model.TaskSet{
+		{WCET: 1, Deadline: 4, Period: 4},
+		{WCET: 1, Deadline: 6, Period: 6},
+		{WCET: 1, Deadline: 10, Period: 10},
+	}
+	if h, ok := Hyperperiod(ts); !ok || h != 60 {
+		t.Errorf("hyperperiod = %d,%v, want 60", h, ok)
+	}
+	huge := model.TaskSet{
+		{WCET: 1, Deadline: 1 << 62, Period: 1 << 62},
+		{WCET: 1, Deadline: (1 << 62) - 1, Period: (1 << 62) - 1},
+	}
+	if _, ok := Hyperperiod(huge); ok {
+		t.Error("hyperperiod overflow not detected")
+	}
+}
+
+func TestBestSelectsSmallest(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for range 500 {
+		ts := randomConstrainedSet(rng, 1+rng.Intn(5), 30)
+		u := ts.Utilization().Cmp(one)
+		b, kind, ok := Best(ts)
+		switch {
+		case u > 0:
+			if ok {
+				t.Fatalf("Best accepted U>1: %v", ts)
+			}
+		case u == 0:
+			if !ok || kind != KindHyperperiod {
+				t.Fatalf("Best at U==1: %d %s %v", b, kind, ok)
+			}
+		default:
+			if !ok {
+				t.Fatalf("Best failed for U<1: %v", ts)
+			}
+			for name, f := range map[Kind]func(model.TaskSet) (int64, bool){
+				KindBaruah:        Baruah,
+				KindGeorge:        GeorgeTasks,
+				KindSuperposition: SuperpositionTasks,
+			} {
+				if v, okV := f(ts); okV && v < b {
+					t.Fatalf("Best=%d (%s) but %s=%d is smaller", b, kind, name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBestHyperperiodHorizonSound(t *testing.T) {
+	// U == 1 set with a known miss: the hyperperiod horizon must cover it.
+	ts := model.TaskSet{
+		{WCET: 1, Deadline: 1, Period: 2},
+		{WCET: 1, Deadline: 1, Period: 2},
+	}
+	b, kind, ok := Best(ts)
+	if !ok || kind != KindHyperperiod {
+		t.Fatalf("Best = %d %s %v", b, kind, ok)
+	}
+	srcs := demand.FromTasks(ts)
+	found := false
+	for I := int64(1); I < b; I++ {
+		if demand.Dbf(srcs, I) > I {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("violation not within hyperperiod horizon")
+	}
+}

@@ -1,0 +1,13 @@
+// Package bounds implements the feasibility bounds of Section 4.3 of the
+// paper: the bound by Baruah et al. (part of the processor demand test,
+// Definition 3), the tighter bound by George et al., the new superposition
+// bound I_sup derived from the all-approximated test, the synchronous busy
+// period, and the hyperperiod.
+//
+// Every bound B returned here is an exclusive upper limit on candidate
+// violation intervals: if dbf(I, Γ) > I for some I, then I < B. A test that
+// verifies dbf(I) <= I for all test intervals I < B may conclude
+// feasibility. Bounds are computed in exact rational arithmetic and rounded
+// up; a false ok return means the bound does not apply (for example U >= 1)
+// or does not fit in int64.
+package bounds

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math/big"
+
+	"repro/internal/model"
+)
+
+// Devi applies the sufficient test of Devi (Definition 1): with tasks
+// ordered by non-decreasing relative deadline, the set is accepted if
+// U <= 1 and for every prefix k
+//
+//	Σ_{i<=k} Ci/Ti  +  (1/Dk)·Σ_{i<=k} ((Ti - min(Ti,Di))/Ti)·Ci  <=  1.
+//
+// The test is evaluated in exact rational arithmetic. Iterations counts the
+// prefix conditions checked, one per task up to and including the first
+// failing one, matching the iteration metric of the paper's Table 1.
+func Devi(ts model.TaskSet) Result {
+	u := ts.Utilization()
+	if u.Cmp(ratOne) > 0 {
+		return Result{Verdict: Infeasible, Iterations: 1}
+	}
+	sorted := ts.SortedByDeadline()
+	cumU := new(big.Rat)   // Σ Ci/Ti
+	cumGap := new(big.Rat) // Σ (Ti - min(Ti,Di))/Ti · Ci
+	cond := new(big.Rat)
+	var iterations int64
+	for _, t := range sorted {
+		iterations++
+		cumU.Add(cumU, big.NewRat(t.WCET, t.Period))
+		if gap := t.Period - min(t.Period, t.Deadline); gap > 0 {
+			term := big.NewRat(gap, t.Period)
+			term.Mul(term, new(big.Rat).SetInt64(t.WCET))
+			cumGap.Add(cumGap, term)
+		}
+		cond.Quo(cumGap, new(big.Rat).SetInt64(t.Deadline))
+		cond.Add(cond, cumU)
+		if cond.Cmp(ratOne) > 0 {
+			return Result{
+				Verdict:         NotAccepted,
+				Iterations:      iterations,
+				FailureInterval: t.Deadline,
+			}
+		}
+	}
+	return Result{Verdict: Feasible, Iterations: iterations}
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"math/big"
+
+	"repro/internal/model"
+)
+
+var ratOne = big.NewRat(1, 1)
+
+// LiuLayland applies the classic utilization-bound test of Liu & Layland
+// (Section 3.1 of the paper): for deadlines no smaller than periods, the
+// set is feasible under EDF if and only if U <= 1. For sets with some
+// D < T the test cannot accept (NotAccepted), although U > 1 still proves
+// infeasibility.
+func LiuLayland(ts model.TaskSet) Result {
+	u := ts.Utilization()
+	if u.Cmp(ratOne) > 0 {
+		return Result{Verdict: Infeasible, Iterations: 1}
+	}
+	for _, t := range ts {
+		if t.Deadline < t.Period {
+			return Result{Verdict: NotAccepted, Iterations: 1}
+		}
+	}
+	return Result{Verdict: Feasible, Iterations: 1}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"repro/internal/bounds"
+	"repro/internal/demand"
+	"repro/internal/model"
+)
+
+// utilCmpOne compares the total utilization of the sources with 1.
+func utilCmpOne(srcs []demand.Source) int {
+	return demand.Utilization(srcs).Cmp(ratOne)
+}
+
+// sourceBound returns the smallest applicable feasibility bound over plain
+// sources (George or superposition; Baruah and hyperperiod need the task
+// structure). Requires U < 1.
+func sourceBound(srcs []demand.Source) (int64, bounds.Kind, bool) {
+	bg, okG := bounds.George(srcs)
+	bs, okS := bounds.Superposition(srcs)
+	switch {
+	case okG && okS:
+		if bs <= bg {
+			return bs, bounds.KindSuperposition, true
+		}
+		return bg, bounds.KindGeorge, true
+	case okG:
+		return bg, bounds.KindGeorge, true
+	case okS:
+		return bs, bounds.KindSuperposition, true
+	default:
+		return 0, bounds.KindNone, false
+	}
+}
+
+// taskBound returns the feasibility bound for a task set honoring an
+// explicit Options.Bound selection.
+func taskBound(ts model.TaskSet, opt Options) (int64, bounds.Kind, bool) {
+	switch opt.Bound {
+	case "", bounds.KindNone:
+		return bounds.Best(ts)
+	case bounds.KindBaruah:
+		b, ok := bounds.Baruah(ts)
+		return b, bounds.KindBaruah, ok
+	case bounds.KindGeorge:
+		b, ok := bounds.GeorgeTasks(ts)
+		return b, bounds.KindGeorge, ok
+	case bounds.KindSuperposition:
+		b, ok := bounds.SuperpositionTasks(ts)
+		return b, bounds.KindSuperposition, ok
+	case bounds.KindBusyPeriod:
+		b, ok := bounds.BusyPeriod(ts)
+		// The busy period is an inclusive horizon: violations lie at
+		// I <= L, so the exclusive bound is L+1.
+		return b + 1, bounds.KindBusyPeriod, ok
+	case bounds.KindHyperperiod:
+		h, ok := bounds.Hyperperiod(ts)
+		return h + ts.MaxDeadline() + 1, bounds.KindHyperperiod, ok
+	default:
+		return 0, bounds.KindNone, false
+	}
+}
+
+// ProcessorDemand applies the exact processor demand test of Baruah et al.
+// (Definition 3): the set is feasible iff dbf(I, Γ) <= I for every absolute
+// deadline I below the feasibility bound. Iterations counts the distinct
+// test intervals checked.
+func ProcessorDemand(ts model.TaskSet, opt Options) Result {
+	if ts.OverUtilized() {
+		return Result{Verdict: Infeasible, Iterations: 1}
+	}
+	bound, kind, ok := taskBound(ts, opt)
+	if !ok {
+		return Result{Verdict: Undecided}
+	}
+	r := processorDemand(demand.FromTasks(ts), bound, opt)
+	r.Bound, r.BoundKind = bound, kind
+	return r
+}
+
+// ProcessorDemandSources runs the processor demand test over generic
+// demand sources (e.g. event streams). Requires U <= 1; for U == 1 pass a
+// sound stopAt horizon via opt.MaxIterations-style capping is not possible,
+// so the bound must come from George/superposition (U < 1) or the result is
+// Undecided.
+func ProcessorDemandSources(srcs []demand.Source, opt Options) Result {
+	if utilCmpOne(srcs) > 0 {
+		return Result{Verdict: Infeasible, Iterations: 1}
+	}
+	bound, kind, ok := sourceBound(srcs)
+	if !ok {
+		return Result{Verdict: Undecided}
+	}
+	r := processorDemand(srcs, bound, opt)
+	r.Bound, r.BoundKind = bound, kind
+	return r
+}
+
+// processorDemand checks dbf(I) <= I for every distinct absolute deadline
+// I < bound, walking deadlines in ascending order through a heap.
+func processorDemand(srcs []demand.Source, bound int64, opt Options) Result {
+	tl := demand.NewTestList(len(srcs))
+	for i, s := range srcs {
+		if d := s.JobDeadline(1); d < bound {
+			tl.Add(d, i)
+		}
+	}
+	var dem, iterations int64
+	for !tl.Empty() {
+		I := tl.Peek().I
+		// Merge every job whose deadline is exactly I: they form one test
+		// interval.
+		for !tl.Empty() && tl.Peek().I == I {
+			e := tl.Next()
+			dem += srcs[e.Src].WCET()
+			if nd := srcs[e.Src].NextDeadline(I); nd < bound {
+				tl.Add(nd, e.Src)
+			}
+		}
+		iterations++
+		if opt.capped(iterations) {
+			return Result{Verdict: Undecided, Iterations: iterations}
+		}
+		if dem > opt.capacityAt(I) {
+			return Result{Verdict: Infeasible, Iterations: iterations, FailureInterval: I}
+		}
+	}
+	return Result{Verdict: Feasible, Iterations: iterations}
+}

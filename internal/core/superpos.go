@@ -1,0 +1,102 @@
+package core
+
+import (
+	"repro/internal/demand"
+	"repro/internal/model"
+	"repro/internal/numeric"
+)
+
+// SuperPos applies the superposition test SuperPos(x) of Definition 6: the
+// demand of each task is computed exactly for its first `level` jobs and
+// approximated with slope C/T beyond (Definition 4); the set is accepted if
+// the superposed approximation dbf'(I, Γ) stays within every checked test
+// interval (Lemma 1). The test is sufficient with an error that shrinks as
+// the level grows; SuperPos(1) is exactly Devi's test (Lemma 2).
+func SuperPos(ts model.TaskSet, level int64, opt Options) Result {
+	return SuperPosSources(demand.FromTasks(ts), level, opt)
+}
+
+// SuperPosSources runs SuperPos(x) over generic demand sources.
+func SuperPosSources(srcs []demand.Source, level int64, opt Options) Result {
+	if level < 1 {
+		level = 1
+	}
+	if utilCmpOne(srcs) > 0 {
+		return Result{Verdict: Infeasible, Iterations: 1, MaxLevel: level}
+	}
+	if opt.Arithmetic == ArithFloat64 {
+		return superPos(numeric.F64(0), srcs, level, opt)
+	}
+	return superPos(numeric.Rat{}, srcs, level, opt)
+}
+
+// superPos is the arithmetic-generic SuperPos(x) implementation. It walks
+// the job deadlines of the first `level` jobs of each source in ascending
+// order, maintaining the approximated demand incrementally:
+//
+//	dbf' += C_src + (I - Iold) * Uready
+//
+// where Uready is the total slope of the sources already past their maximum
+// exact test interval Im = JobDeadline(level). Once the list drains, every
+// remaining contribution grows with slope U <= 1 while the capacity grows
+// with slope 1, so the approximated test holds for all larger intervals
+// (the implicit superposition bound).
+func superPos[S numeric.Scalar[S]](zero S, srcs []demand.Source, level int64, opt Options) Result {
+	tl := demand.NewTestList(len(srcs))
+	jobs := make([]int64, len(srcs)) // processed jobs per source
+	for i, s := range srcs {
+		tl.Add(s.JobDeadline(1), i)
+	}
+	dbf, uready := zero, zero
+	var iold, iterations int64
+	for !tl.Empty() {
+		e := tl.Next()
+		I := e.I
+		iterations++
+		if opt.capped(iterations) {
+			return Result{Verdict: Undecided, Iterations: iterations, MaxLevel: level}
+		}
+		s := srcs[e.Src]
+		jobs[e.Src]++
+		dbf = dbf.AddInt(s.WCET()).AddScaled(uready, I-iold)
+		if capacity := opt.capacityAt(I); dbf.CmpInt(capacity) > 0 {
+			// The approximation rejected the interval. If the exact demand
+			// already exceeds the capacity the set is infeasible, which
+			// upgrades the verdict from NotAccepted to Infeasible.
+			verdict := NotAccepted
+			if demand.Dbf(srcs, I) > capacity {
+				verdict = Infeasible
+			}
+			return Result{Verdict: verdict, Iterations: iterations, FailureInterval: I, MaxLevel: level}
+		}
+		if jobs[e.Src] >= level {
+			// Reached Im: approximate this source from here on.
+			num, den := s.UtilRat()
+			uready = uready.AddRat(num, den)
+		} else {
+			tl.Add(s.NextDeadline(I), e.Src)
+		}
+		iold = I
+	}
+	return Result{Verdict: Feasible, Iterations: iterations, MaxLevel: level}
+}
+
+// SuperPosEpsilon runs the superposition test at the level corresponding to
+// a relative approximation error epsilon in (0,1): level = ceil(1/epsilon).
+// This is the interface of the approximate schedulability analysis of
+// Chakraborty et al. (RTSS 2002), which Section 3.4 of the paper groups
+// with the superposition approach: accepting with error epsilon means a
+// processor slowed down by (1-epsilon) might reject the set.
+func SuperPosEpsilon(ts model.TaskSet, epsilon float64, opt Options) Result {
+	if epsilon <= 0 || epsilon >= 1 {
+		return SuperPos(ts, 1, opt)
+	}
+	level := int64(1)
+	if inv := 1 / epsilon; inv > 1 {
+		level = int64(inv)
+		if float64(level) < inv {
+			level++
+		}
+	}
+	return SuperPos(ts, level, opt)
+}

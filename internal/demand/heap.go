@@ -1,0 +1,60 @@
+package demand
+
+import "container/heap"
+
+// Entry is one pending test interval of a source: the absolute deadline I
+// of the source's next unprocessed job.
+type Entry struct {
+	I   int64 // absolute deadline (test interval)
+	Src int   // index into the source slice
+}
+
+// entryHeap orders entries by interval, breaking ties by source index so
+// runs are deterministic.
+type entryHeap []Entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].I != h[j].I {
+		return h[i].I < h[j].I
+	}
+	return h[i].Src < h[j].Src
+}
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x any)   { *h = append(*h, x.(Entry)) }
+func (h *entryHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// TestList is the ascending queue of pending test intervals used by all
+// iterative tests ("testlist" in the paper's pseudocode).
+type TestList struct {
+	h entryHeap
+}
+
+// NewTestList returns a list with capacity for n entries.
+func NewTestList(n int) *TestList {
+	tl := &TestList{h: make(entryHeap, 0, n)}
+	return tl
+}
+
+// Add queues the interval I for source src. Adding MaxInterval is a no-op:
+// it denotes "no further deadline".
+func (tl *TestList) Add(I int64, src int) {
+	if I == MaxInterval {
+		return
+	}
+	heap.Push(&tl.h, Entry{I: I, Src: src})
+}
+
+// Empty reports whether no intervals are pending.
+func (tl *TestList) Empty() bool { return len(tl.h) == 0 }
+
+// Next removes and returns the smallest pending interval.
+// It must not be called on an empty list.
+func (tl *TestList) Next() Entry { return heap.Pop(&tl.h).(Entry) }
+
+// Peek returns the smallest pending interval without removing it.
+// It must not be called on an empty list.
+func (tl *TestList) Peek() Entry { return tl.h[0] }
+
+// Len returns the number of pending entries.
+func (tl *TestList) Len() int { return len(tl.h) }

@@ -1,0 +1,138 @@
+package demand
+
+import (
+	"repro/internal/model"
+	"repro/internal/numeric"
+)
+
+// MaxInterval is the sentinel for "no further deadline". It is never a
+// valid test interval.
+const MaxInterval = int64(numeric.MaxInt64)
+
+// Source is one demand curve with equidistant steps: a stream of jobs, each
+// consuming WCET time units, whose k-th absolute deadline is
+// FirstDeadline + (k-1)*Separation (one-shot sources have a single
+// deadline). It is the unit the feasibility tests iterate over.
+//
+// The contract every implementation must satisfy:
+//   - JobDeadline(1) > 0, JobDeadline is strictly increasing until it
+//     returns MaxInterval, and once it returns MaxInterval it does so for
+//     all larger k.
+//   - DemandUpTo(I) == JobsUpTo(I) * WCET().
+//   - UtilRat is the asymptotic slope of DemandUpTo; for one-shot sources
+//     it is 0 (num == 0) and then the linear approximation beyond the last
+//     deadline is exact.
+type Source interface {
+	// WCET returns the execution demand of a single job (> 0).
+	WCET() int64
+	// UtilRat returns the approximation slope as a rational num/den with
+	// den > 0. For a sporadic task this is C/T.
+	UtilRat() (num, den int64)
+	// JobDeadline returns the absolute deadline of the k-th job (k >= 1)
+	// in the synchronous arrival sequence, or MaxInterval if the source
+	// releases fewer than k jobs.
+	JobDeadline(k int64) int64
+	// NextDeadline returns the smallest job deadline strictly greater
+	// than after, or MaxInterval.
+	NextDeadline(after int64) int64
+	// JobsUpTo returns the number of jobs with deadline <= I.
+	JobsUpTo(I int64) int64
+	// DemandUpTo returns the exact demand bound dbf(I, source).
+	DemandUpTo(I int64) int64
+	// ApproxError returns app(I, source) = dbf'(I) - dbf(I) as a rational
+	// num/den (den > 0), valid for I >= JobDeadline(1) when the source is
+	// approximated with slope UtilRat anchored at any of its job deadlines
+	// <= I (Lemma 6 of the paper: the error is independent of the anchor).
+	ApproxError(I int64) (num, den int64)
+}
+
+// Sporadic is the Source for a sporadic task in the synchronous arrival
+// sequence: deadlines D, D+T, D+2T, ...
+type Sporadic struct {
+	C int64 // WCET
+	D int64 // relative deadline
+	T int64 // period
+}
+
+var _ Source = Sporadic{}
+
+// NewSporadic adapts a model task.
+func NewSporadic(t model.Task) Sporadic { return Sporadic{C: t.WCET, D: t.Deadline, T: t.Period} }
+
+// WCET returns C.
+func (s Sporadic) WCET() int64 { return s.C }
+
+// UtilRat returns C/T.
+func (s Sporadic) UtilRat() (num, den int64) { return s.C, s.T }
+
+// JobDeadline returns D + (k-1)*T, or MaxInterval on overflow.
+func (s Sporadic) JobDeadline(k int64) int64 {
+	if k < 1 {
+		return 0
+	}
+	span, ok := numeric.MulChecked(k-1, s.T)
+	if !ok {
+		return MaxInterval
+	}
+	d, ok := numeric.AddChecked(s.D, span)
+	if !ok {
+		return MaxInterval
+	}
+	return d
+}
+
+// NextDeadline returns the first job deadline > after.
+func (s Sporadic) NextDeadline(after int64) int64 {
+	if after < s.D {
+		return s.D
+	}
+	// Next deadline after 'after': D + (floor((after-D)/T)+1)*T.
+	k := (after-s.D)/s.T + 2 // job index of that deadline (1-based)
+	return s.JobDeadline(k)
+}
+
+// JobsUpTo counts deadlines <= I: floor((I-D)/T)+1 for I >= D.
+func (s Sporadic) JobsUpTo(I int64) int64 {
+	if I < s.D {
+		return 0
+	}
+	return (I-s.D)/s.T + 1
+}
+
+// DemandUpTo returns dbf(I, τ) = JobsUpTo(I) * C. The result saturates at
+// MaxInterval on (absurdly large) overflow.
+func (s Sporadic) DemandUpTo(I int64) int64 {
+	n := s.JobsUpTo(I)
+	d, ok := numeric.MulChecked(n, s.C)
+	if !ok {
+		return MaxInterval
+	}
+	return d
+}
+
+// ApproxError returns C*((I-D) mod T) / T, the overshoot of the slope-C/T
+// approximation over the exact step function at I (zero exactly at job
+// deadlines). For I < D it returns 0.
+func (s Sporadic) ApproxError(I int64) (num, den int64) {
+	if I < s.D {
+		return 0, 1
+	}
+	r := (I - s.D) % s.T
+	n, ok := numeric.MulChecked(s.C, r)
+	if !ok {
+		// C and r are both < 2^31 in any realistic workload; saturate
+		// rather than corrupt the accumulator if a caller exceeds that.
+		return MaxInterval, s.T
+	}
+	return n, s.T
+}
+
+// FromTasks adapts a task set to demand sources, ignoring phases
+// (synchronous case).
+func FromTasks(ts model.TaskSet) []Source {
+	srcs := make([]Source, len(ts))
+	for i, t := range ts {
+		srcs[i] = NewSporadic(t)
+	}
+	return srcs
+}

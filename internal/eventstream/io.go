@@ -1,0 +1,71 @@
+package eventstream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// taskFile is the on-disk JSON representation of a named event-driven task
+// set.
+type taskFile struct {
+	Name  string `json:"name,omitempty"`
+	Tasks []Task `json:"tasks"`
+}
+
+// WriteJSON writes the event-driven task set as indented JSON.
+func WriteJSON(w io.Writer, name string, tasks []Task) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(taskFile{Name: name, Tasks: tasks}); err != nil {
+		return fmt.Errorf("eventstream: encoding task set: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses an event-driven task set from r, accepting the object
+// form {"name":..., "tasks":[...]} or a bare array. The set is validated.
+func ReadJSON(r io.Reader) ([]Task, string, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, "", fmt.Errorf("eventstream: reading task set: %w", err)
+	}
+	var tf taskFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		var bare []Task
+		if err2 := json.Unmarshal(data, &bare); err2 != nil {
+			return nil, "", fmt.Errorf("eventstream: parsing task set: %w", err)
+		}
+		tf = taskFile{Tasks: bare}
+	}
+	if len(tf.Tasks) == 0 {
+		return nil, "", fmt.Errorf("eventstream: empty task set")
+	}
+	for i, t := range tf.Tasks {
+		if err := t.Validate(); err != nil {
+			return nil, "", fmt.Errorf("task %d: %w", i, err)
+		}
+	}
+	return tf.Tasks, tf.Name, nil
+}
+
+// LoadFile reads an event-driven task set from a JSON file.
+func LoadFile(path string) ([]Task, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("eventstream: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// SaveFile writes the event-driven task set to a JSON file.
+func SaveFile(path, name string, tasks []Task) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("eventstream: %w", err)
+	}
+	defer f.Close()
+	return WriteJSON(f, name, tasks)
+}

@@ -1,0 +1,67 @@
+package eventstream
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tasks := []Task{
+		{Name: "periodic", Stream: Periodic(100), WCET: 10, Deadline: 50},
+		{Name: "burst", Stream: Burst(1000, 3, 7), WCET: 5, Deadline: 30},
+		{Name: "oneshot", Stream: Stream{{Cycle: 0, Offset: 12}}, WCET: 2, Deadline: 9},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "gateway", tasks); err != nil {
+		t.Fatal(err)
+	}
+	got, name, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "gateway" || len(got) != 3 {
+		t.Fatalf("name %q tasks %d", name, len(got))
+	}
+	for i := range tasks {
+		if got[i].Name != tasks[i].Name || got[i].WCET != tasks[i].WCET ||
+			got[i].Deadline != tasks[i].Deadline || len(got[i].Stream) != len(tasks[i].Stream) {
+			t.Fatalf("task %d mismatch: %+v vs %+v", i, got[i], tasks[i])
+		}
+		for j := range tasks[i].Stream {
+			if got[i].Stream[j] != tasks[i].Stream[j] {
+				t.Fatalf("element %d/%d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	for _, in := range []string{
+		`garbage`,
+		`{"tasks":[]}`,
+		`{"tasks":[{"wcet":0,"deadline":5,"stream":[{"cycle":10}]}]}`,
+		`{"tasks":[{"wcet":1,"deadline":5,"stream":[]}]}`,
+		`{"tasks":[{"wcet":1,"deadline":5,"stream":[{"cycle":-1}]}]}`,
+	} {
+		if _, _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ev.json")
+	tasks := []Task{{Stream: Periodic(10), WCET: 1, Deadline: 5}}
+	if err := SaveFile(path, "f", tasks); err != nil {
+		t.Fatal(err)
+	}
+	got, name, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "f" || len(got) != 1 {
+		t.Fatalf("got %v name %q", got, name)
+	}
+}

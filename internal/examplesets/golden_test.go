@@ -1,0 +1,47 @@
+package examplesets
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestTable1Golden pins the exact iteration counts of the reproduced
+// Table 1 so behavioural drift in any algorithm is caught immediately.
+// The relationships (who fails, who is cheapest) are asserted separately
+// in TestTable1Shape; this test freezes the concrete numbers reported in
+// EXPERIMENTS.md.
+func TestTable1Golden(t *testing.T) {
+	type row struct {
+		deviOK             bool
+		devi, dyn, all, pd int64
+		dynRev, allRev     int64
+	}
+	golden := map[string]row{
+		"burns":    {deviOK: true, devi: 14, dyn: 14, all: 14, pd: 100},
+		"mashin":   {deviOK: false, devi: 3, dyn: 27, all: 27, pd: 150, dynRev: 4, allRev: 17},
+		"gap":      {deviOK: true, devi: 17, dyn: 17, all: 17, pd: 103},
+		"gresser1": {deviOK: false, devi: 12, dyn: 16, all: 20, pd: 172, dynRev: 3, allRev: 8},
+		"gresser2": {deviOK: false, devi: 21, dyn: 28, all: 26, pd: 143, dynRev: 6, allRev: 5},
+	}
+	for _, ex := range All() {
+		want, ok := golden[ex.Name]
+		if !ok {
+			t.Fatalf("no golden row for %s", ex.Name)
+		}
+		devi := core.Devi(ex.Set)
+		dyn := core.DynamicError(ex.Set, core.Options{})
+		all := core.AllApprox(ex.Set, core.Options{})
+		pd := core.ProcessorDemand(ex.Set, core.Options{})
+		got := row{
+			deviOK: devi.Verdict == core.Feasible,
+			devi:   devi.Iterations,
+			dyn:    dyn.Iterations, dynRev: dyn.Revisions,
+			all: all.Iterations, allRev: all.Revisions,
+			pd: pd.Iterations,
+		}
+		if got != want {
+			t.Errorf("%s: %+v, want %+v", ex.Name, got, want)
+		}
+	}
+}

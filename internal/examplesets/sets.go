@@ -1,0 +1,171 @@
+package examplesets
+
+import "repro/internal/model"
+
+// Example is a named literature task set.
+type Example struct {
+	// Name is the short identifier used by Table 1 and the CLI.
+	Name string
+	// Description states origin and substitution status.
+	Description string
+	// DeviAccepts records whether the paper's Table 1 lists Devi's test as
+	// accepting (true) or FAILED (false).
+	DeviAccepts bool
+	// Set is the task set.
+	Set model.TaskSet
+}
+
+// Burns is the task set attributed to Burns in the paper's Table 1
+// (surrogate, see package comment): 14 tasks, harmonic-ish periods, small
+// deadline gaps and a very high utilization, so Devi's test accepts it and
+// the processor demand test has to walk a long deadline ladder.
+func Burns() Example {
+	return Example{
+		Name:        "burns",
+		Description: "Burns set (surrogate): 14 tasks, U≈0.99, Devi accepts",
+		DeviAccepts: true,
+		Set: model.TaskSet{
+			{Name: "b01", WCET: 2, Deadline: 10, Period: 10},
+			{Name: "b02", WCET: 3, Deadline: 19, Period: 20},
+			{Name: "b03", WCET: 4, Deadline: 29, Period: 30},
+			{Name: "b04", WCET: 5, Deadline: 50, Period: 50},
+			{Name: "b05", WCET: 6, Deadline: 78, Period: 80},
+			{Name: "b06", WCET: 7, Deadline: 99, Period: 100},
+			{Name: "b07", WCET: 8, Deadline: 158, Period: 160},
+			{Name: "b08", WCET: 9, Deadline: 198, Period: 200},
+			{Name: "b09", WCET: 10, Deadline: 248, Period: 250},
+			{Name: "b10", WCET: 12, Deadline: 350, Period: 400},
+			{Name: "b11", WCET: 14, Deadline: 450, Period: 500},
+			{Name: "b12", WCET: 16, Deadline: 700, Period: 800},
+			{Name: "b13", WCET: 18, Deadline: 900, Period: 1000},
+			{Name: "b14", WCET: 40, Deadline: 1800, Period: 2000},
+		},
+	}
+}
+
+// MaShin is the modified Ma & Shin set of Table 1 (surrogate): 10 tasks
+// whose two heavy tasks have deadlines far below their periods, so the
+// SuperPos(1) overestimation makes Devi's test fail although the set is
+// feasible.
+func MaShin() Example {
+	return Example{
+		Name:        "mashin",
+		Description: "Ma & Shin modified set (surrogate): 10 tasks, Devi FAILS, feasible",
+		DeviAccepts: false,
+		Set: model.TaskSet{
+			{Name: "m01", WCET: 1, Deadline: 5, Period: 5},
+			{Name: "m02", WCET: 2, Deadline: 2, Period: 16},
+			{Name: "m03", WCET: 4, Deadline: 8, Period: 16},
+			{Name: "m04", WCET: 3, Deadline: 40, Period: 40},
+			{Name: "m05", WCET: 4, Deadline: 50, Period: 50},
+			{Name: "m06", WCET: 5, Deadline: 60, Period: 60},
+			{Name: "m07", WCET: 5, Deadline: 80, Period: 80},
+			{Name: "m08", WCET: 6, Deadline: 100, Period: 100},
+			{Name: "m09", WCET: 5, Deadline: 120, Period: 120},
+			{Name: "m10", WCET: 3, Deadline: 200, Period: 200},
+		},
+	}
+}
+
+// GAP is the Generic Avionics Platform of Locke, Vogel and Mesler (RTSS'91)
+// in the constrained-deadline variant, 17 tasks on a microsecond scale
+// (milliseconds x 1000; the 1 ms timer interrupt costs 51 us).
+func GAP() Example {
+	return Example{
+		Name:        "gap",
+		Description: "Generic Avionics Platform: 17 tasks, microseconds, Devi accepts",
+		DeviAccepts: true,
+		Set: model.TaskSet{
+			{Name: "timer_interrupt", WCET: 51, Deadline: 1000, Period: 1000},
+			{Name: "weapon_release", WCET: 3000, Deadline: 5000, Period: 200000},
+			{Name: "radar_tracking", WCET: 2000, Deadline: 25000, Period: 25000},
+			{Name: "rwr_contact", WCET: 5000, Deadline: 20000, Period: 25000},
+			{Name: "bus_poll", WCET: 1000, Deadline: 40000, Period: 40000},
+			{Name: "weapon_aim", WCET: 3000, Deadline: 50000, Period: 50000},
+			{Name: "radar_target", WCET: 5000, Deadline: 40000, Period: 50000},
+			{Name: "nav_update", WCET: 8000, Deadline: 40000, Period: 59000},
+			{Name: "display_graphic", WCET: 9000, Deadline: 60000, Period: 80000},
+			{Name: "display_hook", WCET: 2000, Deadline: 80000, Period: 80000},
+			{Name: "tracking_target", WCET: 5000, Deadline: 80000, Period: 100000},
+			{Name: "nav_steering", WCET: 3000, Deadline: 200000, Period: 200000},
+			{Name: "display_stores", WCET: 1000, Deadline: 200000, Period: 200000},
+			{Name: "display_keyset", WCET: 1000, Deadline: 200000, Period: 200000},
+			{Name: "display_status", WCET: 3000, Deadline: 200000, Period: 200000},
+			{Name: "bet_status", WCET: 1000, Deadline: 1000000, Period: 1000000},
+			{Name: "nav_status", WCET: 1000, Deadline: 1000000, Period: 1000000},
+		},
+	}
+}
+
+// Gresser1 is the first Gresser set of Table 1 (surrogate): 12 tasks with
+// several tight-deadline heavy tasks; Devi fails, the exact tests accept.
+func Gresser1() Example {
+	return Example{
+		Name:        "gresser1",
+		Description: "Gresser set 1 (surrogate): 12 tasks, Devi FAILS, feasible",
+		DeviAccepts: false,
+		Set: model.TaskSet{
+			{Name: "g01", WCET: 1, Deadline: 4, Period: 4},
+			{Name: "g02", WCET: 2, Deadline: 10, Period: 10},
+			{Name: "g03", WCET: 3, Deadline: 20, Period: 20},
+			{Name: "g04", WCET: 2, Deadline: 25, Period: 25},
+			{Name: "g05", WCET: 6, Deadline: 50, Period: 50},
+			{Name: "g06", WCET: 2, Deadline: 80, Period: 80},
+			{Name: "g07", WCET: 6, Deadline: 100, Period: 100},
+			{Name: "g08", WCET: 4, Deadline: 200, Period: 200},
+			{Name: "g09", WCET: 5, Deadline: 250, Period: 250},
+			{Name: "g10", WCET: 6, Deadline: 300, Period: 300},
+			{Name: "g11", WCET: 12, Deadline: 280, Period: 2800},
+			{Name: "g12", WCET: 16, Deadline: 420, Period: 4200},
+		},
+	}
+}
+
+// Gresser2 is the second Gresser set of Table 1 (surrogate): 21 tasks,
+// bursty shape (tight deadlines on medium-period tasks); Devi fails, the
+// exact tests accept.
+func Gresser2() Example {
+	return Example{
+		Name:        "gresser2",
+		Description: "Gresser set 2 (surrogate): 21 tasks, Devi FAILS, feasible",
+		DeviAccepts: false,
+		Set: model.TaskSet{
+			{Name: "h01", WCET: 1, Deadline: 4, Period: 4},
+			{Name: "h02", WCET: 2, Deadline: 10, Period: 10},
+			{Name: "h03", WCET: 3, Deadline: 20, Period: 20},
+			{Name: "h04", WCET: 2, Deadline: 25, Period: 25},
+			{Name: "h05", WCET: 4, Deadline: 50, Period: 50},
+			{Name: "h06", WCET: 2, Deadline: 80, Period: 80},
+			{Name: "h07", WCET: 4, Deadline: 100, Period: 100},
+			{Name: "h08", WCET: 4, Deadline: 200, Period: 200},
+			{Name: "h09", WCET: 5, Deadline: 250, Period: 250},
+			{Name: "h10", WCET: 6, Deadline: 300, Period: 300},
+			{Name: "h11", WCET: 1, Deadline: 110, Period: 110},
+			{Name: "h12", WCET: 1, Deadline: 130, Period: 130},
+			{Name: "h13", WCET: 1, Deadline: 150, Period: 150},
+			{Name: "h14", WCET: 1, Deadline: 170, Period: 170},
+			{Name: "h15", WCET: 1, Deadline: 190, Period: 190},
+			{Name: "h16", WCET: 1, Deadline: 210, Period: 210},
+			{Name: "h17", WCET: 1, Deadline: 230, Period: 230},
+			{Name: "h18", WCET: 1, Deadline: 260, Period: 260},
+			{Name: "h19", WCET: 1, Deadline: 310, Period: 310},
+			{Name: "h20", WCET: 12, Deadline: 280, Period: 2800},
+			{Name: "h21", WCET: 16, Deadline: 420, Period: 4200},
+		},
+	}
+}
+
+// All returns every example in Table 1 order.
+func All() []Example {
+	return []Example{Burns(), MaShin(), GAP(), Gresser1(), Gresser2()}
+}
+
+// ByName returns the example with the given name.
+func ByName(name string) (Example, bool) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Example{}, false
+}

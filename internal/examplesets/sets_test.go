@@ -1,0 +1,63 @@
+package examplesets
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestTable1Shape pins the structural facts of the paper's Table 1 on the
+// (surrogate) literature sets: Devi's verdict per set, feasibility of every
+// set, iteration ordering between the tests, and — where Devi accepts —
+// equality of the new tests' effort with Devi's (they then run entirely on
+// level SuperPos(1)).
+func TestTable1Shape(t *testing.T) {
+	for _, ex := range All() {
+		ex := ex
+		t.Run(ex.Name, func(t *testing.T) {
+			if err := ex.Set.Validate(); err != nil {
+				t.Fatalf("invalid set: %v", err)
+			}
+			if u := ex.Set.UtilizationFloat(); u > 1 {
+				t.Fatalf("over-utilized: U=%f", u)
+			}
+			devi := core.Devi(ex.Set)
+			dyn := core.DynamicError(ex.Set, core.Options{})
+			all := core.AllApprox(ex.Set, core.Options{})
+			pd := core.ProcessorDemand(ex.Set, core.Options{})
+			t.Logf("U=%.4f n=%d | Devi=%v/%d Dyn=%v/%d All=%v/%d PD=%v/%d fail@%d bound=%d",
+				ex.Set.UtilizationFloat(), len(ex.Set),
+				devi.Verdict, devi.Iterations, dyn.Verdict, dyn.Iterations,
+				all.Verdict, all.Iterations, pd.Verdict, pd.Iterations,
+				pd.FailureInterval, pd.Bound)
+
+			if pd.Verdict != core.Feasible {
+				t.Errorf("processor demand verdict %v, want feasible", pd.Verdict)
+			}
+			if dyn.Verdict != core.Feasible || all.Verdict != core.Feasible {
+				t.Errorf("new tests verdicts dyn=%v all=%v, want feasible", dyn.Verdict, all.Verdict)
+			}
+			if got := devi.Verdict == core.Feasible; got != ex.DeviAccepts {
+				t.Errorf("Devi accepts=%v, want %v", got, ex.DeviAccepts)
+			}
+			if ex.DeviAccepts {
+				// Accepted by Devi: the new tests run on level 1 and check
+				// exactly one interval per task, like Devi.
+				if dyn.Iterations != devi.Iterations || all.Iterations != devi.Iterations {
+					t.Errorf("iterations devi=%d dyn=%d all=%d, want equal",
+						devi.Iterations, dyn.Iterations, all.Iterations)
+				}
+			}
+			// The headline of Table 1: PD needs several times more
+			// intervals than either new test.
+			if pd.Iterations < 5*all.Iterations {
+				t.Errorf("PD=%d < 5x AllApprox=%d: surrogate set too easy",
+					pd.Iterations, all.Iterations)
+			}
+			if pd.Iterations < 2*dyn.Iterations {
+				t.Errorf("PD=%d < 2x Dynamic=%d: surrogate set too easy",
+					pd.Iterations, dyn.Iterations)
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBurstEffortGrowsWithWidth(t *testing.T) {
+	res := Burst(BurstConfig{
+		SetsPerPoint: 40,
+		BurstWidths:  []int{1, 8},
+		Periodics:    6,
+		Seed:         3,
+	})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	lo, hi := res.Rows[0], res.Rows[1]
+	// Element-wise handling: the per-element tests must pay for the wider
+	// burst (more demand sources), the paper's stated cost of the event
+	// stream extension.
+	if hi.AvgSP1 <= lo.AvgSP1 {
+		t.Errorf("SuperPos(1) effort did not grow with burst width: %v -> %v",
+			lo.AvgSP1, hi.AvgSP1)
+	}
+	if hi.AvgAllAppr <= lo.AvgAllAppr {
+		t.Errorf("AllApprox effort did not grow with burst width: %v -> %v",
+			lo.AvgAllAppr, hi.AvgAllAppr)
+	}
+	// The generator must produce analyzable, mostly feasible workloads.
+	for _, row := range res.Rows {
+		if row.Feasible < 0.5 {
+			t.Errorf("width %d: only %.2f feasible — generator mistuned",
+				row.Width, row.Feasible)
+		}
+	}
+
+	var txt, csv bytes.Buffer
+	if err := res.RenderText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "burst") {
+		t.Errorf("text: %q", txt.String())
+	}
+	if err := res.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "burst_width,sets") {
+		t.Errorf("csv: %q", csv.String())
+	}
+}

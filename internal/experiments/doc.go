@@ -1,0 +1,17 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (Section 5):
+//
+//   - Figure 1: acceptance rate over utilization for Devi, SuperPos(2..10)
+//     and the processor demand test.
+//   - Figure 8: maximum and average checked test intervals over utilization
+//     (90-99%) for the dynamic, all-approximated and processor demand tests.
+//   - Figure 9: checked test intervals over the period ratio Tmax/Tmin
+//     (100 to 1,000,000) for the same three tests.
+//   - Table 1: checked test intervals on the literature example sets.
+//
+// Every experiment is driven by a Config with the paper's parameters as the
+// "paper scale" and smaller defaults that finish in seconds; results carry
+// enough structure to be rendered as ASCII tables (matching the paper's
+// presentation) or CSV for plotting. Generation is deterministic per seed;
+// evaluation fans out over all CPUs.
+package experiments

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallFig1 keeps the acceptance experiment fast in unit tests.
+func smallFig1() Fig1Result {
+	return Fig1(Fig1Config{
+		SetsPerPoint: 40,
+		UtilPercents: []int{80, 90, 96, 99},
+		Levels:       []int64{2, 4, 8},
+		NMin:         5, NMax: 30,
+		Seed: 1,
+	})
+}
+
+func TestFig1CurvesNest(t *testing.T) {
+	res := smallFig1()
+	if len(res.Points) != 4 {
+		t.Fatalf("points: %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		// Devi <= SuperPos(2) <= SuperPos(4) <= SuperPos(8) <= PD.
+		prev := p.Devi
+		for _, level := range []int64{2, 4, 8} {
+			cur := p.SuperPos[level]
+			if cur+1e-12 < prev {
+				t.Errorf("U=%d%%: SuperPos(%d)=%.3f below previous %.3f",
+					p.UtilPercent, level, cur, prev)
+			}
+			prev = cur
+		}
+		if p.PD+1e-12 < prev {
+			t.Errorf("U=%d%%: PD=%.3f below SuperPos(8)=%.3f", p.UtilPercent, p.PD, prev)
+		}
+	}
+	// Acceptance must decline with utilization for the sufficient tests.
+	if res.Points[0].Devi < res.Points[len(res.Points)-1].Devi {
+		t.Errorf("Devi acceptance did not decline: %v -> %v",
+			res.Points[0].Devi, res.Points[len(res.Points)-1].Devi)
+	}
+}
+
+func TestFig1Render(t *testing.T) {
+	res := smallFig1()
+	var txt, csv bytes.Buffer
+	if err := res.RenderText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "ProcDemand") {
+		t.Errorf("text output missing header: %q", txt.String())
+	}
+	if err := res.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+len(res.Points) {
+		t.Errorf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "util_percent,devi,superpos_2") {
+		t.Errorf("csv header %q", lines[0])
+	}
+}
+
+func TestFig8ShapeAndDeterminism(t *testing.T) {
+	cfg := Fig8Config{Sets: 150, NMin: 5, NMax: 30, Seed: 7}
+	res := Fig8(cfg)
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10 (90..99)", len(res.Rows))
+	}
+	var total int
+	var pdWins, rows int
+	for _, row := range res.Rows {
+		total += row.Sets
+		if row.Sets == 0 {
+			continue
+		}
+		rows++
+		if row.AvgPD > row.AvgAllAppr {
+			pdWins++
+		}
+		if row.MaxPD < row.MaxAllAppr/2 {
+			t.Errorf("U=%d%%: max PD %d far below AllApprox %d",
+				row.UtilPercent, row.MaxPD, row.MaxAllAppr)
+		}
+	}
+	if total != cfg.Sets {
+		t.Errorf("bucketed %d sets, want %d", total, cfg.Sets)
+	}
+	// The paper's headline: PD needs more intervals on average in
+	// (essentially) every utilization bucket.
+	if pdWins < rows-1 {
+		t.Errorf("PD cheaper than AllApprox in %d of %d buckets", rows-pdWins, rows)
+	}
+	// Determinism.
+	res2 := Fig8(cfg)
+	for i := range res.Rows {
+		if res.Rows[i] != res2.Rows[i] {
+			t.Fatalf("row %d differs across runs with same seed", i)
+		}
+	}
+}
+
+func TestFig9PDGrowsWithRatioNewTestsDoNot(t *testing.T) {
+	res := Fig9(Fig9Config{
+		SetsPerRatio: 25,
+		Ratios:       []int64{100, 10000},
+		NMin:         5, NMax: 30,
+		Seed: 9,
+	})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	lo, hi := res.Rows[0], res.Rows[1]
+	if hi.AvgPD < 4*lo.AvgPD {
+		t.Errorf("PD effort did not grow with the ratio: %v -> %v", lo.AvgPD, hi.AvgPD)
+	}
+	if hi.AvgAllAppr > 6*lo.AvgAllAppr+50 {
+		t.Errorf("AllApprox effort grew with the ratio: %v -> %v", lo.AvgAllAppr, hi.AvgAllAppr)
+	}
+	if hi.AvgDynamic > 6*lo.AvgDynamic+50 {
+		t.Errorf("Dynamic effort grew with the ratio: %v -> %v", lo.AvgDynamic, hi.AvgDynamic)
+	}
+}
+
+func TestTable1MatchesPaperShape(t *testing.T) {
+	res := Table1()
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	wantDevi := map[string]bool{
+		"burns": true, "mashin": false, "gap": true,
+		"gresser1": false, "gresser2": false,
+	}
+	for _, row := range res.Rows {
+		if !row.Feasible {
+			t.Errorf("%s: not feasible", row.Name)
+		}
+		if row.DeviOK != wantDevi[row.Name] {
+			t.Errorf("%s: Devi accepts=%v, want %v", row.Name, row.DeviOK, wantDevi[row.Name])
+		}
+		if row.PD < 2*row.Dynamic || row.PD < 2*row.AllApprox {
+			t.Errorf("%s: PD=%d not clearly above Dyn=%d/All=%d",
+				row.Name, row.PD, row.Dynamic, row.AllApprox)
+		}
+	}
+
+	var txt bytes.Buffer
+	if err := res.RenderText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	out := txt.String()
+	if !strings.Contains(out, "FAILED") {
+		t.Errorf("rendered table missing FAILED markers:\n%s", out)
+	}
+	if !strings.Contains(out, "Gresser1") {
+		t.Errorf("rendered table missing set names:\n%s", out)
+	}
+}
+
+func TestFig8CSV(t *testing.T) {
+	res := Fig8(Fig8Config{Sets: 40, NMin: 5, NMax: 15, Seed: 3})
+	var csv bytes.Buffer
+	if err := res.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "util_percent,sets,avg_pd") {
+		t.Errorf("csv header: %q", csv.String()[:40])
+	}
+}
+
+func TestFig9CSVAndText(t *testing.T) {
+	res := Fig9(Fig9Config{SetsPerRatio: 10, Ratios: []int64{100}, NMin: 5, NMax: 10, Seed: 4})
+	var csv, txt bytes.Buffer
+	if err := res.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.RenderText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "Tmax/Tmin") {
+		t.Errorf("text output: %q", txt.String())
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/taskgen"
+)
+
+// Fig8Config parameterizes the effort-over-utilization experiment of
+// Figure 8: task sets with utilizations between 90% and 99% (hard to test),
+// sizes 5..100, average gaps of 20/30/40%.
+type Fig8Config struct {
+	// Sets is the total number of task sets (the paper used 18,000).
+	Sets int
+	// NMin, NMax bound the task-set size.
+	NMin, NMax int
+	// GapMeans are the average deadline gaps the sets cycle through.
+	GapMeans []float64
+	// PeriodMin, PeriodMax bound the periods.
+	PeriodMin, PeriodMax int64
+	// Seed makes the run reproducible.
+	Seed int64
+	// Progress, when non-nil, receives per-bucket progress lines.
+	Progress io.Writer
+}
+
+func (c Fig8Config) withDefaults() Fig8Config {
+	if c.Sets == 0 {
+		c.Sets = 2000
+	}
+	if c.NMin == 0 {
+		c.NMin = 5
+	}
+	if c.NMax == 0 {
+		c.NMax = 100
+	}
+	if len(c.GapMeans) == 0 {
+		c.GapMeans = []float64{0.20, 0.30, 0.40}
+	}
+	if c.PeriodMin == 0 {
+		c.PeriodMin = 1000
+	}
+	if c.PeriodMax == 0 {
+		c.PeriodMax = 100000
+	}
+	return c
+}
+
+// Fig8Row is one utilization percent bucket of Figure 8 (both panels:
+// maximum and average iterations for each algorithm).
+type Fig8Row struct {
+	UtilPercent int
+	Sets        int
+	MaxDynamic  int64
+	MaxPD       int64
+	MaxAllAppr  int64
+	AvgDynamic  float64
+	AvgPD       float64
+	AvgAllAppr  float64
+}
+
+// Fig8Result is the full table behind both panels of Figure 8.
+type Fig8Result struct {
+	Config Fig8Config
+	Rows   []Fig8Row // one per utilization percent 90..99
+}
+
+// Fig8 runs the experiment: random task sets with utilizations uniformly
+// in [90%, 99.9%] are bucketed by utilization percent; per bucket the
+// maximum and average number of checked test intervals is reported for the
+// dynamic test, the all-approximated test and the processor demand test.
+func Fig8(cfg Fig8Config) Fig8Result {
+	cfg = cfg.withDefaults()
+	rng := rngFor(cfg.Seed, 8)
+	sets := make([]model.TaskSet, 0, cfg.Sets)
+	for len(sets) < cfg.Sets {
+		n := cfg.NMin + rng.Intn(cfg.NMax-cfg.NMin+1)
+		gap := cfg.GapMeans[len(sets)%len(cfg.GapMeans)]
+		u := 0.90 + rng.Float64()*0.099
+		ts, err := taskgen.New(taskgen.Config{
+			N: n, Utilization: u,
+			PeriodMin: cfg.PeriodMin, PeriodMax: cfg.PeriodMax,
+			GapMean: gap,
+		}, rng)
+		if err != nil || ts.OverUtilized() {
+			continue
+		}
+		if ts.UtilizationFloat() < 0.90 {
+			continue
+		}
+		sets = append(sets, ts)
+	}
+
+	type effort struct {
+		pct            int
+		dyn, pd, allap int64
+	}
+	per := forEachSet(sets, func(ts model.TaskSet) effort {
+		opt := core.Options{Arithmetic: core.ArithFloat64}
+		pct := int(ts.UtilizationFloat() * 100)
+		if pct > 99 {
+			pct = 99
+		}
+		return effort{
+			pct:   pct,
+			dyn:   core.DynamicError(ts, opt).Iterations,
+			pd:    core.ProcessorDemand(ts, opt).Iterations,
+			allap: core.AllApprox(ts, opt).Iterations,
+		}
+	})
+
+	res := Fig8Result{Config: cfg}
+	for pct := 90; pct <= 99; pct++ {
+		var sDyn, sPD, sAll stats
+		for _, e := range per {
+			if e.pct != pct {
+				continue
+			}
+			sDyn.add(e.dyn)
+			sPD.add(e.pd)
+			sAll.add(e.allap)
+		}
+		res.Rows = append(res.Rows, Fig8Row{
+			UtilPercent: pct,
+			Sets:        int(sDyn.n),
+			MaxDynamic:  sDyn.Max(), MaxPD: sPD.Max(), MaxAllAppr: sAll.Max(),
+			AvgDynamic: sDyn.Mean(), AvgPD: sPD.Mean(), AvgAllAppr: sAll.Mean(),
+		})
+		progress(cfg.Progress, "fig8: U=%d%% sets=%d pd(avg=%.0f,max=%d) dyn(avg=%.0f,max=%d) all(avg=%.0f,max=%d)",
+			pct, int(sDyn.n), sPD.Mean(), sPD.Max(), sDyn.Mean(), sDyn.Max(), sAll.Mean(), sAll.Max())
+	}
+	return res
+}

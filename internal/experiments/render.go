@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"slices"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// titleCase upper-cases the first letter of an ASCII name.
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// RenderText writes the Figure 1 curves as an ASCII table, one row per
+// utilization point, one column per test.
+func (r Fig1Result) RenderText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	levels := slices.Clone(r.Config.Levels)
+	slices.Sort(levels)
+	fmt.Fprint(tw, "U%\tDevi")
+	for _, l := range levels {
+		fmt.Fprintf(tw, "\tSP(%d)", l)
+	}
+	fmt.Fprint(tw, "\tProcDemand\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(tw, "%d\t%.3f", p.UtilPercent, p.Devi)
+		for _, l := range levels {
+			fmt.Fprintf(tw, "\t%.3f", p.SuperPos[l])
+		}
+		fmt.Fprintf(tw, "\t%.3f\n", p.PD)
+	}
+	return tw.Flush()
+}
+
+// RenderCSV writes the Figure 1 curves as CSV.
+func (r Fig1Result) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	levels := slices.Clone(r.Config.Levels)
+	slices.Sort(levels)
+	header := []string{"util_percent", "devi"}
+	for _, l := range levels {
+		header = append(header, fmt.Sprintf("superpos_%d", l))
+	}
+	header = append(header, "processor_demand")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		row := []string{strconv.Itoa(p.UtilPercent), fmt.Sprintf("%.4f", p.Devi)}
+		for _, l := range levels {
+			row = append(row, fmt.Sprintf("%.4f", p.SuperPos[l]))
+		}
+		row = append(row, fmt.Sprintf("%.4f", p.PD))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderText writes both Figure 8 panels as one ASCII table.
+func (r Fig8Result) RenderText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "U%\tsets\tavgPD\tavgDyn\tavgAll\tmaxPD\tmaxDyn\tmaxAll")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.0f\t%.0f\t%d\t%d\t%d\n",
+			row.UtilPercent, row.Sets,
+			row.AvgPD, row.AvgDynamic, row.AvgAllAppr,
+			row.MaxPD, row.MaxDynamic, row.MaxAllAppr)
+	}
+	return tw.Flush()
+}
+
+// RenderCSV writes the Figure 8 table as CSV.
+func (r Fig8Result) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"util_percent", "sets",
+		"avg_pd", "avg_dynamic", "avg_allapprox",
+		"max_pd", "max_dynamic", "max_allapprox"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(row.UtilPercent), strconv.Itoa(row.Sets),
+			fmt.Sprintf("%.2f", row.AvgPD), fmt.Sprintf("%.2f", row.AvgDynamic),
+			fmt.Sprintf("%.2f", row.AvgAllAppr),
+			strconv.FormatInt(row.MaxPD, 10), strconv.FormatInt(row.MaxDynamic, 10),
+			strconv.FormatInt(row.MaxAllAppr, 10)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderText writes both Figure 9 panels as one ASCII table.
+func (r Fig9Result) RenderText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Tmax/Tmin\tsets\tavgPD\tavgDyn\tavgAll\tmaxPD\tmaxDyn\tmaxAll")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.0f\t%.0f\t%d\t%d\t%d\n",
+			row.Ratio, row.Sets,
+			row.AvgPD, row.AvgDynamic, row.AvgAllAppr,
+			row.MaxPD, row.MaxDynamic, row.MaxAllAppr)
+	}
+	return tw.Flush()
+}
+
+// RenderCSV writes the Figure 9 table as CSV.
+func (r Fig9Result) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ratio", "sets",
+		"avg_pd", "avg_dynamic", "avg_allapprox",
+		"max_pd", "max_dynamic", "max_allapprox"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			strconv.FormatInt(row.Ratio, 10), strconv.Itoa(row.Sets),
+			fmt.Sprintf("%.2f", row.AvgPD), fmt.Sprintf("%.2f", row.AvgDynamic),
+			fmt.Sprintf("%.2f", row.AvgAllAppr),
+			strconv.FormatInt(row.MaxPD, 10), strconv.FormatInt(row.MaxDynamic, 10),
+			strconv.FormatInt(row.MaxAllAppr, 10)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderText writes the burst experiment as an ASCII table.
+func (r BurstResult) RenderText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "burst\tsets\tavgSP1\tavgDyn\tavgAll\tavgPD\tfeasible")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.2f\n",
+			row.Width, row.Sets, row.AvgSP1, row.AvgDynamic,
+			row.AvgAllAppr, row.AvgPD, row.Feasible)
+	}
+	return tw.Flush()
+}
+
+// RenderCSV writes the burst experiment as CSV.
+func (r BurstResult) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"burst_width", "sets",
+		"avg_superpos1", "avg_dynamic", "avg_allapprox", "avg_pd",
+		"feasible_fraction"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(row.Width), strconv.Itoa(row.Sets),
+			fmt.Sprintf("%.2f", row.AvgSP1), fmt.Sprintf("%.2f", row.AvgDynamic),
+			fmt.Sprintf("%.2f", row.AvgAllAppr), fmt.Sprintf("%.2f", row.AvgPD),
+			fmt.Sprintf("%.4f", row.Feasible)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderText writes the Section 3.6 comparison as an ASCII table.
+func (r RTCResult) RenderText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "U%\tRTC\tDevi\tExact")
+	for _, p := range r.Points {
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\t%.3f\n", p.UtilPercent, p.RTC, p.Devi, p.Exact)
+	}
+	return tw.Flush()
+}
+
+// RenderCSV writes the Section 3.6 comparison as CSV.
+func (r RTCResult) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"util_percent", "rtc", "devi", "exact"}); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if err := cw.Write([]string{
+			strconv.Itoa(p.UtilPercent),
+			fmt.Sprintf("%.4f", p.RTC), fmt.Sprintf("%.4f", p.Devi),
+			fmt.Sprintf("%.4f", p.Exact)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderText writes Table 1 in the paper's format: iteration counts, with
+// FAILED in Devi's column when the sufficient test rejects.
+func (r Table1Result) RenderText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Test\tn\tU\tDevi\tDyn.\tAll Appr.\tProc. Dem.")
+	for _, row := range r.Rows {
+		devi := strconv.FormatInt(row.Devi, 10)
+		if !row.DeviOK {
+			devi = "FAILED"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%s\t%d\t%d\t%d\n",
+			titleCase(row.Name), row.Tasks, row.Utilization,
+			devi, row.Dynamic, row.AllApprox, row.PD)
+	}
+	return tw.Flush()
+}
+
+// RenderCSV writes Table 1 as CSV.
+func (r Table1Result) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "tasks", "utilization",
+		"devi_accepts", "devi", "dynamic", "allapprox", "processor_demand",
+		"feasible"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			row.Name, strconv.Itoa(row.Tasks), fmt.Sprintf("%.4f", row.Utilization),
+			strconv.FormatBool(row.DeviOK), strconv.FormatInt(row.Devi, 10),
+			strconv.FormatInt(row.Dynamic, 10), strconv.FormatInt(row.AllApprox, 10),
+			strconv.FormatInt(row.PD, 10), strconv.FormatBool(row.Feasible)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRTCCompareOrdering(t *testing.T) {
+	res := RTCCompare(RTCConfig{
+		SetsPerPoint: 60,
+		UtilPercents: []int{60, 75, 90},
+		NMin:         3, NMax: 20,
+		Seed: 5,
+	})
+	if len(res.Points) != 3 {
+		t.Fatalf("points: %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.RTC > p.Devi+1e-9 {
+			t.Errorf("U=%d%%: RTC %.3f above Devi %.3f", p.UtilPercent, p.RTC, p.Devi)
+		}
+		if p.Devi > p.Exact+1e-9 {
+			t.Errorf("U=%d%%: Devi %.3f above exact %.3f", p.UtilPercent, p.Devi, p.Exact)
+		}
+	}
+	// Acceptance of the curve test must decay with utilization.
+	if res.Points[0].RTC < res.Points[2].RTC {
+		t.Errorf("RTC acceptance did not decay: %v", res.Points)
+	}
+
+	var txt, csv bytes.Buffer
+	if err := res.RenderText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "RTC") {
+		t.Errorf("text: %q", txt.String())
+	}
+	if err := res.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "util_percent,rtc,devi,exact") {
+		t.Errorf("csv: %q", csv.String())
+	}
+}

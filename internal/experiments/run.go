@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// progress writes a line to w when w is non-nil.
+func progress(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}
+
+// forEachSet evaluates fn over the sets on all CPUs. fn must be safe for
+// concurrent use; aggregation happens in the caller via the returned
+// per-set results (order preserved).
+func forEachSet[T any](sets []model.TaskSet, fn func(model.TaskSet) T) []T {
+	out := make([]T, len(sets))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sets) {
+		workers = max(len(sets), 1)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(sets[i])
+			}
+		}()
+	}
+	for i := range sets {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// stats accumulates max and mean of an iteration count series.
+type stats struct {
+	n   int64
+	sum float64
+	max int64
+}
+
+func (s *stats) add(v int64) {
+	s.n++
+	s.sum += float64(v)
+	s.max = max(s.max, v)
+}
+
+// Mean returns the average, 0 for an empty series.
+func (s *stats) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Max returns the maximum, 0 for an empty series.
+func (s *stats) Max() int64 { return s.max }
+
+// rngFor derives a deterministic sub-generator for an experiment stage.
+func rngFor(seed int64, stage int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + stage))
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/examplesets"
+)
+
+// Table1Row is one literature set of Table 1: checked test intervals per
+// algorithm, with Devi's column reading FAILED when the sufficient test
+// cannot accept the (feasible) set.
+type Table1Row struct {
+	Name        string
+	Tasks       int
+	Utilization float64
+	DeviOK      bool
+	Devi        int64
+	Dynamic     int64
+	AllApprox   int64
+	PD          int64
+	Feasible    bool
+}
+
+// Table1Result is the reproduced Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 reproduces the paper's Table 1 on the (surrogate) literature sets.
+func Table1() Table1Result {
+	var res Table1Result
+	for _, ex := range examplesets.All() {
+		devi := core.Devi(ex.Set)
+		dyn := core.DynamicError(ex.Set, core.Options{})
+		all := core.AllApprox(ex.Set, core.Options{})
+		pd := core.ProcessorDemand(ex.Set, core.Options{})
+		res.Rows = append(res.Rows, Table1Row{
+			Name:        ex.Name,
+			Tasks:       len(ex.Set),
+			Utilization: ex.Set.UtilizationFloat(),
+			DeviOK:      devi.Verdict == core.Feasible,
+			Devi:        devi.Iterations,
+			Dynamic:     dyn.Iterations,
+			AllApprox:   all.Iterations,
+			PD:          pd.Iterations,
+			Feasible:    pd.Verdict == core.Feasible,
+		})
+	}
+	return res
+}

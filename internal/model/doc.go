@@ -1,0 +1,10 @@
+// Package model defines the sporadic task model of the paper (Section 2):
+// each task has a worst-case execution time C, a relative deadline D
+// (measured from release), a minimal inter-arrival distance (period) T and
+// an initial release phase. Only the synchronous case (all phases zero) is
+// analyzed by the feasibility tests, which is the common assumption the
+// paper adopts; phases are carried for the EDF simulator.
+//
+// All time parameters are integer time units (int64). Task sets are plain
+// slices with value semantics; mutating helpers return copies.
+package model

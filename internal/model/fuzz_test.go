@@ -1,0 +1,42 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON ensures arbitrary input never panics the parser and that
+// accepted sets are valid and round-trip losslessly.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"tasks":[{"wcet":1,"deadline":5,"period":5}]}`)
+	f.Add(`[{"wcet":2,"deadline":8,"period":10,"phase":1}]`)
+	f.Add(`{"name":"x","tasks":[{"wcet":1,"deadline":2,"period":3,"critical_section":1}]}`)
+	f.Add(`{}`)
+	f.Add(`not json at all`)
+	f.Fuzz(func(t *testing.T, input string) {
+		ts, name, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("accepted invalid set: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := ts.WriteJSON(&buf, name); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		ts2, name2, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if name2 != name || len(ts2) != len(ts) {
+			t.Fatalf("round trip changed the set")
+		}
+		for i := range ts {
+			if ts[i] != ts2[i] {
+				t.Fatalf("task %d changed: %+v -> %+v", i, ts[i], ts2[i])
+			}
+		}
+	})
+}

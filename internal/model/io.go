@@ -1,0 +1,67 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// setFile is the on-disk JSON representation of a named task set.
+type setFile struct {
+	Name  string `json:"name,omitempty"`
+	Tasks []Task `json:"tasks"`
+}
+
+// WriteJSON writes the set as indented JSON to w.
+func (ts TaskSet) WriteJSON(w io.Writer, name string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(setFile{Name: name, Tasks: ts}); err != nil {
+		return fmt.Errorf("model: encoding task set: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a task set from r. It accepts either the full object form
+// {"name":..., "tasks":[...]} or a bare JSON array of tasks. The parsed set
+// is validated.
+func ReadJSON(r io.Reader) (TaskSet, string, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, "", fmt.Errorf("model: reading task set: %w", err)
+	}
+	var sf setFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		var bare []Task
+		if err2 := json.Unmarshal(data, &bare); err2 != nil {
+			return nil, "", fmt.Errorf("model: parsing task set: %w", err)
+		}
+		sf = setFile{Tasks: bare}
+	}
+	ts := TaskSet(sf.Tasks)
+	if err := ts.Validate(); err != nil {
+		return nil, "", err
+	}
+	return ts, sf.Name, nil
+}
+
+// LoadFile reads a task set from a JSON file.
+func LoadFile(path string) (TaskSet, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("model: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// SaveFile writes the task set to a JSON file.
+func (ts TaskSet) SaveFile(path, name string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("model: %w", err)
+	}
+	defer f.Close()
+	return ts.WriteJSON(f, name)
+}

@@ -1,0 +1,226 @@
+package model
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func validTask() Task { return Task{Name: "t", WCET: 2, Deadline: 8, Period: 10} }
+
+func TestTaskValidate(t *testing.T) {
+	if err := validTask().Validate(); err != nil {
+		t.Fatalf("valid task rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Task)
+	}{
+		{"zero wcet", func(x *Task) { x.WCET = 0 }},
+		{"negative wcet", func(x *Task) { x.WCET = -1 }},
+		{"zero deadline", func(x *Task) { x.Deadline = 0 }},
+		{"zero period", func(x *Task) { x.Period = 0 }},
+		{"negative phase", func(x *Task) { x.Phase = -1 }},
+		{"wcet beyond deadline", func(x *Task) { x.WCET = 9 }},
+	}
+	for _, c := range cases {
+		tk := validTask()
+		c.mutate(&tk)
+		if err := tk.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestTaskDerived(t *testing.T) {
+	tk := Task{WCET: 3, Deadline: 6, Period: 12}
+	if got := tk.Utilization(); got.Cmp(big.NewRat(1, 4)) != 0 {
+		t.Errorf("utilization = %v, want 1/4", got)
+	}
+	if got := tk.UtilizationFloat(); got != 0.25 {
+		t.Errorf("utilization float = %v", got)
+	}
+	if got := tk.Gap(); got != 0.5 {
+		t.Errorf("gap = %v, want 0.5", got)
+	}
+	if !tk.Constrained() {
+		t.Error("D=6 T=12 should be constrained")
+	}
+	if (Task{WCET: 1, Deadline: 13, Period: 12}).Constrained() {
+		t.Error("D=13 T=12 should not be constrained")
+	}
+}
+
+func TestTaskSetValidate(t *testing.T) {
+	if err := (TaskSet{}).Validate(); err == nil {
+		t.Error("empty set should be invalid")
+	}
+	ts := TaskSet{validTask(), {WCET: 0, Deadline: 1, Period: 1}}
+	err := ts.Validate()
+	if err == nil || !strings.Contains(err.Error(), "task 1") {
+		t.Errorf("error should name the offending task, got %v", err)
+	}
+}
+
+func TestTaskSetAggregates(t *testing.T) {
+	ts := TaskSet{
+		{WCET: 1, Deadline: 4, Period: 4},
+		{WCET: 3, Deadline: 6, Period: 12},
+		{WCET: 5, Deadline: 30, Period: 20},
+	}
+	if got := ts.Utilization(); got.Cmp(big.NewRat(3, 4)) != 0 {
+		t.Errorf("U = %v, want 3/4", got)
+	}
+	if ts.OverUtilized() {
+		t.Error("U=3/4 flagged over-utilized")
+	}
+	if ts.FullyUtilized() {
+		t.Error("U=3/4 flagged fully utilized")
+	}
+	if got := ts.MaxDeadline(); got != 30 {
+		t.Errorf("MaxDeadline = %d", got)
+	}
+	if got := ts.MinDeadline(); got != 4 {
+		t.Errorf("MinDeadline = %d", got)
+	}
+	if got := ts.MaxPeriod(); got != 20 {
+		t.Errorf("MaxPeriod = %d", got)
+	}
+	if got := ts.MinPeriod(); got != 4 {
+		t.Errorf("MinPeriod = %d", got)
+	}
+	if ts.Constrained() {
+		t.Error("set with D=30>T=20 flagged constrained")
+	}
+	if ts.ImplicitDeadlines() {
+		t.Error("set flagged implicit-deadline")
+	}
+
+	full := TaskSet{{WCET: 1, Deadline: 2, Period: 2}, {WCET: 1, Deadline: 2, Period: 2}}
+	if !full.FullyUtilized() {
+		t.Error("U=1 not flagged fully utilized")
+	}
+}
+
+func TestSortedByDeadlineStable(t *testing.T) {
+	ts := TaskSet{
+		{Name: "c", WCET: 1, Deadline: 9, Period: 10},
+		{Name: "a", WCET: 1, Deadline: 3, Period: 10},
+		{Name: "b1", WCET: 1, Deadline: 5, Period: 10},
+		{Name: "b2", WCET: 2, Deadline: 5, Period: 10},
+	}
+	s := ts.SortedByDeadline()
+	wantOrder := []string{"a", "b1", "b2", "c"}
+	for i, w := range wantOrder {
+		if s[i].Name != w {
+			t.Fatalf("position %d = %s, want %s", i, s[i].Name, w)
+		}
+	}
+	// Original untouched.
+	if ts[0].Name != "c" {
+		t.Error("SortedByDeadline mutated the receiver")
+	}
+}
+
+func TestSynchronousClearsPhases(t *testing.T) {
+	ts := TaskSet{{WCET: 1, Deadline: 5, Period: 5, Phase: 3}}
+	s := ts.Synchronous()
+	if s[0].Phase != 0 {
+		t.Error("phase not cleared")
+	}
+	if ts[0].Phase != 3 {
+		t.Error("receiver mutated")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	ts := TaskSet{
+		{Name: "x", WCET: 2, Deadline: 8, Period: 10, Phase: 1},
+		{WCET: 3, Deadline: 15, Period: 15},
+	}
+	var buf bytes.Buffer
+	if err := ts.WriteJSON(&buf, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	got, name, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "demo" {
+		t.Errorf("name = %q", name)
+	}
+	if len(got) != 2 || got[0] != ts[0] || got[1] != ts[1] {
+		t.Errorf("round trip mismatch: %v", got)
+	}
+}
+
+func TestReadJSONBareArray(t *testing.T) {
+	in := `[{"wcet":1,"deadline":5,"period":5}]`
+	got, _, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Period != 5 {
+		t.Errorf("parsed %v", got)
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"tasks":[{"wcet":0,"deadline":5,"period":5}]}`,
+		`{"tasks":[]}`,
+	}
+	for _, in := range cases {
+		if _, _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "set.json")
+	ts := TaskSet{{WCET: 1, Deadline: 3, Period: 4}}
+	if err := ts.SaveFile(path, "f"); err != nil {
+		t.Fatal(err)
+	}
+	got, name, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "f" || len(got) != 1 || got[0] != ts[0] {
+		t.Errorf("got %v name %q", got, name)
+	}
+	if _, _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestUtilizationExactMatchesFloat cross-checks the exact rational
+// utilization against the float sum on random sets.
+func TestUtilizationExactMatchesFloat(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		ts := make(TaskSet, 0, n)
+		for range n {
+			T := int64(1 + rng.Intn(1000))
+			C := int64(1 + rng.Intn(int(T)))
+			ts = append(ts, Task{WCET: C, Deadline: T, Period: T})
+		}
+		exact, _ := ts.Utilization().Float64()
+		approx := ts.UtilizationFloat()
+		diff := exact - approx
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9*(1+exact)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

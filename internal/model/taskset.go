@@ -1,0 +1,152 @@
+package model
+
+import (
+	"fmt"
+	"math/big"
+	"slices"
+	"strings"
+)
+
+// TaskSet is an ordered collection of sporadic tasks Γ = {τ1, ..., τn}.
+type TaskSet []Task
+
+// Validate reports the first structural problem of the set, or nil.
+func (ts TaskSet) Validate() error {
+	if len(ts) == 0 {
+		return ErrEmptyTaskSet
+	}
+	for i, t := range ts {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("task %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Utilization returns the total utilization U = Σ Ci/Ti exactly.
+func (ts TaskSet) Utilization() *big.Rat {
+	u := new(big.Rat)
+	for _, t := range ts {
+		u.Add(u, big.NewRat(t.WCET, t.Period))
+	}
+	return u
+}
+
+// UtilizationFloat returns the total utilization as float64.
+func (ts TaskSet) UtilizationFloat() float64 {
+	u := 0.0
+	for _, t := range ts {
+		u += t.UtilizationFloat()
+	}
+	return u
+}
+
+// OverUtilized reports whether U > 1 (exactly).
+func (ts TaskSet) OverUtilized() bool { return ts.Utilization().Cmp(big.NewRat(1, 1)) > 0 }
+
+// FullyUtilized reports whether U == 1 (exactly).
+func (ts TaskSet) FullyUtilized() bool { return ts.Utilization().Cmp(big.NewRat(1, 1)) == 0 }
+
+// MaxDeadline returns the largest relative deadline, or 0 for an empty set.
+func (ts TaskSet) MaxDeadline() int64 {
+	var m int64
+	for _, t := range ts {
+		m = max(m, t.Deadline)
+	}
+	return m
+}
+
+// MinDeadline returns the smallest relative deadline, or 0 for an empty set.
+func (ts TaskSet) MinDeadline() int64 {
+	if len(ts) == 0 {
+		return 0
+	}
+	m := ts[0].Deadline
+	for _, t := range ts[1:] {
+		m = min(m, t.Deadline)
+	}
+	return m
+}
+
+// MaxPeriod returns the largest period, or 0 for an empty set.
+func (ts TaskSet) MaxPeriod() int64 {
+	var m int64
+	for _, t := range ts {
+		m = max(m, t.Period)
+	}
+	return m
+}
+
+// MinPeriod returns the smallest period, or 0 for an empty set.
+func (ts TaskSet) MinPeriod() int64 {
+	if len(ts) == 0 {
+		return 0
+	}
+	m := ts[0].Period
+	for _, t := range ts[1:] {
+		m = min(m, t.Period)
+	}
+	return m
+}
+
+// Constrained reports whether every task has D <= T.
+func (ts TaskSet) Constrained() bool {
+	for _, t := range ts {
+		if !t.Constrained() {
+			return false
+		}
+	}
+	return true
+}
+
+// ImplicitDeadlines reports whether every task has D == T
+// (the Liu & Layland model).
+func (ts TaskSet) ImplicitDeadlines() bool {
+	for _, t := range ts {
+		if t.Deadline != t.Period {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the set.
+func (ts TaskSet) Clone() TaskSet { return slices.Clone(ts) }
+
+// SortedByDeadline returns a copy sorted by non-decreasing relative
+// deadline, the ordering Devi's test requires. The sort is stable so equal
+// deadlines preserve input order.
+func (ts TaskSet) SortedByDeadline() TaskSet {
+	c := ts.Clone()
+	slices.SortStableFunc(c, func(a, b Task) int {
+		switch {
+		case a.Deadline < b.Deadline:
+			return -1
+		case a.Deadline > b.Deadline:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return c
+}
+
+// Synchronous returns a copy with all phases cleared, the arrival pattern
+// the feasibility tests analyze.
+func (ts TaskSet) Synchronous() TaskSet {
+	c := ts.Clone()
+	for i := range c {
+		c[i].Phase = 0
+	}
+	return c
+}
+
+// String renders the set one task per line.
+func (ts TaskSet) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TaskSet{n=%d U=%.4f}\n", len(ts), ts.UtilizationFloat())
+	for _, t := range ts {
+		fmt.Fprintf(&b, "  %s\n", t)
+	}
+	return b.String()
+}

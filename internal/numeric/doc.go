@@ -1,0 +1,19 @@
+// Package numeric provides the scalar arithmetic used by the approximated
+// feasibility tests.
+//
+// All task parameters (execution times, deadlines, periods) are integer time
+// units, so the exact demand bound function dbf is pure int64 arithmetic.
+// The superposition approximation however accumulates rational slopes C/T,
+// which this package models behind the Scalar interface with two
+// implementations:
+//
+//   - F64: float64 accumulators with a symmetric comparison tolerance.
+//     Fast; used by the experiment harnesses. Rejections are re-confirmed
+//     with exact integer arithmetic by the callers, so a "not feasible"
+//     verdict is never a rounding artifact.
+//   - Rat: math/big.Rat accumulators. Exact; the default for the public
+//     library API.
+//
+// The package also contains overflow-checked int64 helpers (gcd, lcm,
+// checked multiplication/addition) shared by the bounds and demand packages.
+package numeric

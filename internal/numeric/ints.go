@@ -1,0 +1,69 @@
+package numeric
+
+import "math"
+
+// MaxInt64 re-exports math.MaxInt64 so callers of the demand package do not
+// need to import math for the "no further deadline" sentinel.
+const MaxInt64 = math.MaxInt64
+
+// GCD returns the greatest common divisor of a and b. GCD(0,0) is 0.
+// Negative inputs are treated by absolute value.
+func GCD(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b and reports whether the
+// computation stayed within int64. LCM of zero with anything is 0.
+func LCM(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	g := GCD(a, b)
+	return MulChecked(a/g, b)
+}
+
+// MulChecked returns a*b and reports whether the product fits in int64.
+// Both operands must be non-negative.
+func MulChecked(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// AddChecked returns a+b and reports whether the sum fits in int64.
+// Both operands must be non-negative.
+func AddChecked(a, b int64) (int64, bool) {
+	s := a + b
+	if s < a {
+		return 0, false
+	}
+	return s, true
+}
+
+// CeilDiv returns ceil(a/b) for non-negative a and positive b.
+func CeilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+// FloorDiv returns floor(a/b) handling negative a (b must be positive).
+func FloorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,159 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0}, {0, 5, 5}, {5, 0, 5}, {12, 18, 6}, {17, 13, 1},
+		{-12, 18, 6}, {12, -18, 6}, {1, 1, 1}, {100, 100, 100},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCM(t *testing.T) {
+	cases := []struct {
+		a, b, want int64
+		ok         bool
+	}{
+		{0, 5, 0, true}, {4, 6, 12, true}, {7, 13, 91, true},
+		{1 << 40, 1 << 40, 1 << 40, true},
+		{math.MaxInt64, 2, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := LCM(c.a, c.b)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("LCM(%d,%d) = %d,%v want %d,%v", c.a, c.b, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestGCDDividesBoth(t *testing.T) {
+	f := func(a, b int64) bool {
+		a %= 1 << 30
+		b %= 1 << 30
+		g := GCD(a, b)
+		if g == 0 {
+			return a == 0 && b == 0
+		}
+		return a%g == 0 && b%g == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAddChecked(t *testing.T) {
+	if v, ok := MulChecked(1<<32, 1<<32); ok {
+		t.Errorf("MulChecked(2^32,2^32) = %d, want overflow", v)
+	}
+	if v, ok := MulChecked(1<<31, 1<<31); !ok || v != 1<<62 {
+		t.Errorf("MulChecked(2^31,2^31) = %d,%v, want 2^62", v, ok)
+	}
+	if v, ok := MulChecked(3, 7); !ok || v != 21 {
+		t.Errorf("MulChecked(3,7) = %d,%v", v, ok)
+	}
+	if v, ok := AddChecked(math.MaxInt64, 1); ok {
+		t.Errorf("AddChecked(max,1) = %d, want overflow", v)
+	}
+	if v, ok := AddChecked(40, 2); !ok || v != 42 {
+		t.Errorf("AddChecked(40,2) = %d,%v", v, ok)
+	}
+}
+
+func TestCeilFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, ceil, floor int64 }{
+		{0, 5, 0, 0}, {1, 5, 1, 0}, {5, 5, 1, 1}, {6, 5, 2, 1},
+		{-1, 5, 0, -1}, {-5, 5, -1, -1}, {-6, 5, -1, -2},
+	}
+	for _, c := range cases {
+		if got := FloorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("FloorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+		if c.a >= 0 {
+			if got := CeilDiv(c.a, c.b); got != c.ceil {
+				t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ceil)
+			}
+		}
+	}
+}
+
+// scalarOps exercises one Scalar implementation through a random op
+// sequence and returns the final float rendering.
+func scalarOps[S Scalar[S]](zero S, rng *rand.Rand) float64 {
+	v := zero
+	u := zero.AddRat(1+rng.Int63n(20), 1+rng.Int63n(20))
+	for range 50 {
+		switch rng.Intn(5) {
+		case 0:
+			v = v.AddInt(rng.Int63n(100))
+		case 1:
+			v = v.AddRat(rng.Int63n(50), 1+rng.Int63n(30))
+		case 2:
+			v = v.SubRat(rng.Int63n(50), 1+rng.Int63n(30))
+		case 3:
+			v = v.AddScaled(u, rng.Int63n(40))
+		case 4:
+			v = v.Add(zero.AddRat(rng.Int63n(9), 3))
+		}
+	}
+	return v.Float()
+}
+
+// TestScalarModesAgree drives identical op sequences through F64 and Rat
+// and requires the results to match within float tolerance.
+func TestScalarModesAgree(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		f := scalarOps(F64(0), rand.New(rand.NewSource(seed)))
+		r := scalarOps(Rat{}, rand.New(rand.NewSource(seed)))
+		if math.Abs(f-r) > 1e-6*math.Max(1, math.Abs(r)) {
+			t.Fatalf("seed %d: float=%v exact=%v", seed, f, r)
+		}
+	}
+}
+
+func TestScalarCmpInt(t *testing.T) {
+	r := Rat{}.AddRat(7, 2) // 3.5
+	if got := r.CmpInt(3); got != 1 {
+		t.Errorf("Rat 3.5 cmp 3 = %d, want 1", got)
+	}
+	if got := r.CmpInt(4); got != -1 {
+		t.Errorf("Rat 3.5 cmp 4 = %d, want -1", got)
+	}
+	if got := (Rat{}).AddInt(5).CmpInt(5); got != 0 {
+		t.Errorf("Rat 5 cmp 5 = %d, want 0", got)
+	}
+
+	f := F64(3.5)
+	if got := f.CmpInt(3); got != 1 {
+		t.Errorf("F64 3.5 cmp 3 = %d, want 1", got)
+	}
+	// Values inside the tolerance band compare equal.
+	g := F64(5).Add(F64(1e-12))
+	if got := g.CmpInt(5); got != 0 {
+		t.Errorf("F64 5+1e-12 cmp 5 = %d, want 0", got)
+	}
+}
+
+func TestRatZeroValueUsable(t *testing.T) {
+	var z Rat
+	if got := z.CmpInt(0); got != 0 {
+		t.Fatalf("zero Rat cmp 0 = %d", got)
+	}
+	if got := z.AddInt(3).CmpInt(3); got != 0 {
+		t.Fatalf("zero Rat + 3 != 3")
+	}
+	// The shared zero must not be mutated by operations.
+	_ = z.AddRat(1, 2)
+	if got := z.CmpInt(0); got != 0 {
+		t.Fatalf("zero Rat mutated by AddRat")
+	}
+}

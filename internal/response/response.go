@@ -1,0 +1,153 @@
+package response
+
+import (
+	"repro/internal/bounds"
+	"repro/internal/model"
+	"repro/internal/numeric"
+)
+
+// Options tune the analysis.
+type Options struct {
+	// MaxCandidates caps the number of examined release offsets per task
+	// (0 = 1<<22). Exceeding the cap aborts with ok == false rather than
+	// silently truncating the search.
+	MaxCandidates int64
+}
+
+func (o Options) maxCandidates() int64 {
+	if o.MaxCandidates == 0 {
+		return 1 << 22
+	}
+	return o.MaxCandidates
+}
+
+// fixpointCap bounds the busy period iterations per offset; deadline busy
+// periods of feasible sets converge in a handful of steps.
+const fixpointCap = 100000
+
+// WCRT returns the worst-case response time of task i in the set under
+// preemptive EDF, using Spuri's deadline busy period analysis. ok is false
+// when the analysis does not apply (U > 1, no synchronous busy period) or
+// a resource cap was hit.
+func WCRT(ts model.TaskSet, i int, opt Options) (int64, bool) {
+	if ts.OverUtilized() {
+		return 0, false
+	}
+	l, okL := bounds.BusyPeriod(ts)
+	if !okL {
+		return 0, false
+	}
+	return wcrtWithin(ts, i, l, opt)
+}
+
+// wcrtWithin runs the offset search for task i with busy period length l.
+func wcrtWithin(ts model.TaskSet, i int, l int64, opt Options) (int64, bool) {
+	ti := ts[i]
+	best := ti.WCET // a = 0 lower bound: the job alone
+	var examined int64
+	for j := range ts {
+		tj := ts[j]
+		// Offsets aligning the analyzed deadline with the k-th deadline
+		// of task j: a = k*Tj + Dj - Di >= 0, a < l.
+		for k := int64(0); ; k++ {
+			span, ok := numeric.MulChecked(k, tj.Period)
+			if !ok {
+				return 0, false
+			}
+			a := span + tj.Deadline - ti.Deadline
+			if a >= l {
+				break
+			}
+			if a < 0 {
+				continue
+			}
+			examined++
+			if examined > opt.maxCandidates() {
+				return 0, false
+			}
+			r, ok := responseAt(ts, i, a)
+			if !ok {
+				return 0, false
+			}
+			best = max(best, r)
+			if tj.Period == 0 { // defensive; validated tasks have T > 0
+				break
+			}
+		}
+	}
+	return best, true
+}
+
+// responseAt returns the response time of the job of task i released at
+// offset a into a deadline busy period (all other tasks synchronous at 0,
+// earlier jobs of i packed as densely as possible).
+func responseAt(ts model.TaskSet, i int, a int64) (int64, bool) {
+	ti := ts[i]
+	d := a + ti.Deadline // absolute deadline of the analyzed job
+	// Demand of task i itself: jobs released at a, a-Ti, a-2Ti, ...
+	own := (a/ti.Period + 1) * ti.WCET
+
+	// Fixpoint L = own + Σ_j min(ceil(L/Tj), η_j(d))·Cj.
+	t := own
+	for range fixpointCap {
+		var next int64 = own
+		for j := range ts {
+			if j == i {
+				continue
+			}
+			tj := ts[j]
+			if d < tj.Deadline {
+				continue
+			}
+			eta := (d-tj.Deadline)/tj.Period + 1      // jobs with deadline <= d
+			released := numeric.CeilDiv(t, tj.Period) // jobs released before t
+			next += min(eta, released) * tj.WCET
+		}
+		if next == t {
+			return max(ti.WCET, t-a), true
+		}
+		t = next
+	}
+	return 0, false
+}
+
+// All returns the worst-case response time of every task, or ok == false
+// if the analysis does not apply to the set.
+func All(ts model.TaskSet, opt Options) ([]int64, bool) {
+	if ts.OverUtilized() {
+		return nil, false
+	}
+	l, okL := bounds.BusyPeriod(ts)
+	if !okL {
+		return nil, false
+	}
+	out := make([]int64, len(ts))
+	for i := range ts {
+		r, ok := wcrtWithin(ts, i, l, opt)
+		if !ok {
+			return nil, false
+		}
+		out[i] = r
+	}
+	return out, true
+}
+
+// Feasible reports EDF feasibility through the response-time lens:
+// feasible iff every task's worst-case response time is within its
+// relative deadline. It is an independent exactness oracle for the
+// feasibility tests of internal/core.
+func Feasible(ts model.TaskSet, opt Options) (feasible, ok bool) {
+	if ts.OverUtilized() {
+		return false, true
+	}
+	rts, okAll := All(ts, opt)
+	if !okAll {
+		return false, false
+	}
+	for i, r := range rts {
+		if r > ts[i].Deadline {
+			return false, true
+		}
+	}
+	return true, true
+}

@@ -1,0 +1,288 @@
+package rtc
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/eventstream"
+	"repro/internal/model"
+)
+
+// Line is y = Intercept + Slope*x.
+type Line struct {
+	Intercept float64
+	Slope     float64
+}
+
+// Eval returns the line value at x.
+func (l Line) Eval(x float64) float64 { return l.Intercept + l.Slope*x }
+
+// Curve is a concave piecewise-linear function represented as the minimum
+// of its lines. Every line of a demand curve must individually upper-bound
+// the demand it models, so the minimum does too.
+type Curve struct {
+	Lines []Line
+}
+
+// Eval returns min over the lines at x (+Inf for an empty curve).
+func (c Curve) Eval(x float64) float64 {
+	v := math.Inf(1)
+	for _, l := range c.Lines {
+		v = math.Min(v, l.Eval(x))
+	}
+	return v
+}
+
+// Add returns the pointwise sum of two curves. The sum of minima is not a
+// minimum of sums, so the result enumerates the lower envelope breakpoints
+// of both operands and rebuilds the concave hull there; the result remains
+// an upper bound of the summed demands.
+func (c Curve) Add(o Curve) Curve {
+	// The sum is concave piecewise linear with breakpoints at both
+	// operands' envelope breakpoints. Between consecutive breakpoints the
+	// sum is linear, so reconstruct lines from adjacent breakpoint pairs.
+	xs := append(c.envelopeBreakpoints(), o.envelopeBreakpoints()...)
+	xs = append(xs, 0)
+	slices.Sort(xs)
+	// Merge breakpoints that are numerically indistinguishable; chords
+	// across zero-length intervals would produce garbage slopes.
+	merged := xs[:1]
+	for _, x := range xs[1:] {
+		if x-merged[len(merged)-1] > 1e-9*(1+x) {
+			merged = append(merged, x)
+		}
+	}
+	xs = merged
+	eval := func(x float64) float64 { return c.Eval(x) + o.Eval(x) }
+	var lines []Line
+	for i := 0; i+1 < len(xs); i++ {
+		x1, x2 := xs[i], xs[i+1]
+		y1, y2 := eval(x1), eval(x2)
+		m := (y2 - y1) / (x2 - x1)
+		lines = append(lines, Line{Intercept: y1 - m*x1, Slope: m})
+	}
+	// Final asymptotic segment: slopes add.
+	last := xs[len(xs)-1]
+	m := c.asymptoticSlope() + o.asymptoticSlope()
+	lines = append(lines, Line{Intercept: eval(last) - m*last, Slope: m})
+	return Curve{Lines: dedupeLines(lines)}
+}
+
+// envelopeBreakpoints returns the x positions where the active minimal
+// line changes (pairwise intersections of envelope-ordered lines).
+func (c Curve) envelopeBreakpoints() []float64 {
+	lines := slices.Clone(c.Lines)
+	// Sort by slope descending: the envelope of a min starts with the
+	// steepest line (through the smallest intercept near 0) and flattens.
+	slices.SortFunc(lines, func(a, b Line) int {
+		switch {
+		case a.Slope > b.Slope:
+			return -1
+		case a.Slope < b.Slope:
+			return 1
+		default:
+			return 0
+		}
+	})
+	var xs []float64
+	for i := 0; i+1 < len(lines); i++ {
+		a, b := lines[i], lines[i+1]
+		if a.Slope == b.Slope {
+			continue
+		}
+		x := (b.Intercept - a.Intercept) / (a.Slope - b.Slope)
+		if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) {
+			xs = append(xs, x)
+		}
+	}
+	return xs
+}
+
+// asymptoticSlope returns the slope of the flattest line (the envelope's
+// long-term rate).
+func (c Curve) asymptoticSlope() float64 {
+	s := math.Inf(1)
+	for _, l := range c.Lines {
+		s = math.Min(s, l.Slope)
+	}
+	return s
+}
+
+func dedupeLines(lines []Line) []Line {
+	slices.SortFunc(lines, func(a, b Line) int {
+		switch {
+		case a.Slope != b.Slope:
+			if a.Slope < b.Slope {
+				return -1
+			}
+			return 1
+		case a.Intercept < b.Intercept:
+			return -1
+		case a.Intercept > b.Intercept:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return slices.CompactFunc(lines, func(a, b Line) bool { return a == b })
+}
+
+// FitsCapacity reports whether the curve stays within the processor
+// capacity line y = x for every x > 0. The difference curve(x) - x is
+// concave, so it suffices to check the envelope breakpoints, the origin
+// limit and the asymptotic slope.
+func (c Curve) FitsCapacity() bool {
+	const eps = 1e-9
+	if c.asymptoticSlope() > 1+eps {
+		return false
+	}
+	if c.Eval(0) > eps {
+		return false
+	}
+	for _, x := range c.envelopeBreakpoints() {
+		if c.Eval(x) > x*(1+eps)+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// TaskCurve returns the two-segment approximation of a sporadic task's
+// demand (Figure 4a of the paper):
+//
+//   - l1: the steepest valid chord through the origin, slope C/min(D,T)
+//     (it dominates the staircase because each new job adds C demand no
+//     faster than every min(D,T) time units);
+//   - l2: the long-term rate line C + (x-D)*C/T of the superposition
+//     approximation — for constrained deadlines its intercept C*(1-D/T)
+//     is non-negative, otherwise l2 degenerates to l1.
+//
+// Every line individually upper-bounds dbf(x, τ) for all x >= 0.
+func TaskCurve(t model.Task) Curve {
+	u := float64(t.WCET) / float64(t.Period)
+	l1 := Line{Intercept: 0, Slope: float64(t.WCET) / float64(min(t.Deadline, t.Period))}
+	if t.Deadline >= t.Period {
+		return Curve{Lines: []Line{l1}}
+	}
+	l2 := Line{
+		Intercept: float64(t.WCET) * (1 - float64(t.Deadline)/float64(t.Period)),
+		Slope:     u,
+	}
+	return Curve{Lines: []Line{l1, l2}}
+}
+
+// EventTaskCurve returns the up-to-three-segment approximation of a bursty
+// event-driven task (Figure 4b): origin chord covering the first event,
+// burst-rate line, and long-term rate line. Lines are built from the
+// event bound function and each is validated to dominate the demand
+// staircase over a structural horizon; see VerifyCurve.
+func EventTaskCurve(t eventstream.Task) Curve {
+	// Origin chord: slope = sup dbf(x)/x. The supremum over a staircase
+	// with first deadline f is bounded by scanning step points up to the
+	// macro period (cycle) of the stream plus f.
+	var maxCycle int64 = 1
+	for _, e := range t.Stream {
+		maxCycle = max(maxCycle, e.Cycle)
+	}
+	horizon := t.Deadline + 2*maxCycle + 1
+	slope1 := 0.0
+	for x := int64(1); x <= horizon; x++ {
+		if d := t.Dbf(x); d > 0 {
+			slope1 = math.Max(slope1, float64(d)/float64(x))
+		}
+	}
+	// Long-term rate line: slope = utilization of the stream times WCET,
+	// intercept = sup (dbf(x) - slope*x), again scanned structurally.
+	uRat := t.Stream.Utilization()
+	u, _ := uRat.Float64()
+	u *= float64(t.WCET)
+	intercept := 0.0
+	for x := int64(0); x <= 4*horizon; x++ {
+		intercept = math.Max(intercept, float64(t.Dbf(x))-u*float64(x))
+	}
+	lines := []Line{
+		{Intercept: 0, Slope: slope1},
+		{Intercept: intercept, Slope: u},
+	}
+	// Burst-rate line: chord from the first burst deadline across the
+	// burst. Only distinct from the others for multi-element streams.
+	if len(t.Stream) > 1 {
+		f := t.Stream[0].Offset + t.Deadline
+		lastOffset := t.Stream[0].Offset
+		for _, e := range t.Stream {
+			lastOffset = max(lastOffset, e.Offset)
+		}
+		span := float64(lastOffset - t.Stream[0].Offset)
+		if span > 0 {
+			mBurst := float64((int64(len(t.Stream))-1)*t.WCET) / span
+			// Anchor at (f, C) and verify upward against the staircase.
+			b := Line{Intercept: float64(t.WCET) - mBurst*float64(f), Slope: mBurst}
+			raise := 0.0
+			for x := int64(0); x <= 4*horizon; x++ {
+				raise = math.Max(raise, float64(t.Dbf(x))-b.Eval(float64(x)))
+			}
+			b.Intercept += raise
+			lines = append(lines, b)
+		}
+	}
+	return Curve{Lines: dedupeLines(lines)}
+}
+
+// SystemCurve sums the per-task curves of a sporadic task set.
+func SystemCurve(ts model.TaskSet) Curve {
+	var sum Curve
+	for i, t := range ts {
+		if i == 0 {
+			sum = TaskCurve(t)
+			continue
+		}
+		sum = sum.Add(TaskCurve(t))
+	}
+	return sum
+}
+
+// Feasible applies the real-time-calculus style sufficient test: the
+// summed per-task curve approximation must stay within the capacity line.
+// Like Devi's test it can only accept; rejection means "not accepted".
+func Feasible(ts model.TaskSet) core.Verdict {
+	if ts.OverUtilized() {
+		return core.Infeasible
+	}
+	if len(ts) == 0 {
+		return core.Feasible
+	}
+	if SystemCurve(ts).FitsCapacity() {
+		return core.Feasible
+	}
+	return core.NotAccepted
+}
+
+// FeasibleEvents applies the same test to event-driven tasks with
+// up-to-three-segment curves.
+func FeasibleEvents(tasks []eventstream.Task) core.Verdict {
+	if len(tasks) == 0 {
+		return core.Feasible
+	}
+	sum := EventTaskCurve(tasks[0])
+	for _, t := range tasks[1:] {
+		sum = sum.Add(EventTaskCurve(t))
+	}
+	if sum.FitsCapacity() {
+		return core.Feasible
+	}
+	return core.NotAccepted
+}
+
+// VerifyCurve checks numerically that the curve upper-bounds the demand
+// function dbf over [0, horizon]; it backs the soundness tests.
+func VerifyCurve(c Curve, dbf func(int64) int64, horizon int64) error {
+	const eps = 1e-6
+	for x := int64(0); x <= horizon; x++ {
+		if got, want := c.Eval(float64(x)), float64(dbf(x)); got < want-eps {
+			return fmt.Errorf("rtc: curve %.4f below demand %v at %d", got, want, x)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+// Package sensitivity answers "how much margin does this task set have?"
+// questions on top of the exact feasibility tests — the design-space
+// queries the paper's introduction motivates fast exact tests for (each
+// query evaluates the test many times, so a 10-200x cheaper exact test
+// turns sensitivity analysis from overnight into interactive).
+//
+// All searches exploit monotonicity of EDF feasibility in the respective
+// parameter (demand grows with WCET, shrinks with period and with looser
+// deadlines) and use the all-approximated test as the oracle, so every
+// answer is exact at integer granularity: the returned value is feasible
+// and the next step toward infeasibility is not.
+package sensitivity

@@ -1,0 +1,190 @@
+package sensitivity
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Oracle decides feasibility for the searches. The default is the
+// all-approximated test with exact arithmetic.
+type Oracle func(model.TaskSet) bool
+
+// DefaultOracle decides with the paper's all-approximated test.
+func DefaultOracle(ts model.TaskSet) bool {
+	return core.AllApprox(ts, core.Options{}).Verdict == core.Feasible
+}
+
+// ErrInfeasible is returned when the input set is already infeasible and
+// the requested search direction cannot make it feasible.
+var ErrInfeasible = errors.New("sensitivity: task set is infeasible")
+
+// ErrIndex is returned for an out-of-range task index.
+var ErrIndex = errors.New("sensitivity: task index out of range")
+
+func checkIndex(ts model.TaskSet, i int) error {
+	if i < 0 || i >= len(ts) {
+		return fmt.Errorf("%w: %d of %d", ErrIndex, i, len(ts))
+	}
+	return nil
+}
+
+func oracleOrDefault(o Oracle) Oracle {
+	if o == nil {
+		return DefaultOracle
+	}
+	return o
+}
+
+// MaxWCET returns the largest WCET of task i that keeps the set feasible,
+// leaving every other parameter unchanged. The result is at least the
+// current WCET's feasibility status: if the set is infeasible even at
+// C_i = 1 the search fails with ErrInfeasible.
+func MaxWCET(ts model.TaskSet, i int, oracle Oracle) (int64, error) {
+	if err := checkIndex(ts, i); err != nil {
+		return 0, err
+	}
+	o := oracleOrDefault(oracle)
+	probe := ts.Clone()
+	feasibleAt := func(c int64) bool {
+		probe[i].WCET = c
+		return c <= probe[i].Deadline && o(probe)
+	}
+	if !feasibleAt(1) {
+		return 0, ErrInfeasible
+	}
+	// Feasibility is monotone decreasing in C: binary search the largest
+	// feasible value in [1, min(D_i, T_i·(1 - U_rest)) <= D_i].
+	lo, hi := int64(1), ts[i].Deadline
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		if feasibleAt(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}
+
+// MinDeadline returns the smallest relative deadline of task i that keeps
+// the set feasible, leaving everything else unchanged.
+func MinDeadline(ts model.TaskSet, i int, oracle Oracle) (int64, error) {
+	if err := checkIndex(ts, i); err != nil {
+		return 0, err
+	}
+	o := oracleOrDefault(oracle)
+	probe := ts.Clone()
+	feasibleAt := func(d int64) bool {
+		probe[i].Deadline = d
+		return o(probe)
+	}
+	// Feasibility is monotone increasing in D. The current deadline must
+	// be feasible for a meaningful answer.
+	if !feasibleAt(ts[i].Deadline) {
+		return 0, ErrInfeasible
+	}
+	lo, hi := ts[i].WCET, ts[i].Deadline
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if feasibleAt(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// MinPeriod returns the smallest period (minimal inter-arrival distance)
+// of task i that keeps the set feasible, leaving everything else
+// unchanged. Deadlines are not coupled to the period by this search.
+func MinPeriod(ts model.TaskSet, i int, oracle Oracle) (int64, error) {
+	if err := checkIndex(ts, i); err != nil {
+		return 0, err
+	}
+	o := oracleOrDefault(oracle)
+	probe := ts.Clone()
+	feasibleAt := func(p int64) bool {
+		probe[i].Period = p
+		return o(probe)
+	}
+	if !feasibleAt(ts[i].Period) {
+		return 0, ErrInfeasible
+	}
+	// Feasibility is monotone increasing in T; search in [1, T_i].
+	lo, hi := int64(1), ts[i].Period
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if feasibleAt(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// CriticalScaling returns the largest factor alpha (as a fraction
+// num/denom with the given denominator resolution) such that scaling every
+// WCET by alpha keeps the set feasible: the classic critical scaling
+// factor of sensitivity analysis. Scaled WCETs are rounded up (pessimistic)
+// and clamped to at least 1. denom must be positive; alpha is searched in
+// (0, denom*maxAlpha] with maxAlpha chosen from the utilization headroom.
+func CriticalScaling(ts model.TaskSet, denom int64, oracle Oracle) (num int64, err error) {
+	if denom <= 0 {
+		return 0, fmt.Errorf("sensitivity: denominator %d must be positive", denom)
+	}
+	if err := ts.Validate(); err != nil {
+		return 0, err
+	}
+	o := oracleOrDefault(oracle)
+	feasibleAt := func(n int64) bool {
+		probe := ts.Clone()
+		for i := range probe {
+			c := (probe[i].WCET*n + denom - 1) / denom
+			if c < 1 {
+				c = 1
+			}
+			if c > probe[i].Deadline {
+				return false // would violate C <= D outright
+			}
+			probe[i].WCET = c
+		}
+		return o(probe)
+	}
+	if !feasibleAt(1) {
+		return 0, ErrInfeasible
+	}
+	// Upper limit: alpha <= 1/U (utilization must stay <= 1), capped by
+	// the deadline constraint search space.
+	u := ts.UtilizationFloat()
+	hi := int64(float64(denom)/u) + 2
+	lo := int64(1)
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		if feasibleAt(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}
+
+// Slack returns, for every task, the largest amount by which its WCET
+// could grow (alone) without breaking feasibility — a per-task margin
+// report for design reviews.
+func Slack(ts model.TaskSet, oracle Oracle) ([]int64, error) {
+	out := make([]int64, len(ts))
+	for i := range ts {
+		maxC, err := MaxWCET(ts, i, oracle)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = maxC - ts[i].WCET
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+package sensitivity
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func feasible(ts model.TaskSet) bool {
+	return core.ProcessorDemand(ts, core.Options{}).Verdict == core.Feasible
+}
+
+func randomFeasibleSet(rng *rand.Rand) model.TaskSet {
+	for {
+		n := 1 + rng.Intn(4)
+		ts := make(model.TaskSet, 0, n)
+		for range n {
+			T := int64(4 + rng.Intn(20))
+			C := 1 + rng.Int63n(T/2)
+			D := C + rng.Int63n(T-C+1)
+			ts = append(ts, model.Task{WCET: C, Deadline: D, Period: T})
+		}
+		if feasible(ts) {
+			return ts
+		}
+	}
+}
+
+// TestMaxWCETBoundary: the reported value is feasible, one more is not.
+func TestMaxWCETBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for range 300 {
+		ts := randomFeasibleSet(rng)
+		i := rng.Intn(len(ts))
+		maxC, err := MaxWCET(ts, i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxC < ts[i].WCET {
+			t.Fatalf("max WCET %d below current %d", maxC, ts[i].WCET)
+		}
+		at := ts.Clone()
+		at[i].WCET = maxC
+		if !feasible(at) {
+			t.Fatalf("reported max WCET %d infeasible for %v", maxC, ts)
+		}
+		if maxC < at[i].Deadline {
+			at[i].WCET = maxC + 1
+			if at[i].WCET <= at[i].Deadline && feasible(at) {
+				t.Fatalf("max WCET %d not maximal for %v", maxC, ts)
+			}
+		}
+	}
+}
+
+func TestMinDeadlineBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for range 300 {
+		ts := randomFeasibleSet(rng)
+		i := rng.Intn(len(ts))
+		minD, err := MinDeadline(ts, i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if minD > ts[i].Deadline || minD < ts[i].WCET {
+			t.Fatalf("min deadline %d out of range for %v", minD, ts)
+		}
+		at := ts.Clone()
+		at[i].Deadline = minD
+		if !feasible(at) {
+			t.Fatalf("reported min deadline %d infeasible for %v", minD, ts)
+		}
+		if minD > at[i].WCET {
+			at[i].Deadline = minD - 1
+			if feasible(at) {
+				t.Fatalf("min deadline %d not minimal for %v", minD, ts)
+			}
+		}
+	}
+}
+
+func TestMinPeriodBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for range 300 {
+		ts := randomFeasibleSet(rng)
+		i := rng.Intn(len(ts))
+		minT, err := MinPeriod(ts, i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := ts.Clone()
+		at[i].Period = minT
+		if !feasible(at) {
+			t.Fatalf("reported min period %d infeasible for %v", minT, ts)
+		}
+		if minT > 1 {
+			at[i].Period = minT - 1
+			if feasible(at) {
+				t.Fatalf("min period %d not minimal for %v", minT, ts)
+			}
+		}
+	}
+}
+
+func TestCriticalScalingBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	const denom = 1000
+	for range 150 {
+		ts := randomFeasibleSet(rng)
+		num, err := CriticalScaling(ts, denom, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if num < denom {
+			// The set is feasible as-is, so alpha >= 1 must hold.
+			t.Fatalf("critical scaling %d/%d below 1 for feasible %v", num, denom, ts)
+		}
+		scale := func(n int64) (model.TaskSet, bool) {
+			probe := ts.Clone()
+			for i := range probe {
+				c := (probe[i].WCET*n + denom - 1) / denom
+				if c < 1 {
+					c = 1
+				}
+				if c > probe[i].Deadline {
+					return nil, false
+				}
+				probe[i].WCET = c
+			}
+			return probe, true
+		}
+		if at, ok := scale(num); !ok || !feasible(at) {
+			t.Fatalf("scaling %d/%d not feasible for %v", num, denom, ts)
+		}
+		if at, ok := scale(num + 1); ok && feasible(at) {
+			t.Fatalf("scaling %d/%d not maximal for %v", num, denom, ts)
+		}
+	}
+}
+
+func TestSlackReport(t *testing.T) {
+	ts := model.TaskSet{
+		{WCET: 2, Deadline: 10, Period: 10},
+		{WCET: 3, Deadline: 15, Period: 15},
+	}
+	slack, err := Slack(ts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slack) != 2 {
+		t.Fatalf("slack %v", slack)
+	}
+	for i, s := range slack {
+		if s < 0 {
+			t.Errorf("negative slack %d for task %d", s, i)
+		}
+		at := ts.Clone()
+		at[i].WCET += s
+		if !feasible(at) {
+			t.Errorf("slack %d of task %d not usable", s, i)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ts := model.TaskSet{{WCET: 2, Deadline: 10, Period: 10}}
+	if _, err := MaxWCET(ts, 3, nil); !errors.Is(err, ErrIndex) {
+		t.Errorf("index error: %v", err)
+	}
+	bad := model.TaskSet{
+		{WCET: 9, Deadline: 9, Period: 10},
+		{WCET: 9, Deadline: 9, Period: 10},
+	}
+	if _, err := MinDeadline(bad, 0, nil); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("infeasible error: %v", err)
+	}
+	// Critical scaling of an infeasible set answers "how much must the
+	// WCETs shrink": a factor below 1, not an error.
+	if num, err := CriticalScaling(bad, 100, nil); err != nil || num >= 100 {
+		t.Errorf("scaling of infeasible set = %d/100, %v; want < 100", num, err)
+	}
+	// Only a set infeasible even at the smallest factor errors out
+	// (WCETs clamp at 1, so two unit tasks sharing a unit deadline can
+	// never become feasible).
+	hopeless := model.TaskSet{
+		{WCET: 1, Deadline: 1, Period: 1},
+		{WCET: 1, Deadline: 1, Period: 1},
+	}
+	if _, err := CriticalScaling(hopeless, 100, nil); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("hopeless scaling error: %v", err)
+	}
+	if _, err := CriticalScaling(ts, 0, nil); err == nil {
+		t.Error("zero denominator accepted")
+	}
+}
+
+// TestOracleConsistency: results are identical whichever exact test backs
+// the oracle.
+func TestOracleConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	pdOracle := func(ts model.TaskSet) bool {
+		return core.ProcessorDemand(ts, core.Options{}).Verdict == core.Feasible
+	}
+	dynOracle := func(ts model.TaskSet) bool {
+		return core.DynamicError(ts, core.Options{}).Verdict == core.Feasible
+	}
+	for range 100 {
+		ts := randomFeasibleSet(rng)
+		i := rng.Intn(len(ts))
+		a, err := MaxWCET(ts, i, pdOracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MaxWCET(ts, i, dynOracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := MaxWCET(ts, i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b || b != c {
+			t.Fatalf("oracles disagree: pd=%d dyn=%d all=%d for %v", a, b, c, ts)
+		}
+	}
+}

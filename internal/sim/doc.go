@@ -1,0 +1,11 @@
+// Package sim is an event-driven preemptive EDF uniprocessor simulator on
+// integer time. It serves as the ground truth for the feasibility tests:
+// for the synchronous arrival sequence, a deadline is missed within the
+// feasibility bound if and only if the exact tests report infeasibility.
+//
+// The simulator releases each task periodically at phase + k*period (the
+// densest sporadic arrival pattern), schedules ready jobs
+// earliest-deadline-first with preemption, and reports the first deadline
+// miss, utilization of the processor, and optionally the full schedule
+// trace.
+package sim

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// GanttOptions configure the ASCII schedule rendering.
+type GanttOptions struct {
+	// Width is the number of character cells (default 80).
+	Width int
+	// From and To bound the rendered time window; To == 0 means the end
+	// of the trace.
+	From, To int64
+}
+
+// RenderGantt writes an ASCII Gantt chart of the trace: one row per task
+// plus an idle row, a '#' per cell in which the task occupies the
+// processor for at least half the cell. It is a quick visual check of
+// simulator output, not a measurement tool.
+func RenderGantt(w io.Writer, ts model.TaskSet, trace []Segment, opt GanttOptions) error {
+	if opt.Width <= 0 {
+		opt.Width = 80
+	}
+	if len(trace) == 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	from := opt.From
+	to := opt.To
+	if to == 0 {
+		to = trace[len(trace)-1].End
+	}
+	if to <= from {
+		return fmt.Errorf("sim: gantt window [%d,%d) is empty", from, to)
+	}
+	span := to - from
+	cell := func(t int64) int {
+		c := int((t - from) * int64(opt.Width) / span)
+		return min(max(c, 0), opt.Width-1)
+	}
+
+	// occupancy[row][cell] accumulates time units; row len(ts) is idle.
+	rows := len(ts) + 1
+	occ := make([][]int64, rows)
+	for i := range occ {
+		occ[i] = make([]int64, opt.Width)
+	}
+	for _, seg := range trace {
+		s, e := max(seg.Start, from), min(seg.End, to)
+		if e <= s {
+			continue
+		}
+		row := len(ts)
+		if !seg.Idle() {
+			row = seg.Task
+		}
+		for t := s; t < e; {
+			c := cell(t)
+			// Time units of this segment falling into cell c.
+			cellEnd := from + (int64(c)+1)*span/int64(opt.Width)
+			step := min(e, cellEnd) - t
+			if step <= 0 {
+				step = 1
+			}
+			occ[row][c] += step
+			t += step
+		}
+	}
+
+	unitsPerCell := span / int64(opt.Width)
+	if unitsPerCell == 0 {
+		unitsPerCell = 1
+	}
+	name := func(i int) string {
+		if i == len(ts) {
+			return "(idle)"
+		}
+		if ts[i].Name != "" {
+			return ts[i].Name
+		}
+		return fmt.Sprintf("task%d", i)
+	}
+	nameWidth := 6
+	for i := range rows {
+		nameWidth = max(nameWidth, len(name(i)))
+	}
+
+	if _, err := fmt.Fprintf(w, "%*s |%s| t=[%d,%d)\n", nameWidth, "", strings.Repeat("-", opt.Width), from, to); err != nil {
+		return err
+	}
+	for i := range rows {
+		var b strings.Builder
+		for c := range opt.Width {
+			switch {
+			case occ[i][c] == 0:
+				b.WriteByte(' ')
+			case occ[i][c]*2 >= unitsPerCell:
+				b.WriteByte('#')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%*s |%s|\n", nameWidth, name(i), b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

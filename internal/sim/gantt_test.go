@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestRenderGantt(t *testing.T) {
+	ts := model.TaskSet{
+		{Name: "alpha", WCET: 2, Deadline: 5, Period: 5},
+		{Name: "beta", WCET: 1, Deadline: 10, Period: 10},
+	}
+	rep, err := Run(ts, Options{Horizon: 40, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderGantt(&b, ts, rep.Trace, GanttOptions{Width: 40}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"alpha", "beta", "(idle)", "t=[0,40)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 2 tasks + idle
+		t.Errorf("gantt lines = %d:\n%s", len(lines), out)
+	}
+	// The busy rows must contain fill characters, the chart must show
+	// idle time (U = 0.5).
+	if !strings.ContainsAny(lines[1], "#.") {
+		t.Errorf("alpha row empty:\n%s", out)
+	}
+	if !strings.ContainsAny(lines[3], "#.") {
+		t.Errorf("idle row empty for a half-utilized set:\n%s", out)
+	}
+}
+
+func TestRenderGanttWindow(t *testing.T) {
+	ts := model.TaskSet{{Name: "x", WCET: 1, Deadline: 4, Period: 4}}
+	rep, err := Run(ts, Options{Horizon: 100, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderGantt(&b, ts, rep.Trace, GanttOptions{Width: 20, From: 40, To: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "t=[40,60)") {
+		t.Errorf("window header missing:\n%s", b.String())
+	}
+	// Degenerate window errors.
+	if err := RenderGantt(&b, ts, rep.Trace, GanttOptions{From: 60, To: 60}); err == nil {
+		t.Error("empty window accepted")
+	}
+	// Empty trace renders a placeholder.
+	b.Reset()
+	if err := RenderGantt(&b, ts, nil, GanttOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "empty trace") {
+		t.Errorf("placeholder missing: %q", b.String())
+	}
+}

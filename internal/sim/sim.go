@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Options configure a simulation run.
+type Options struct {
+	// Horizon is the exclusive simulation end time. Releases at or after
+	// the horizon are not generated; jobs still running at the horizon are
+	// abandoned without a verdict on their deadline.
+	Horizon int64
+	// RecordTrace stores the executed schedule segments in the report.
+	RecordTrace bool
+}
+
+// Segment is one maximal span of the schedule during which the same job
+// (or idleness) occupies the processor.
+type Segment struct {
+	Start, End int64
+	Task       int   // task index; -1 for idle
+	Job        int64 // 0-based job index of the task
+}
+
+// Idle reports whether the segment is idle time.
+func (s Segment) Idle() bool { return s.Task < 0 }
+
+// Report is the outcome of a simulation.
+type Report struct {
+	// Missed is true when a deadline miss was detected.
+	Missed bool
+	// MissTask and MissTime identify the first detected miss.
+	MissTask int
+	MissTime int64
+	// JobsReleased and JobsCompleted count jobs inside the horizon.
+	JobsReleased  int64
+	JobsCompleted int64
+	// BusyTime is the total non-idle processor time until the simulation
+	// stopped.
+	BusyTime int64
+	// EndTime is the time at which the simulation stopped (the horizon, or
+	// the miss time).
+	EndTime int64
+	// Trace is the executed schedule when Options.RecordTrace is set.
+	Trace []Segment
+}
+
+// job is a released, unfinished job.
+type job struct {
+	task      int
+	index     int64 // 0-based job number of the task
+	deadline  int64 // absolute deadline
+	remaining int64
+}
+
+// jobQueue orders released jobs by absolute deadline (EDF), ties by task
+// then job index for determinism.
+type jobQueue []job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].deadline != q[j].deadline {
+		return q[i].deadline < q[j].deadline
+	}
+	if q[i].task != q[j].task {
+		return q[i].task < q[j].task
+	}
+	return q[i].index < q[j].index
+}
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *jobQueue) Push(x any)   { *q = append(*q, x.(job)) }
+func (q *jobQueue) Pop() any     { old := *q; n := len(old); j := old[n-1]; *q = old[:n-1]; return j }
+
+// release is the next pending release of one task.
+type release struct {
+	at    int64
+	task  int
+	index int64
+}
+
+type releaseQueue []release
+
+func (q releaseQueue) Len() int { return len(q) }
+func (q releaseQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].task < q[j].task
+}
+func (q releaseQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *releaseQueue) Push(x any)   { *q = append(*q, x.(release)) }
+func (q *releaseQueue) Pop() any {
+	old := *q
+	n := len(old)
+	r := old[n-1]
+	*q = old[:n-1]
+	return r
+}
+
+// ErrNoHorizon is returned when Options.Horizon is not positive.
+var ErrNoHorizon = errors.New("sim: horizon must be positive")
+
+// Run simulates the task set under preemptive EDF until the horizon or the
+// first deadline miss. Task phases are honored; pass ts.Synchronous() for
+// the synchronous arrival sequence the feasibility tests analyze.
+func Run(ts model.TaskSet, opt Options) (Report, error) {
+	if opt.Horizon <= 0 {
+		return Report{}, ErrNoHorizon
+	}
+	if err := ts.Validate(); err != nil {
+		return Report{}, fmt.Errorf("sim: %w", err)
+	}
+
+	var rep Report
+	releases := make(releaseQueue, 0, len(ts))
+	for i, t := range ts {
+		if t.Phase < opt.Horizon {
+			releases = append(releases, release{at: t.Phase, task: i})
+		}
+	}
+	heap.Init(&releases)
+	ready := make(jobQueue, 0, len(ts))
+
+	var now int64
+	var current *job // job owning the processor since segStart
+	segStart := now
+	emit := func(end int64, task int, jobIdx int64) {
+		if !opt.RecordTrace || end == segStart {
+			return
+		}
+		rep.Trace = append(rep.Trace, Segment{Start: segStart, End: end, Task: task, Job: jobIdx})
+		segStart = end
+	}
+
+	// admit moves every release at time <= now into the ready queue.
+	admit := func() {
+		for len(releases) > 0 && releases[0].at <= now {
+			r := heap.Pop(&releases).(release)
+			t := ts[r.task]
+			heap.Push(&ready, job{
+				task:      r.task,
+				index:     r.index,
+				deadline:  r.at + t.Deadline,
+				remaining: t.WCET,
+			})
+			rep.JobsReleased++
+			if next := r.at + t.Period; next < opt.Horizon {
+				heap.Push(&releases, release{at: next, task: r.task, index: r.index + 1})
+			}
+		}
+	}
+
+	for now < opt.Horizon {
+		admit()
+		if current == nil && len(ready) > 0 {
+			j := heap.Pop(&ready).(job)
+			current = &j
+			segStart = now
+		}
+		if current == nil {
+			// Idle until the next release or the horizon.
+			next := opt.Horizon
+			if len(releases) > 0 && releases[0].at < next {
+				next = releases[0].at
+			}
+			emit(next, -1, 0)
+			now = next
+			continue
+		}
+		// A job whose remaining work cannot fit before its deadline will
+		// miss it: later releases can only preempt it with earlier
+		// deadlines, delaying it further.
+		if now+current.remaining > current.deadline {
+			emit(now, current.task, current.index)
+			rep.Missed = true
+			rep.MissTask = current.task
+			rep.MissTime = current.deadline
+			rep.EndTime = current.deadline
+			return rep, nil
+		}
+		finish := now + current.remaining
+		nextRelease := int64(-1)
+		if len(releases) > 0 {
+			nextRelease = releases[0].at
+		}
+		switch {
+		case nextRelease >= 0 && nextRelease < finish && nextRelease < opt.Horizon:
+			// Run until the release, then let EDF re-decide.
+			current.remaining -= nextRelease - now
+			rep.BusyTime += nextRelease - now
+			now = nextRelease
+			admit()
+			// Preempt if a ready job now has an earlier deadline.
+			if len(ready) > 0 && ready[0].deadline < current.deadline {
+				emit(now, current.task, current.index)
+				heap.Push(&ready, *current)
+				j := heap.Pop(&ready).(job)
+				current = &j
+			}
+		case finish > opt.Horizon:
+			rep.BusyTime += opt.Horizon - now
+			now = opt.Horizon
+			emit(now, current.task, current.index)
+		default:
+			rep.BusyTime += finish - now
+			now = finish
+			emit(now, current.task, current.index)
+			rep.JobsCompleted++
+			current = nil
+		}
+	}
+	rep.EndTime = now
+	return rep, nil
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func TestRunRejectsBadInput(t *testing.T) {
+	ts := model.TaskSet{{WCET: 1, Deadline: 5, Period: 5}}
+	if _, err := Run(ts, Options{}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	bad := model.TaskSet{{WCET: 0, Deadline: 5, Period: 5}}
+	if _, err := Run(bad, Options{Horizon: 10}); err == nil {
+		t.Error("invalid set accepted")
+	}
+}
+
+func TestSingleTaskSchedule(t *testing.T) {
+	ts := model.TaskSet{{Name: "a", WCET: 2, Deadline: 5, Period: 5}}
+	rep, err := Run(ts, Options{Horizon: 20, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missed {
+		t.Fatal("unexpected miss")
+	}
+	if rep.JobsReleased != 4 || rep.JobsCompleted != 4 {
+		t.Errorf("jobs: released %d completed %d, want 4/4", rep.JobsReleased, rep.JobsCompleted)
+	}
+	if rep.BusyTime != 8 {
+		t.Errorf("busy time %d, want 8", rep.BusyTime)
+	}
+	// Expect busy [0,2) idle [2,5) busy [5,7) ... pattern in the trace.
+	if len(rep.Trace) != 8 {
+		t.Fatalf("trace %v", rep.Trace)
+	}
+	if rep.Trace[0] != (Segment{Start: 0, End: 2, Task: 0, Job: 0}) {
+		t.Errorf("first segment %+v", rep.Trace[0])
+	}
+	if !rep.Trace[1].Idle() || rep.Trace[1].End != 5 {
+		t.Errorf("second segment %+v", rep.Trace[1])
+	}
+}
+
+func TestEDFPreemption(t *testing.T) {
+	// Long job starts first; a later release with an earlier absolute
+	// deadline must preempt it.
+	ts := model.TaskSet{
+		{Name: "long", WCET: 10, Deadline: 30, Period: 100},
+		{Name: "short", WCET: 2, Deadline: 4, Period: 100, Phase: 3},
+	}
+	rep, err := Run(ts, Options{Horizon: 40, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missed {
+		t.Fatal("unexpected miss")
+	}
+	// Expected: long [0,3), short [3,5), long [5,12).
+	want := []Segment{
+		{Start: 0, End: 3, Task: 0, Job: 0},
+		{Start: 3, End: 5, Task: 1, Job: 0},
+		{Start: 5, End: 12, Task: 0, Job: 0},
+	}
+	if len(rep.Trace) < 3 {
+		t.Fatalf("trace %v", rep.Trace)
+	}
+	for i, w := range want {
+		if rep.Trace[i] != w {
+			t.Errorf("segment %d = %+v, want %+v", i, rep.Trace[i], w)
+		}
+	}
+}
+
+func TestDeadlineMissDetected(t *testing.T) {
+	// Two jobs of 3 units due at 4: one must miss.
+	ts := model.TaskSet{
+		{Name: "a", WCET: 3, Deadline: 4, Period: 10},
+		{Name: "b", WCET: 3, Deadline: 4, Period: 10},
+	}
+	rep, err := Run(ts, Options{Horizon: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Missed {
+		t.Fatal("miss not detected")
+	}
+	if rep.MissTime != 4 {
+		t.Errorf("miss at %d, want 4", rep.MissTime)
+	}
+}
+
+func TestPhasesDelayReleases(t *testing.T) {
+	ts := model.TaskSet{{Name: "a", WCET: 1, Deadline: 2, Period: 5, Phase: 7}}
+	rep, err := Run(ts, Options{Horizon: 10, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobsReleased != 1 {
+		t.Errorf("released %d jobs, want 1 (phase 7, horizon 10)", rep.JobsReleased)
+	}
+	if len(rep.Trace) == 0 || rep.Trace[0].End != 7 || !rep.Trace[0].Idle() {
+		t.Errorf("expected idle until 7, trace %v", rep.Trace)
+	}
+}
+
+// TestSimAgreesWithExactTests is the ground-truth property: for random
+// small synchronous sets, a deadline miss within the feasibility bound
+// occurs if and only if the exact tests report infeasibility.
+func TestSimAgreesWithExactTests(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	checked := 0
+	for range 3000 {
+		n := 1 + rng.Intn(5)
+		ts := make(model.TaskSet, 0, n)
+		for range n {
+			T := int64(2 + rng.Intn(16))
+			C := 1 + rng.Int63n(T)
+			D := C + rng.Int63n(T-C+1)
+			ts = append(ts, model.Task{WCET: C, Deadline: D, Period: T})
+		}
+		if ts.OverUtilized() {
+			continue
+		}
+		horizon, _, ok := bounds.Best(ts)
+		if !ok || horizon == 0 || horizon > 200000 {
+			continue
+		}
+		checked++
+		rep, err := Run(ts, Options{Horizon: horizon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := core.ProcessorDemand(ts, core.Options{})
+		wantMiss := exact.Verdict == core.Infeasible
+		if rep.Missed != wantMiss {
+			t.Fatalf("sim miss=%v (at %d) but exact=%v for %v",
+				rep.Missed, rep.MissTime, exact.Verdict, ts)
+		}
+	}
+	if checked < 500 {
+		t.Fatalf("only %d sets checked", checked)
+	}
+}
+
+// TestBusyTimeConservation checks work conservation: within the horizon the
+// processor is busy exactly min(released work, available time) when no
+// deadline is missed and all jobs complete.
+func TestBusyTimeConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for range 500 {
+		ts := model.TaskSet{
+			{WCET: 1 + rng.Int63n(3), Deadline: 8 + rng.Int63n(4), Period: 8 + rng.Int63n(8)},
+			{WCET: 1 + rng.Int63n(2), Deadline: 6 + rng.Int63n(4), Period: 6 + rng.Int63n(8)},
+		}
+		rep, err := Run(ts, Options{Horizon: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Missed {
+			continue
+		}
+		var released int64
+		for _, task := range ts {
+			jobs := (500 - 1 - task.Phase) / task.Period // releases strictly below horizon
+			released += (jobs + 1) * task.WCET
+		}
+		if rep.BusyTime > released {
+			t.Fatalf("busy %d exceeds released work %d", rep.BusyTime, released)
+		}
+		completed := rep.BusyTime
+		if rep.JobsCompleted == rep.JobsReleased && completed != released {
+			t.Fatalf("all jobs done but busy %d != released %d", completed, released)
+		}
+	}
+}
+
+// TestTraceContiguous checks the trace covers [0, EndTime) without gaps or
+// overlaps.
+func TestTraceContiguous(t *testing.T) {
+	ts := model.TaskSet{
+		{WCET: 2, Deadline: 6, Period: 7},
+		{WCET: 3, Deadline: 9, Period: 11},
+	}
+	rep, err := Run(ts, Options{Horizon: 300, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := int64(0)
+	for i, seg := range rep.Trace {
+		if seg.Start != at {
+			t.Fatalf("segment %d starts at %d, expected %d", i, seg.Start, at)
+		}
+		if seg.End <= seg.Start {
+			t.Fatalf("segment %d empty or reversed: %+v", i, seg)
+		}
+		at = seg.End
+	}
+	if at != rep.EndTime {
+		t.Fatalf("trace ends at %d, run at %d", at, rep.EndTime)
+	}
+}

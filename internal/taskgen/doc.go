@@ -1,0 +1,10 @@
+// Package taskgen generates random task sets following the experimental
+// setup of the paper's Section 5: utilizations distributed with the
+// unbiased UUniFast algorithm of Bini & Buttazzo ("Biasing Effects in
+// Schedulability Measures", the paper's reference [4]), equally distributed
+// periods, and relative deadlines shortened below the periods by a
+// controllable average "gap" (T-D)/T.
+//
+// Generation is deterministic for a given *rand.Rand, so every experiment
+// and benchmark in this repository is reproducible from its seed.
+package taskgen

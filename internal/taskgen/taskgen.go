@@ -1,0 +1,129 @@
+package taskgen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// Config describes one random task set.
+type Config struct {
+	// N is the number of tasks (> 0).
+	N int
+	// Utilization is the target total utilization in (0, 1].
+	Utilization float64
+	// PeriodMin and PeriodMax bound the integer periods (inclusive).
+	PeriodMin, PeriodMax int64
+	// LogUniformPeriods draws periods log-uniformly instead of uniformly,
+	// spreading them evenly across magnitudes; used by the Tmax/Tmin ratio
+	// experiment (Figure 9).
+	LogUniformPeriods bool
+	// GapMean is the average relative gap (T-D)/T between period and
+	// deadline, in [0, 0.5]. Each task draws its gap uniformly from
+	// [0, 2*GapMean], so the mean matches the paper's "average gap".
+	GapMean float64
+}
+
+// Validate reports the first configuration problem.
+func (c Config) Validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("taskgen: N=%d must be positive", c.N)
+	case !(c.Utilization > 0 && c.Utilization <= 1):
+		return fmt.Errorf("taskgen: utilization %v must be in (0,1]", c.Utilization)
+	case c.PeriodMin <= 0 || c.PeriodMax < c.PeriodMin:
+		return fmt.Errorf("taskgen: invalid period range [%d,%d]", c.PeriodMin, c.PeriodMax)
+	case c.GapMean < 0 || c.GapMean > 0.5:
+		return fmt.Errorf("taskgen: gap mean %v must be in [0,0.5]", c.GapMean)
+	}
+	return nil
+}
+
+// ErrUnsatisfiable is returned when rounding to integer parameters cannot
+// reach the requested utilization (for example many tasks with tiny
+// periods).
+var ErrUnsatisfiable = errors.New("taskgen: cannot reach requested utilization with integer parameters")
+
+// UUniFast distributes total utilization u over n tasks with the unbiased
+// algorithm of Bini & Buttazzo. The returned slice sums to u.
+func UUniFast(n int, u float64, rng *rand.Rand) []float64 {
+	utils := make([]float64, n)
+	sum := u
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-1-i))
+		utils[i] = sum - next
+		sum = next
+	}
+	utils[n-1] = sum
+	return utils
+}
+
+// New generates one task set. The achieved utilization can deviate slightly
+// from the target because execution times are rounded to integers; the
+// deviation shrinks with the period magnitude (use PeriodMin >= 1000 for
+// per-mille accuracy).
+func New(cfg Config, rng *rand.Rand) (model.TaskSet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	utils := UUniFast(cfg.N, cfg.Utilization, rng)
+	ts := make(model.TaskSet, 0, cfg.N)
+	for _, u := range utils {
+		T := drawPeriod(cfg, rng)
+		C := int64(math.Round(u * float64(T)))
+		if C < 1 {
+			C = 1
+		}
+		if C > T {
+			C = T
+		}
+		gap := 0.0
+		if cfg.GapMean > 0 {
+			gap = rng.Float64() * 2 * cfg.GapMean
+		}
+		D := int64(math.Round((1 - gap) * float64(T)))
+		if D < C {
+			D = C
+		}
+		if D > T {
+			D = T
+		}
+		ts = append(ts, model.Task{WCET: C, Deadline: D, Period: T})
+	}
+	return ts, nil
+}
+
+// drawPeriod picks a period in [PeriodMin, PeriodMax].
+func drawPeriod(cfg Config, rng *rand.Rand) int64 {
+	if cfg.PeriodMin == cfg.PeriodMax {
+		return cfg.PeriodMin
+	}
+	if cfg.LogUniformPeriods {
+		lo, hi := math.Log(float64(cfg.PeriodMin)), math.Log(float64(cfg.PeriodMax))
+		T := int64(math.Round(math.Exp(lo + rng.Float64()*(hi-lo))))
+		return min(max(T, cfg.PeriodMin), cfg.PeriodMax)
+	}
+	return cfg.PeriodMin + rng.Int63n(cfg.PeriodMax-cfg.PeriodMin+1)
+}
+
+// NewInUtilizationBand generates task sets until one lands with achieved
+// utilization inside [lo, hi]; it gives up after attempts tries. The
+// paper's experiments select sets by utilization band (e.g. 90-99%), and
+// integer rounding makes hitting a point target unreliable, so banding is
+// the faithful reproduction.
+func NewInUtilizationBand(cfg Config, lo, hi float64, attempts int, rng *rand.Rand) (model.TaskSet, error) {
+	for range attempts {
+		cfg.Utilization = lo + rng.Float64()*(hi-lo)
+		ts, err := New(cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		if u := ts.UtilizationFloat(); u >= lo && u <= hi {
+			return ts, nil
+		}
+	}
+	return nil, ErrUnsatisfiable
+}

@@ -1,0 +1,161 @@
+package taskgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{N: 5, Utilization: 0.9, PeriodMin: 10, PeriodMax: 100, GapMean: 0.2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bads := []Config{
+		{N: 0, Utilization: 0.9, PeriodMin: 10, PeriodMax: 100},
+		{N: 5, Utilization: 0, PeriodMin: 10, PeriodMax: 100},
+		{N: 5, Utilization: 1.2, PeriodMin: 10, PeriodMax: 100},
+		{N: 5, Utilization: 0.9, PeriodMin: 0, PeriodMax: 100},
+		{N: 5, Utilization: 0.9, PeriodMin: 100, PeriodMax: 10},
+		{N: 5, Utilization: 0.9, PeriodMin: 10, PeriodMax: 100, GapMean: 0.7},
+	}
+	for i, c := range bads {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestUUniFastSumsAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for range 500 {
+		n := 1 + rng.Intn(50)
+		u := 0.1 + 0.9*rng.Float64()
+		utils := UUniFast(n, u, rng)
+		if len(utils) != n {
+			t.Fatalf("len %d, want %d", len(utils), n)
+		}
+		sum := 0.0
+		for _, v := range utils {
+			if v < 0 || v > u+1e-12 {
+				t.Fatalf("utilization %v out of range (total %v)", v, u)
+			}
+			sum += v
+		}
+		if math.Abs(sum-u) > 1e-9 {
+			t.Fatalf("sum %v, want %v", sum, u)
+		}
+	}
+}
+
+// TestUUniFastUnbiased spot-checks the defining property of UUniFast: each
+// task's expected utilization share is u/n.
+func TestUUniFastUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	const n, rounds = 4, 20000
+	var mean [n]float64
+	for range rounds {
+		for i, v := range UUniFast(n, 0.8, rng) {
+			mean[i] += v / rounds
+		}
+	}
+	for i, m := range mean {
+		if math.Abs(m-0.2) > 0.01 {
+			t.Errorf("slot %d mean %v, want 0.2 +- 0.01", i, m)
+		}
+	}
+}
+
+func TestNewRespectsStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	cfg := Config{
+		N: 20, Utilization: 0.9,
+		PeriodMin: 1000, PeriodMax: 100000,
+		GapMean: 0.25,
+	}
+	var gapSum float64
+	var gapCount int
+	for range 300 {
+		ts, err := New(cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("generated invalid set: %v", err)
+		}
+		if len(ts) != cfg.N {
+			t.Fatalf("n = %d", len(ts))
+		}
+		for _, task := range ts {
+			if task.Period < cfg.PeriodMin || task.Period > cfg.PeriodMax {
+				t.Fatalf("period %d out of range", task.Period)
+			}
+			if task.Deadline > task.Period {
+				t.Fatalf("deadline %d beyond period %d", task.Deadline, task.Period)
+			}
+			gapSum += task.Gap()
+			gapCount++
+		}
+		if u := ts.UtilizationFloat(); math.Abs(u-0.9) > 0.02 {
+			t.Fatalf("achieved U %v too far from target", u)
+		}
+	}
+	if mean := gapSum / float64(gapCount); math.Abs(mean-0.25) > 0.02 {
+		t.Errorf("mean gap %v, want ~0.25", mean)
+	}
+}
+
+func TestLogUniformPeriodsSpreadMagnitudes(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	cfg := Config{
+		N: 1, Utilization: 0.5,
+		PeriodMin: 1000, PeriodMax: 1000000,
+		LogUniformPeriods: true,
+	}
+	buckets := map[int]int{} // order of magnitude -> count
+	for range 3000 {
+		ts, err := New(cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buckets[int(math.Log10(float64(ts[0].Period)))]++
+	}
+	// Log-uniform means magnitudes 3, 4 and 5 each get a solid share;
+	// uniform sampling would put ~99% into magnitude 5.
+	for _, mag := range []int{3, 4, 5} {
+		if buckets[mag] < 300 {
+			t.Errorf("magnitude %d underrepresented: %v", mag, buckets)
+		}
+	}
+}
+
+func TestNewInUtilizationBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	cfg := Config{N: 10, Utilization: 0.95, PeriodMin: 1000, PeriodMax: 50000, GapMean: 0.2}
+	for range 100 {
+		ts, err := NewInUtilizationBand(cfg, 0.93, 0.97, 50, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u := ts.UtilizationFloat(); u < 0.93 || u > 0.97 {
+			t.Fatalf("U %v outside band", u)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cfg := Config{N: 8, Utilization: 0.8, PeriodMin: 100, PeriodMax: 10000, GapMean: 0.3}
+	a, err := New(cfg, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different sets")
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package edf
+
+import "repro/internal/core"
+
+// Overheads configures the practical extensions of Section 3.5 (adopted
+// from Devi into the superposition framework): context-switch cost,
+// priority-ceiling/SRP blocking from per-task critical sections
+// (Task.CriticalSection) and self-suspension (Task.SelfSuspension).
+type Overheads = core.Overheads
+
+// InflateOverheads returns a copy of the set with context-switch and
+// self-suspension charges folded into the WCETs.
+func InflateOverheads(ts TaskSet, ov Overheads) TaskSet { return core.InflateOverheads(ts, ov) }
+
+// SRPBlocking returns the stack-resource-policy blocking function
+// B(I) = max{CS_j : D_j > I} of the set (nil when no task declares a
+// critical section).
+func SRPBlocking(ts TaskSet) func(int64) int64 { return core.SRPBlocking(ts) }
+
+// AllApproxWithOverheads runs the all-approximated test with overheads and
+// SRP blocking folded in; exact for the blocking-extended criterion
+// dbf(I) <= I - B(I).
+func AllApproxWithOverheads(ts TaskSet, ov Overheads, opt Options) Result {
+	return core.AllApproxWithOverheads(ts, ov, opt)
+}
+
+// DynamicErrorWithOverheads runs the dynamic error test with overheads and
+// SRP blocking folded in.
+func DynamicErrorWithOverheads(ts TaskSet, ov Overheads, opt Options) Result {
+	return core.DynamicErrorWithOverheads(ts, ov, opt)
+}
+
+// ProcessorDemandWithOverheads runs the processor demand test against the
+// blocking-extended criterion with a correspondingly widened bound.
+func ProcessorDemandWithOverheads(ts TaskSet, ov Overheads, opt Options) Result {
+	return core.ProcessorDemandWithOverheads(ts, ov, opt)
+}
+
+// DeviWithOverheads evaluates Devi's sufficient test with blocking and
+// overhead charges (the extension Devi describes and the paper folds into
+// the superposition approach).
+func DeviWithOverheads(ts TaskSet, ov Overheads) Result {
+	return core.DeviWithOverheads(ts, ov)
+}

@@ -1,0 +1,21 @@
+package edf
+
+import "repro/internal/response"
+
+// ResponseOptions tune the worst-case response time analysis.
+type ResponseOptions = response.Options
+
+// WCRT returns the worst-case response time of task i under preemptive EDF
+// (Spuri's deadline busy period analysis). ok is false when the analysis
+// does not apply (U > 1) or a resource cap was hit.
+func WCRT(ts TaskSet, i int, opt ResponseOptions) (int64, bool) { return response.WCRT(ts, i, opt) }
+
+// WCRTAll returns the worst-case response time of every task.
+func WCRTAll(ts TaskSet, opt ResponseOptions) ([]int64, bool) { return response.All(ts, opt) }
+
+// FeasibleByResponse decides feasibility through response times: feasible
+// iff every task's WCRT is within its deadline. It is an independent exact
+// oracle cross-checked against the feasibility tests.
+func FeasibleByResponse(ts TaskSet, opt ResponseOptions) (feasible, ok bool) {
+	return response.Feasible(ts, opt)
+}

@@ -1,0 +1,26 @@
+package edf
+
+import "repro/internal/rtc"
+
+// RTCLine is one straight segment of a real-time-calculus style curve.
+type RTCLine = rtc.Line
+
+// RTCCurve is a concave piecewise-linear demand upper bound (minimum of
+// lines), the approximation shape Section 3.6 of the paper compares the
+// superposition approach against.
+type RTCCurve = rtc.Curve
+
+// RTCTaskCurve returns the two-segment demand approximation of a sporadic
+// task (Figure 4a of the paper).
+func RTCTaskCurve(t Task) RTCCurve { return rtc.TaskCurve(t) }
+
+// RTCEventTaskCurve returns the up-to-three-segment approximation of a
+// bursty event-driven task (Figure 4b).
+func RTCEventTaskCurve(t EventTask) RTCCurve { return rtc.EventTaskCurve(t) }
+
+// RTCFeasible applies the real-time-calculus style sufficient test to a
+// sporadic task set. Per Section 3.6 it is never better than Devi's test.
+func RTCFeasible(ts TaskSet) Verdict { return rtc.Feasible(ts) }
+
+// RTCFeasibleEvents applies the curve test to event-driven tasks.
+func RTCFeasibleEvents(tasks []EventTask) Verdict { return rtc.FeasibleEvents(tasks) }

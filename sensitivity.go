@@ -1,0 +1,36 @@
+package edf
+
+import "repro/internal/sensitivity"
+
+// FeasibilityOracle decides feasibility for the sensitivity searches;
+// nil selects the all-approximated test.
+type FeasibilityOracle = sensitivity.Oracle
+
+// MaxWCET returns the largest WCET of task i keeping the set feasible.
+func MaxWCET(ts TaskSet, i int, oracle FeasibilityOracle) (int64, error) {
+	return sensitivity.MaxWCET(ts, i, oracle)
+}
+
+// MinDeadline returns the smallest relative deadline of task i keeping the
+// set feasible.
+func MinDeadline(ts TaskSet, i int, oracle FeasibilityOracle) (int64, error) {
+	return sensitivity.MinDeadline(ts, i, oracle)
+}
+
+// MinPeriod returns the smallest period of task i keeping the set
+// feasible.
+func MinPeriod(ts TaskSet, i int, oracle FeasibilityOracle) (int64, error) {
+	return sensitivity.MinPeriod(ts, i, oracle)
+}
+
+// CriticalScaling returns the largest WCET scaling factor num/denom that
+// keeps the set feasible (the critical scaling factor).
+func CriticalScaling(ts TaskSet, denom int64, oracle FeasibilityOracle) (int64, error) {
+	return sensitivity.CriticalScaling(ts, denom, oracle)
+}
+
+// WCETSlack returns, per task, how much its WCET could grow alone without
+// breaking feasibility.
+func WCETSlack(ts TaskSet, oracle FeasibilityOracle) ([]int64, error) {
+	return sensitivity.Slack(ts, oracle)
+}

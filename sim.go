@@ -1,0 +1,37 @@
+package edf
+
+import (
+	"io"
+
+	"repro/internal/sim"
+)
+
+// SimOptions configure a schedule simulation.
+type SimOptions = sim.Options
+
+// SimReport is the outcome of a schedule simulation.
+type SimReport = sim.Report
+
+// SimSegment is one executed span of the simulated schedule.
+type SimSegment = sim.Segment
+
+// Simulate replays the task set under preemptive EDF on integer time until
+// the horizon or the first deadline miss. Phases are honored; use
+// ts.Synchronous() for the arrival pattern the feasibility tests analyze.
+func Simulate(ts TaskSet, opt SimOptions) (SimReport, error) { return sim.Run(ts, opt) }
+
+// SimHorizon returns a sound simulation horizon for verifying a feasibility
+// verdict by replay: the smallest cheap feasibility bound (or, for fully
+// utilized sets, hyperperiod + max deadline).
+func SimHorizon(ts TaskSet) (int64, bool) {
+	b, _, ok := BestBound(ts)
+	return b, ok
+}
+
+// GanttOptions configure RenderGantt.
+type GanttOptions = sim.GanttOptions
+
+// RenderGantt writes an ASCII Gantt chart of a recorded schedule trace.
+func RenderGantt(w io.Writer, ts TaskSet, trace []SimSegment, opt GanttOptions) error {
+	return sim.RenderGantt(w, ts, trace, opt)
+}
