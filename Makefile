@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test bench fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test: vet
+	$(GO) test ./...
+	$(GO) test -race ./internal/engine/
+
+bench:
+	$(GO) test -bench . -benchmem -run xxx . | tee bench.out
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f bench.out
+	$(GO) clean ./...

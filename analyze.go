@@ -1,0 +1,74 @@
+package edf
+
+import (
+	"context"
+
+	"repro/internal/engine"
+)
+
+// Analyzer is a named feasibility test from the analysis engine registry.
+type Analyzer = engine.Analyzer
+
+// EventAnalyzer is an analyzer that also runs on event-driven task sets.
+type EventAnalyzer = engine.EventAnalyzer
+
+// AnalyzerInfo describes a registered analyzer.
+type AnalyzerInfo = engine.Info
+
+// AnalyzerKind classifies analyzers as exact or sufficient.
+type AnalyzerKind = engine.Kind
+
+// Analyzer kinds.
+const (
+	AnalyzerExact      = engine.Exact
+	AnalyzerSufficient = engine.Sufficient
+)
+
+// BatchJob is one (task set, analyzer) unit of batch work.
+type BatchJob = engine.Job
+
+// BatchResult is the outcome of one batch job with per-job telemetry.
+type BatchResult = engine.JobResult
+
+// Analyzers returns every registered analyzer, cheapest first.
+func Analyzers() []Analyzer { return engine.All() }
+
+// AnalyzerByName looks an analyzer up by name or label; it also resolves
+// parameterized superposition names like "superpos(5)".
+func AnalyzerByName(name string) (Analyzer, bool) { return engine.Get(name) }
+
+// ParseAnalyzers resolves a comma-separated analyzer spec ("devi,qpa",
+// "all", "exact", "superpos(7)", ...) against the registry.
+func ParseAnalyzers(spec string) ([]Analyzer, error) { return engine.Parse(spec) }
+
+// RegisterAnalyzer adds a custom analyzer to the registry, making it
+// available to ParseAnalyzers, the CLI tools and the experiments.
+func RegisterAnalyzer(a Analyzer) error { return engine.Register(a) }
+
+// Analyze is the recommended entry point: the paper's cheap-first
+// escalation. Sufficient tests run first (Liu-Layland, Devi, SuperPos) and
+// the exact all-approximated test decides only when none of them settles
+// the verdict, so the common case costs as little as the cheapest test
+// while the answer stays exact.
+func Analyze(ts TaskSet, opt Options) Result {
+	return engine.MustGet("cascade").Analyze(ts, opt)
+}
+
+// AnalyzeBatch fans the (set x analyzer) cross product out over a bounded
+// worker pool (workers <= 0 selects runtime.NumCPU()) and returns one
+// result per job in deterministic set-major order, independent of the
+// worker count. Cancel the context to stop early; skipped jobs carry the
+// context error.
+func AnalyzeBatch(ctx context.Context, sets []TaskSet, analyzers []Analyzer, opt Options, workers int) []BatchResult {
+	return engine.Run(ctx, engine.Batch(sets, analyzers, opt), engine.RunOptions{Workers: workers})
+}
+
+// AnalyzeEvents runs an analyzer on an event-driven task set. ok is false
+// when the analyzer has no event-stream support.
+func AnalyzeEvents(a Analyzer, tasks []EventTask, opt Options) (Result, bool) {
+	ea, isEvent := a.(EventAnalyzer)
+	if !isEvent {
+		return Result{Verdict: Undecided}, false
+	}
+	return ea.AnalyzeEvents(tasks, opt), true
+}

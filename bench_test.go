@@ -10,7 +10,10 @@
 package edf_test
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	edf "repro"
@@ -34,10 +37,9 @@ func BenchmarkTable1(b *testing.B) {
 				if row.Name != ex.Name {
 					continue
 				}
-				b.ReportMetric(float64(row.Devi), "devi-intervals")
-				b.ReportMetric(float64(row.Dynamic), "dyn-intervals")
-				b.ReportMetric(float64(row.AllApprox), "all-intervals")
-				b.ReportMetric(float64(row.PD), "pd-intervals")
+				for _, cell := range row.Cells {
+					b.ReportMetric(float64(cell.Iterations), cell.Analyzer+"-intervals")
+				}
 			}
 		})
 	}
@@ -84,9 +86,9 @@ func BenchmarkFig8(b *testing.B) {
 		if row.UtilPercent != 99 || row.Sets == 0 {
 			continue
 		}
-		b.ReportMetric(row.AvgPD, "pd-avg@99")
-		b.ReportMetric(row.AvgDynamic, "dyn-avg@99")
-		b.ReportMetric(row.AvgAllAppr, "all-avg@99")
+		for _, e := range row.Efforts {
+			b.ReportMetric(e.Avg, e.Analyzer+"-avg@99")
+		}
 	}
 }
 
@@ -107,10 +109,12 @@ func BenchmarkFig9(b *testing.B) {
 		res = experiments.Fig9(cfg)
 	}
 	lo, hi := res.Rows[0], res.Rows[len(res.Rows)-1]
-	b.ReportMetric(lo.AvgPD, "pd-avg@100")
-	b.ReportMetric(hi.AvgPD, "pd-avg@10000")
-	b.ReportMetric(lo.AvgAllAppr, "all-avg@100")
-	b.ReportMetric(hi.AvgAllAppr, "all-avg@10000")
+	for _, e := range lo.Efforts {
+		b.ReportMetric(e.Avg, e.Analyzer+"-avg@100")
+	}
+	for _, e := range hi.Efforts {
+		b.ReportMetric(e.Avg, e.Analyzer+"-avg@10000")
+	}
 }
 
 // --- Single-set algorithm benchmarks -------------------------------------
@@ -131,30 +135,62 @@ func benchSet(b *testing.B, n int, u float64, ratio int64) edf.TaskSet {
 	return ts
 }
 
-// BenchmarkAlgorithms compares the wall-clock cost of every test on one
-// high-utilization set with a large period ratio (the regime where the
-// paper's tests shine).
+// BenchmarkAlgorithms compares the wall-clock cost of every registered
+// analyzer on one high-utilization set with a large period ratio (the
+// regime where the paper's tests shine). New analyzers benchmark
+// themselves by registering with the engine.
 func BenchmarkAlgorithms(b *testing.B) {
 	ts := benchSet(b, 50, 0.97, 10000)
 	opt := edf.Options{Arithmetic: edf.ArithFloat64}
-	cases := []struct {
-		name string
-		fn   func() edf.Result
-	}{
-		{"Devi", func() edf.Result { return edf.Devi(ts) }},
-		{"SuperPos3", func() edf.Result { return edf.SuperPos(ts, 3, opt) }},
-		{"DynamicError", func() edf.Result { return edf.DynamicError(ts, opt) }},
-		{"AllApprox", func() edf.Result { return edf.AllApprox(ts, opt) }},
-		{"QPA", func() edf.Result { return edf.QPA(ts, opt) }},
-		{"ProcessorDemand", func() edf.Result { return edf.ProcessorDemand(ts, opt) }},
-	}
-	for _, tc := range cases {
-		b.Run(tc.name, func(b *testing.B) {
+	for _, a := range edf.Analyzers() {
+		b.Run(a.Info().Label, func(b *testing.B) {
 			var r edf.Result
 			for b.Loop() {
-				r = tc.fn()
+				r = a.Analyze(ts, opt)
 			}
 			b.ReportMetric(float64(r.Iterations), "intervals")
+		})
+	}
+}
+
+// BenchmarkAnalyzeBatch measures the batch engine on a production-shaped
+// workload — many task sets through the recommended cascade — sequential
+// versus one worker per CPU. The parallel run must scale with the worker
+// pool; this is the acceptance benchmark of the engine layer.
+func BenchmarkAnalyzeBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	sets := make([]edf.TaskSet, 120)
+	for i := range sets {
+		u := 0.85 + 0.14*float64(i)/float64(len(sets))
+		ts, err := edf.Generate(edf.GenConfig{
+			N: 30 + i%40, Utilization: u,
+			PeriodMin: 1000, PeriodMax: 100000,
+			GapMean: 0.25,
+		}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sets[i] = ts
+	}
+	analyzers, err := edf.ParseAnalyzers("cascade")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := edf.Options{Arithmetic: edf.ArithFloat64}
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for b.Loop() {
+				res := edf.AnalyzeBatch(context.Background(), sets, analyzers, opt, workers)
+				for _, r := range res {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
 		})
 	}
 }

@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	edfexp -exp fig1|fig8|fig9|table1|rtc|all [-sets N] [-seed 1] [-csv]
-//	       [-paper] [-quiet]
+//	edfexp -exp fig1|fig8|fig9|table1|rtc|burst|all [-sets N] [-seed 1] [-csv]
+//	       [-paper] [-quiet] [-analyzers name,name,...]
 //
 // -paper selects the paper's original sample sizes (18,000 sets for
 // Figure 8, 4,000 per ratio for Figure 9); the default sizes preserve the
-// shape of every result and finish in seconds to minutes.
+// shape of every result and finish in seconds to minutes. -analyzers
+// overrides the analyzer columns of fig8, fig9, table1 and burst with any
+// set of names registered in the analysis engine (see edffeas -list).
 package main
 
 import (
@@ -17,19 +19,35 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig1|fig8|fig9|table1|all")
-		sets  = flag.Int("sets", 0, "override the number of task sets (per point where applicable)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		csv   = flag.Bool("csv", false, "emit CSV instead of an ASCII table")
-		paper = flag.Bool("paper", false, "use the paper's original sample sizes")
-		quiet = flag.Bool("quiet", false, "suppress progress output")
+		exp       = flag.String("exp", "all", "experiment: fig1|fig8|fig9|table1|rtc|burst|all")
+		sets      = flag.Int("sets", 0, "override the number of task sets (per point where applicable)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of an ASCII table")
+		paper     = flag.Bool("paper", false, "use the paper's original sample sizes")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		analyzers = flag.String("analyzers", "", "comma-separated engine analyzer names overriding the default columns (fig8, fig9, table1, burst)")
 	)
 	flag.Parse()
+
+	// Resolve -analyzers through the registry so group keywords expand
+	// and duplicates collapse; the experiments receive canonical names.
+	var columns []string
+	if *analyzers != "" {
+		parsed, err := engine.Parse(*analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edfexp:", err)
+			os.Exit(2)
+		}
+		for _, a := range parsed {
+			columns = append(columns, a.Info().Name)
+		}
+	}
 
 	var prog io.Writer = os.Stderr
 	if *quiet {
@@ -50,7 +68,7 @@ func main() {
 			}
 			return res.RenderText(os.Stdout)
 		case "fig8":
-			cfg := experiments.Fig8Config{Seed: *seed, Progress: prog, Sets: *sets}
+			cfg := experiments.Fig8Config{Seed: *seed, Progress: prog, Sets: *sets, Analyzers: columns}
 			if *paper && *sets == 0 {
 				cfg.Sets = 18000
 			}
@@ -61,7 +79,7 @@ func main() {
 			}
 			return res.RenderText(os.Stdout)
 		case "fig9":
-			cfg := experiments.Fig9Config{Seed: *seed, Progress: prog, SetsPerRatio: *sets}
+			cfg := experiments.Fig9Config{Seed: *seed, Progress: prog, SetsPerRatio: *sets, Analyzers: columns}
 			if *paper && *sets == 0 {
 				cfg.SetsPerRatio = 4000
 			}
@@ -72,7 +90,15 @@ func main() {
 			}
 			return res.RenderText(os.Stdout)
 		case "table1":
-			res := experiments.Table1()
+			if err := experiments.CheckAnalyzers(columns, false, true); err != nil {
+				return err
+			}
+			var res experiments.Table1Result
+			if len(columns) > 0 {
+				res = experiments.Table1With(columns)
+			} else {
+				res = experiments.Table1()
+			}
 			fmt.Println("# Table 1: iterations for example task graphs")
 			if *csv {
 				return res.RenderCSV(os.Stdout)
@@ -87,7 +113,10 @@ func main() {
 			}
 			return res.RenderText(os.Stdout)
 		case "burst":
-			cfg := experiments.BurstConfig{Seed: *seed, Progress: prog, SetsPerPoint: *sets}
+			if err := experiments.CheckAnalyzers(columns, true, true); err != nil {
+				return err
+			}
+			cfg := experiments.BurstConfig{Seed: *seed, Progress: prog, SetsPerPoint: *sets, Analyzers: columns}
 			res := experiments.Burst(cfg)
 			fmt.Println("# Event stream extension: effort on bursty workloads by burst width")
 			if *csv {

@@ -2,24 +2,30 @@
 //
 // Usage:
 //
-//	edffeas -set tasks.json [-test all|devi|liu|superpos|pd|qpa|dynamic|allapprox]
+//	edffeas -set tasks.json [-test all|exact|sufficient|<name>,<name>,...]
 //	        [-level N] [-float] [-example name] [-wcrt] [-slack]
-//	        [-curve I] [-events stream.json]
+//	        [-curve I] [-events stream.json] [-list]
 //
 // The task set file is JSON: {"tasks":[{"wcet":2,"deadline":8,"period":10}, ...]}
 // or a bare array of tasks. Alternatively -example selects one of the
 // literature sets (burns, mashin, gap, gresser1, gresser2).
 //
-// -wcrt adds Spuri worst-case response times, -slack per-task WCET margins.
-// -curve I dumps the exact dbf and the Devi/SuperPos(1) approximation up to
-// interval I as CSV (the content of Figures 2-3 of the paper). -events
-// analyzes a Gresser event-stream task set instead of a sporadic one.
+// -test accepts any analyzer registered in the analysis engine (see -list),
+// a comma-separated list of them, a parameterized "superpos(L)", or the
+// group keywords all, exact and sufficient. -wcrt adds Spuri worst-case
+// response times, -slack per-task WCET margins. -curve I dumps the exact
+// dbf and the Devi/SuperPos(1) approximation up to interval I as CSV (the
+// content of Figures 2-3 of the paper). -events analyzes a Gresser
+// event-stream task set instead of a sporadic one, with every analyzer of
+// the selection that supports the event model.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	edf "repro"
@@ -29,15 +35,27 @@ func main() {
 	var (
 		setPath = flag.String("set", "", "path to a task set JSON file")
 		example = flag.String("example", "", "literature set name (burns, mashin, gap, gresser1, gresser2)")
-		test    = flag.String("test", "all", "test to run: all|liu|devi|superpos|pd|qpa|dynamic|allapprox")
-		level   = flag.Int64("level", 3, "superposition level for -test superpos")
+		test    = flag.String("test", "all", "analyzers to run: registered names, comma-separated, or all|exact|sufficient")
+		level   = flag.Int64("level", 3, "superposition level applied to a bare \"superpos\" in -test")
 		useF64  = flag.Bool("float", false, "use float64 accumulators instead of exact rationals")
 		wcrt    = flag.Bool("wcrt", false, "also report per-task worst-case response times (Spuri)")
 		slack   = flag.Bool("slack", false, "also report per-task WCET slack (sensitivity analysis)")
 		curve   = flag.Int64("curve", 0, "dump dbf and the SuperPos(1)/Devi approximation up to this interval as CSV (Figures 2-3 of the paper) and exit")
 		events  = flag.String("events", "", "path to an event-stream task set JSON file (Gresser model)")
+		list    = flag.Bool("list", false, "list the registered analyzers and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		listAnalyzers()
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*test, *level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edffeas:", err)
+		os.Exit(2)
+	}
 
 	opt := edf.Options{}
 	if *useF64 {
@@ -45,7 +63,7 @@ func main() {
 	}
 
 	if *events != "" {
-		if err := analyzeEvents(*events, *level, opt); err != nil {
+		if err := analyzeEvents(*events, analyzers, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "edffeas:", err)
 			os.Exit(2)
 		}
@@ -75,100 +93,100 @@ func main() {
 		fmt.Printf("feasibility bound: %d (%s)\n", b, kind)
 	}
 
-	type row struct {
-		name string
-		res  edf.Result
-	}
-	var rows []row
-	add := func(n string, r edf.Result) { rows = append(rows, row{n, r}) }
-	switch *test {
-	case "all":
-		add("liu-layland", edf.LiuLayland(ts))
-		add("devi", edf.Devi(ts))
-		add(fmt.Sprintf("superpos(%d)", *level), edf.SuperPos(ts, *level, opt))
-		add("dynamic", edf.DynamicError(ts, opt))
-		add("allapprox", edf.AllApprox(ts, opt))
-		add("qpa", edf.QPA(ts, opt))
-		add("processor-demand", edf.ProcessorDemand(ts, opt))
-	case "liu":
-		add("liu-layland", edf.LiuLayland(ts))
-	case "devi":
-		add("devi", edf.Devi(ts))
-	case "superpos":
-		add(fmt.Sprintf("superpos(%d)", *level), edf.SuperPos(ts, *level, opt))
-	case "pd":
-		add("processor-demand", edf.ProcessorDemand(ts, opt))
-	case "qpa":
-		add("qpa", edf.QPA(ts, opt))
-	case "dynamic":
-		add("dynamic", edf.DynamicError(ts, opt))
-	case "allapprox":
-		add("allapprox", edf.AllApprox(ts, opt))
-	default:
-		fmt.Fprintf(os.Stderr, "edffeas: unknown test %q\n", *test)
-		os.Exit(2)
-	}
+	results := edf.AnalyzeBatch(context.Background(),
+		[]edf.TaskSet{ts}, analyzers, opt, 0)
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "test\tverdict\tintervals\trevisions\tfail@")
-	for _, r := range rows {
+	fmt.Fprintln(tw, "test\tkind\tverdict\tintervals\trevisions\tfail@\twall")
+	for _, r := range results {
 		failAt := "-"
-		if r.res.FailureInterval > 0 {
-			failAt = fmt.Sprint(r.res.FailureInterval)
+		if r.Result.FailureInterval > 0 {
+			failAt = fmt.Sprint(r.Result.FailureInterval)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\n",
-			r.name, r.res.Verdict, r.res.Iterations, r.res.Revisions, failAt)
+		info := r.Analyzer.Info()
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%s\t%s\n",
+			info.Label, info.Kind, r.Result.Verdict,
+			r.Result.Iterations, r.Result.Revisions, failAt, r.Wall)
 	}
 	tw.Flush()
 
 	if *wcrt || *slack {
-		var wcrts, slacks []int64
-		if *wcrt {
-			if r, ok := edf.WCRTAll(ts, edf.ResponseOptions{}); ok {
-				wcrts = r
-			} else {
-				fmt.Println("worst-case response times: not available (U > 1 or cap hit)")
-			}
-		}
-		if *slack {
-			if s, err := edf.WCETSlack(ts, nil); err == nil {
-				slacks = s
-			} else {
-				fmt.Println("WCET slack: not available:", err)
-			}
-		}
-		if wcrts != nil || slacks != nil {
-			fmt.Println()
-			tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-			fmt.Fprint(tw, "task\tC\tD\tT")
-			if wcrts != nil {
-				fmt.Fprint(tw, "\tWCRT")
-			}
-			if slacks != nil {
-				fmt.Fprint(tw, "\tC-slack")
-			}
-			fmt.Fprintln(tw)
-			for i, task := range ts {
-				fmt.Fprintf(tw, "%s\t%d\t%d\t%d", task.Name, task.WCET, task.Deadline, task.Period)
-				if wcrts != nil {
-					fmt.Fprintf(tw, "\t%d", wcrts[i])
-				}
-				if slacks != nil {
-					fmt.Fprintf(tw, "\t%d", slacks[i])
-				}
-				fmt.Fprintln(tw)
-			}
-			tw.Flush()
-		}
+		reportPerTask(ts, *wcrt, *slack)
 	}
 
-	// Exit code mirrors the strongest verdict: 0 feasible, 1 infeasible,
-	// 3 undecided.
-	for _, r := range rows {
-		if r.res.Verdict == edf.Infeasible {
+	// Exit code mirrors the strongest verdict: 0 feasible, 1 infeasible.
+	for _, r := range results {
+		if r.Result.Verdict == edf.Infeasible {
 			os.Exit(1)
 		}
 	}
+}
+
+// selectAnalyzers resolves the -test spec, applying -level to bare
+// "superpos" mentions so the historical flag keeps working.
+func selectAnalyzers(spec string, level int64) ([]edf.Analyzer, error) {
+	fields := strings.Split(spec, ",")
+	for i, f := range fields {
+		if strings.EqualFold(strings.TrimSpace(f), "superpos") {
+			fields[i] = fmt.Sprintf("superpos(%d)", level)
+		}
+	}
+	return edf.ParseAnalyzers(strings.Join(fields, ","))
+}
+
+// listAnalyzers prints the registry.
+func listAnalyzers() {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "name\tlabel\tkind\tblocking\tevents")
+	for _, a := range edf.Analyzers() {
+		info := a.Info()
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\t%v\n",
+			info.Name, info.Label, info.Kind, info.Blocking, info.Events)
+	}
+	tw.Flush()
+}
+
+// reportPerTask prints the optional WCRT / slack table.
+func reportPerTask(ts edf.TaskSet, wantWCRT, wantSlack bool) {
+	var wcrts, slacks []int64
+	if wantWCRT {
+		if r, ok := edf.WCRTAll(ts, edf.ResponseOptions{}); ok {
+			wcrts = r
+		} else {
+			fmt.Println("worst-case response times: not available (U > 1 or cap hit)")
+		}
+	}
+	if wantSlack {
+		if s, err := edf.WCETSlack(ts, nil); err == nil {
+			slacks = s
+		} else {
+			fmt.Println("WCET slack: not available:", err)
+		}
+	}
+	if wcrts == nil && slacks == nil {
+		return
+	}
+	fmt.Println()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "task\tC\tD\tT")
+	if wcrts != nil {
+		fmt.Fprint(tw, "\tWCRT")
+	}
+	if slacks != nil {
+		fmt.Fprint(tw, "\tC-slack")
+	}
+	fmt.Fprintln(tw)
+	for i, task := range ts {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d", task.Name, task.WCET, task.Deadline, task.Period)
+		if wcrts != nil {
+			fmt.Fprintf(tw, "\t%d", wcrts[i])
+		}
+		if slacks != nil {
+			fmt.Fprintf(tw, "\t%d", slacks[i])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
 }
 
 // dumpCurve prints interval, exact dbf and the SuperPos(1) approximation
@@ -213,8 +231,9 @@ func dumpCurve(ts edf.TaskSet, upTo int64) error {
 	return nil
 }
 
-// analyzeEvents runs the iterative tests on an event-stream task set file.
-func analyzeEvents(path string, level int64, opt edf.Options) error {
+// analyzeEvents runs every event-capable analyzer of the selection on an
+// event-stream task set file.
+func analyzeEvents(path string, analyzers []edf.Analyzer, opt edf.Options) error {
 	tasks, name, err := edf.LoadEventTasks(path)
 	if err != nil {
 		return err
@@ -222,17 +241,18 @@ func analyzeEvents(path string, level int64, opt edf.Options) error {
 	fmt.Printf("event task set %q: %d tasks\n", name, len(tasks))
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "test\tverdict\tintervals\trevisions")
-	for _, tc := range []struct {
-		name string
-		res  edf.Result
-	}{
-		{fmt.Sprintf("superpos(%d)", level), edf.EventSuperPos(tasks, level, opt)},
-		{"dynamic", edf.EventDynamicError(tasks, opt)},
-		{"allapprox", edf.EventAllApprox(tasks, opt)},
-		{"processor-demand", edf.EventProcessorDemand(tasks, opt)},
-		{"rtc-curves", edf.Result{Verdict: edf.RTCFeasibleEvents(tasks)}},
-	} {
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\n", tc.name, tc.res.Verdict, tc.res.Iterations, tc.res.Revisions)
+	ran := 0
+	for _, a := range analyzers {
+		res, ok := edf.AnalyzeEvents(a, tasks, opt)
+		if !ok {
+			continue // no event-stream support
+		}
+		ran++
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\n",
+			a.Info().Label, res.Verdict, res.Iterations, res.Revisions)
+	}
+	if ran == 0 {
+		return fmt.Errorf("none of the selected analyzers supports event streams")
 	}
 	return tw.Flush()
 }

@@ -16,8 +16,14 @@
 //		{Name: "ctrl", WCET: 2, Deadline: 8, Period: 10},
 //		{Name: "io", WCET: 3, Deadline: 15, Period: 15},
 //	}
-//	res := edf.AllApprox(ts, edf.Options{})
+//	res := edf.Analyze(ts, edf.Options{})
 //	fmt.Println(res.Verdict, res.Iterations)
+//
+// Analyze runs the paper's cheap-first escalation (sufficient tests, then
+// the exact all-approximated test). Every test is also available directly
+// (AllApprox, QPA, ...) or by name through the analysis engine registry
+// (Analyzers, AnalyzerByName, ParseAnalyzers), and AnalyzeBatch fans many
+// task sets out over a parallel worker pool with deterministic ordering.
 //
 // The iterative tests also run on Gresser event streams (EventTask /
 // EventSources), the generalized activation model the paper names as the

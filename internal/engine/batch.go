@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Job is one (task set, analyzer) unit of batch work.
+type Job struct {
+	// SetIndex identifies the task set within the batch.
+	SetIndex int
+	// SetName is an optional display name for the set.
+	SetName string
+	// Set is the task set to analyze.
+	Set model.TaskSet
+	// Analyzer runs the test.
+	Analyzer Analyzer
+	// Opt tunes the test.
+	Opt core.Options
+}
+
+// JobResult is the outcome of one job, with per-job telemetry.
+type JobResult struct {
+	Job
+	// Result is the test outcome; its Iterations field carries the
+	// paper's effort metric.
+	Result core.Result
+	// Wall is the job's wall-clock duration.
+	Wall time.Duration
+	// Err is non-nil when the batch context was canceled before the job
+	// ran; the Result is then zero-valued with an Undecided verdict.
+	Err error
+}
+
+// RunOptions tune the batch runner.
+type RunOptions struct {
+	// Workers bounds the worker pool; <= 0 selects runtime.NumCPU().
+	Workers int
+}
+
+// Batch builds the (set x analyzer) cross product in set-major order: job
+// i covers set i/len(analyzers) under analyzer i%len(analyzers), and
+// Run's result slice keeps exactly that order.
+func Batch(sets []model.TaskSet, analyzers []Analyzer, opt core.Options) []Job {
+	jobs := make([]Job, 0, len(sets)*len(analyzers))
+	for si, ts := range sets {
+		for _, a := range analyzers {
+			jobs = append(jobs, Job{SetIndex: si, Set: ts, Analyzer: a, Opt: opt})
+		}
+	}
+	return jobs
+}
+
+// Run executes the jobs over a bounded worker pool and returns one result
+// per job, in job order regardless of completion order, so batch output
+// is deterministic for any worker count. Cancel the context to stop: jobs
+// not yet started are returned with Err set to the context's error (a job
+// already running finishes normally — the tests themselves are not
+// preemptible).
+func Run(ctx context.Context, jobs []Job, ro RunOptions) []JobResult {
+	out := make([]JobResult, len(jobs))
+	workers := ro.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	workers = min(workers, max(len(jobs), 1))
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = runJob(ctx, jobs[i])
+			}
+		}()
+	}
+dispatch:
+	for i := range jobs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			for ; i < len(jobs); i++ {
+				out[i] = JobResult{
+					Job:    jobs[i],
+					Result: core.Result{Verdict: core.Undecided},
+					Err:    ctx.Err(),
+				}
+			}
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// runJob executes one job, honoring cancellation between dispatch and
+// start.
+func runJob(ctx context.Context, job Job) JobResult {
+	if err := ctx.Err(); err != nil {
+		return JobResult{Job: job, Result: core.Result{Verdict: core.Undecided}, Err: err}
+	}
+	start := time.Now()
+	res := job.Analyzer.Analyze(job.Set, job.Opt)
+	return JobResult{Job: job, Result: res, Wall: time.Since(start)}
+}
+
+// RunSets is the common whole-batch convenience: it runs every analyzer
+// on every set on all CPUs and returns the results grouped per set, in
+// analyzer order.
+func RunSets(ctx context.Context, sets []model.TaskSet, analyzers []Analyzer, opt core.Options, ro RunOptions) [][]core.Result {
+	results := Run(ctx, Batch(sets, analyzers, opt), ro)
+	grouped := make([][]core.Result, len(sets))
+	for si := range grouped {
+		grouped[si] = make([]core.Result, len(analyzers))
+		for ai := range analyzers {
+			grouped[si][ai] = results[si*len(analyzers)+ai].Result
+		}
+	}
+	return grouped
+}

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/eventstream"
+	"repro/internal/model"
+)
+
+// Cascade implements the paper's escalation strategy: run cheap sufficient
+// tests first and fall through to an exact test only when none of them
+// settles the verdict. On the vast majority of task sets a sufficient test
+// already accepts (Figure 1), so the expected cost matches the cheapest
+// test while the worst case stays exact — the same portfolio insight the
+// whole paper builds on.
+type Cascade struct {
+	sufficient []Analyzer
+	exact      Analyzer
+}
+
+// NewCascade builds a cascade from the given sufficient stages (tried in
+// order) and the final exact stage. Nil arguments select the defaults:
+// liu-layland and devi ahead of superpos(DefaultSuperPosLevel), with the
+// all-approximated test as the exact authority.
+func NewCascade(sufficient []Analyzer, exact Analyzer) *Cascade {
+	if sufficient == nil {
+		sufficient = []Analyzer{
+			NewLiuLayland(),
+			NewDevi(),
+			NewSuperPos(DefaultSuperPosLevel),
+		}
+	}
+	if exact == nil {
+		exact = NewAllApprox()
+	}
+	return &Cascade{sufficient: sufficient, exact: exact}
+}
+
+// Info describes the cascade. It inherits the exact stage's kind,
+// blocking and event support: sufficient stages that cannot handle the
+// requested mode are skipped rather than consulted, so only the exact
+// authority constrains what the cascade accepts.
+func (c *Cascade) Info() Info {
+	stages := make([]string, 0, len(c.sufficient)+1)
+	for _, a := range c.sufficient {
+		stages = append(stages, a.Info().Name)
+	}
+	stages = append(stages, c.exact.Info().Name)
+	return Info{
+		Name:     "cascade",
+		Label:    "cascade(" + strings.Join(stages, "→") + ")",
+		Kind:     c.exact.Info().Kind,
+		Blocking: c.exact.Info().Blocking,
+		Events:   c.exact.Info().Events,
+	}
+}
+
+// Analyze runs the stages cheapest-first and returns as soon as one is
+// definite. Iterations, revisions and the maximum superposition level
+// accumulate across every stage that ran, so the result still reports the
+// paper's effort metric for the whole escalation.
+func (c *Cascade) Analyze(ts model.TaskSet, opt core.Options) core.Result {
+	return c.run(opt, func(a Analyzer) core.Result { return a.Analyze(ts, opt) })
+}
+
+// AnalyzeEvents escalates on event-driven task sets, skipping sufficient
+// stages without event support.
+func (c *Cascade) AnalyzeEvents(tasks []eventstream.Task, opt core.Options) core.Result {
+	return c.run(opt, func(a Analyzer) core.Result {
+		ea, ok := a.(EventAnalyzer)
+		if !ok {
+			return core.Result{Verdict: core.Undecided}
+		}
+		return ea.AnalyzeEvents(tasks, opt)
+	})
+}
+
+// run drives the escalation with a per-stage evaluator.
+func (c *Cascade) run(opt core.Options, eval func(Analyzer) core.Result) core.Result {
+	var spent core.Result
+	accumulate := func(r core.Result) core.Result {
+		r.Iterations += spent.Iterations
+		r.Revisions += spent.Revisions
+		r.MaxLevel = max(r.MaxLevel, spent.MaxLevel)
+		return r
+	}
+	for _, a := range c.sufficient {
+		if opt.Blocking != nil && !a.Info().Blocking {
+			continue // the guard would yield Undecided; skip straight on
+		}
+		r := eval(a)
+		if r.Verdict.Definite() {
+			return accumulate(r)
+		}
+		spent.Iterations += r.Iterations
+		spent.Revisions += r.Revisions
+		spent.MaxLevel = max(spent.MaxLevel, r.MaxLevel)
+	}
+	return accumulate(eval(c.exact))
+}

@@ -1,0 +1,14 @@
+// Package engine is the dispatch layer of the feasibility analyses: a
+// registry of named Analyzer implementations wrapping every test of the
+// reproduction (the classic sufficient tests, the exact processor demand
+// and QPA tests, the paper's dynamic-error and all-approximated tests, and
+// the RTC/response-time cross-checks), a batch runner that fans out
+// (task set x analyzer) jobs over a bounded worker pool with deterministic
+// result ordering and per-job telemetry, and a Cascade analyzer
+// implementing the paper's cheap-first escalation strategy.
+//
+// Every consumer — the CLI tools, the experiment regenerators, the
+// top-level facade and the benchmarks — dispatches through this package
+// instead of naming test functions directly, so new analyses plug into all
+// of them by registering here.
+package engine

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/examplesets"
+	"repro/internal/model"
+	"repro/internal/taskgen"
+)
+
+func TestRegistryLookup(t *testing.T) {
+	for _, name := range []string{
+		"liu", "devi", "superpos", "rtc", "dynamic", "allapprox",
+		"qpa", "response", "pd", "cascade",
+	} {
+		a, ok := Get(name)
+		if !ok {
+			t.Fatalf("builtin %q not registered", name)
+		}
+		if got := a.Info().Name; got != name {
+			t.Errorf("Get(%q).Info().Name = %q", name, got)
+		}
+	}
+	// Label aliases and case-insensitivity.
+	if a, ok := Get("Processor-Demand"); !ok || a.Info().Name != "pd" {
+		t.Errorf("label alias lookup failed: %v", ok)
+	}
+	// Parameterized superposition levels resolve without registration.
+	a, ok := Get("superpos(7)")
+	if !ok {
+		t.Fatal("superpos(7) not resolved")
+	}
+	if a.Info().Name != "superpos(7)" || a.Info().Kind != Sufficient {
+		t.Errorf("superpos(7) info = %+v", a.Info())
+	}
+	if _, ok := Get("superpos(0)"); ok {
+		t.Error("superpos(0) accepted (levels start at 1)")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("unknown analyzer resolved")
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(NewDevi()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(NewDevi()); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	names := func(as []Analyzer) string {
+		out := make([]string, len(as))
+		for i, a := range as {
+			out[i] = a.Info().Name
+		}
+		return strings.Join(out, ",")
+	}
+
+	all, err := Parse("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(All()) {
+		t.Errorf("all: %d analyzers, want %d", len(all), len(All()))
+	}
+
+	got, err := Parse("devi, qpa ,superpos(5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names(got) != "devi,qpa,superpos(5)" {
+		t.Errorf("list spec resolved to %q", names(got))
+	}
+
+	// Group keywords filter by kind; duplicates collapse.
+	exact, err := Parse("exact,allapprox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range exact {
+		if a.Info().Kind != Exact {
+			t.Errorf("exact spec included %s", a.Info().Name)
+		}
+	}
+	if n := names(exact); strings.Count(n, "allapprox") != 1 {
+		t.Errorf("duplicate not collapsed: %q", n)
+	}
+
+	if _, err := Parse("devi,bogus"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := Parse(" , "); err == nil {
+		t.Error("empty spec accepted")
+	}
+}
+
+// randomSets generates n random task sets across the interesting
+// utilization range, including infeasible ones.
+func randomSets(tb testing.TB, n int, seed int64) []model.TaskSet {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([]model.TaskSet, 0, n)
+	for len(sets) < n {
+		u := 0.70 + rng.Float64()*0.299
+		gap := rng.Float64() * 0.45
+		ts, err := taskgen.New(taskgen.Config{
+			N:           3 + rng.Intn(28),
+			Utilization: u,
+			PeriodMin:   100,
+			PeriodMax:   10000,
+			GapMean:     gap / 2,
+		}, rng)
+		if err != nil || ts.OverUtilized() {
+			continue
+		}
+		sets = append(sets, ts)
+	}
+	return sets
+}
+
+// TestCrossAgreement is the engine's property test: on the literature sets
+// and ~200 random sets, every exact analyzer must return the same verdict
+// and no sufficient analyzer may accept an infeasible set.
+func TestCrossAgreement(t *testing.T) {
+	sets := randomSets(t, 200, 42)
+	for _, ex := range examplesets.All() {
+		sets = append(sets, ex.Set)
+	}
+
+	exact := MustParse("exact")
+	sufficient := MustParse("sufficient")
+	reference := MustGet("pd")
+
+	nFeasible, nInfeasible := 0, 0
+	for si, ts := range sets {
+		want := reference.Analyze(ts, core.Options{}).Verdict
+		if !want.Definite() {
+			t.Fatalf("set %d: reference verdict %v", si, want)
+		}
+		if want == core.Feasible {
+			nFeasible++
+		} else {
+			nInfeasible++
+		}
+		for _, a := range exact {
+			got := a.Analyze(ts, core.Options{}).Verdict
+			if got == core.Undecided {
+				continue // a cap or unsupported regime; not a disagreement
+			}
+			if got != want {
+				t.Errorf("set %d (U=%.4f): %s says %v, reference %v",
+					si, ts.UtilizationFloat(), a.Info().Name, got, want)
+			}
+		}
+		for _, a := range sufficient {
+			switch got := a.Analyze(ts, core.Options{}).Verdict; got {
+			case core.Feasible:
+				if want != core.Feasible {
+					t.Errorf("set %d (U=%.4f): sufficient %s accepted an infeasible set",
+						si, ts.UtilizationFloat(), a.Info().Name)
+				}
+			case core.Infeasible:
+				// Sufficient tests may only claim infeasibility on an
+				// exact witness.
+				if want != core.Infeasible {
+					t.Errorf("set %d: sufficient %s rejected a feasible set as infeasible",
+						si, a.Info().Name)
+				}
+			}
+		}
+	}
+	// The sample must exercise both verdicts or the property is vacuous.
+	if nFeasible == 0 || nInfeasible == 0 {
+		t.Fatalf("degenerate sample: %d feasible, %d infeasible", nFeasible, nInfeasible)
+	}
+}
+
+func TestCascadeMatchesExactAndStaysCheap(t *testing.T) {
+	cascade := MustGet("cascade")
+	exact := MustGet("allapprox")
+	liu := MustGet("liu")
+	devi := MustGet("devi")
+	for si, ts := range randomSets(t, 60, 7) {
+		want := exact.Analyze(ts, core.Options{})
+		got := cascade.Analyze(ts, core.Options{})
+		if got.Verdict != want.Verdict {
+			t.Errorf("set %d: cascade %v, exact %v", si, got.Verdict, want.Verdict)
+		}
+		// When Devi already accepts, the cascade must have stopped at the
+		// second stage: its total effort is bounded by liu + devi.
+		if devi.Analyze(ts, core.Options{}).Verdict == core.Feasible {
+			bound := liu.Analyze(ts, core.Options{}).Iterations +
+				devi.Analyze(ts, core.Options{}).Iterations
+			if got.Iterations > bound {
+				t.Errorf("set %d: cascade spent %d intervals, cheap stages only need %d",
+					si, got.Iterations, bound)
+			}
+		}
+	}
+}
+
+func TestBlockingGuard(t *testing.T) {
+	ts := examplesets.All()[0].Set
+	blocking := func(I int64) int64 { return 1 }
+	for _, a := range All() {
+		res := a.Analyze(ts, core.Options{Blocking: blocking})
+		if !a.Info().Blocking && res.Verdict != core.Undecided {
+			t.Errorf("%s ignores unsupported blocking (verdict %v)",
+				a.Info().Name, res.Verdict)
+		}
+		if a.Info().Blocking && res.Verdict == core.Undecided {
+			t.Errorf("%s claims blocking support but returned Undecided",
+				a.Info().Name)
+		}
+	}
+}
+
+func TestInfoShapes(t *testing.T) {
+	for _, a := range All() {
+		info := a.Info()
+		if info.Label == "" {
+			t.Errorf("%s: empty label", info.Name)
+		}
+		_, isEvent := a.(EventAnalyzer)
+		if info.Events != isEvent {
+			t.Errorf("%s: Events flag %v but EventAnalyzer=%v",
+				info.Name, info.Events, isEvent)
+		}
+		if s := info.Kind.String(); s != "exact" && s != "sufficient" {
+			t.Errorf("%s: kind %q", info.Name, s)
+		}
+	}
+	if fmt.Sprint(Kind(9)) != "kind(9)" {
+		t.Errorf("unknown kind renders as %q", fmt.Sprint(Kind(9)))
+	}
+}

@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a named, ordered collection of analyzers. The zero value is
+// not usable; construct with NewRegistry.
+type Registry struct {
+	mu    sync.RWMutex
+	named map[string]Analyzer // by Name and by Label, lowercased
+	order []string            // registration order of canonical names
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{named: make(map[string]Analyzer)}
+}
+
+// Register adds an analyzer under its Info().Name (and, as an alias, its
+// Label). Registering an empty or duplicate name is an error.
+func (r *Registry) Register(a Analyzer) error {
+	info := a.Info()
+	name := strings.ToLower(info.Name)
+	if name == "" {
+		return fmt.Errorf("engine: analyzer with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.named[name]; dup {
+		return fmt.Errorf("engine: analyzer %q already registered", info.Name)
+	}
+	r.named[name] = a
+	r.order = append(r.order, name)
+	if label := strings.ToLower(info.Label); label != "" && label != name {
+		if _, dup := r.named[label]; !dup {
+			r.named[label] = a
+		}
+	}
+	return nil
+}
+
+// MustRegister registers and panics on error (registration happens at
+// package init time, where a clash is a programming error).
+func (r *Registry) MustRegister(a Analyzer) {
+	if err := r.Register(a); err != nil {
+		panic(err)
+	}
+}
+
+// Get looks an analyzer up by name or label (case-insensitive). It also
+// resolves parameterized superposition names of the form "superpos(L)"
+// without requiring prior registration of that level.
+func (r *Registry) Get(name string) (Analyzer, bool) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	r.mu.RLock()
+	a, ok := r.named[key]
+	r.mu.RUnlock()
+	if ok {
+		return a, true
+	}
+	if level, ok := parseSuperPosName(key); ok {
+		return NewSuperPos(level), true
+	}
+	return nil, false
+}
+
+// MustGet looks up a registered analyzer and panics when it is missing —
+// for call sites naming builtin analyzers.
+func (r *Registry) MustGet(name string) Analyzer {
+	a, ok := r.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("engine: unknown analyzer %q", name))
+	}
+	return a
+}
+
+// All returns the registered analyzers in registration order.
+func (r *Registry) All() []Analyzer {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Analyzer, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.named[name])
+	}
+	return out
+}
+
+// Names returns the canonical analyzer names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// Parse resolves a comma-separated analyzer spec against the registry.
+// Each element is an analyzer name or label, a parameterized
+// "superpos(L)", or one of the group keywords "all" (every registered
+// analyzer), "exact" and "sufficient" (every registered analyzer of that
+// kind). Duplicates are dropped, first occurrence wins the position.
+func (r *Registry) Parse(spec string) ([]Analyzer, error) {
+	var out []Analyzer
+	seen := make(map[string]bool)
+	add := func(a Analyzer) {
+		if name := strings.ToLower(a.Info().Name); !seen[name] {
+			seen[name] = true
+			out = append(out, a)
+		}
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		switch strings.ToLower(field) {
+		case "":
+			continue
+		case "all":
+			for _, a := range r.All() {
+				add(a)
+			}
+		case "exact", "sufficient":
+			want := Exact
+			if strings.EqualFold(field, "sufficient") {
+				want = Sufficient
+			}
+			for _, a := range r.All() {
+				if a.Info().Kind == want {
+					add(a)
+				}
+			}
+		default:
+			a, ok := r.Get(field)
+			if !ok {
+				return nil, fmt.Errorf("engine: unknown analyzer %q (known: %s)",
+					field, strings.Join(r.Names(), ", "))
+			}
+			add(a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("engine: empty analyzer spec %q", spec)
+	}
+	return out, nil
+}
+
+// parseSuperPosName extracts L from "superpos(L)".
+func parseSuperPosName(name string) (int64, bool) {
+	rest, ok := strings.CutPrefix(name, "superpos(")
+	if !ok {
+		return 0, false
+	}
+	digits, ok := strings.CutSuffix(rest, ")")
+	if !ok {
+		return 0, false
+	}
+	level, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil || level < 1 {
+		return 0, false
+	}
+	return level, true
+}
+
+// defaultRegistry holds every builtin analyzer, ordered cheapest first:
+// the sufficient tests, then the paper's fast exact tests, then the
+// expensive exact baselines and cross-checks, then the cascade.
+var defaultRegistry = func() *Registry {
+	r := NewRegistry()
+	r.MustRegister(NewLiuLayland())
+	r.MustRegister(NewDevi())
+	r.MustRegister(NewSuperPos(DefaultSuperPosLevel))
+	r.MustRegister(NewRTC())
+	r.MustRegister(NewDynamicError())
+	r.MustRegister(NewAllApprox())
+	r.MustRegister(NewQPA())
+	r.MustRegister(NewResponseTime())
+	r.MustRegister(NewProcessorDemand())
+	r.MustRegister(NewCascade(nil, nil))
+	return r
+}()
+
+// Register adds an analyzer to the default registry.
+func Register(a Analyzer) error { return defaultRegistry.Register(a) }
+
+// Get looks up an analyzer in the default registry.
+func Get(name string) (Analyzer, bool) { return defaultRegistry.Get(name) }
+
+// MustGet looks up a builtin analyzer in the default registry.
+func MustGet(name string) Analyzer { return defaultRegistry.MustGet(name) }
+
+// All returns the default registry's analyzers in registration order.
+func All() []Analyzer { return defaultRegistry.All() }
+
+// Names returns the default registry's analyzer names.
+func Names() []string { return defaultRegistry.Names() }
+
+// Parse resolves an analyzer spec against the default registry.
+func Parse(spec string) ([]Analyzer, error) { return defaultRegistry.Parse(spec) }
+
+// MustParse resolves a spec naming only builtin analyzers.
+func MustParse(spec string) []Analyzer {
+	out, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

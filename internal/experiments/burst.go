@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/eventstream"
 )
 
@@ -18,6 +19,10 @@ import (
 type BurstConfig struct {
 	// SetsPerPoint is the number of workloads per burst width.
 	SetsPerPoint int
+	// Analyzers are engine registry names with event-stream support; the
+	// last exact one serves as the feasibility reference. Default:
+	// superpos(1) (the Devi-equivalent level), dynamic, allapprox, pd.
+	Analyzers []string
 	// BurstWidths are the evaluated burst sizes (events per burst).
 	BurstWidths []int
 	// Periodics is the number of background periodic streams.
@@ -32,6 +37,9 @@ func (c BurstConfig) withDefaults() BurstConfig {
 	if c.SetsPerPoint == 0 {
 		c.SetsPerPoint = 200
 	}
+	if len(c.Analyzers) == 0 {
+		c.Analyzers = []string{"superpos(1)", "dynamic", "allapprox", "pd"}
+	}
 	if len(c.BurstWidths) == 0 {
 		c.BurstWidths = []int{1, 2, 4, 8, 16}
 	}
@@ -42,15 +50,30 @@ func (c BurstConfig) withDefaults() BurstConfig {
 }
 
 // BurstRow is one burst width: average checked intervals per test and the
-// acceptance rate of the exact tests.
+// acceptance rate of the exact reference.
 type BurstRow struct {
-	Width      int
-	Sets       int
-	AvgSP1     float64 // SuperPos(1), the Devi-equivalent level
-	AvgDynamic float64
-	AvgAllAppr float64
-	AvgPD      float64
-	Feasible   float64 // fraction feasible (exact)
+	Width int
+	Sets  int
+	// Efforts holds one entry per configured analyzer, in config order.
+	Efforts []EffortStat
+	// Feasible is the fraction the exact reference accepts.
+	Feasible float64
+}
+
+// Effort returns the width point's stat for one analyzer name.
+func (r BurstRow) Effort(name string) (EffortStat, bool) {
+	return effortByName(r.Efforts, name)
+}
+
+// AvgSP1 is the mean effort of the Devi-equivalent superposition level.
+func (r BurstRow) AvgSP1() float64 { return r.avg("superpos(1)") }
+
+// AvgAllAppr is the mean effort of the all-approximated test.
+func (r BurstRow) AvgAllAppr() float64 { return r.avg("allapprox") }
+
+func (r BurstRow) avg(name string) float64 {
+	e, _ := r.Effort(name)
+	return e.Avg
 }
 
 // BurstResult is the full table.
@@ -89,41 +112,55 @@ func randomBurstWorkload(rng *rand.Rand, periodics, width int) []eventstream.Tas
 	return tasks
 }
 
-// Burst runs the experiment.
+// Burst runs the experiment through the registry's event-capable
+// analyzers.
 func Burst(cfg BurstConfig) BurstResult {
 	cfg = cfg.withDefaults()
+	if err := CheckAnalyzers(cfg.Analyzers, true, true); err != nil {
+		panic(err) // callers with user input validate via CheckAnalyzers
+	}
+	analyzers := make([]engine.EventAnalyzer, 0, len(cfg.Analyzers))
+	ref := -1
+	for i, a := range mustAnalyzers(cfg.Analyzers) {
+		analyzers = append(analyzers, a.(engine.EventAnalyzer))
+		if a.Info().Kind == engine.Exact {
+			ref = i // last exact analyzer is the feasibility reference
+		}
+	}
+
 	res := BurstResult{Config: cfg}
-	opt := core.Options{Arithmetic: core.ArithFloat64}
+	opt := floatOpt()
 	for wi, width := range cfg.BurstWidths {
 		rng := rngFor(cfg.Seed, 7000+int64(wi))
-		var sSP1, sDyn, sAll, sPD stats
+		perAnalyzer := make([]stats, len(analyzers))
 		feasible := 0
 		sets := 0
 		for sets < cfg.SetsPerPoint {
 			tasks := randomBurstWorkload(rng, cfg.Periodics, width)
-			srcs := eventstream.Sources(tasks)
-			pd := core.ProcessorDemandSources(srcs, opt)
-			if pd.Verdict == core.Undecided {
+			refRes := analyzers[ref].AnalyzeEvents(tasks, opt)
+			if refRes.Verdict == core.Undecided {
 				continue // U >= 1 after rounding: regenerate
 			}
 			sets++
-			sSP1.add(core.SuperPosSources(srcs, 1, opt).Iterations)
-			sDyn.add(core.DynamicErrorSources(srcs, 0, opt).Iterations)
-			sAll.add(core.AllApproxSources(srcs, 0, opt).Iterations)
-			sPD.add(pd.Iterations)
-			if pd.Verdict == core.Feasible {
+			for ai, a := range analyzers {
+				r := refRes
+				if ai != ref {
+					r = a.AnalyzeEvents(tasks, opt)
+				}
+				perAnalyzer[ai].add(r.Iterations)
+			}
+			if refRes.Verdict == core.Feasible {
 				feasible++
 			}
 		}
-		res.Rows = append(res.Rows, BurstRow{
+		row := BurstRow{
 			Width: width, Sets: sets,
-			AvgSP1: sSP1.Mean(), AvgDynamic: sDyn.Mean(),
-			AvgAllAppr: sAll.Mean(), AvgPD: sPD.Mean(),
+			Efforts:  effortStats(cfg.Analyzers, perAnalyzer),
 			Feasible: float64(feasible) / float64(sets),
-		})
-		progress(cfg.Progress, "burst: width=%d sp1=%.0f dyn=%.0f all=%.0f pd=%.0f feas=%.2f",
-			width, sSP1.Mean(), sDyn.Mean(), sAll.Mean(), sPD.Mean(),
-			float64(feasible)/float64(sets))
+		}
+		res.Rows = append(res.Rows, row)
+		progress(cfg.Progress, "burst: width=%d feas=%.2f %s",
+			width, row.Feasible, renderEffortSummary(row.Efforts))
 	}
 	return res
 }

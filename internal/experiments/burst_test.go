@@ -20,13 +20,13 @@ func TestBurstEffortGrowsWithWidth(t *testing.T) {
 	// Element-wise handling: the per-element tests must pay for the wider
 	// burst (more demand sources), the paper's stated cost of the event
 	// stream extension.
-	if hi.AvgSP1 <= lo.AvgSP1 {
+	if hi.AvgSP1() <= lo.AvgSP1() {
 		t.Errorf("SuperPos(1) effort did not grow with burst width: %v -> %v",
-			lo.AvgSP1, hi.AvgSP1)
+			lo.AvgSP1(), hi.AvgSP1())
 	}
-	if hi.AvgAllAppr <= lo.AvgAllAppr {
+	if hi.AvgAllAppr() <= lo.AvgAllAppr() {
 		t.Errorf("AllApprox effort did not grow with burst width: %v -> %v",
-			lo.AvgAllAppr, hi.AvgAllAppr)
+			lo.AvgAllAppr(), hi.AvgAllAppr())
 	}
 	// The generator must produce analyzable, mostly feasible workloads.
 	for _, row := range res.Rows {

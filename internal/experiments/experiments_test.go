@@ -2,9 +2,21 @@ package experiments
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
+
+// effort fetches one analyzer's stat from a row, failing the test on a
+// missing column.
+func effort(t *testing.T, efforts []EffortStat, name string) EffortStat {
+	t.Helper()
+	e, ok := effortByName(efforts, name)
+	if !ok {
+		t.Fatalf("no effort column %q in %v", name, efforts)
+	}
+	return e
+}
 
 // smallFig1 keeps the acceptance experiment fast in unit tests.
 func smallFig1() Fig1Result {
@@ -79,12 +91,14 @@ func TestFig8ShapeAndDeterminism(t *testing.T) {
 			continue
 		}
 		rows++
-		if row.AvgPD > row.AvgAllAppr {
+		pd := effort(t, row.Efforts, "pd")
+		all := effort(t, row.Efforts, "allapprox")
+		if pd.Avg > all.Avg {
 			pdWins++
 		}
-		if row.MaxPD < row.MaxAllAppr/2 {
+		if pd.Max < all.Max/2 {
 			t.Errorf("U=%d%%: max PD %d far below AllApprox %d",
-				row.UtilPercent, row.MaxPD, row.MaxAllAppr)
+				row.UtilPercent, pd.Max, all.Max)
 		}
 	}
 	if total != cfg.Sets {
@@ -95,12 +109,11 @@ func TestFig8ShapeAndDeterminism(t *testing.T) {
 	if pdWins < rows-1 {
 		t.Errorf("PD cheaper than AllApprox in %d of %d buckets", rows-pdWins, rows)
 	}
-	// Determinism.
+	// Determinism: the engine's batch runner must not let worker
+	// scheduling leak into the aggregates.
 	res2 := Fig8(cfg)
-	for i := range res.Rows {
-		if res.Rows[i] != res2.Rows[i] {
-			t.Fatalf("row %d differs across runs with same seed", i)
-		}
+	if !reflect.DeepEqual(res.Rows, res2.Rows) {
+		t.Fatalf("rows differ across runs with same seed:\n%v\n%v", res.Rows, res2.Rows)
 	}
 }
 
@@ -115,14 +128,17 @@ func TestFig9PDGrowsWithRatioNewTestsDoNot(t *testing.T) {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
 	lo, hi := res.Rows[0], res.Rows[1]
-	if hi.AvgPD < 4*lo.AvgPD {
-		t.Errorf("PD effort did not grow with the ratio: %v -> %v", lo.AvgPD, hi.AvgPD)
+	loPD, hiPD := effort(t, lo.Efforts, "pd"), effort(t, hi.Efforts, "pd")
+	if hiPD.Avg < 4*loPD.Avg {
+		t.Errorf("PD effort did not grow with the ratio: %v -> %v", loPD.Avg, hiPD.Avg)
 	}
-	if hi.AvgAllAppr > 6*lo.AvgAllAppr+50 {
-		t.Errorf("AllApprox effort grew with the ratio: %v -> %v", lo.AvgAllAppr, hi.AvgAllAppr)
+	loAll, hiAll := effort(t, lo.Efforts, "allapprox"), effort(t, hi.Efforts, "allapprox")
+	if hiAll.Avg > 6*loAll.Avg+50 {
+		t.Errorf("AllApprox effort grew with the ratio: %v -> %v", loAll.Avg, hiAll.Avg)
 	}
-	if hi.AvgDynamic > 6*lo.AvgDynamic+50 {
-		t.Errorf("Dynamic effort grew with the ratio: %v -> %v", lo.AvgDynamic, hi.AvgDynamic)
+	loDyn, hiDyn := effort(t, lo.Efforts, "dynamic"), effort(t, hi.Efforts, "dynamic")
+	if hiDyn.Avg > 6*loDyn.Avg+50 {
+		t.Errorf("Dynamic effort grew with the ratio: %v -> %v", loDyn.Avg, hiDyn.Avg)
 	}
 }
 
@@ -139,12 +155,19 @@ func TestTable1MatchesPaperShape(t *testing.T) {
 		if !row.Feasible {
 			t.Errorf("%s: not feasible", row.Name)
 		}
-		if row.DeviOK != wantDevi[row.Name] {
-			t.Errorf("%s: Devi accepts=%v, want %v", row.Name, row.DeviOK, wantDevi[row.Name])
+		devi, ok := row.Cell("devi")
+		if !ok {
+			t.Fatalf("%s: no devi column", row.Name)
 		}
-		if row.PD < 2*row.Dynamic || row.PD < 2*row.AllApprox {
+		if devi.Accepted != wantDevi[row.Name] {
+			t.Errorf("%s: Devi accepts=%v, want %v", row.Name, devi.Accepted, wantDevi[row.Name])
+		}
+		pd, _ := row.Cell("pd")
+		dyn, _ := row.Cell("dynamic")
+		all, _ := row.Cell("allapprox")
+		if pd.Iterations < 2*dyn.Iterations || pd.Iterations < 2*all.Iterations {
 			t.Errorf("%s: PD=%d not clearly above Dyn=%d/All=%d",
-				row.Name, row.PD, row.Dynamic, row.AllApprox)
+				row.Name, pd.Iterations, dyn.Iterations, all.Iterations)
 		}
 	}
 

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/taskgen"
 )
@@ -61,6 +63,17 @@ func (c Fig1Config) withDefaults() Fig1Config {
 	return c
 }
 
+// analyzers builds the experiment's test ladder from the engine registry:
+// Devi, the configured superposition levels, and the exact processor
+// demand baseline.
+func (c Fig1Config) analyzers() []engine.Analyzer {
+	out := []engine.Analyzer{engine.MustGet("devi")}
+	for _, level := range c.Levels {
+		out = append(out, engine.MustGet(fmt.Sprintf("superpos(%d)", level)))
+	}
+	return append(out, engine.MustGet("pd"))
+}
+
 // Fig1Point is one utilization point of Figure 1: the fraction of task sets
 // each test accepts.
 type Fig1Point struct {
@@ -83,6 +96,7 @@ type Fig1Result struct {
 // acceptance curves nesting between Devi and the exact test.
 func Fig1(cfg Fig1Config) Fig1Result {
 	cfg = cfg.withDefaults()
+	analyzers := cfg.analyzers()
 	res := Fig1Result{Config: cfg}
 	for pi, pct := range cfg.UtilPercents {
 		rng := rngFor(cfg.Seed, int64(pi))
@@ -104,44 +118,25 @@ func Fig1(cfg Fig1Config) Fig1Result {
 			sets = append(sets, ts)
 		}
 
-		type verdicts struct {
-			devi, pd bool
-			levels   []bool
-		}
-		per := forEachSet(sets, func(ts model.TaskSet) verdicts {
-			opt := core.Options{Arithmetic: core.ArithFloat64}
-			v := verdicts{
-				devi:   core.Devi(ts).Verdict == core.Feasible,
-				pd:     core.ProcessorDemand(ts, opt).Verdict == core.Feasible,
-				levels: make([]bool, len(cfg.Levels)),
-			}
-			for li, level := range cfg.Levels {
-				v.levels[li] = core.SuperPos(ts, level, opt).Verdict == core.Feasible
-			}
-			return v
-		})
-
-		point := Fig1Point{UtilPercent: pct, SuperPos: make(map[int64]float64, len(cfg.Levels))}
-		var nDevi, nPD int
-		nLevel := make([]int, len(cfg.Levels))
-		for _, v := range per {
-			if v.devi {
-				nDevi++
-			}
-			if v.pd {
-				nPD++
-			}
-			for li, ok := range v.levels {
-				if ok {
-					nLevel[li]++
+		// Accept counts per analyzer: index 0 is Devi, 1..len(Levels) the
+		// superposition ladder, the last the exact baseline.
+		accepts := make([]int, len(analyzers))
+		for _, perSet := range analyzeSets(sets, analyzers, floatOpt()) {
+			for ai, r := range perSet {
+				if r.Verdict == core.Feasible {
+					accepts[ai]++
 				}
 			}
 		}
-		total := float64(len(per))
-		point.Devi = float64(nDevi) / total
-		point.PD = float64(nPD) / total
+		total := float64(len(sets))
+		point := Fig1Point{
+			UtilPercent: pct,
+			Devi:        float64(accepts[0]) / total,
+			PD:          float64(accepts[len(accepts)-1]) / total,
+			SuperPos:    make(map[int64]float64, len(cfg.Levels)),
+		}
 		for li, level := range cfg.Levels {
-			point.SuperPos[level] = float64(nLevel[li]) / total
+			point.SuperPos[level] = float64(accepts[1+li]) / total
 		}
 		res.Points = append(res.Points, point)
 		progress(cfg.Progress, "fig1: U=%d%% devi=%.3f pd=%.3f", pct, point.Devi, point.PD)

@@ -3,7 +3,6 @@ package experiments
 import (
 	"io"
 
-	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/taskgen"
 )
@@ -14,6 +13,9 @@ import (
 type Fig8Config struct {
 	// Sets is the total number of task sets (the paper used 18,000).
 	Sets int
+	// Analyzers are the engine registry names whose effort is measured
+	// (default: the paper's comparison pd, dynamic, allapprox).
+	Analyzers []string
 	// NMin, NMax bound the task-set size.
 	NMin, NMax int
 	// GapMeans are the average deadline gaps the sets cycle through.
@@ -29,6 +31,9 @@ type Fig8Config struct {
 func (c Fig8Config) withDefaults() Fig8Config {
 	if c.Sets == 0 {
 		c.Sets = 2000
+	}
+	if len(c.Analyzers) == 0 {
+		c.Analyzers = []string{"pd", "dynamic", "allapprox"}
 	}
 	if c.NMin == 0 {
 		c.NMin = 5
@@ -49,16 +54,17 @@ func (c Fig8Config) withDefaults() Fig8Config {
 }
 
 // Fig8Row is one utilization percent bucket of Figure 8 (both panels:
-// maximum and average iterations for each algorithm).
+// maximum and average iterations for each analyzer).
 type Fig8Row struct {
 	UtilPercent int
 	Sets        int
-	MaxDynamic  int64
-	MaxPD       int64
-	MaxAllAppr  int64
-	AvgDynamic  float64
-	AvgPD       float64
-	AvgAllAppr  float64
+	// Efforts holds one entry per configured analyzer, in config order.
+	Efforts []EffortStat
+}
+
+// Effort returns the bucket's stat for one analyzer name.
+func (r Fig8Row) Effort(name string) (EffortStat, bool) {
+	return effortByName(r.Efforts, name)
 }
 
 // Fig8Result is the full table behind both panels of Figure 8.
@@ -69,10 +75,11 @@ type Fig8Result struct {
 
 // Fig8 runs the experiment: random task sets with utilizations uniformly
 // in [90%, 99.9%] are bucketed by utilization percent; per bucket the
-// maximum and average number of checked test intervals is reported for the
-// dynamic test, the all-approximated test and the processor demand test.
+// maximum and average number of checked test intervals is reported for
+// every configured analyzer.
 func Fig8(cfg Fig8Config) Fig8Result {
 	cfg = cfg.withDefaults()
+	analyzers := mustAnalyzers(cfg.Analyzers)
 	rng := rngFor(cfg.Seed, 8)
 	sets := make([]model.TaskSet, 0, cfg.Sets)
 	for len(sets) < cfg.Sets {
@@ -93,43 +100,33 @@ func Fig8(cfg Fig8Config) Fig8Result {
 		sets = append(sets, ts)
 	}
 
-	type effort struct {
-		pct            int
-		dyn, pd, allap int64
-	}
-	per := forEachSet(sets, func(ts model.TaskSet) effort {
-		opt := core.Options{Arithmetic: core.ArithFloat64}
-		pct := int(ts.UtilizationFloat() * 100)
-		if pct > 99 {
-			pct = 99
-		}
-		return effort{
-			pct:   pct,
-			dyn:   core.DynamicError(ts, opt).Iterations,
-			pd:    core.ProcessorDemand(ts, opt).Iterations,
-			allap: core.AllApprox(ts, opt).Iterations,
-		}
-	})
+	grouped := analyzeSets(sets, analyzers, floatOpt())
 
 	res := Fig8Result{Config: cfg}
 	for pct := 90; pct <= 99; pct++ {
-		var sDyn, sPD, sAll stats
-		for _, e := range per {
-			if e.pct != pct {
+		perAnalyzer := make([]stats, len(analyzers))
+		n := 0
+		for si, ts := range sets {
+			p := int(ts.UtilizationFloat() * 100)
+			if p > 99 {
+				p = 99
+			}
+			if p != pct {
 				continue
 			}
-			sDyn.add(e.dyn)
-			sPD.add(e.pd)
-			sAll.add(e.allap)
+			n++
+			for ai := range analyzers {
+				perAnalyzer[ai].add(grouped[si][ai].Iterations)
+			}
 		}
-		res.Rows = append(res.Rows, Fig8Row{
+		row := Fig8Row{
 			UtilPercent: pct,
-			Sets:        int(sDyn.n),
-			MaxDynamic:  sDyn.Max(), MaxPD: sPD.Max(), MaxAllAppr: sAll.Max(),
-			AvgDynamic: sDyn.Mean(), AvgPD: sPD.Mean(), AvgAllAppr: sAll.Mean(),
-		})
-		progress(cfg.Progress, "fig8: U=%d%% sets=%d pd(avg=%.0f,max=%d) dyn(avg=%.0f,max=%d) all(avg=%.0f,max=%d)",
-			pct, int(sDyn.n), sPD.Mean(), sPD.Max(), sDyn.Mean(), sDyn.Max(), sAll.Mean(), sAll.Max())
+			Sets:        n,
+			Efforts:     effortStats(cfg.Analyzers, perAnalyzer),
+		}
+		res.Rows = append(res.Rows, row)
+		progress(cfg.Progress, "fig8: U=%d%% sets=%d %s",
+			pct, n, renderEffortSummary(row.Efforts))
 	}
 	return res
 }

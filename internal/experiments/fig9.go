@@ -3,7 +3,6 @@ package experiments
 import (
 	"io"
 
-	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/taskgen"
 )
@@ -15,6 +14,9 @@ import (
 type Fig9Config struct {
 	// SetsPerRatio is the number of task sets per ratio point.
 	SetsPerRatio int
+	// Analyzers are the engine registry names whose effort is measured
+	// (default: the paper's comparison pd, dynamic, allapprox).
+	Analyzers []string
 	// Ratios are the Tmax/Tmin points (x-axis).
 	Ratios []int64
 	// NMin, NMax bound the task-set size.
@@ -35,6 +37,9 @@ type Fig9Config struct {
 func (c Fig9Config) withDefaults() Fig9Config {
 	if c.SetsPerRatio == 0 {
 		c.SetsPerRatio = 200
+	}
+	if len(c.Analyzers) == 0 {
+		c.Analyzers = []string{"pd", "dynamic", "allapprox"}
 	}
 	if len(c.Ratios) == 0 {
 		c.Ratios = []int64{100, 1000, 10000, 100000, 500000, 1000000}
@@ -66,14 +71,15 @@ func (c Fig9Config) withDefaults() Fig9Config {
 // Fig9Row is one ratio point of Figure 9 (both panels plus the average
 // numbers quoted in the text).
 type Fig9Row struct {
-	Ratio      int64
-	Sets       int
-	MaxDynamic int64
-	MaxPD      int64
-	MaxAllAppr int64
-	AvgDynamic float64
-	AvgPD      float64
-	AvgAllAppr float64
+	Ratio int64
+	Sets  int
+	// Efforts holds one entry per configured analyzer, in config order.
+	Efforts []EffortStat
+}
+
+// Effort returns the ratio point's stat for one analyzer name.
+func (r Fig9Row) Effort(name string) (EffortStat, bool) {
+	return effortByName(r.Efforts, name)
 }
 
 // Fig9Result is the full table behind Figure 9.
@@ -88,6 +94,7 @@ type Fig9Result struct {
 // the ratio (tens of millions of intervals) while the new tests stay flat.
 func Fig9(cfg Fig9Config) Fig9Result {
 	cfg = cfg.withDefaults()
+	analyzers := mustAnalyzers(cfg.Analyzers)
 	res := Fig9Result{Config: cfg}
 	for ri, ratio := range cfg.Ratios {
 		rng := rngFor(cfg.Seed, 900+int64(ri))
@@ -108,28 +115,19 @@ func Fig9(cfg Fig9Config) Fig9Result {
 			sets = append(sets, ts)
 		}
 
-		type effort struct{ dyn, pd, allap int64 }
-		per := forEachSet(sets, func(ts model.TaskSet) effort {
-			opt := core.Options{Arithmetic: core.ArithFloat64}
-			return effort{
-				dyn:   core.DynamicError(ts, opt).Iterations,
-				pd:    core.ProcessorDemand(ts, opt).Iterations,
-				allap: core.AllApprox(ts, opt).Iterations,
+		perAnalyzer := make([]stats, len(analyzers))
+		for _, perSet := range analyzeSets(sets, analyzers, floatOpt()) {
+			for ai, r := range perSet {
+				perAnalyzer[ai].add(r.Iterations)
 			}
-		})
-		var sDyn, sPD, sAll stats
-		for _, e := range per {
-			sDyn.add(e.dyn)
-			sPD.add(e.pd)
-			sAll.add(e.allap)
 		}
-		res.Rows = append(res.Rows, Fig9Row{
-			Ratio: ratio, Sets: len(per),
-			MaxDynamic: sDyn.Max(), MaxPD: sPD.Max(), MaxAllAppr: sAll.Max(),
-			AvgDynamic: sDyn.Mean(), AvgPD: sPD.Mean(), AvgAllAppr: sAll.Mean(),
-		})
-		progress(cfg.Progress, "fig9: ratio=%d pd(avg=%.0f,max=%d) dyn(avg=%.0f,max=%d) all(avg=%.0f,max=%d)",
-			ratio, sPD.Mean(), sPD.Max(), sDyn.Mean(), sDyn.Max(), sAll.Mean(), sAll.Max())
+		row := Fig9Row{
+			Ratio:   ratio,
+			Sets:    len(sets),
+			Efforts: effortStats(cfg.Analyzers, perAnalyzer),
+		}
+		res.Rows = append(res.Rows, row)
+		progress(cfg.Progress, "fig9: ratio=%d %s", ratio, renderEffortSummary(row.Efforts))
 	}
 	return res
 }

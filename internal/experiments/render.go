@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"text/tabwriter"
+
+	"repro/internal/engine"
 )
 
 // titleCase upper-cases the first letter of an ASCII name.
@@ -16,6 +18,99 @@ func titleCase(s string) string {
 		return s
 	}
 	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// csvName maps an analyzer registry name to a CSV column token:
+// "superpos(1)" -> "superpos1".
+func csvName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		if r == '(' || r == ')' {
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// paperLabel maps analyzer names to the paper's Table 1 column headers.
+func paperLabel(name string) string {
+	switch name {
+	case "devi":
+		return "Devi"
+	case "dynamic":
+		return "Dyn."
+	case "allapprox":
+		return "All Appr."
+	case "pd":
+		return "Proc. Dem."
+	case "qpa":
+		return "QPA"
+	case "liu":
+		return "Liu-Layland"
+	case "response":
+		return "Resp. Time"
+	case "rtc":
+		return "RTC"
+	default:
+		return titleCase(name)
+	}
+}
+
+// isSufficient reports whether an analyzer name resolves to a merely
+// sufficient test (whose rejection renders as FAILED in the paper's
+// tables).
+func isSufficient(name string) bool {
+	a, ok := engine.Get(name)
+	return ok && a.Info().Kind == engine.Sufficient
+}
+
+// effortHeaders appends avg/max column headers for an analyzer list.
+func effortHeaders(header []string, names []string, prefix func(string) string) []string {
+	for _, n := range names {
+		header = append(header, prefix("avg")+csvName(n))
+	}
+	for _, n := range names {
+		header = append(header, prefix("max")+csvName(n))
+	}
+	return header
+}
+
+// effortValues appends the avg/max columns of one row.
+func effortValues(row []string, efforts []EffortStat) []string {
+	for _, e := range efforts {
+		row = append(row, fmt.Sprintf("%.2f", e.Avg))
+	}
+	for _, e := range efforts {
+		row = append(row, strconv.FormatInt(e.Max, 10))
+	}
+	return row
+}
+
+// renderEffortText writes a generic effort table (Figures 8 and 9 share
+// the format): one row per key, avg columns then max columns.
+func renderEffortText(w io.Writer, keyHeader string, names []string,
+	rows func(emit func(key string, sets int, efforts []EffortStat))) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\tsets", keyHeader)
+	for _, n := range names {
+		fmt.Fprintf(tw, "\tavg(%s)", csvName(n))
+	}
+	for _, n := range names {
+		fmt.Fprintf(tw, "\tmax(%s)", csvName(n))
+	}
+	fmt.Fprintln(tw)
+	rows(func(key string, sets int, efforts []EffortStat) {
+		fmt.Fprintf(tw, "%s\t%d", key, sets)
+		for _, e := range efforts {
+			fmt.Fprintf(tw, "\t%.0f", e.Avg)
+		}
+		for _, e := range efforts {
+			fmt.Fprintf(tw, "\t%d", e.Max)
+		}
+		fmt.Fprintln(tw)
+	})
+	return tw.Flush()
 }
 
 // RenderText writes the Figure 1 curves as an ASCII table, one row per
@@ -68,32 +163,26 @@ func (r Fig1Result) RenderCSV(w io.Writer) error {
 
 // RenderText writes both Figure 8 panels as one ASCII table.
 func (r Fig8Result) RenderText(w io.Writer) error {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "U%\tsets\tavgPD\tavgDyn\tavgAll\tmaxPD\tmaxDyn\tmaxAll")
-	for _, row := range r.Rows {
-		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.0f\t%.0f\t%d\t%d\t%d\n",
-			row.UtilPercent, row.Sets,
-			row.AvgPD, row.AvgDynamic, row.AvgAllAppr,
-			row.MaxPD, row.MaxDynamic, row.MaxAllAppr)
-	}
-	return tw.Flush()
+	return renderEffortText(w, "U%", r.Config.Analyzers,
+		func(emit func(string, int, []EffortStat)) {
+			for _, row := range r.Rows {
+				emit(strconv.Itoa(row.UtilPercent), row.Sets, row.Efforts)
+			}
+		})
 }
 
 // RenderCSV writes the Figure 8 table as CSV.
 func (r Fig8Result) RenderCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"util_percent", "sets",
-		"avg_pd", "avg_dynamic", "avg_allapprox",
-		"max_pd", "max_dynamic", "max_allapprox"}); err != nil {
+	header := effortHeaders([]string{"util_percent", "sets"}, r.Config.Analyzers,
+		func(kind string) string { return kind + "_" })
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, row := range r.Rows {
-		if err := cw.Write([]string{
-			strconv.Itoa(row.UtilPercent), strconv.Itoa(row.Sets),
-			fmt.Sprintf("%.2f", row.AvgPD), fmt.Sprintf("%.2f", row.AvgDynamic),
-			fmt.Sprintf("%.2f", row.AvgAllAppr),
-			strconv.FormatInt(row.MaxPD, 10), strconv.FormatInt(row.MaxDynamic, 10),
-			strconv.FormatInt(row.MaxAllAppr, 10)}); err != nil {
+		rec := effortValues([]string{
+			strconv.Itoa(row.UtilPercent), strconv.Itoa(row.Sets)}, row.Efforts)
+		if err := cw.Write(rec); err != nil {
 			return err
 		}
 	}
@@ -103,32 +192,26 @@ func (r Fig8Result) RenderCSV(w io.Writer) error {
 
 // RenderText writes both Figure 9 panels as one ASCII table.
 func (r Fig9Result) RenderText(w io.Writer) error {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Tmax/Tmin\tsets\tavgPD\tavgDyn\tavgAll\tmaxPD\tmaxDyn\tmaxAll")
-	for _, row := range r.Rows {
-		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.0f\t%.0f\t%d\t%d\t%d\n",
-			row.Ratio, row.Sets,
-			row.AvgPD, row.AvgDynamic, row.AvgAllAppr,
-			row.MaxPD, row.MaxDynamic, row.MaxAllAppr)
-	}
-	return tw.Flush()
+	return renderEffortText(w, "Tmax/Tmin", r.Config.Analyzers,
+		func(emit func(string, int, []EffortStat)) {
+			for _, row := range r.Rows {
+				emit(strconv.FormatInt(row.Ratio, 10), row.Sets, row.Efforts)
+			}
+		})
 }
 
 // RenderCSV writes the Figure 9 table as CSV.
 func (r Fig9Result) RenderCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"ratio", "sets",
-		"avg_pd", "avg_dynamic", "avg_allapprox",
-		"max_pd", "max_dynamic", "max_allapprox"}); err != nil {
+	header := effortHeaders([]string{"ratio", "sets"}, r.Config.Analyzers,
+		func(kind string) string { return kind + "_" })
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, row := range r.Rows {
-		if err := cw.Write([]string{
-			strconv.FormatInt(row.Ratio, 10), strconv.Itoa(row.Sets),
-			fmt.Sprintf("%.2f", row.AvgPD), fmt.Sprintf("%.2f", row.AvgDynamic),
-			fmt.Sprintf("%.2f", row.AvgAllAppr),
-			strconv.FormatInt(row.MaxPD, 10), strconv.FormatInt(row.MaxDynamic, 10),
-			strconv.FormatInt(row.MaxAllAppr, 10)}); err != nil {
+		rec := effortValues([]string{
+			strconv.FormatInt(row.Ratio, 10), strconv.Itoa(row.Sets)}, row.Efforts)
+		if err := cw.Write(rec); err != nil {
 			return err
 		}
 	}
@@ -139,11 +222,17 @@ func (r Fig9Result) RenderCSV(w io.Writer) error {
 // RenderText writes the burst experiment as an ASCII table.
 func (r BurstResult) RenderText(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "burst\tsets\tavgSP1\tavgDyn\tavgAll\tavgPD\tfeasible")
+	fmt.Fprint(tw, "burst\tsets")
+	for _, n := range r.Config.Analyzers {
+		fmt.Fprintf(tw, "\tavg(%s)", csvName(n))
+	}
+	fmt.Fprintln(tw, "\tfeasible")
 	for _, row := range r.Rows {
-		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.2f\n",
-			row.Width, row.Sets, row.AvgSP1, row.AvgDynamic,
-			row.AvgAllAppr, row.AvgPD, row.Feasible)
+		fmt.Fprintf(tw, "%d\t%d", row.Width, row.Sets)
+		for _, e := range row.Efforts {
+			fmt.Fprintf(tw, "\t%.0f", e.Avg)
+		}
+		fmt.Fprintf(tw, "\t%.2f\n", row.Feasible)
 	}
 	return tw.Flush()
 }
@@ -151,17 +240,21 @@ func (r BurstResult) RenderText(w io.Writer) error {
 // RenderCSV writes the burst experiment as CSV.
 func (r BurstResult) RenderCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"burst_width", "sets",
-		"avg_superpos1", "avg_dynamic", "avg_allapprox", "avg_pd",
-		"feasible_fraction"}); err != nil {
+	header := []string{"burst_width", "sets"}
+	for _, n := range r.Config.Analyzers {
+		header = append(header, "avg_"+csvName(n))
+	}
+	header = append(header, "feasible_fraction")
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, row := range r.Rows {
-		if err := cw.Write([]string{
-			strconv.Itoa(row.Width), strconv.Itoa(row.Sets),
-			fmt.Sprintf("%.2f", row.AvgSP1), fmt.Sprintf("%.2f", row.AvgDynamic),
-			fmt.Sprintf("%.2f", row.AvgAllAppr), fmt.Sprintf("%.2f", row.AvgPD),
-			fmt.Sprintf("%.4f", row.Feasible)}); err != nil {
+		rec := []string{strconv.Itoa(row.Width), strconv.Itoa(row.Sets)}
+		for _, e := range row.Efforts {
+			rec = append(rec, fmt.Sprintf("%.2f", e.Avg))
+		}
+		rec = append(rec, fmt.Sprintf("%.4f", row.Feasible))
+		if err := cw.Write(rec); err != nil {
 			return err
 		}
 	}
@@ -197,19 +290,26 @@ func (r RTCResult) RenderCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// RenderText writes Table 1 in the paper's format: iteration counts, with
-// FAILED in Devi's column when the sufficient test rejects.
+// RenderText writes Table 1 in the paper's format: iteration counts per
+// analyzer column, with FAILED in a sufficient test's column when it
+// cannot accept the set.
 func (r Table1Result) RenderText(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Test\tn\tU\tDevi\tDyn.\tAll Appr.\tProc. Dem.")
+	fmt.Fprint(tw, "Test\tn\tU")
+	for _, name := range r.Analyzers {
+		fmt.Fprintf(tw, "\t%s", paperLabel(name))
+	}
+	fmt.Fprintln(tw)
 	for _, row := range r.Rows {
-		devi := strconv.FormatInt(row.Devi, 10)
-		if !row.DeviOK {
-			devi = "FAILED"
+		fmt.Fprintf(tw, "%s\t%d\t%.3f", titleCase(row.Name), row.Tasks, row.Utilization)
+		for _, cell := range row.Cells {
+			if !cell.Accepted && isSufficient(cell.Analyzer) {
+				fmt.Fprint(tw, "\tFAILED")
+			} else {
+				fmt.Fprintf(tw, "\t%d", cell.Iterations)
+			}
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%s\t%d\t%d\t%d\n",
-			titleCase(row.Name), row.Tasks, row.Utilization,
-			devi, row.Dynamic, row.AllApprox, row.PD)
+		fmt.Fprintln(tw)
 	}
 	return tw.Flush()
 }
@@ -217,17 +317,22 @@ func (r Table1Result) RenderText(w io.Writer) error {
 // RenderCSV writes Table 1 as CSV.
 func (r Table1Result) RenderCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"name", "tasks", "utilization",
-		"devi_accepts", "devi", "dynamic", "allapprox", "processor_demand",
-		"feasible"}); err != nil {
+	header := []string{"name", "tasks", "utilization"}
+	for _, name := range r.Analyzers {
+		header = append(header, csvName(name)+"_accepts", csvName(name))
+	}
+	header = append(header, "feasible")
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, row := range r.Rows {
-		if err := cw.Write([]string{
-			row.Name, strconv.Itoa(row.Tasks), fmt.Sprintf("%.4f", row.Utilization),
-			strconv.FormatBool(row.DeviOK), strconv.FormatInt(row.Devi, 10),
-			strconv.FormatInt(row.Dynamic, 10), strconv.FormatInt(row.AllApprox, 10),
-			strconv.FormatInt(row.PD, 10), strconv.FormatBool(row.Feasible)}); err != nil {
+		rec := []string{row.Name, strconv.Itoa(row.Tasks), fmt.Sprintf("%.4f", row.Utilization)}
+		for _, cell := range row.Cells {
+			rec = append(rec, strconv.FormatBool(cell.Accepted),
+				strconv.FormatInt(cell.Iterations, 10))
+		}
+		rec = append(rec, strconv.FormatBool(row.Feasible))
+		if err := cw.Write(rec); err != nil {
 			return err
 		}
 	}

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
-	"repro/internal/rtc"
 	"repro/internal/taskgen"
 )
 
@@ -69,6 +68,9 @@ type RTCResult struct {
 // utilization, with the RTC curve dropping first.
 func RTCCompare(cfg RTCConfig) RTCResult {
 	cfg = cfg.withDefaults()
+	// The comparison ladder, from the engine registry: the RTC curve
+	// test, its superposition counterpart Devi, and the exact authority.
+	analyzers := mustAnalyzers([]string{"rtc", "devi", "allapprox"})
 	res := RTCResult{Config: cfg}
 	for pi, pct := range cfg.UtilPercents {
 		rng := rngFor(cfg.Seed, 3600+int64(pi))
@@ -85,27 +87,19 @@ func RTCCompare(cfg RTCConfig) RTCResult {
 			}
 			sets = append(sets, ts)
 		}
-		type verdicts struct{ rtcOK, deviOK, exactOK bool }
-		per := forEachSet(sets, func(ts model.TaskSet) verdicts {
-			return verdicts{
-				rtcOK:   rtc.Feasible(ts) == core.Feasible,
-				deviOK:  core.Devi(ts).Verdict == core.Feasible,
-				exactOK: core.AllApprox(ts, core.Options{Arithmetic: core.ArithFloat64}).Verdict == core.Feasible,
-			}
-		})
 		var nRTC, nDevi, nExact int
-		for _, v := range per {
-			if v.rtcOK {
+		for _, perSet := range analyzeSets(sets, analyzers, floatOpt()) {
+			if perSet[0].Verdict == core.Feasible {
 				nRTC++
 			}
-			if v.deviOK {
+			if perSet[1].Verdict == core.Feasible {
 				nDevi++
 			}
-			if v.exactOK {
+			if perSet[2].Verdict == core.Feasible {
 				nExact++
 			}
 		}
-		total := float64(len(per))
+		total := float64(len(sets))
 		point := RTCPoint{
 			UtilPercent: pct,
 			RTC:         float64(nRTC) / total,

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
-	"runtime"
-	"sync"
+	"strings"
 
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/model"
 )
 
@@ -17,32 +19,93 @@ func progress(w io.Writer, format string, args ...any) {
 	}
 }
 
-// forEachSet evaluates fn over the sets on all CPUs. fn must be safe for
-// concurrent use; aggregation happens in the caller via the returned
-// per-set results (order preserved).
-func forEachSet[T any](sets []model.TaskSet, fn func(model.TaskSet) T) []T {
-	out := make([]T, len(sets))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sets) {
-		workers = max(len(sets), 1)
+// mustAnalyzers resolves experiment analyzer names against the engine
+// registry; the names come from experiment configs and default to builtin
+// analyzers, so a miss is a configuration error.
+func mustAnalyzers(names []string) []engine.Analyzer {
+	return engine.MustParse(strings.Join(names, ","))
+}
+
+// CheckAnalyzers validates an experiment analyzer override before it
+// reaches the experiment: every name must resolve in the engine registry,
+// needEvents requires event-stream support (the burst experiment), and
+// needExact requires at least one exact analyzer to serve as the
+// feasibility reference. Callers pass the registry's canonical names (one
+// analyzer per entry, no group keywords).
+func CheckAnalyzers(names []string, needEvents, needExact bool) error {
+	if len(names) == 0 {
+		return nil // defaults apply
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for range workers {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = fn(sets[i])
-			}
-		}()
+	exact := false
+	for _, name := range names {
+		a, ok := engine.Get(name)
+		if !ok {
+			return fmt.Errorf("experiments: unknown analyzer %q", name)
+		}
+		if needEvents && !a.Info().Events {
+			return fmt.Errorf("experiments: analyzer %q has no event-stream support", name)
+		}
+		if a.Info().Kind == engine.Exact {
+			exact = true
+		}
 	}
-	for i := range sets {
-		next <- i
+	if needExact && !exact {
+		return fmt.Errorf("experiments: analyzer set %v has no exact feasibility reference", names)
 	}
-	close(next)
-	wg.Wait()
+	return nil
+}
+
+// analyzeSets fans every (set x analyzer) job out over the engine's
+// bounded worker pool and returns the results grouped per set, in
+// analyzer order. Ordering is deterministic regardless of parallelism.
+func analyzeSets(sets []model.TaskSet, analyzers []engine.Analyzer, opt core.Options) [][]core.Result {
+	return engine.RunSets(context.Background(), sets, analyzers, opt, engine.RunOptions{})
+}
+
+// floatOpt is the experiments' shared test configuration: float64
+// accumulators, as in the paper's measurements.
+func floatOpt() core.Options {
+	return core.Options{Arithmetic: core.ArithFloat64}
+}
+
+// EffortStat is the aggregated effort of one analyzer over a bucket of
+// task sets, in the paper's metric (checked test intervals).
+type EffortStat struct {
+	// Analyzer is the registry name.
+	Analyzer string
+	// Avg is the mean number of checked intervals.
+	Avg float64
+	// Max is the maximum number of checked intervals.
+	Max int64
+}
+
+// effortStats zips analyzer names with their accumulated stats.
+func effortStats(names []string, s []stats) []EffortStat {
+	out := make([]EffortStat, len(names))
+	for i, name := range names {
+		out[i] = EffortStat{Analyzer: name, Avg: s[i].Mean(), Max: s[i].Max()}
+	}
 	return out
+}
+
+// effortByName finds one analyzer's stat in a row's efforts.
+func effortByName(efforts []EffortStat, name string) (EffortStat, bool) {
+	for _, e := range efforts {
+		if e.Analyzer == name {
+			return e, true
+		}
+	}
+	return EffortStat{}, false
+}
+
+// renderEffortSummary formats per-analyzer "name(avg=...,max=...)" pairs
+// for progress lines.
+func renderEffortSummary(efforts []EffortStat) string {
+	parts := make([]string, len(efforts))
+	for i, e := range efforts {
+		parts[i] = fmt.Sprintf("%s(avg=%.0f,max=%d)", e.Analyzer, e.Avg, e.Max)
+	}
+	return strings.Join(parts, " ")
 }
 
 // stats accumulates max and mean of an iteration count series.
