@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench fmt vet clean
+.PHONY: all build test bench bench-json serve fmt vet clean
 
 all: build test
 
@@ -9,10 +9,19 @@ build:
 
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/engine/
+	$(GO) test -race ./internal/engine/ ./internal/service/...
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx . | tee bench.out
+
+# Service benchmarks as machine-readable test2json events (one smoke
+# iteration per benchmark), for CI trend tracking.
+bench-json:
+	$(GO) test -json -bench . -benchtime 1x -run xxx ./internal/service/ > BENCH_service.json
+
+# Run the edfd feasibility daemon locally.
+serve:
+	$(GO) run ./cmd/edfd -addr :8080
 
 fmt:
 	gofmt -l -w .
@@ -21,5 +30,5 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -f bench.out
+	rm -f bench.out BENCH_service.json
 	$(GO) clean ./...

@@ -2,11 +2,14 @@
 package cmd_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/service"
 )
 
 // buildTool compiles one command into a temp dir and returns the binary
@@ -55,6 +58,42 @@ func TestEdffeasOnExamples(t *testing.T) {
 	// Missing input must fail.
 	if _, err := run(t, bin); err == nil {
 		t.Error("missing -set/-example accepted")
+	}
+}
+
+// TestEdffeasJSONMatchesServiceSchema pins the -json output to the edfd
+// batch response schema: it must unmarshal into the service wire types
+// with every analyzer's verdict populated.
+func TestEdffeasJSONMatchesServiceSchema(t *testing.T) {
+	bin := buildTool(t, "edffeas")
+	out, err := run(t, bin, "-example", "burns", "-test", "devi,allapprox,cascade", "-json")
+	if err != nil {
+		t.Fatalf("edffeas -json: %v\n%s", err, out)
+	}
+	var resp service.BatchResponse
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("output is not the service batch schema: %v\n%s", err, out)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3\n%s", len(resp.Results), out)
+	}
+	for i, jr := range resp.Results {
+		if jr.Result.Verdict == "" || jr.Analyzer == "" {
+			t.Errorf("result %d incomplete: %+v", i, jr)
+		}
+		if jr.SetIndex != 0 || jr.SetName == "" {
+			t.Errorf("result %d set identity: %+v", i, jr)
+		}
+	}
+	// devi is sufficient-only on this set shape; the exact tests decide.
+	if v := resp.Results[1].Result.Verdict; v != "feasible" && v != "infeasible" {
+		t.Errorf("allapprox verdict %q is not definite", v)
+	}
+	// -json must refuse modes it does not cover.
+	for _, extra := range []string{"-curve=100", "-wcrt", "-slack"} {
+		if _, err := run(t, bin, "-example", "burns", "-json", extra); err == nil {
+			t.Errorf("-json %s accepted", extra)
+		}
 	}
 }
 

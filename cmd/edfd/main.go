@@ -1,0 +1,89 @@
+// Command edfd serves EDF feasibility analysis over HTTP/JSON: stateless
+// analyze/batch endpoints backed by a content-addressed result cache, and
+// stateful online admission sessions.
+//
+// Usage:
+//
+//	edfd [-addr :8080] [-cache 4096] [-workers 0] [-inflight 256]
+//	     [-timeout 30s] [-sessions 1024]
+//
+// Endpoints:
+//
+//	POST /v1/analyze                 one task set, one analyzer (default cascade)
+//	POST /v1/batch                   sets x analyzers over the worker pool
+//	GET  /v1/analyzers               the analyzer registry
+//	POST /v1/sessions                open an admission session
+//	GET|DELETE /v1/sessions/{id}     inspect / close a session
+//	POST /v1/sessions/{id}/propose   stage a task if still feasible
+//	POST /v1/sessions/{id}/commit    make staged tasks permanent
+//	POST /v1/sessions/{id}/rollback  discard staged tasks
+//	GET  /healthz                    liveness
+//	GET  /metrics                    text counters (cache, sessions, requests)
+//
+// The server drains in-flight requests on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cache    = flag.Int("cache", service.DefaultCacheCapacity, "result cache capacity in entries (negative disables)")
+		workers  = flag.Int("workers", 0, "batch worker pool size (0 = all CPUs)")
+		inflight = flag.Int("inflight", service.DefaultMaxInFlight, "max concurrent /v1 requests before 429")
+		timeout  = flag.Duration("timeout", service.DefaultRequestTimeout, "per-request analysis deadline")
+		sessions = flag.Int("sessions", service.DefaultMaxSessions, "max open admission sessions")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		CacheCapacity:  *cache,
+		Workers:        *workers,
+		MaxInFlight:    *inflight,
+		RequestTimeout: *timeout,
+		MaxSessions:    *sessions,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("edfd: listening on %s (cache %d, inflight %d, timeout %s)\n",
+			*addr, *cache, *inflight, *timeout)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "edfd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, finish in-flight work, then exit.
+	fmt.Println("edfd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "edfd: shutdown:", err)
+		os.Exit(1)
+	}
+}

@@ -18,10 +18,15 @@
 // content of Figures 2-3 of the paper). -events analyzes a Gresser
 // event-stream task set instead of a sporadic one, with every analyzer of
 // the selection that supports the event model.
+//
+// -json emits the results as the same JSON schema the edfd service's
+// POST /v1/batch returns, so scripts can consume CLI and server output
+// interchangeably.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +34,7 @@ import (
 	"text/tabwriter"
 
 	edf "repro"
+	"repro/internal/service"
 )
 
 func main() {
@@ -43,12 +49,17 @@ func main() {
 		curve   = flag.Int64("curve", 0, "dump dbf and the SuperPos(1)/Devi approximation up to this interval as CSV (Figures 2-3 of the paper) and exit")
 		events  = flag.String("events", "", "path to an event-stream task set JSON file (Gresser model)")
 		list    = flag.Bool("list", false, "list the registered analyzers and exit")
+		asJSON  = flag.Bool("json", false, "emit results as the edfd service's batch JSON schema")
 	)
 	flag.Parse()
 
 	if *list {
 		listAnalyzers()
 		return
+	}
+	if *asJSON && (*events != "" || *curve > 0 || *wcrt || *slack) {
+		fmt.Fprintln(os.Stderr, "edffeas: -json covers the analyzer results only (not -events/-curve/-wcrt/-slack)")
+		os.Exit(2)
 	}
 
 	analyzers, err := selectAnalyzers(*test, *level)
@@ -88,13 +99,24 @@ func main() {
 		return
 	}
 
-	fmt.Printf("task set %q: %d tasks, U = %.4f\n", name, len(ts), edf.Utilization(ts))
-	if b, kind, ok := edf.BestBound(ts); ok {
-		fmt.Printf("feasibility bound: %d (%s)\n", b, kind)
+	if !*asJSON {
+		fmt.Printf("task set %q: %d tasks, U = %.4f\n", name, len(ts), edf.Utilization(ts))
+		if b, kind, ok := edf.BestBound(ts); ok {
+			fmt.Printf("feasibility bound: %d (%s)\n", b, kind)
+		}
 	}
 
 	results := edf.AnalyzeBatch(context.Background(),
 		[]edf.TaskSet{ts}, analyzers, opt, 0)
+
+	if *asJSON {
+		if err := emitJSON(name, results); err != nil {
+			fmt.Fprintln(os.Stderr, "edffeas:", err)
+			os.Exit(2)
+		}
+		exitOnInfeasible(results)
+		return
+	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "test\tkind\tverdict\tintervals\trevisions\tfail@\twall")
@@ -114,12 +136,38 @@ func main() {
 		reportPerTask(ts, *wcrt, *slack)
 	}
 
-	// Exit code mirrors the strongest verdict: 0 feasible, 1 infeasible.
+	exitOnInfeasible(results)
+}
+
+// exitOnInfeasible mirrors the strongest verdict in the exit code:
+// 0 feasible, 1 infeasible.
+func exitOnInfeasible(results []edf.BatchResult) {
 	for _, r := range results {
 		if r.Result.Verdict == edf.Infeasible {
 			os.Exit(1)
 		}
 	}
+}
+
+// emitJSON prints the results in the edfd service's batch response
+// schema (one job per analyzer, set-major order).
+func emitJSON(name string, results []edf.BatchResult) error {
+	out := service.BatchResponse{Results: make([]service.BatchJobJSON, len(results))}
+	for i, r := range results {
+		out.Results[i] = service.BatchJobJSON{
+			SetIndex: r.SetIndex,
+			SetName:  name,
+			Analyzer: r.Analyzer.Info().Name,
+			Result:   service.NewResultJSON(r.Result),
+			WallNS:   r.Wall.Nanoseconds(),
+		}
+		if r.Err != nil {
+			out.Results[i].Err = r.Err.Error()
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // selectAnalyzers resolves the -test spec, applying -level to bare

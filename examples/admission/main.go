@@ -5,9 +5,12 @@
 // motivation for fast exact tests is exactly this use case: a sufficient
 // test (Devi) rejects too many profitable requests at high utilization, the
 // classic exact test (processor demand) is too slow for an admission path,
-// and the all-approximated test gives the exact answer at near-Devi cost.
-// The dynamic test with a level cap additionally bounds the worst-case
-// admission latency (Section 4.1 of the paper).
+// and the cheap-first cascade gives the exact answer at near-Devi cost.
+//
+// The admission path runs through edf.Admission, the same concurrency-safe
+// controller behind the edfd service's session endpoints: propose stages a
+// task if the grown set stays feasible, commit makes it permanent, and
+// rollback turns a group of proposals into an all-or-nothing transaction.
 package main
 
 import (
@@ -20,19 +23,54 @@ import (
 func main() {
 	rng := rand.New(rand.NewSource(7))
 
-	var accepted edf.TaskSet
+	// The production admitter: exact cheap-first verdicts, O(1)
+	// utilization overload gate, transactional staging.
+	controller, err := edf.NewAdmission(edf.AdmissionConfig{
+		Options: edf.Options{Arithmetic: edf.ArithFloat64},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Transactional admission first: a burst group lands only as a whole.
+	// Each member alone is admissible, but the third overloads the short
+	// 12-unit deadline window, so the controller rolls the whole group
+	// back — no partial burst is left behind.
+	staged := 0
+	for i := range 3 {
+		out, err := controller.Propose(edf.Task{
+			Name: fmt.Sprintf("burst-%d", i), WCET: 5, Deadline: 12, Period: 100,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if !out.Admitted {
+			break
+		}
+		staged++
+	}
+	if staged == 3 {
+		controller.Commit()
+		fmt.Println("burst group of 3 admitted atomically")
+	} else {
+		dropped := controller.Rollback().Moved
+		fmt.Printf("burst group rejected at member %d; rolled back %d staged task(s)\n\n",
+			staged+1, dropped)
+	}
+
 	type tally struct {
 		admitted, rejected int
 		intervals          int64
 	}
-	var devi, allapprox, capped tally
+	var devi, capped, cascade tally
 
 	fmt.Println("online admission of 60 task requests (exact vs sufficient policies)")
 	fmt.Println()
 
 	for req := range 60 {
 		t := randomRequest(rng, req)
-		candidate := append(accepted.Clone(), t)
+		accepted, _, _ := controller.Snapshot()
+		candidate := append(accepted, t)
 
 		// Policy 1: Devi (what a sufficient-test-based admitter would do).
 		dr := edf.Devi(candidate)
@@ -43,11 +81,7 @@ func main() {
 			devi.rejected++
 		}
 
-		// Policy 2: exact all-approximated test (the paper's proposal).
-		ar := edf.AllApprox(candidate, edf.Options{Arithmetic: edf.ArithFloat64})
-		allapprox.intervals += ar.Iterations
-
-		// Policy 3: dynamic test with a strict level cap: bounded latency,
+		// Policy 2: dynamic test with a strict level cap: bounded latency,
 		// still far better acceptance than Devi.
 		cr := edf.DynamicError(candidate, edf.Options{
 			Arithmetic: edf.ArithFloat64, MaxLevel: 8,
@@ -59,25 +93,31 @@ func main() {
 			capped.rejected++
 		}
 
-		// The system actually admits with the exact test.
-		if ar.Verdict == edf.Feasible {
-			allapprox.admitted++
-			accepted = candidate
+		// Policy 3 actually admits: the controller's cascade verdict.
+		out, err := controller.Propose(t)
+		if err != nil {
+			panic(err)
+		}
+		cascade.intervals += out.Result.Iterations
+		if out.Admitted {
+			cascade.admitted++
+			controller.Commit() // online admission: each accepted task is final
 		} else {
-			allapprox.rejected++
+			cascade.rejected++
 		}
 	}
 
-	fmt.Printf("final task set: %d tasks, utilization %.1f%%\n\n",
-		len(accepted), 100*edf.Utilization(accepted))
+	committed, _, util := controller.Snapshot()
+	fmt.Printf("final task set: %d tasks, utilization %.1f%%\n\n", len(committed), 100*util)
 	fmt.Printf("%-22s %9s %9s %16s\n", "policy", "admitted", "rejected", "total intervals")
 	fmt.Printf("%-22s %9d %9d %16d\n", "devi (sufficient)", devi.admitted, devi.rejected, devi.intervals)
 	fmt.Printf("%-22s %9d %9d %16d\n", "dynamic, level<=8", capped.admitted, capped.rejected, capped.intervals)
-	fmt.Printf("%-22s %9d %9d %16d\n", "all-approx (exact)", allapprox.admitted, allapprox.rejected, allapprox.intervals)
+	fmt.Printf("%-22s %9d %9d %16d\n", "cascade (exact)", cascade.admitted, cascade.rejected, cascade.intervals)
 
 	// Show that the admitted configuration really holds up in a replay.
-	horizon, _ := edf.SimHorizon(accepted)
-	rep, err := edf.Simulate(accepted, edf.SimOptions{Horizon: horizon})
+	final, _, _ := controller.Snapshot()
+	horizon, _ := edf.SimHorizon(final)
+	rep, err := edf.Simulate(final, edf.SimOptions{Horizon: horizon})
 	if err != nil {
 		panic(err)
 	}

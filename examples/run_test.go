@@ -46,9 +46,24 @@ func TestAvionics(t *testing.T) {
 
 func TestAdmission(t *testing.T) {
 	out := runExample(t, "admission")
-	for _, want := range []string{"devi (sufficient)", "all-approx (exact)", "deadline miss: false"} {
+	for _, want := range []string{
+		"devi (sufficient)", "cascade (exact)",
+		"rolled back 2 staged task(s)", "deadline miss: false",
+	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("admission output missing %q", want)
+		}
+	}
+}
+
+func TestServer(t *testing.T) {
+	out := runExample(t, "server")
+	for _, want := range []string{
+		"edfd serving on", "cached true", "batch: 16 jobs",
+		"rollback dropped 1", "edfd_cache_hits",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("server output missing %q", want)
 		}
 	}
 }

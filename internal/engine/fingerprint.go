@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// fingerprintVersion tags the canonical encoding; bump it whenever the
+// encoding below changes so stale cache entries can never alias.
+const fingerprintVersion = "edf.fp.v1"
+
+// Fingerprint returns a content-addressed identity for an analysis: the
+// hex SHA-256 of a canonical encoding of (task set, analyzer name,
+// options). Two analyses share a fingerprint exactly when they are
+// guaranteed to produce the same Result, so the fingerprint is a sound
+// cache key for analysis results.
+//
+// Task names are excluded (they never influence a verdict); task order is
+// included (it can influence effort counters such as revision order).
+// ok is false when the options carry state the encoding cannot capture —
+// today a non-nil Blocking function — in which case the analysis must not
+// be cached.
+func Fingerprint(ts model.TaskSet, analyzer string, opt core.Options) (fp string, ok bool) {
+	if opt.Blocking != nil {
+		return "", false
+	}
+	h := sha256.New()
+	buf := make([]byte, 0, 16*(len(ts)+2))
+	buf = append(buf, fingerprintVersion...)
+	buf = append(buf, 0)
+	buf = append(buf, strings.ToLower(strings.TrimSpace(analyzer))...)
+	buf = append(buf, 0)
+	buf = append(buf, byte(opt.Arithmetic), byte(opt.RevisionOrder))
+	buf = binary.AppendVarint(buf, opt.MaxIterations)
+	buf = binary.AppendVarint(buf, opt.MaxLevel)
+	buf = append(buf, opt.Bound...)
+	buf = append(buf, 0)
+	buf = binary.AppendVarint(buf, int64(len(ts)))
+	for _, t := range ts {
+		buf = binary.AppendVarint(buf, t.WCET)
+		buf = binary.AppendVarint(buf, t.Deadline)
+		buf = binary.AppendVarint(buf, t.Period)
+		buf = binary.AppendVarint(buf, t.Phase)
+		buf = binary.AppendVarint(buf, t.CriticalSection)
+		buf = binary.AppendVarint(buf, t.SelfSuspension)
+	}
+	h.Write(buf)
+	return hex.EncodeToString(h.Sum(nil)), true
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func fpSet() model.TaskSet {
+	return model.TaskSet{
+		{Name: "a", WCET: 2, Deadline: 8, Period: 10},
+		{Name: "b", WCET: 3, Deadline: 15, Period: 15},
+	}
+}
+
+func TestFingerprintStableAndNameBlind(t *testing.T) {
+	fp1, ok := Fingerprint(fpSet(), "cascade", core.Options{})
+	if !ok || fp1 == "" {
+		t.Fatal("fingerprint failed on a plain set")
+	}
+	fp2, _ := Fingerprint(fpSet(), "cascade", core.Options{})
+	if fp1 != fp2 {
+		t.Error("fingerprint not deterministic")
+	}
+	// Task names must not contribute: renaming keeps the identity.
+	renamed := fpSet()
+	renamed[0].Name = "renamed"
+	if fp, _ := Fingerprint(renamed, "cascade", core.Options{}); fp != fp1 {
+		t.Error("task name changed the fingerprint")
+	}
+	// Analyzer casing and whitespace are canonicalized.
+	if fp, _ := Fingerprint(fpSet(), "  CASCADE ", core.Options{}); fp != fp1 {
+		t.Error("analyzer spelling changed the fingerprint")
+	}
+}
+
+func TestFingerprintSeparatesInputs(t *testing.T) {
+	base, _ := Fingerprint(fpSet(), "cascade", core.Options{})
+	seen := map[string]string{base: "base"}
+	check := func(label string, ts model.TaskSet, analyzer string, opt core.Options) {
+		t.Helper()
+		fp, ok := Fingerprint(ts, analyzer, opt)
+		if !ok {
+			t.Fatalf("%s: fingerprint refused", label)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s", label, prev)
+		}
+		seen[fp] = label
+	}
+
+	check("analyzer", fpSet(), "allapprox", core.Options{})
+	check("arithmetic", fpSet(), "cascade", core.Options{Arithmetic: core.ArithFloat64})
+	check("revision order", fpSet(), "cascade", core.Options{RevisionOrder: core.ReviseLIFO})
+	check("max iterations", fpSet(), "cascade", core.Options{MaxIterations: 100})
+	check("max level", fpSet(), "cascade", core.Options{MaxLevel: 8})
+
+	wcet := fpSet()
+	wcet[0].WCET = 3
+	check("wcet", wcet, "cascade", core.Options{})
+	deadline := fpSet()
+	deadline[1].Deadline = 14
+	check("deadline", deadline, "cascade", core.Options{})
+	extra := append(fpSet(), model.Task{WCET: 1, Deadline: 100, Period: 100})
+	check("task count", extra, "cascade", core.Options{})
+	swapped := fpSet()
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	check("task order", swapped, "cascade", core.Options{})
+
+	// Varint field boundaries must not alias: shifting a unit of demand
+	// between adjacent fields changes the identity.
+	shift := model.TaskSet{{WCET: 12, Deadline: 34, Period: 100}}
+	shifted := model.TaskSet{{WCET: 1, Deadline: 234, Period: 100}}
+	a, _ := Fingerprint(shift, "cascade", core.Options{})
+	b, _ := Fingerprint(shifted, "cascade", core.Options{})
+	if a == b {
+		t.Error("field boundary aliasing")
+	}
+}
+
+func TestFingerprintRefusesBlocking(t *testing.T) {
+	opt := core.Options{Blocking: func(int64) int64 { return 0 }}
+	if fp, ok := Fingerprint(fpSet(), "cascade", opt); ok || fp != "" {
+		t.Error("blocking options must not be content-addressable")
+	}
+}

@@ -1,0 +1,201 @@
+package service
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+// AdmissionConfig tunes an admission controller.
+type AdmissionConfig struct {
+	// Analyzer names the feasibility test deciding admissions; empty
+	// selects the cascade (cheap-first escalation, the paper's
+	// recommendation for exactly this online use case).
+	Analyzer string
+	// Options tune the test.
+	Options core.Options
+	// Seed optionally pre-commits an initial task set; it must be
+	// feasible under the analyzer.
+	Seed model.TaskSet
+}
+
+// ProposeOutcome reports one admission decision. Its counts are taken in
+// the same critical section as the decision, so they are consistent even
+// when other clients race on the session.
+type ProposeOutcome struct {
+	// Admitted reports whether the task was staged (pending commit).
+	Admitted bool
+	// Result is the deciding test outcome. A utilization pre-check that
+	// already rules the task out yields an Infeasible verdict with zero
+	// iterations — no analyzer ran.
+	Result core.Result
+	// Utilization is the committed+pending utilization after the
+	// decision.
+	Utilization float64
+	// Committed and Pending count the session's tasks after the decision.
+	Committed, Pending int
+}
+
+// FinishOutcome reports a commit or rollback.
+type FinishOutcome struct {
+	// Moved is how many pending tasks were committed or discarded.
+	Moved int
+	// Committed counts the permanent tasks after the operation.
+	Committed int
+	// Utilization is the session utilization after the operation.
+	Utilization float64
+}
+
+// AdmissionStats counts a controller's lifetime activity.
+type AdmissionStats struct {
+	Proposed   int64
+	Admitted   int64
+	Rejected   int64
+	Commits    int64
+	Rollbacks  int64
+	Iterations int64 // total test intervals spent on admission decisions
+}
+
+// Admission is a concurrency-safe online admission controller: tasks are
+// proposed one at a time, staged while feasibility holds, and made
+// permanent (or discarded) transactionally. It keeps the running
+// utilization incrementally as an exact rational, so the cheap
+// reject-on-overload path costs one addition and one comparison and never
+// consults an analyzer.
+type Admission struct {
+	mu        sync.Mutex
+	analyzer  engine.Analyzer
+	opt       core.Options
+	committed model.TaskSet
+	pending   model.TaskSet
+	util      *big.Rat // utilization of committed + pending
+	stats     AdmissionStats
+}
+
+// NewAdmission builds an admission controller. It fails when the analyzer
+// is unknown, not exact-capable for admission (sufficient analyzers are
+// allowed but reject everything they cannot accept), or the seed set is
+// invalid or infeasible.
+func NewAdmission(cfg AdmissionConfig) (*Admission, error) {
+	name := cfg.Analyzer
+	if name == "" {
+		name = "cascade"
+	}
+	a, ok := engine.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown analyzer %q", name)
+	}
+	adm := &Admission{analyzer: a, opt: cfg.Options, util: new(big.Rat)}
+	if len(cfg.Seed) > 0 {
+		seed := cfg.Seed.Clone()
+		if err := seed.Validate(); err != nil {
+			return nil, fmt.Errorf("service: seed set: %w", err)
+		}
+		res := a.Analyze(seed, cfg.Options)
+		if res.Verdict != core.Feasible {
+			return nil, fmt.Errorf("service: seed set is not admissible (%s)", res.Verdict)
+		}
+		adm.committed = seed
+		adm.util = seed.Utilization()
+	}
+	return adm, nil
+}
+
+// Analyzer returns the controller's analyzer name.
+func (a *Admission) Analyzer() string { return a.analyzer.Info().Name }
+
+// Propose decides whether the session can also accommodate t. On a
+// feasible verdict the task is staged into the pending set; Commit makes
+// pending tasks permanent, Rollback discards them. Decisions are
+// cheap-first: an invalid task or one that would push utilization past 1
+// is rejected before any analyzer runs.
+func (a *Admission) Propose(t model.Task) (ProposeOutcome, error) {
+	if err := t.Validate(); err != nil {
+		return ProposeOutcome{}, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats.Proposed++
+
+	// Cheap gate: incremental utilization. U > 1 is exactly infeasible,
+	// so this is a sound O(1) rejection, not a heuristic.
+	grown := new(big.Rat).Add(a.util, t.Utilization())
+	if grown.Cmp(big.NewRat(1, 1)) > 0 {
+		a.stats.Rejected++
+		return a.outcome(false, core.Result{Verdict: core.Infeasible}), nil
+	}
+
+	candidate := make(model.TaskSet, 0, len(a.committed)+len(a.pending)+1)
+	candidate = append(candidate, a.committed...)
+	candidate = append(candidate, a.pending...)
+	candidate = append(candidate, t)
+	res := a.analyzer.Analyze(candidate, a.opt)
+	a.stats.Iterations += res.Iterations
+	if res.Verdict != core.Feasible {
+		a.stats.Rejected++
+		return a.outcome(false, res), nil
+	}
+	a.pending = append(a.pending, t)
+	a.util = grown
+	a.stats.Admitted++
+	return a.outcome(true, res), nil
+}
+
+// outcome snapshots the decision state; the caller holds the mutex.
+func (a *Admission) outcome(admitted bool, res core.Result) ProposeOutcome {
+	return ProposeOutcome{
+		Admitted:    admitted,
+		Result:      res,
+		Utilization: ratFloat(a.util),
+		Committed:   len(a.committed),
+		Pending:     len(a.pending),
+	}
+}
+
+// Commit makes every pending task permanent.
+func (a *Admission) Commit() FinishOutcome {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := len(a.pending)
+	a.committed = append(a.committed, a.pending...)
+	a.pending = nil
+	a.stats.Commits++
+	return FinishOutcome{Moved: n, Committed: len(a.committed), Utilization: ratFloat(a.util)}
+}
+
+// Rollback discards every pending task.
+func (a *Admission) Rollback() FinishOutcome {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := len(a.pending)
+	for _, t := range a.pending {
+		a.util.Sub(a.util, t.Utilization())
+	}
+	a.pending = nil
+	a.stats.Rollbacks++
+	return FinishOutcome{Moved: n, Committed: len(a.committed), Utilization: ratFloat(a.util)}
+}
+
+// Snapshot returns copies of the committed and pending sets and the
+// combined utilization.
+func (a *Admission) Snapshot() (committed, pending model.TaskSet, utilization float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.committed.Clone(), a.pending.Clone(), ratFloat(a.util)
+}
+
+// Stats returns the lifetime counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+func ratFloat(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}

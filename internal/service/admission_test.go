@@ -1,0 +1,164 @@
+package service
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func TestAdmissionProposeCommitRollback(t *testing.T) {
+	adm, err := NewAdmission(AdmissionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.Analyzer() != "cascade" {
+		t.Errorf("default analyzer = %q", adm.Analyzer())
+	}
+
+	out, err := adm.Propose(model.Task{Name: "a", WCET: 2, Deadline: 8, Period: 10})
+	if err != nil || !out.Admitted {
+		t.Fatalf("first propose: %+v, %v", out, err)
+	}
+	committed, pending, util := adm.Snapshot()
+	if len(committed) != 0 || len(pending) != 1 {
+		t.Fatalf("after propose: committed %d pending %d", len(committed), len(pending))
+	}
+	if util < 0.19 || util > 0.21 {
+		t.Errorf("utilization = %v, want 0.2", util)
+	}
+
+	if out := adm.Commit(); out.Moved != 1 || out.Committed != 1 {
+		t.Fatalf("commit outcome %+v", out)
+	}
+	committed, pending, _ = adm.Snapshot()
+	if len(committed) != 1 || len(pending) != 0 {
+		t.Fatalf("after commit: committed %d pending %d", len(committed), len(pending))
+	}
+
+	// Stage another task, then discard it: set and utilization revert.
+	if out, _ := adm.Propose(model.Task{Name: "b", WCET: 3, Deadline: 15, Period: 15}); !out.Admitted {
+		t.Fatal("second propose rejected")
+	}
+	if out := adm.Rollback(); out.Moved != 1 || out.Committed != 1 {
+		t.Fatalf("rollback outcome %+v", out)
+	}
+	committed, pending, util = adm.Snapshot()
+	if len(committed) != 1 || len(pending) != 0 {
+		t.Fatalf("after rollback: committed %d pending %d", len(committed), len(pending))
+	}
+	if util < 0.19 || util > 0.21 {
+		t.Errorf("utilization after rollback = %v, want 0.2", util)
+	}
+}
+
+func TestAdmissionUtilizationGate(t *testing.T) {
+	adm, err := NewAdmission(AdmissionConfig{
+		Seed: model.TaskSet{{Name: "base", WCET: 9, Deadline: 10, Period: 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.9 + 0.2 > 1: must be rejected by the O(1) gate, no analyzer run.
+	out, err := adm.Propose(model.Task{Name: "over", WCET: 2, Deadline: 10, Period: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Admitted || out.Result.Verdict != core.Infeasible {
+		t.Fatalf("overload admitted: %+v", out)
+	}
+	if out.Result.Iterations != 0 {
+		t.Errorf("utilization gate ran an analyzer (%d iterations)", out.Result.Iterations)
+	}
+	if st := adm.Stats(); st.Rejected != 1 || st.Iterations != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionRejectsInfeasibleWithoutStaging(t *testing.T) {
+	adm, err := NewAdmission(AdmissionConfig{
+		Seed: model.TaskSet{{Name: "tight", WCET: 5, Deadline: 6, Period: 20}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fits under U = 1 but misses deadlines: the analyzer must reject it
+	// and the session state must not change.
+	out, err := adm.Propose(model.Task{Name: "clash", WCET: 5, Deadline: 6, Period: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Admitted {
+		t.Fatalf("infeasible task admitted: %+v", out)
+	}
+	committed, pending, util := adm.Snapshot()
+	if len(committed) != 1 || len(pending) != 0 {
+		t.Errorf("state changed on rejection: committed %d pending %d", len(committed), len(pending))
+	}
+	if util > 0.26 {
+		t.Errorf("utilization grew on rejection: %v", util)
+	}
+}
+
+func TestAdmissionErrors(t *testing.T) {
+	if _, err := NewAdmission(AdmissionConfig{Analyzer: "no-such"}); err == nil {
+		t.Error("unknown analyzer accepted")
+	}
+	if _, err := NewAdmission(AdmissionConfig{
+		Seed: model.TaskSet{{WCET: 9, Deadline: 10, Period: 10}, {WCET: 9, Deadline: 10, Period: 10}},
+	}); err == nil {
+		t.Error("infeasible seed accepted")
+	}
+	adm, _ := NewAdmission(AdmissionConfig{})
+	if _, err := adm.Propose(model.Task{WCET: -1, Deadline: 1, Period: 1}); err == nil {
+		t.Error("invalid task accepted")
+	}
+}
+
+func TestAdmissionConcurrentProposals(t *testing.T) {
+	adm, err := NewAdmission(AdmissionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	admitted := make([]bool, 200)
+	for i := range admitted {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := adm.Propose(model.Task{
+				WCET: 1, Deadline: 80, Period: 100, // 1% each; ~100 fit
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			admitted[i] = out.Admitted
+		}()
+	}
+	wg.Wait()
+	adm.Commit()
+	committed, _, util := adm.Snapshot()
+	n := 0
+	for _, ok := range admitted {
+		if ok {
+			n++
+		}
+	}
+	if n != len(committed) {
+		t.Errorf("admitted %d but committed %d", n, len(committed))
+	}
+	if util > 1.0000001 {
+		t.Errorf("utilization exceeded 1: %v", util)
+	}
+	// With 1%-utilization tasks and loose deadlines most of the budget
+	// must be admitted: the controller may not livelock or over-reject.
+	if n < 50 {
+		t.Errorf("only %d of 200 cheap tasks admitted", n)
+	}
+	st := adm.Stats()
+	if st.Proposed != 200 || st.Admitted != int64(n) || st.Rejected != int64(200-n) {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,195 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// OptionsJSON is the wire form of the serializable subset of core.Options.
+// Blocking functions cannot cross the wire (and would defeat the content-
+// addressed cache), so the service does not accept them.
+type OptionsJSON struct {
+	// Arithmetic is "exact" (default) or "float64".
+	Arithmetic string `json:"arithmetic,omitempty"`
+	// RevisionOrder is "fifo" (default), "lifo" or "maxerror".
+	RevisionOrder string `json:"revision_order,omitempty"`
+	// MaxIterations caps checked test intervals (0 = unlimited).
+	MaxIterations int64 `json:"max_iterations,omitempty"`
+	// MaxLevel caps the superposition level of the dynamic test
+	// (0 = unlimited).
+	MaxLevel int64 `json:"max_level,omitempty"`
+}
+
+// Core converts the wire options to engine options.
+func (o OptionsJSON) Core() (core.Options, error) {
+	var opt core.Options
+	switch strings.ToLower(o.Arithmetic) {
+	case "", "exact":
+	case "float64", "float":
+		opt.Arithmetic = core.ArithFloat64
+	default:
+		return opt, fmt.Errorf("unknown arithmetic %q (want exact or float64)", o.Arithmetic)
+	}
+	switch strings.ToLower(o.RevisionOrder) {
+	case "", "fifo":
+	case "lifo":
+		opt.RevisionOrder = core.ReviseLIFO
+	case "maxerror", "max-error":
+		opt.RevisionOrder = core.ReviseMaxError
+	default:
+		return opt, fmt.Errorf("unknown revision order %q (want fifo, lifo or maxerror)", o.RevisionOrder)
+	}
+	if o.MaxIterations < 0 || o.MaxLevel < 0 {
+		return opt, fmt.Errorf("max_iterations and max_level must be non-negative")
+	}
+	opt.MaxIterations = o.MaxIterations
+	opt.MaxLevel = o.MaxLevel
+	return opt, nil
+}
+
+// ResultJSON is the wire form of a core.Result.
+type ResultJSON struct {
+	Verdict         string `json:"verdict"`
+	Iterations      int64  `json:"iterations"`
+	Revisions       int64  `json:"revisions,omitempty"`
+	MaxLevel        int64  `json:"max_level,omitempty"`
+	FailureInterval int64  `json:"failure_interval,omitempty"`
+	Bound           int64  `json:"bound,omitempty"`
+	BoundKind       string `json:"bound_kind,omitempty"`
+}
+
+// NewResultJSON converts an engine result to its wire form.
+func NewResultJSON(r core.Result) ResultJSON {
+	return ResultJSON{
+		Verdict:         r.Verdict.String(),
+		Iterations:      r.Iterations,
+		Revisions:       r.Revisions,
+		MaxLevel:        r.MaxLevel,
+		FailureInterval: r.FailureInterval,
+		Bound:           r.Bound,
+		BoundKind:       string(r.BoundKind),
+	}
+}
+
+// AnalyzeRequest asks for one analysis of one task set.
+type AnalyzeRequest struct {
+	// Name optionally labels the set in logs and responses.
+	Name string `json:"name,omitempty"`
+	// Tasks is the task set to analyze.
+	Tasks []model.Task `json:"tasks"`
+	// Analyzer names a registered analyzer; empty selects the cascade.
+	Analyzer string `json:"analyzer,omitempty"`
+	// Options tune the test.
+	Options OptionsJSON `json:"options,omitempty"`
+}
+
+// AnalyzeResponse reports one analysis with telemetry.
+type AnalyzeResponse struct {
+	Name     string     `json:"name,omitempty"`
+	Analyzer string     `json:"analyzer"`
+	Result   ResultJSON `json:"result"`
+	// WallNS is the analysis wall time in nanoseconds (zero on cache hits:
+	// no analysis ran).
+	WallNS int64 `json:"wall_ns"`
+	// Cached reports whether the result came from the content-addressed
+	// cache.
+	Cached bool `json:"cached"`
+	// Fingerprint is the content address of (tasks, analyzer, options);
+	// empty when the analysis is not cacheable.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// SetJSON is one named task set of a batch request.
+type SetJSON struct {
+	Name  string       `json:"name,omitempty"`
+	Tasks []model.Task `json:"tasks"`
+}
+
+// BatchRequest fans sets x analyzers over the parallel batch runner.
+type BatchRequest struct {
+	Sets []SetJSON `json:"sets"`
+	// Analyzers holds registered analyzer names or the group keywords
+	// all/exact/sufficient; empty selects the cascade.
+	Analyzers []string    `json:"analyzers,omitempty"`
+	Options   OptionsJSON `json:"options,omitempty"`
+	// Workers bounds the worker pool; 0 selects the server default.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchJobJSON is one (set, analyzer) outcome in set-major order.
+type BatchJobJSON struct {
+	SetIndex int        `json:"set_index"`
+	SetName  string     `json:"set_name,omitempty"`
+	Analyzer string     `json:"analyzer"`
+	Result   ResultJSON `json:"result"`
+	WallNS   int64      `json:"wall_ns"`
+	Cached   bool       `json:"cached,omitempty"`
+	// Err is set when the batch context was canceled before the job ran.
+	Err string `json:"err,omitempty"`
+}
+
+// BatchResponse reports every job of a batch in request order.
+type BatchResponse struct {
+	Results []BatchJobJSON `json:"results"`
+}
+
+// SessionRequest opens an admission session.
+type SessionRequest struct {
+	// Analyzer names the admission test; empty selects the cascade.
+	Analyzer string      `json:"analyzer,omitempty"`
+	Options  OptionsJSON `json:"options,omitempty"`
+	// Tasks optionally seeds the committed set; the seed must be feasible
+	// under the session analyzer.
+	Tasks []model.Task `json:"tasks,omitempty"`
+}
+
+// SessionResponse describes a session's current state.
+type SessionResponse struct {
+	ID          string  `json:"id"`
+	Analyzer    string  `json:"analyzer"`
+	Committed   int     `json:"committed"`
+	Pending     int     `json:"pending"`
+	Utilization float64 `json:"utilization"`
+}
+
+// ProposeRequest stages one task into a session.
+type ProposeRequest struct {
+	Task model.Task `json:"task"`
+}
+
+// ProposeResponse reports an admission verdict.
+type ProposeResponse struct {
+	// Admitted reports whether the task was staged (pending commit).
+	Admitted bool       `json:"admitted"`
+	Result   ResultJSON `json:"result"`
+	// Utilization is the session utilization including pending tasks
+	// after this proposal.
+	Utilization float64 `json:"utilization"`
+	Committed   int     `json:"committed"`
+	Pending     int     `json:"pending"`
+}
+
+// CommitResponse reports a commit or rollback.
+type CommitResponse struct {
+	// Moved is the number of pending tasks committed or rolled back.
+	Moved       int     `json:"moved"`
+	Committed   int     `json:"committed"`
+	Utilization float64 `json:"utilization"`
+}
+
+// AnalyzerJSON describes one registered analyzer.
+type AnalyzerJSON struct {
+	Name     string `json:"name"`
+	Label    string `json:"label"`
+	Kind     string `json:"kind"`
+	Blocking bool   `json:"blocking"`
+	Events   bool   `json:"events"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,114 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	edf "repro"
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// benchServer starts an in-process server + client for benchmarks.
+func benchServer(b *testing.B, cfg service.Config) *client.Client {
+	b.Helper()
+	hs := httptest.NewServer(service.New(cfg).Handler())
+	b.Cleanup(hs.Close)
+	return client.New(hs.URL, hs.Client())
+}
+
+func benchSet(b *testing.B) edf.TaskSet {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	for {
+		ts, err := edf.Generate(edf.GenConfig{
+			N: 20, Utilization: 0.9,
+			PeriodMin: 100, PeriodMax: 10000, GapMean: 0.2,
+		}, rng)
+		if err == nil {
+			return ts
+		}
+	}
+}
+
+// BenchmarkServiceAnalyze measures the full HTTP round trip per analysis:
+// "hit" repeats one hot task set (the content-addressed cache answers),
+// "miss" perturbs the set every iteration (the engine runs every time).
+func BenchmarkServiceAnalyze(b *testing.B) {
+	base := benchSet(b)
+	for _, mode := range []string{"hit", "miss"} {
+		b.Run(mode, func(b *testing.B) {
+			c := benchServer(b, service.Config{})
+			ctx := context.Background()
+			for i := 0; b.Loop(); i++ {
+				ts := base
+				if mode == "miss" {
+					// A non-cycling perturbation: every iteration gets a
+					// fresh fingerprint, so no hit ever contaminates the
+					// miss measurement.
+					ts = base.Clone()
+					ts[0].Period += int64(i)
+				}
+				if _, err := c.Analyze(ctx, service.AnalyzeRequest{Tasks: ts}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServiceBatch measures one batch request of 32 sets under the
+// cascade, cold cache.
+func BenchmarkServiceBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	req := service.BatchRequest{Analyzers: []string{"cascade"}}
+	for len(req.Sets) < 32 {
+		ts, err := edf.Generate(edf.GenConfig{
+			N: 15, Utilization: 0.85,
+			PeriodMin: 100, PeriodMax: 10000, GapMean: 0.2,
+		}, rng)
+		if err != nil {
+			continue
+		}
+		req.Sets = append(req.Sets, service.SetJSON{
+			Name: fmt.Sprintf("set-%d", len(req.Sets)), Tasks: ts,
+		})
+	}
+	ctx := context.Background()
+	for b.Loop() {
+		// A fresh server per iteration keeps the cache cold.
+		c := benchServer(b, service.Config{})
+		if _, err := c.Batch(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdmissionPropose measures one in-process admission decision on
+// a session that already carries 50 tasks.
+func BenchmarkAdmissionPropose(b *testing.B) {
+	adm, err := edf.NewAdmission(edf.AdmissionConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for range 50 {
+		T := int64(1000 * (1 + rng.Intn(50)))
+		C := max(T/100, 1)
+		if _, err := adm.Propose(edf.Task{WCET: C, Deadline: T, Period: T}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	adm.Commit()
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		T := int64(1000 + i%1000)
+		if _, err := adm.Propose(edf.Task{WCET: 1, Deadline: T, Period: T}); err != nil {
+			b.Fatal(err)
+		}
+		adm.Rollback()
+	}
+}

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// cacheShards is the fixed shard count (a power of two so the hash can be
+// masked). 16 shards keep lock contention negligible up to a few hundred
+// concurrent requests while costing only 16 small maps.
+const cacheShards = 16
+
+// Cache is a sharded LRU keyed by analysis fingerprint. Each shard holds
+// its own lock, map and recency list, so concurrent lookups of different
+// fingerprints rarely contend. The zero value is not usable; construct
+// with NewCache.
+type Cache struct {
+	seed   maphash.Seed
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu        sync.Mutex
+	entries   map[string]*list.Element
+	recency   *list.List // front = most recent
+	capacity  int
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key    string
+	result core.Result
+}
+
+// CacheStats aggregates counters across shards.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// HitRate returns hits / lookups, or 0 before the first lookup.
+func (s CacheStats) HitRate() float64 {
+	lookups := s.Hits + s.Misses
+	if lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(lookups)
+}
+
+// NewCache builds a cache holding up to capacity results in total;
+// capacity <= 0 returns nil, which disables caching (a nil *Cache is safe
+// to use and never hits).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	c := &Cache{seed: maphash.MakeSeed()}
+	per := max(capacity/cacheShards, 1)
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			entries:  make(map[string]*list.Element),
+			recency:  list.New(),
+			capacity: per,
+		}
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[maphash.String(c.seed, key)&(cacheShards-1)]
+}
+
+// Get returns the cached result for a fingerprint and refreshes its
+// recency. ok is false on a miss (or a nil cache).
+func (c *Cache) Get(key string) (core.Result, bool) {
+	if c == nil {
+		return core.Result{}, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return core.Result{}, false
+	}
+	s.hits++
+	s.recency.MoveToFront(el)
+	return el.Value.(*cacheEntry).result, true
+}
+
+// Put stores a result under its fingerprint, evicting the least recently
+// used entry of the shard when full. A nil cache drops the value.
+func (c *Cache) Put(key string, r core.Result) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*cacheEntry).result = r
+		s.recency.MoveToFront(el)
+		return
+	}
+	if s.recency.Len() >= s.capacity {
+		oldest := s.recency.Back()
+		delete(s.entries, oldest.Value.(*cacheEntry).key)
+		s.recency.Remove(oldest)
+		s.evictions++
+	}
+	s.entries[key] = s.recency.PushFront(&cacheEntry{key: key, result: r})
+}
+
+// Stats sums the shard counters. Safe on a nil cache (all zeros).
+func (c *Cache) Stats() CacheStats {
+	var out CacheStats
+	if c == nil {
+		return out
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out.Hits += s.hits
+		out.Misses += s.misses
+		out.Evictions += s.evictions
+		out.Entries += s.recency.Len()
+		out.Capacity += s.capacity
+		s.mu.Unlock()
+	}
+	return out
+}

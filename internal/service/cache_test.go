@@ -1,0 +1,104 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCacheHitMissEvict(t *testing.T) {
+	// Capacity below the shard count still yields one slot per shard.
+	c := NewCache(cacheShards)
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", core.Result{Verdict: core.Feasible, Iterations: 7})
+	got, ok := c.Get("a")
+	if !ok || got.Iterations != 7 {
+		t.Fatalf("Get(a) = %+v, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats after one miss + one hit: %+v", st)
+	}
+	if r := st.HitRate(); r != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", r)
+	}
+
+	// Overwriting a key must update in place, not grow.
+	c.Put("a", core.Result{Verdict: core.Infeasible})
+	if got, _ := c.Get("a"); got.Verdict != core.Infeasible {
+		t.Error("Put did not overwrite")
+	}
+
+	// Enough distinct keys must trigger evictions with bounded entries.
+	for i := range 20 * cacheShards {
+		c.Put(fmt.Sprintf("key-%d", i), core.Result{})
+	}
+	st = c.Stats()
+	if st.Evictions == 0 {
+		t.Error("no evictions despite overflow")
+	}
+	if st.Entries > st.Capacity {
+		t.Errorf("entries %d exceed capacity %d", st.Entries, st.Capacity)
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	// Two slots per shard: an entry refreshed before every insert into
+	// its shard must survive, because the insert evicts the older slot.
+	c2 := NewCache(2 * cacheShards)
+	c2.Put("hot", core.Result{Iterations: 1})
+	var evictor []string
+	for i := 0; len(evictor) < 8; i++ {
+		k := fmt.Sprintf("cold-%d", i)
+		if c2.shard(k) == c2.shard("hot") {
+			evictor = append(evictor, k)
+		}
+	}
+	for _, k := range evictor {
+		c2.Get("hot") // refresh recency before each insert
+		c2.Put(k, core.Result{})
+	}
+	if _, ok := c2.Get("hot"); !ok {
+		t.Error("recently used entry was evicted")
+	}
+}
+
+func TestCacheNilSafe(t *testing.T) {
+	var c *Cache = NewCache(0)
+	if c != nil {
+		t.Fatal("capacity 0 should disable the cache")
+	}
+	c.Put("x", core.Result{})
+	if _, ok := c.Get("x"); ok {
+		t.Error("nil cache returned a hit")
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Errorf("nil cache stats = %+v", st)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(256)
+	var wg sync.WaitGroup
+	for w := range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range 500 {
+				k := fmt.Sprintf("k-%d", (w*31+i)%300)
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, core.Result{Iterations: int64(i)})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*500 {
+		t.Errorf("lookups = %d, want %d", st.Hits+st.Misses, 8*500)
+	}
+}

@@ -1,0 +1,176 @@
+// Package client is the typed Go client for the edfd feasibility service.
+// It speaks the wire types of package service, so a Go caller and a curl
+// caller see the same schema.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// Client talks to one edfd server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for a base URL like "http://127.0.0.1:8080". A nil
+// httpClient selects http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// Error is a non-2xx server reply.
+type Error struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("edfd: %d: %s", e.StatusCode, e.Message)
+}
+
+// do runs one JSON round trip. A nil in sends no body; a nil out discards
+// the reply body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		payload, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("edfd: encoding request: %w", err)
+		}
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var er service.ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &Error{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("edfd: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Analyze runs one analysis.
+func (c *Client) Analyze(ctx context.Context, req service.AnalyzeRequest) (service.AnalyzeResponse, error) {
+	var out service.AnalyzeResponse
+	err := c.do(ctx, http.MethodPost, "/v1/analyze", req, &out)
+	return out, err
+}
+
+// Batch fans sets x analyzers over the server's worker pool.
+func (c *Client) Batch(ctx context.Context, req service.BatchRequest) (service.BatchResponse, error) {
+	var out service.BatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/batch", req, &out)
+	return out, err
+}
+
+// Analyzers lists the server's registry.
+func (c *Client) Analyzers(ctx context.Context) ([]service.AnalyzerJSON, error) {
+	var out []service.AnalyzerJSON
+	err := c.do(ctx, http.MethodGet, "/v1/analyzers", nil, &out)
+	return out, err
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the text metrics page verbatim.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", &Error{StatusCode: resp.StatusCode, Message: resp.Status}
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// Session is a handle on one server-side admission session.
+type Session struct {
+	c *Client
+	// ID is the server-assigned session id.
+	ID string
+}
+
+// OpenSession starts an admission session.
+func (c *Client) OpenSession(ctx context.Context, req service.SessionRequest) (*Session, service.SessionResponse, error) {
+	var out service.SessionResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &out); err != nil {
+		return nil, out, err
+	}
+	return &Session{c: c, ID: out.ID}, out, nil
+}
+
+func (s *Session) path(suffix string) string { return "/v1/sessions/" + s.ID + suffix }
+
+// State fetches the session's current counts and utilization.
+func (s *Session) State(ctx context.Context) (service.SessionResponse, error) {
+	var out service.SessionResponse
+	err := s.c.do(ctx, http.MethodGet, s.path(""), nil, &out)
+	return out, err
+}
+
+// Propose stages one task if the grown set stays feasible.
+func (s *Session) Propose(ctx context.Context, req service.ProposeRequest) (service.ProposeResponse, error) {
+	var out service.ProposeResponse
+	err := s.c.do(ctx, http.MethodPost, s.path("/propose"), req, &out)
+	return out, err
+}
+
+// Commit makes every pending task permanent.
+func (s *Session) Commit(ctx context.Context) (service.CommitResponse, error) {
+	var out service.CommitResponse
+	err := s.c.do(ctx, http.MethodPost, s.path("/commit"), struct{}{}, &out)
+	return out, err
+}
+
+// Rollback discards every pending task.
+func (s *Session) Rollback(ctx context.Context) (service.CommitResponse, error) {
+	var out service.CommitResponse
+	err := s.c.do(ctx, http.MethodPost, s.path("/rollback"), struct{}{}, &out)
+	return out, err
+}
+
+// Close deletes the session server-side.
+func (s *Session) Close(ctx context.Context) error {
+	return s.c.do(ctx, http.MethodDelete, s.path(""), nil, nil)
+}

@@ -1,0 +1,25 @@
+// Package service implements edfd, the feasibility-analysis daemon: an
+// HTTP/JSON front end over the analysis engine registry.
+//
+// Three pillars:
+//
+//   - Stateless analysis: POST /v1/analyze runs one analyzer (default:
+//     the cascade) on one task set; POST /v1/batch fans a (sets x
+//     analyzers) cross product over the engine's bounded worker pool and
+//     returns per-job telemetry in deterministic set-major order.
+//
+//   - Content-addressed result caching: every cacheable analysis is keyed
+//     by engine.Fingerprint(task set, analyzer, options) in a sharded LRU,
+//     so repeated analyses of hot task sets are O(1) lookups. Hit, miss
+//     and eviction counters surface on GET /metrics.
+//
+//   - Stateful admission sessions: POST /v1/sessions opens an online
+//     admission controller (the use case motivating the paper's fast
+//     exact tests); /propose stages a task if the grown set stays
+//     feasible, /commit makes staged tasks permanent, /rollback discards
+//     them.
+//
+// The server wires in a concurrency limiter, per-request deadlines,
+// graceful shutdown, GET /healthz and GET /metrics. Package
+// service/client is the typed Go client.
+package service

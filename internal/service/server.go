@@ -1,0 +1,434 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+// Config tunes the server. The zero value selects production defaults.
+type Config struct {
+	// CacheCapacity bounds the result cache (entries); 0 selects
+	// DefaultCacheCapacity, negative disables caching.
+	CacheCapacity int
+	// Workers bounds the batch worker pool; <= 0 selects runtime.NumCPU.
+	Workers int
+	// MaxInFlight bounds concurrently served /v1 requests; excess
+	// requests are rejected with 429 rather than queued. 0 selects
+	// DefaultMaxInFlight.
+	MaxInFlight int
+	// RequestTimeout caps one request's analysis work; 0 selects
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// MaxSessions bounds concurrently open admission sessions; 0 selects
+	// DefaultMaxSessions.
+	MaxSessions int
+	// MaxBatchJobs bounds sets x analyzers per batch request; 0 selects
+	// DefaultMaxBatchJobs.
+	MaxBatchJobs int
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultCacheCapacity  = 4096
+	DefaultMaxInFlight    = 256
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxSessions    = 1024
+	DefaultMaxBatchJobs   = 4096
+	maxRequestBytes       = 8 << 20
+)
+
+// Server is the edfd daemon: engine registry in, HTTP/JSON out. Construct
+// with New and mount Handler on an http.Server.
+type Server struct {
+	cfg      Config
+	cache    *Cache
+	sessions *sessionStore
+	limiter  chan struct{}
+	m        metrics
+	started  time.Time
+}
+
+// New builds a server from the config.
+func New(cfg Config) *Server {
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = DefaultCacheCapacity
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.MaxBatchJobs <= 0 {
+		cfg.MaxBatchJobs = DefaultMaxBatchJobs
+	}
+	return &Server{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheCapacity),
+		sessions: newSessionStore(cfg.MaxSessions),
+		limiter:  make(chan struct{}, cfg.MaxInFlight),
+		started:  time.Now(),
+	}
+}
+
+// CacheStats exposes the cache counters (for in-process embedders).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Handler returns the routed and instrumented HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/analyzers", s.handleAnalyzers)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
+	mux.HandleFunc("POST /v1/sessions/{id}/propose", s.handleSessionPropose)
+	mux.HandleFunc("POST /v1/sessions/{id}/commit", s.handleSessionCommit)
+	mux.HandleFunc("POST /v1/sessions/{id}/rollback", s.handleSessionRollback)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Health and metrics bypass the limiter: they must answer even
+		// (especially) when the analysis path is saturated.
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.limiter <- struct{}{}:
+			defer func() { <-s.limiter }()
+		default:
+			s.m.throttled.Add(1)
+			writeJSON(w, http.StatusTooManyRequests,
+				ErrorResponse{Error: "server at capacity, retry later"})
+			return
+		}
+		s.m.enter()
+		defer s.m.leave()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+		mux.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// analyzeOne serves one (set, analyzer, options) analysis through the
+// cache: a hit costs one lookup, a miss runs the analyzer via the batch
+// runner (one job) so cancellation and wall-time telemetry stay uniform
+// with the batch path.
+func (s *Server) analyzeOne(ctx context.Context, ts model.TaskSet, a engine.Analyzer, opt core.Options) (core.Result, time.Duration, bool, string, error) {
+	fp, cacheable := engine.Fingerprint(ts, a.Info().Name, opt)
+	if cacheable {
+		if res, hit := s.cache.Get(fp); hit {
+			return res, 0, true, fp, nil
+		}
+	}
+	jr := engine.Run(ctx, []engine.Job{{Set: ts, Analyzer: a, Opt: opt}}, engine.RunOptions{Workers: 1})[0]
+	if jr.Err != nil {
+		return core.Result{}, 0, false, fp, jr.Err
+	}
+	if cacheable {
+		s.cache.Put(fp, jr.Result)
+	}
+	return jr.Result, jr.Wall, false, fp, nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ts := model.TaskSet(req.Tasks)
+	if err := ts.Validate(); err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	a, opt, err := resolveAnalysis(req.Analyzer, req.Options)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	res, wall, cached, fp, err := s.analyzeOne(r.Context(), ts, a, opt)
+	if err != nil {
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("analysis canceled: %w", err))
+		return
+	}
+	s.m.analyses.Add(1)
+	writeJSON(w, http.StatusOK, AnalyzeResponse{
+		Name:        req.Name,
+		Analyzer:    a.Info().Name,
+		Result:      NewResultJSON(res),
+		WallNS:      wall.Nanoseconds(),
+		Cached:      cached,
+		Fingerprint: fp,
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Sets) == 0 {
+		s.fail(w, http.StatusUnprocessableEntity, errors.New("batch needs at least one set"))
+		return
+	}
+	spec := strings.Join(req.Analyzers, ",")
+	if spec == "" {
+		spec = "cascade"
+	}
+	analyzers, err := engine.Parse(spec)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	opt, err := req.Options.Core()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if jobs := len(req.Sets) * len(analyzers); jobs > s.cfg.MaxBatchJobs {
+		s.fail(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("batch of %d jobs exceeds the limit of %d", jobs, s.cfg.MaxBatchJobs))
+		return
+	}
+	sets := make([]model.TaskSet, len(req.Sets))
+	for i, sj := range req.Sets {
+		sets[i] = model.TaskSet(sj.Tasks)
+		if err := sets[i].Validate(); err != nil {
+			s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("set %d: %w", i, err))
+			return
+		}
+	}
+
+	// Split the cross product into cache hits and jobs that must run, in
+	// set-major order so the response order matches the batch contract.
+	out := make([]BatchJobJSON, 0, len(sets)*len(analyzers))
+	var jobs []engine.Job
+	var jobFor []int // jobs[k] fills out[jobFor[k]]
+	var fps []string
+	for si, ts := range sets {
+		for _, a := range analyzers {
+			j := BatchJobJSON{SetIndex: si, SetName: req.Sets[si].Name, Analyzer: a.Info().Name}
+			fp, cacheable := engine.Fingerprint(ts, a.Info().Name, opt)
+			if cacheable {
+				if res, hit := s.cache.Get(fp); hit {
+					j.Result = NewResultJSON(res)
+					j.Cached = true
+					out = append(out, j)
+					continue
+				}
+			}
+			jobs = append(jobs, engine.Job{SetIndex: si, SetName: req.Sets[si].Name, Set: ts, Analyzer: a, Opt: opt})
+			jobFor = append(jobFor, len(out))
+			if !cacheable {
+				fp = ""
+			}
+			fps = append(fps, fp)
+			out = append(out, j)
+		}
+	}
+	// The client may shrink the worker pool below the server's bound but
+	// never widen it past the operator's -workers setting.
+	workers := req.Workers
+	if workers <= 0 || (s.cfg.Workers > 0 && workers > s.cfg.Workers) {
+		workers = s.cfg.Workers
+	}
+	for k, jr := range engine.Run(r.Context(), jobs, engine.RunOptions{Workers: workers}) {
+		j := &out[jobFor[k]]
+		j.Result = NewResultJSON(jr.Result)
+		j.WallNS = jr.Wall.Nanoseconds()
+		if jr.Err != nil {
+			j.Err = jr.Err.Error()
+			continue
+		}
+		if fps[k] != "" {
+			s.cache.Put(fps[k], jr.Result)
+		}
+	}
+	s.m.batchJobs.Add(uint64(len(out)))
+	writeJSON(w, http.StatusOK, BatchResponse{Results: out})
+}
+
+func (s *Server) handleAnalyzers(w http.ResponseWriter, _ *http.Request) {
+	all := engine.All()
+	out := make([]AnalyzerJSON, len(all))
+	for i, a := range all {
+		info := a.Info()
+		out[i] = AnalyzerJSON{
+			Name:     info.Name,
+			Label:    info.Label,
+			Kind:     info.Kind.String(),
+			Blocking: info.Blocking,
+			Events:   info.Events,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	opt, err := req.Options.Core()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	adm, err := NewAdmission(AdmissionConfig{Analyzer: req.Analyzer, Options: opt, Seed: req.Tasks})
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	id, err := s.sessions.open(adm)
+	if err != nil {
+		s.fail(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.sessionState(id, adm))
+}
+
+// session resolves the {id} path value, answering 404 itself on a miss.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (string, *Admission, bool) {
+	id := r.PathValue("id")
+	adm, err := s.sessions.get(id)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return "", nil, false
+	}
+	return id, adm, true
+}
+
+func (s *Server) sessionState(id string, adm *Admission) SessionResponse {
+	committed, pending, util := adm.Snapshot()
+	return SessionResponse{
+		ID:          id,
+		Analyzer:    adm.Analyzer(),
+		Committed:   len(committed),
+		Pending:     len(pending),
+		Utilization: util,
+	}
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	if id, adm, ok := s.session(w, r); ok {
+		writeJSON(w, http.StatusOK, s.sessionState(id, adm))
+	}
+}
+
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.close(r.PathValue("id")) {
+		s.fail(w, http.StatusNotFound, errSessionUnknown)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSessionPropose(w http.ResponseWriter, r *http.Request) {
+	_, adm, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req ProposeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	out, err := adm.Propose(req.Task)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.m.proposals.Add(1)
+	writeJSON(w, http.StatusOK, ProposeResponse{
+		Admitted:    out.Admitted,
+		Result:      NewResultJSON(out.Result),
+		Utilization: out.Utilization,
+		Committed:   out.Committed,
+		Pending:     out.Pending,
+	})
+}
+
+func (s *Server) handleSessionCommit(w http.ResponseWriter, r *http.Request) {
+	s.finishPending(w, r, (*Admission).Commit)
+}
+
+func (s *Server) handleSessionRollback(w http.ResponseWriter, r *http.Request) {
+	s.finishPending(w, r, (*Admission).Rollback)
+}
+
+// finishPending serves commit and rollback, which differ only in the
+// Admission method they invoke.
+func (s *Server) finishPending(w http.ResponseWriter, r *http.Request, move func(*Admission) FinishOutcome) {
+	_, adm, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	out := move(adm)
+	writeJSON(w, http.StatusOK, CommitResponse{
+		Moved:       out.Moved,
+		Committed:   out.Committed,
+		Utilization: out.Utilization,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ns": time.Since(s.started).Nanoseconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+// resolveAnalysis maps wire analyzer/options to engine values.
+func resolveAnalysis(name string, oj OptionsJSON) (engine.Analyzer, core.Options, error) {
+	if name == "" {
+		name = "cascade"
+	}
+	a, ok := engine.Get(name)
+	if !ok {
+		return nil, core.Options{}, fmt.Errorf("unknown analyzer %q (see GET /v1/analyzers)", name)
+	}
+	opt, err := oj.Core()
+	return a, opt, err
+}
+
+// decode parses a JSON body, answering 400 itself on failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// fail writes the uniform error body and counts the error.
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.m.errors.Add(1)
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encoding a value we just built can only fail on a broken
+	// connection; nothing useful can be written at that point.
+	_ = json.NewEncoder(w).Encode(v)
+}

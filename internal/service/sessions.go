@@ -1,0 +1,79 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// errSessionLimit is returned when the store is full.
+var errSessionLimit = fmt.Errorf("service: session limit reached")
+
+// errSessionUnknown is returned for missing session ids.
+var errSessionUnknown = fmt.Errorf("service: unknown session")
+
+// sessionStore is a bounded, concurrency-safe id -> admission controller
+// map. Sessions live until explicitly closed; the bound keeps a client
+// that leaks sessions from exhausting server memory.
+type sessionStore struct {
+	mu       sync.Mutex
+	sessions map[string]*Admission
+	limit    int
+	created  uint64
+}
+
+func newSessionStore(limit int) *sessionStore {
+	return &sessionStore{sessions: make(map[string]*Admission), limit: limit}
+}
+
+// open registers a controller under a fresh random id.
+func (s *sessionStore) open(adm *Admission) (string, error) {
+	id := newSessionID()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.sessions) >= s.limit {
+		return "", errSessionLimit
+	}
+	s.sessions[id] = adm
+	s.created++
+	return id, nil
+}
+
+// get looks a session up.
+func (s *sessionStore) get(id string) (*Admission, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	adm, ok := s.sessions[id]
+	if !ok {
+		return nil, errSessionUnknown
+	}
+	return adm, nil
+}
+
+// close removes a session; ok is false when it did not exist.
+func (s *sessionStore) close(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	return ok
+}
+
+// counts returns active and lifetime-created session counts.
+func (s *sessionStore) counts() (active int, created uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions), s.created
+}
+
+// newSessionID returns 16 random bytes as hex. crypto/rand cannot fail on
+// the supported platforms; a failure would mean a broken kernel RNG and
+// panicking beats handing out guessable session ids.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err)
+	}
+	return hex.EncodeToString(b[:])
+}

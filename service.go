@@ -1,0 +1,50 @@
+package edf
+
+import (
+	"repro/internal/engine"
+	"repro/internal/service"
+)
+
+// Fingerprint returns the content address of an analysis: a hex SHA-256
+// over a canonical encoding of (task set, analyzer name, options). Equal
+// fingerprints guarantee equal results, so the fingerprint is a sound key
+// for caching analysis outcomes (the edfd service uses exactly this). ok
+// is false when the options are not content-addressable (a non-nil
+// Blocking function); such analyses must not be cached.
+func Fingerprint(ts TaskSet, analyzer string, opt Options) (fp string, ok bool) {
+	return engine.Fingerprint(ts, analyzer, opt)
+}
+
+// Admission is a concurrency-safe online admission controller: propose
+// tasks one at a time, commit or roll back the staged ones. It powers the
+// edfd session endpoints and is equally usable in process — see
+// examples/admission.
+type Admission = service.Admission
+
+// AdmissionConfig tunes an admission controller.
+type AdmissionConfig = service.AdmissionConfig
+
+// AdmissionStats counts an admission controller's lifetime activity.
+type AdmissionStats = service.AdmissionStats
+
+// ProposeOutcome reports one admission decision.
+type ProposeOutcome = service.ProposeOutcome
+
+// FinishOutcome reports a commit or rollback of staged tasks.
+type FinishOutcome = service.FinishOutcome
+
+// NewAdmission builds an online admission controller. The zero config
+// admits with the cascade (cheap-first, exact verdicts) on an empty set.
+func NewAdmission(cfg AdmissionConfig) (*Admission, error) {
+	return service.NewAdmission(cfg)
+}
+
+// ServiceConfig tunes an in-process edfd server.
+type ServiceConfig = service.Config
+
+// ServiceServer is the edfd HTTP service over the analysis engine; mount
+// Handler() on an http.Server (cmd/edfd does) or under a larger mux.
+type ServiceServer = service.Server
+
+// NewService builds the edfd HTTP service.
+func NewService(cfg ServiceConfig) *ServiceServer { return service.New(cfg) }

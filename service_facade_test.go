@@ -1,0 +1,89 @@
+package edf_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	edf "repro"
+)
+
+// TestAnalyzeBatchCancelledContext pins the facade contract the service's
+// request-deadline path relies on: a batch under an already-cancelled
+// context runs nothing, returns one result per job in order, and marks
+// every job with the context error and an Undecided verdict.
+func TestAnalyzeBatchCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sets := []edf.TaskSet{
+		{{WCET: 2, Deadline: 8, Period: 10}},
+		{{WCET: 3, Deadline: 15, Period: 15}},
+	}
+	analyzers, err := edf.ParseAnalyzers("devi,allapprox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := edf.AnalyzeBatch(ctx, sets, analyzers, edf.Options{}, 4)
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("job %d: err = %v, want context.Canceled", i, r.Err)
+		}
+		if r.Result.Verdict != edf.Undecided || r.Result.Iterations != 0 {
+			t.Errorf("job %d: result %+v despite cancellation", i, r.Result)
+		}
+		if r.SetIndex != i/2 {
+			t.Errorf("job %d: set index %d out of order", i, r.SetIndex)
+		}
+	}
+}
+
+// TestAnalyzeEventsNonEventAnalyzer pins the no-event-support contract:
+// ok must be false and the verdict Undecided — the caller decides what to
+// do, the facade must not guess.
+func TestAnalyzeEventsNonEventAnalyzer(t *testing.T) {
+	tasks := []edf.EventTask{{Stream: edf.PeriodicStream(10), WCET: 2, Deadline: 8}}
+	for _, name := range []string{"qpa", "liu", "devi", "response"} {
+		a, ok := edf.AnalyzerByName(name)
+		if !ok {
+			t.Fatalf("missing builtin %q", name)
+		}
+		res, ok := edf.AnalyzeEvents(a, tasks, edf.Options{})
+		if ok {
+			t.Errorf("%s claims event support", name)
+		}
+		if res.Verdict != edf.Undecided {
+			t.Errorf("%s: verdict %v without event support, want undecided", name, res.Verdict)
+		}
+	}
+}
+
+// TestFingerprintFacade covers the facade helper: stable identity, option
+// sensitivity, and refusal of non-addressable options.
+func TestFingerprintFacade(t *testing.T) {
+	ts := edf.TaskSet{
+		{Name: "ctrl", WCET: 2, Deadline: 8, Period: 10},
+		{Name: "io", WCET: 3, Deadline: 15, Period: 15},
+	}
+	fp1, ok := edf.Fingerprint(ts, "cascade", edf.Options{})
+	if !ok || len(fp1) != 64 {
+		t.Fatalf("Fingerprint = %q, %v", fp1, ok)
+	}
+	fp2, _ := edf.Fingerprint(ts, "cascade", edf.Options{})
+	if fp1 != fp2 {
+		t.Error("fingerprint not deterministic")
+	}
+	if fp, _ := edf.Fingerprint(ts, "qpa", edf.Options{}); fp == fp1 {
+		t.Error("analyzer not part of the identity")
+	}
+	if fp, _ := edf.Fingerprint(ts, "cascade", edf.Options{MaxLevel: 4}); fp == fp1 {
+		t.Error("options not part of the identity")
+	}
+	if _, ok := edf.Fingerprint(ts, "cascade", edf.Options{
+		Blocking: func(int64) int64 { return 0 },
+	}); ok {
+		t.Error("blocking options must not be content-addressable")
+	}
+}
