@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-json serve fmt vet clean
+.PHONY: all build test bench bench-json serve smoke fmt vet clean
 
 all: build test
 
@@ -22,6 +22,12 @@ bench-json:
 # Run the edfd feasibility daemon locally.
 serve:
 	$(GO) run ./cmd/edfd -addr :8080
+
+# End-to-end smoke: build and start a real edfd, drive analyze, batch and
+# session propose-batch with both workload models through the typed
+# client, fail on any non-2xx.
+smoke:
+	$(GO) run ./cmd/edfsmoke
 
 fmt:
 	gofmt -l -w .

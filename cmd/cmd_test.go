@@ -97,6 +97,61 @@ func TestEdffeasJSONMatchesServiceSchema(t *testing.T) {
 	}
 }
 
+// TestEdfgenEventsThroughEdffeas generates an event-stream workload with
+// edfgen -events and drives it through edffeas -events, both as a table
+// and as the service batch JSON schema with "model": "events" jobs.
+func TestEdfgenEventsThroughEdffeas(t *testing.T) {
+	gen := buildTool(t, "edfgen")
+	feas := buildTool(t, "edffeas")
+	set := filepath.Join(t.TempDir(), "ev.json")
+	out, err := run(t, gen, "-n", "8", "-u", "0.7", "-seed", "5", "-events", "-burst", "3", "-o", set)
+	if err != nil {
+		t.Fatalf("edfgen -events: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The file is the service workload schema: model next to tasks.
+	var ws service.WorkloadSet
+	if err := json.Unmarshal(raw, &ws); err != nil {
+		t.Fatalf("generated file is not a workload set: %v\n%s", err, raw)
+	}
+	if ws.Workload.Kind() != "events" || ws.Workload.Len() != 8 {
+		t.Fatalf("generated workload: model %s, %d tasks", ws.Workload.Kind(), ws.Workload.Len())
+	}
+	if err := ws.Workload.Validate(); err != nil {
+		t.Fatalf("generated workload invalid: %v", err)
+	}
+
+	out, err = run(t, feas, "-events", set, "-test", "allapprox,pd")
+	if err != nil {
+		t.Fatalf("edffeas -events: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "feasible") || !strings.Contains(out, "processor-demand") {
+		t.Errorf("event table output:\n%s", out)
+	}
+
+	out, err = run(t, feas, "-events", set, "-test", "allapprox,qpa", "-json")
+	if err != nil {
+		t.Fatalf("edffeas -events -json: %v\n%s", err, out)
+	}
+	var resp service.BatchResponse
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("event -json is not the batch schema: %v\n%s", err, out)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results, want 2\n%s", len(resp.Results), out)
+	}
+	if jr := resp.Results[0]; jr.Model != "events" || jr.Err != "" || jr.Result.Verdict == "" {
+		t.Errorf("allapprox event job: %+v", jr)
+	}
+	// qpa has no event support: the job must carry the typed error.
+	if jr := resp.Results[1]; jr.Err == "" || !strings.Contains(jr.Err, "event-stream") {
+		t.Errorf("qpa event job should report the capability error: %+v", jr)
+	}
+}
+
 func TestEdffeasInfeasibleExitCode(t *testing.T) {
 	bin := buildTool(t, "edffeas")
 	set := filepath.Join(t.TempDir(), "bad.json")

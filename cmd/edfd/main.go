@@ -1,24 +1,31 @@
 // Command edfd serves EDF feasibility analysis over HTTP/JSON: stateless
-// analyze/batch endpoints backed by a content-addressed result cache, and
-// stateful online admission sessions.
+// analyze/batch endpoints over polymorphic workloads (sporadic task sets
+// and Gresser event streams) backed by a content-addressed result cache,
+// and stateful online admission sessions.
 //
 // Usage:
 //
 //	edfd [-addr :8080] [-cache 4096] [-workers 0] [-inflight 256]
-//	     [-timeout 30s] [-sessions 1024]
+//	     [-timeout 30s] [-sessions 1024] [-session-ttl 0]
 //
 // Endpoints:
 //
-//	POST /v1/analyze                 one task set, one analyzer (default cascade)
-//	POST /v1/batch                   sets x analyzers over the worker pool
-//	GET  /v1/analyzers               the analyzer registry
-//	POST /v1/sessions                open an admission session
-//	GET|DELETE /v1/sessions/{id}     inspect / close a session
-//	POST /v1/sessions/{id}/propose   stage a task if still feasible
-//	POST /v1/sessions/{id}/commit    make staged tasks permanent
-//	POST /v1/sessions/{id}/rollback  discard staged tasks
-//	GET  /healthz                    liveness
-//	GET  /metrics                    text counters (cache, sessions, requests)
+//	POST /v1/analyze                      one workload, one analyzer (default cascade)
+//	POST /v1/batch                        workloads x analyzers over the worker pool
+//	GET  /v1/analyzers                    the analyzer registry
+//	POST /v1/sessions                     open an admission session
+//	GET|DELETE /v1/sessions/{id}          inspect / close a session
+//	POST /v1/sessions/{id}/propose        stage a task if still feasible
+//	POST /v1/sessions/{id}/propose-batch  stage several tasks, one verdict each
+//	POST /v1/sessions/{id}/commit         make staged tasks permanent
+//	POST /v1/sessions/{id}/rollback       discard staged tasks
+//	GET  /healthz                         liveness
+//	GET  /metrics                         text counters (cache, sessions, requests)
+//
+// Workloads are {"model": "sporadic"|"events", "tasks": [...]}; a missing
+// model means sporadic, so pre-workload payloads keep working. With
+// -session-ttl > 0 a background sweeper closes admission sessions idle
+// past the TTL (off by default).
 //
 // The server drains in-flight requests on SIGINT/SIGTERM before exiting.
 package main
@@ -28,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,12 +47,13 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		cache    = flag.Int("cache", service.DefaultCacheCapacity, "result cache capacity in entries (negative disables)")
-		workers  = flag.Int("workers", 0, "batch worker pool size (0 = all CPUs)")
-		inflight = flag.Int("inflight", service.DefaultMaxInFlight, "max concurrent /v1 requests before 429")
-		timeout  = flag.Duration("timeout", service.DefaultRequestTimeout, "per-request analysis deadline")
-		sessions = flag.Int("sessions", service.DefaultMaxSessions, "max open admission sessions")
+		addr       = flag.String("addr", ":8080", "listen address")
+		cache      = flag.Int("cache", service.DefaultCacheCapacity, "result cache capacity in entries (negative disables)")
+		workers    = flag.Int("workers", 0, "batch worker pool size (0 = all CPUs)")
+		inflight   = flag.Int("inflight", service.DefaultMaxInFlight, "max concurrent /v1 requests before 429")
+		timeout    = flag.Duration("timeout", service.DefaultRequestTimeout, "per-request analysis deadline")
+		sessions   = flag.Int("sessions", service.DefaultMaxSessions, "max open admission sessions")
+		sessionTTL = flag.Duration("session-ttl", 0, "close admission sessions idle past this duration (0 disables)")
 	)
 	flag.Parse()
 
@@ -54,9 +63,10 @@ func main() {
 		MaxInFlight:    *inflight,
 		RequestTimeout: *timeout,
 		MaxSessions:    *sessions,
+		SessionTTL:     *sessionTTL,
 	})
+	defer srv.Close()
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -64,11 +74,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// An explicit listener resolves ":0" to a real port before the
+	// banner prints, so scripts (make smoke) can parse the address.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edfd:", err)
+		os.Exit(1)
+	}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("edfd: listening on %s (cache %d, inflight %d, timeout %s)\n",
-			*addr, *cache, *inflight, *timeout)
-		errc <- hs.ListenAndServe()
+		fmt.Printf("edfd: listening on %s (cache %d, inflight %d, timeout %s, session-ttl %s)\n",
+			ln.Addr(), *cache, *inflight, *timeout, *sessionTTL)
+		errc <- hs.Serve(ln)
 	}()
 
 	select {

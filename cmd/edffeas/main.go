@@ -21,7 +21,9 @@
 //
 // -json emits the results as the same JSON schema the edfd service's
 // POST /v1/batch returns, so scripts can consume CLI and server output
-// interchangeably.
+// interchangeably. It covers -events too: the jobs then carry "model":
+// "events", and analyzers without event support report a per-job error,
+// exactly as the service's batch endpoint would.
 package main
 
 import (
@@ -57,8 +59,8 @@ func main() {
 		listAnalyzers()
 		return
 	}
-	if *asJSON && (*events != "" || *curve > 0 || *wcrt || *slack) {
-		fmt.Fprintln(os.Stderr, "edffeas: -json covers the analyzer results only (not -events/-curve/-wcrt/-slack)")
+	if *asJSON && (*curve > 0 || *wcrt || *slack) {
+		fmt.Fprintln(os.Stderr, "edffeas: -json covers the analyzer results only (not -curve/-wcrt/-slack)")
 		os.Exit(2)
 	}
 
@@ -74,7 +76,7 @@ func main() {
 	}
 
 	if *events != "" {
-		if err := analyzeEvents(*events, analyzers, opt); err != nil {
+		if err := analyzeEvents(*events, analyzers, opt, *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "edffeas:", err)
 			os.Exit(2)
 		}
@@ -157,6 +159,7 @@ func emitJSON(name string, results []edf.BatchResult) error {
 		out.Results[i] = service.BatchJobJSON{
 			SetIndex: r.SetIndex,
 			SetName:  name,
+			Model:    string(r.Workload.Kind()),
 			Analyzer: r.Analyzer.Info().Name,
 			Result:   service.NewResultJSON(r.Result),
 			WallNS:   r.Wall.Nanoseconds(),
@@ -279,25 +282,35 @@ func dumpCurve(ts edf.TaskSet, upTo int64) error {
 	return nil
 }
 
-// analyzeEvents runs every event-capable analyzer of the selection on an
-// event-stream task set file.
-func analyzeEvents(path string, analyzers []edf.Analyzer, opt edf.Options) error {
+// analyzeEvents runs the selection on an event-stream task set file
+// through the workload batch runner. The table view skips analyzers
+// without event support; the JSON view reports them as per-job errors,
+// exactly as the service's batch endpoint would.
+func analyzeEvents(path string, analyzers []edf.Analyzer, opt edf.Options, asJSON bool) error {
 	tasks, name, err := edf.LoadEventTasks(path)
 	if err != nil {
 		return err
+	}
+	results := edf.AnalyzeWorkloads(context.Background(),
+		[]edf.Workload{edf.EventWorkload(tasks)}, analyzers, opt, 0)
+	if asJSON {
+		if err := emitJSON(name, results); err != nil {
+			return err
+		}
+		exitOnInfeasible(results)
+		return nil
 	}
 	fmt.Printf("event task set %q: %d tasks\n", name, len(tasks))
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "test\tverdict\tintervals\trevisions")
 	ran := 0
-	for _, a := range analyzers {
-		res, ok := edf.AnalyzeEvents(a, tasks, opt)
-		if !ok {
+	for _, r := range results {
+		if r.Err != nil {
 			continue // no event-stream support
 		}
 		ran++
 		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\n",
-			a.Info().Label, res.Verdict, res.Iterations, res.Revisions)
+			r.Analyzer.Info().Label, r.Result.Verdict, r.Result.Iterations, r.Result.Revisions)
 	}
 	if ran == 0 {
 		return fmt.Errorf("none of the selected analyzers supports event streams")

@@ -5,33 +5,52 @@
 // Usage:
 //
 //	edfgen -n 20 -u 0.95 -gap 0.3 -tmin 1000 -tmax 100000 [-log] [-seed 1]
-//	       [-count 1] [-o out.json]
+//	       [-count 1] [-o out.json] [-events] [-burst K] [-spacing S]
 //
 // With -count > 1 the sets are written to out_001.json, out_002.json, ...
+//
+// -events emits a Gresser event-stream workload ({"model": "events",
+// "tasks": [...]}) instead of a sporadic task set: each generated task
+// becomes an event-driven task whose stream is strictly periodic, or — with
+// -burst K > 1 — a periodically repeating burst of K events spaced by
+// -spacing (default: a quarter period divided by the burst size). Burst
+// tasks keep the target utilization by splitting the WCET across the burst.
+// The output is the workload schema the edfd service's /v1/analyze and
+// /v1/batch endpoints accept, and edffeas -events reads it directly.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
 	edf "repro"
+	"repro/internal/service"
 )
 
 func main() {
 	var (
-		n     = flag.Int("n", 10, "number of tasks")
-		u     = flag.Float64("u", 0.9, "target utilization in (0,1]")
-		gap   = flag.Float64("gap", 0.2, "average relative deadline gap (T-D)/T in [0,0.5]")
-		tmin  = flag.Int64("tmin", 1000, "minimum period")
-		tmax  = flag.Int64("tmax", 100000, "maximum period")
-		logU  = flag.Bool("log", false, "draw periods log-uniformly")
-		seed  = flag.Int64("seed", 1, "random seed")
-		count = flag.Int("count", 1, "number of task sets")
-		out   = flag.String("o", "", "output file (default stdout)")
+		n       = flag.Int("n", 10, "number of tasks")
+		u       = flag.Float64("u", 0.9, "target utilization in (0,1]")
+		gap     = flag.Float64("gap", 0.2, "average relative deadline gap (T-D)/T in [0,0.5]")
+		tmin    = flag.Int64("tmin", 1000, "minimum period")
+		tmax    = flag.Int64("tmax", 100000, "maximum period")
+		logU    = flag.Bool("log", false, "draw periods log-uniformly")
+		seed    = flag.Int64("seed", 1, "random seed")
+		count   = flag.Int("count", 1, "number of task sets")
+		out     = flag.String("o", "", "output file (default stdout)")
+		events  = flag.Bool("events", false, "emit a Gresser event-stream workload instead of a sporadic set")
+		burst   = flag.Int("burst", 1, "events per burst in -events mode (1 = strictly periodic streams)")
+		spacing = flag.Int64("spacing", 0, "burst event spacing in -events mode (0 = period/(4*burst))")
 	)
 	flag.Parse()
+
+	if *burst < 1 {
+		fmt.Fprintln(os.Stderr, "edfgen: -burst must be at least 1")
+		os.Exit(2)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	cfg := edf.GenConfig{
@@ -47,25 +66,62 @@ func main() {
 			os.Exit(2)
 		}
 		name := fmt.Sprintf("random-%d", i+1)
-		switch {
-		case *out == "":
-			if err := ts.WriteJSON(os.Stdout, name); err != nil {
-				fmt.Fprintln(os.Stderr, "edfgen:", err)
-				os.Exit(1)
-			}
-		case *count == 1:
-			if err := ts.SaveFile(*out, name); err != nil {
-				fmt.Fprintln(os.Stderr, "edfgen:", err)
-				os.Exit(1)
-			}
-		default:
-			path := fmt.Sprintf("%s_%03d.json", trimJSON(*out), i+1)
-			if err := ts.SaveFile(path, name); err != nil {
-				fmt.Fprintln(os.Stderr, "edfgen:", err)
-				os.Exit(1)
-			}
+		path := *out
+		if path != "" && *count > 1 {
+			path = fmt.Sprintf("%s_%03d.json", trimJSON(*out), i+1)
+		}
+		if err := emit(path, name, ts, *events, *burst, *spacing); err != nil {
+			fmt.Fprintln(os.Stderr, "edfgen:", err)
+			os.Exit(1)
 		}
 	}
+}
+
+// emit writes one set to path (stdout when empty), as a sporadic task set
+// or an event-stream workload.
+func emit(path, name string, ts edf.TaskSet, events bool, burst int, spacing int64) error {
+	if !events {
+		if path == "" {
+			return ts.WriteJSON(os.Stdout, name)
+		}
+		return ts.SaveFile(path, name)
+	}
+	ws := service.WorkloadSet{Name: name, Workload: edf.EventWorkload(eventTasks(ts, burst, spacing))}
+	data, err := json.MarshalIndent(ws, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// eventTasks converts generated sporadic tasks to event-driven tasks.
+// Periodic streams keep (C, D, T) verbatim. Bursts split the WCET across
+// K events repeating every period, rounding the per-event demand down so
+// the workload's utilization never exceeds the generator's target; a task
+// whose WCET is smaller than the burst size cannot be split (every event
+// shares one integer WCET) and keeps a periodic stream instead.
+func eventTasks(ts edf.TaskSet, burst int, spacing int64) []edf.EventTask {
+	out := make([]edf.EventTask, len(ts))
+	for i, t := range ts {
+		et := edf.EventTask{Name: t.Name, WCET: t.WCET, Deadline: t.Deadline}
+		if burst == 1 || t.WCET < int64(burst) {
+			et.Stream = edf.PeriodicStream(t.Period)
+		} else {
+			s := spacing
+			if s <= 0 {
+				s = max(t.Period/int64(4*burst), 1)
+			}
+			et.WCET = t.WCET / int64(burst)
+			et.Stream = edf.BurstStream(t.Period, burst, s)
+		}
+		out[i] = et
+	}
+	return out
 }
 
 func trimJSON(p string) string {

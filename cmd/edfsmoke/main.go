@@ -1,0 +1,223 @@
+// Command edfsmoke is the end-to-end smoke test behind `make smoke`: it
+// builds and starts a real edfd process on an ephemeral port, drives
+// analyze, batch and session propose-batch with both workload models
+// through the typed client, and exits non-zero on any non-2xx response or
+// contract violation (missed cache hit, colliding fingerprints, wrong
+// verdict count).
+//
+// Usage:
+//
+//	edfsmoke [-edfd path/to/edfd] [-timeout 60s]
+//
+// Without -edfd the daemon is compiled from ./cmd/edfd into a temp dir,
+// so `go run ./cmd/edfsmoke` works from a clean checkout.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	edf "repro"
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+func main() {
+	var (
+		edfdPath = flag.String("edfd", "", "edfd binary to drive (default: build ./cmd/edfd)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "overall smoke deadline")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := run(ctx, *edfdPath); err != nil {
+		fmt.Fprintln(os.Stderr, "edfsmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("edfsmoke: PASS")
+}
+
+func run(ctx context.Context, edfdPath string) error {
+	if edfdPath == "" {
+		dir, err := os.MkdirTemp("", "edfsmoke")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		edfdPath = filepath.Join(dir, "edfd")
+		build := exec.CommandContext(ctx, "go", "build", "-o", edfdPath, "./cmd/edfd")
+		if out, err := build.CombinedOutput(); err != nil {
+			return fmt.Errorf("building edfd: %v\n%s", err, out)
+		}
+	}
+
+	cmd := exec.CommandContext(ctx, edfdPath, "-addr", "127.0.0.1:0", "-session-ttl", "10m")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	addr, err := listenAddr(stdout)
+	if err != nil {
+		return err
+	}
+	c := client.New("http://"+addr, nil)
+	if err := waitHealthy(ctx, c); err != nil {
+		return err
+	}
+	fmt.Println("edfsmoke: edfd healthy on", addr)
+
+	sporadic := edf.TaskSet{
+		{Name: "ctrl", WCET: 2, Deadline: 8, Period: 10},
+		{Name: "io", WCET: 3, Deadline: 15, Period: 15},
+	}
+	events := []edf.EventTask{
+		{Name: "periodic", WCET: 2, Deadline: 9, Stream: edf.PeriodicStream(10)},
+		{Name: "burst", WCET: 1, Deadline: 24, Stream: edf.BurstStream(50, 3, 4)},
+	}
+
+	// Analyze: both models, then both again — the repeats must be cache
+	// hits and the two fingerprints must live in different domains.
+	fps := map[string]string{}
+	for _, wl := range []struct {
+		name string
+		w    edf.Workload
+	}{{"sporadic", edf.SporadicWorkload(sporadic)}, {"events", edf.EventWorkload(events)}} {
+		first, err := c.Analyze(ctx, service.AnalyzeRequest{Name: wl.name, Workload: wl.w})
+		if err != nil {
+			return fmt.Errorf("analyze %s: %w", wl.name, err)
+		}
+		if first.Fingerprint == "" {
+			return fmt.Errorf("analyze %s: no fingerprint", wl.name)
+		}
+		again, err := c.Analyze(ctx, service.AnalyzeRequest{Name: wl.name, Workload: wl.w})
+		if err != nil {
+			return fmt.Errorf("re-analyze %s: %w", wl.name, err)
+		}
+		if !again.Cached || again.Fingerprint != first.Fingerprint {
+			return fmt.Errorf("re-analyze %s: cached=%v fingerprint %q vs %q",
+				wl.name, again.Cached, again.Fingerprint, first.Fingerprint)
+		}
+		fps[wl.name] = first.Fingerprint
+		fmt.Printf("edfsmoke: analyze %s: %s (cache hit on repeat)\n", wl.name, first.Result.Verdict)
+	}
+	if fps["sporadic"] == fps["events"] {
+		return fmt.Errorf("sporadic and event workloads share fingerprint %s", fps["sporadic"])
+	}
+
+	// Batch: both models in one request.
+	bresp, err := c.Batch(ctx, service.BatchRequest{
+		Sets: []service.WorkloadSet{
+			{Name: "s", Workload: edf.SporadicWorkload(sporadic)},
+			{Name: "e", Workload: edf.EventWorkload(events)},
+		},
+		Analyzers: []string{"cascade"},
+	})
+	if err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+	if len(bresp.Results) != 2 {
+		return fmt.Errorf("batch returned %d results, want 2", len(bresp.Results))
+	}
+	for _, jr := range bresp.Results {
+		if jr.Err != "" {
+			return fmt.Errorf("batch job %s/%s failed: %s", jr.SetName, jr.Analyzer, jr.Err)
+		}
+	}
+	fmt.Println("edfsmoke: batch over both models ok")
+
+	// Sessions: one per model, driven through propose-batch.
+	for _, sess := range []struct {
+		name  string
+		seed  edf.Workload
+		tasks []service.WorkloadTask
+	}{
+		{
+			name: "sporadic",
+			seed: edf.SporadicWorkload(sporadic),
+			tasks: []service.WorkloadTask{
+				service.SporadicTask(edf.Task{Name: "a", WCET: 1, Deadline: 50, Period: 100}),
+				service.SporadicTask(edf.Task{Name: "b", WCET: 2, Deadline: 60, Period: 100}),
+			},
+		},
+		{
+			name: "events",
+			seed: edf.EventWorkload(events),
+			tasks: []service.WorkloadTask{
+				service.EventTask(edf.EventTask{Name: "x", WCET: 1, Deadline: 40, Stream: edf.PeriodicStream(100)}),
+				service.EventTask(edf.EventTask{Name: "y", WCET: 2, Deadline: 80, Stream: edf.PeriodicStream(200)}),
+			},
+		},
+	} {
+		h, state, err := c.OpenSession(ctx, service.SessionRequest{Workload: sess.seed})
+		if err != nil {
+			return fmt.Errorf("open %s session: %w", sess.name, err)
+		}
+		if state.Model != sess.name {
+			return fmt.Errorf("%s session reports model %q", sess.name, state.Model)
+		}
+		presp, err := h.ProposeBatch(ctx, service.ProposeBatchRequest{Tasks: sess.tasks})
+		if err != nil {
+			return fmt.Errorf("%s propose-batch: %w", sess.name, err)
+		}
+		if len(presp.Results) != len(sess.tasks) {
+			return fmt.Errorf("%s propose-batch: %d verdicts for %d tasks",
+				sess.name, len(presp.Results), len(sess.tasks))
+		}
+		if _, err := h.Commit(ctx); err != nil {
+			return fmt.Errorf("%s commit: %w", sess.name, err)
+		}
+		if err := h.Close(ctx); err != nil {
+			return fmt.Errorf("%s close: %w", sess.name, err)
+		}
+		fmt.Printf("edfsmoke: %s session propose-batch ok (%d verdicts)\n",
+			sess.name, len(presp.Results))
+	}
+	return nil
+}
+
+// listenAddr parses the daemon's startup banner for the resolved address.
+func listenAddr(stdout io.Reader) (string, error) {
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "edfd: listening on "); ok {
+			go io.Copy(io.Discard, stdout) // keep the pipe drained
+			addr, _, _ := strings.Cut(rest, " ")
+			return addr, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("edfd exited before announcing its address")
+}
+
+// waitHealthy polls /healthz until the daemon answers.
+func waitHealthy(ctx context.Context, c *client.Client) error {
+	for {
+		if err := c.Healthz(ctx); err == nil {
+			return nil
+		} else if ctx.Err() != nil {
+			return fmt.Errorf("edfd never became healthy: %w", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -70,7 +70,7 @@ func main() {
 	for req := range 60 {
 		t := randomRequest(rng, req)
 		accepted, _, _ := controller.Snapshot()
-		candidate := append(accepted, t)
+		candidate := append(accepted.Tasks, t)
 
 		// Policy 1: Devi (what a sufficient-test-based admitter would do).
 		dr := edf.Devi(candidate)
@@ -108,7 +108,7 @@ func main() {
 	}
 
 	committed, _, util := controller.Snapshot()
-	fmt.Printf("final task set: %d tasks, utilization %.1f%%\n\n", len(committed), 100*util)
+	fmt.Printf("final task set: %d tasks, utilization %.1f%%\n\n", committed.Len(), 100*util)
 	fmt.Printf("%-22s %9s %9s %16s\n", "policy", "admitted", "rejected", "total intervals")
 	fmt.Printf("%-22s %9d %9d %16d\n", "devi (sufficient)", devi.admitted, devi.rejected, devi.intervals)
 	fmt.Printf("%-22s %9d %9d %16d\n", "dynamic, level<=8", capped.admitted, capped.rejected, capped.intervals)
@@ -116,8 +116,8 @@ func main() {
 
 	// Show that the admitted configuration really holds up in a replay.
 	final, _, _ := controller.Snapshot()
-	horizon, _ := edf.SimHorizon(final)
-	rep, err := edf.Simulate(final, edf.SimOptions{Horizon: horizon})
+	horizon, _ := edf.SimHorizon(final.Tasks)
+	rep, err := edf.Simulate(final.Tasks, edf.SimOptions{Horizon: horizon})
 	if err != nil {
 		panic(err)
 	}

@@ -44,15 +44,27 @@ func main() {
 		{Name: "io", WCET: 3, Deadline: 15, Period: 15},
 		{Name: "log", WCET: 10, Deadline: 80, Period: 100},
 	}
-	first, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "demo", Tasks: ts})
+	first, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "demo", Workload: edf.SporadicWorkload(ts)})
 	check(err)
 	fmt.Printf("analyze %q: %s in %d intervals (wall %s, cached %v)\n",
 		first.Name, first.Result.Verdict, first.Result.Iterations,
 		time.Duration(first.WallNS), first.Cached)
-	again, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "demo", Tasks: ts})
+	again, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "demo", Workload: edf.SporadicWorkload(ts)})
 	check(err)
 	fmt.Printf("analyze %q again: %s (cached %v, fingerprint %.12s...)\n\n",
 		again.Name, again.Result.Verdict, again.Cached, again.Fingerprint)
+
+	// The same endpoint speaks the Gresser event-stream model: the
+	// workload's "model" discriminator routes it to the event-capable
+	// analyzers, and its results live in their own fingerprint domain.
+	ev := []edf.EventTask{
+		{Name: "periodic", WCET: 2, Deadline: 9, Stream: edf.PeriodicStream(10)},
+		{Name: "burst", WCET: 1, Deadline: 24, Stream: edf.BurstStream(50, 3, 4)},
+	}
+	evResp, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "demo-events", Workload: edf.EventWorkload(ev)})
+	check(err)
+	fmt.Printf("analyze %q (model %s): %s via %s (fingerprint %.12s...)\n\n",
+		evResp.Name, evResp.Model, evResp.Result.Verdict, evResp.Analyzer, evResp.Fingerprint)
 
 	// A batch of generated sets fans over the server's worker pool.
 	rng := rand.New(rand.NewSource(42))
@@ -65,8 +77,8 @@ func main() {
 		if err != nil {
 			continue
 		}
-		batch.Sets = append(batch.Sets, service.SetJSON{
-			Name: fmt.Sprintf("gen-%d", len(batch.Sets)), Tasks: set,
+		batch.Sets = append(batch.Sets, service.WorkloadSet{
+			Name: fmt.Sprintf("gen-%d", len(batch.Sets)), Workload: edf.SporadicWorkload(set),
 		})
 	}
 	bresp, err := c.Batch(ctx, batch)
@@ -82,19 +94,37 @@ func main() {
 
 	// Pillar 3: a stateful admission session.
 	sess, state, err := c.OpenSession(ctx, service.SessionRequest{
-		Tasks: edf.TaskSet{{Name: "base", WCET: 10, Deadline: 90, Period: 100}},
+		Workload: edf.SporadicWorkload(edf.TaskSet{{Name: "base", WCET: 10, Deadline: 90, Period: 100}}),
 	})
 	check(err)
-	fmt.Printf("session %.8s...: analyzer %s, %d committed, U = %.2f\n",
-		state.ID, state.Analyzer, state.Committed, state.Utilization)
+	fmt.Printf("session %.8s...: model %s, analyzer %s, %d committed, U = %.2f\n",
+		state.ID, state.Model, state.Analyzer, state.Committed, state.Utilization)
 	admitted, rejected := 0, 0
-	for i := range 20 {
+	for i := range 10 {
 		T := int64(500 * (1 + rng.Intn(20)))
-		resp, err := sess.Propose(ctx, service.ProposeRequest{Task: edf.Task{
+		resp, err := sess.Propose(ctx, service.ProposeRequest{Task: service.SporadicTask(edf.Task{
 			Name: fmt.Sprintf("job-%02d", i), WCET: max(T/12, 1), Deadline: T, Period: T,
-		}})
+		})})
 		check(err)
 		if resp.Admitted {
+			admitted++
+		} else {
+			rejected++
+		}
+	}
+	// The bulk endpoint decides a whole arrival burst in one round trip,
+	// each task seeing the ones staged before it.
+	var burst []service.WorkloadTask
+	for i := range 10 {
+		T := int64(500 * (1 + rng.Intn(20)))
+		burst = append(burst, service.SporadicTask(edf.Task{
+			Name: fmt.Sprintf("bulk-%02d", i), WCET: max(T/12, 1), Deadline: T, Period: T,
+		}))
+	}
+	bulk, err := sess.ProposeBatch(ctx, service.ProposeBatchRequest{Tasks: burst})
+	check(err)
+	for _, r := range bulk.Results {
+		if r.Admitted {
 			admitted++
 		} else {
 			rejected++
@@ -107,7 +137,7 @@ func main() {
 
 	// Rollback demo: stage a task, discard it, state reverts.
 	_, err = sess.Propose(ctx, service.ProposeRequest{
-		Task: edf.Task{Name: "tentative", WCET: 1, Deadline: 1000, Period: 1000},
+		Task: service.SporadicTask(edf.Task{Name: "tentative", WCET: 1, Deadline: 1000, Period: 1000}),
 	})
 	check(err)
 	rb, err := sess.Rollback(ctx)

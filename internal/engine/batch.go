@@ -8,20 +8,34 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/workload"
 )
 
-// Job is one (task set, analyzer) unit of batch work.
+// Job is one (workload, analyzer) unit of batch work.
 type Job struct {
 	// SetIndex identifies the task set within the batch.
 	SetIndex int
 	// SetName is an optional display name for the set.
 	SetName string
-	// Set is the task set to analyze.
+	// Set is the sporadic task set to analyze. It is consulted only when
+	// Workload is unset, so pre-workload call sites keep working.
 	Set model.TaskSet
+	// Workload is the polymorphic task set to analyze; when set it takes
+	// precedence over Set and selects the analyzer entry point by model.
+	Workload workload.Workload
 	// Analyzer runs the test.
 	Analyzer Analyzer
 	// Opt tunes the test.
 	Opt core.Options
+}
+
+// workload returns the effective workload: the explicit one, or Set
+// wrapped as a sporadic workload.
+func (j Job) workload() workload.Workload {
+	if j.Workload.IsZero() {
+		return workload.NewSporadic(j.Set)
+	}
+	return j.Workload
 }
 
 // JobResult is the outcome of one job, with per-job telemetry.
@@ -33,7 +47,9 @@ type JobResult struct {
 	// Wall is the job's wall-clock duration.
 	Wall time.Duration
 	// Err is non-nil when the batch context was canceled before the job
-	// ran; the Result is then zero-valued with an Undecided verdict.
+	// ran, or when the job paired an event workload with an analyzer
+	// lacking event support (*EventsUnsupportedError); the Result is then
+	// zero-valued with an Undecided verdict.
 	Err error
 }
 
@@ -102,14 +118,14 @@ dispatch:
 }
 
 // runJob executes one job, honoring cancellation between dispatch and
-// start.
+// start and dispatching on the job's workload model.
 func runJob(ctx context.Context, job Job) JobResult {
 	if err := ctx.Err(); err != nil {
 		return JobResult{Job: job, Result: core.Result{Verdict: core.Undecided}, Err: err}
 	}
 	start := time.Now()
-	res := job.Analyzer.Analyze(job.Set, job.Opt)
-	return JobResult{Job: job, Result: res, Wall: time.Since(start)}
+	res, err := AnalyzeWorkload(job.Analyzer, job.workload(), job.Opt)
+	return JobResult{Job: job, Result: res, Wall: time.Since(start), Err: err}
 }
 
 // RunSets is the common whole-batch convenience: it runs every analyzer

@@ -8,17 +8,25 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/workload"
 )
 
-// fingerprintVersion tags the canonical encoding; bump it whenever the
-// encoding below changes so stale cache entries can never alias.
-const fingerprintVersion = "edf.fp.v1"
+// Domain tags of the canonical encodings; bump a tag whenever its
+// encoding below changes so stale cache entries can never alias. The two
+// tags are fixed NUL-free literals, neither a prefix of the other, and
+// every encoding starts with its tag followed by a NUL — so a sporadic
+// encoding can never equal an event-stream encoding and the two result
+// spaces cannot collide in a shared cache.
+const (
+	fingerprintVersion      = "edf.fp.v1"
+	eventFingerprintVersion = "edf.fp.events.v1"
+)
 
-// Fingerprint returns a content-addressed identity for an analysis: the
-// hex SHA-256 of a canonical encoding of (task set, analyzer name,
-// options). Two analyses share a fingerprint exactly when they are
-// guaranteed to produce the same Result, so the fingerprint is a sound
-// cache key for analysis results.
+// Fingerprint returns a content-addressed identity for a sporadic-set
+// analysis: the hex SHA-256 of a canonical encoding of (task set,
+// analyzer name, options). Two analyses share a fingerprint exactly when
+// they are guaranteed to produce the same Result, so the fingerprint is a
+// sound cache key for analysis results.
 //
 // Task names are excluded (they never influence a verdict); task order is
 // included (it can influence effort counters such as revision order).
@@ -26,12 +34,55 @@ const fingerprintVersion = "edf.fp.v1"
 // today a non-nil Blocking function — in which case the analysis must not
 // be cached.
 func Fingerprint(ts model.TaskSet, analyzer string, opt core.Options) (fp string, ok bool) {
+	return WorkloadFingerprint(workload.NewSporadic(ts), analyzer, opt)
+}
+
+// WorkloadFingerprint is the workload-polymorphic content address: the
+// same contract as Fingerprint, with the encoding domain-separated by the
+// workload model. Sporadic workloads keep the exact pre-workload
+// encoding, so fingerprints already handed out (or persisted) stay valid.
+func WorkloadFingerprint(wl workload.Workload, analyzer string, opt core.Options) (fp string, ok bool) {
 	if opt.Blocking != nil {
 		return "", false
 	}
-	h := sha256.New()
-	buf := make([]byte, 0, 16*(len(ts)+2))
-	buf = append(buf, fingerprintVersion...)
+	var buf []byte
+	if wl.Kind() == workload.Events {
+		buf = make([]byte, 0, 64+32*len(wl.Events))
+		buf = append(buf, eventFingerprintVersion...)
+		buf = appendAnalysisHeader(buf, analyzer, opt)
+		buf = binary.AppendVarint(buf, int64(len(wl.Events)))
+		for _, t := range wl.Events {
+			buf = binary.AppendVarint(buf, t.WCET)
+			buf = binary.AppendVarint(buf, t.Deadline)
+			buf = binary.AppendVarint(buf, int64(len(t.Stream)))
+			for _, e := range t.Stream {
+				buf = binary.AppendVarint(buf, e.Cycle)
+				buf = binary.AppendVarint(buf, e.Offset)
+			}
+		}
+	} else {
+		ts := wl.Tasks
+		buf = make([]byte, 0, 16*(len(ts)+2))
+		buf = append(buf, fingerprintVersion...)
+		buf = appendAnalysisHeader(buf, analyzer, opt)
+		buf = binary.AppendVarint(buf, int64(len(ts)))
+		for _, t := range ts {
+			buf = binary.AppendVarint(buf, t.WCET)
+			buf = binary.AppendVarint(buf, t.Deadline)
+			buf = binary.AppendVarint(buf, t.Period)
+			buf = binary.AppendVarint(buf, t.Phase)
+			buf = binary.AppendVarint(buf, t.CriticalSection)
+			buf = binary.AppendVarint(buf, t.SelfSuspension)
+		}
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:]), true
+}
+
+// appendAnalysisHeader encodes the model-independent identity parts —
+// the NUL closing the domain tag, the analyzer name and the serializable
+// options — exactly as the v1 sporadic encoding laid them out.
+func appendAnalysisHeader(buf []byte, analyzer string, opt core.Options) []byte {
 	buf = append(buf, 0)
 	buf = append(buf, strings.ToLower(strings.TrimSpace(analyzer))...)
 	buf = append(buf, 0)
@@ -40,15 +91,5 @@ func Fingerprint(ts model.TaskSet, analyzer string, opt core.Options) (fp string
 	buf = binary.AppendVarint(buf, opt.MaxLevel)
 	buf = append(buf, opt.Bound...)
 	buf = append(buf, 0)
-	buf = binary.AppendVarint(buf, int64(len(ts)))
-	for _, t := range ts {
-		buf = binary.AppendVarint(buf, t.WCET)
-		buf = binary.AppendVarint(buf, t.Deadline)
-		buf = binary.AppendVarint(buf, t.Period)
-		buf = binary.AppendVarint(buf, t.Phase)
-		buf = binary.AppendVarint(buf, t.CriticalSection)
-		buf = binary.AppendVarint(buf, t.SelfSuspension)
-	}
-	h.Write(buf)
-	return hex.EncodeToString(h.Sum(nil)), true
+	return buf
 }

@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// EventsUnsupportedError reports that an analyzer without event-stream
+// support was asked to analyze an event workload.
+type EventsUnsupportedError struct {
+	// Analyzer is the registry name of the incapable analyzer.
+	Analyzer string
+}
+
+func (e *EventsUnsupportedError) Error() string {
+	return fmt.Sprintf("engine: analyzer %q does not support event-stream workloads", e.Analyzer)
+}
+
+// AnalyzeWorkload dispatches a workload to the analyzer's matching entry
+// point: Analyze for sporadic workloads, AnalyzeEvents for event-stream
+// workloads. Event workloads on analyzers without event support fail with
+// an *EventsUnsupportedError (and an Undecided result), mirroring the
+// Info().Events capability flag.
+func AnalyzeWorkload(a Analyzer, wl workload.Workload, opt core.Options) (core.Result, error) {
+	if wl.Kind() == workload.Events {
+		ea, ok := a.(EventAnalyzer)
+		if !ok {
+			return core.Result{Verdict: core.Undecided}, &EventsUnsupportedError{Analyzer: a.Info().Name}
+		}
+		return ea.AnalyzeEvents(wl.Events, opt), nil
+	}
+	return a.Analyze(wl.Tasks, opt), nil
+}
+
+// BatchWorkloads builds the (workload x analyzer) cross product in
+// set-major order, the workload-polymorphic counterpart of Batch. Run
+// fans each job to the analyzer's matching entry point; jobs pairing an
+// event workload with a non-event analyzer come back with Err set to an
+// *EventsUnsupportedError.
+func BatchWorkloads(wls []workload.Workload, analyzers []Analyzer, opt core.Options) []Job {
+	jobs := make([]Job, 0, len(wls)*len(analyzers))
+	for wi, wl := range wls {
+		for _, a := range analyzers {
+			jobs = append(jobs, Job{SetIndex: wi, Workload: wl, Analyzer: a, Opt: opt})
+		}
+	}
+	return jobs
+}

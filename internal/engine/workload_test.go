@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventstream"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// TestAnalyzeWorkloadDispatch pins the capability contract: sporadic
+// workloads run on every analyzer, event workloads only on event-capable
+// ones, and the failure is the typed error the service maps to 422.
+func TestAnalyzeWorkloadDispatch(t *testing.T) {
+	sporadic := workload.NewSporadic(model.TaskSet{{WCET: 2, Deadline: 8, Period: 10}})
+	events := workload.NewEvents([]eventstream.Task{
+		{WCET: 2, Deadline: 8, Stream: eventstream.Periodic(10)},
+	})
+
+	for _, a := range All() {
+		info := a.Info()
+		if res, err := AnalyzeWorkload(a, sporadic, core.Options{}); err != nil {
+			t.Errorf("%s: sporadic workload failed: %v", info.Name, err)
+		} else if res.Verdict == core.Undecided && info.Kind == Exact {
+			t.Errorf("%s: exact analyzer undecided on a trivial set", info.Name)
+		}
+
+		res, err := AnalyzeWorkload(a, events, core.Options{})
+		if info.Events {
+			if err != nil {
+				t.Errorf("%s: event-capable analyzer rejected an event workload: %v", info.Name, err)
+			}
+			continue
+		}
+		var unsup *EventsUnsupportedError
+		if !errors.As(err, &unsup) || unsup.Analyzer != info.Name {
+			t.Errorf("%s: want *EventsUnsupportedError for itself, got %v", info.Name, err)
+		}
+		if res.Verdict != core.Undecided {
+			t.Errorf("%s: unsupported event workload produced verdict %s", info.Name, res.Verdict)
+		}
+	}
+}
+
+// TestAnalyzeWorkloadAgreesWithDirectCalls cross-checks the dispatcher
+// against the pre-workload entry points.
+func TestAnalyzeWorkloadAgreesWithDirectCalls(t *testing.T) {
+	ts := model.TaskSet{
+		{WCET: 2, Deadline: 8, Period: 10},
+		{WCET: 3, Deadline: 15, Period: 15},
+	}
+	a := MustGet("allapprox")
+	direct := a.Analyze(ts, core.Options{})
+	via, err := AnalyzeWorkload(a, workload.NewSporadic(ts), core.Options{})
+	if err != nil || via.Verdict != direct.Verdict || via.Iterations != direct.Iterations {
+		t.Errorf("sporadic dispatch: %+v vs direct %+v (err %v)", via, direct, err)
+	}
+
+	ev := []eventstream.Task{
+		{WCET: 2, Deadline: 8, Stream: eventstream.Periodic(10)},
+		{WCET: 3, Deadline: 15, Stream: eventstream.Burst(30, 2, 5)},
+	}
+	ea := a.(EventAnalyzer)
+	directEv := ea.AnalyzeEvents(ev, core.Options{})
+	viaEv, err := AnalyzeWorkload(a, workload.NewEvents(ev), core.Options{})
+	if err != nil || viaEv.Verdict != directEv.Verdict || viaEv.Iterations != directEv.Iterations {
+		t.Errorf("event dispatch: %+v vs direct %+v (err %v)", viaEv, directEv, err)
+	}
+}
+
+// TestBatchWorkloadsMixedModels runs a mixed batch through Run and checks
+// ordering, verdict agreement and per-job capability errors.
+func TestBatchWorkloadsMixedModels(t *testing.T) {
+	wls := []workload.Workload{
+		workload.NewSporadic(model.TaskSet{{WCET: 2, Deadline: 8, Period: 10}}),
+		workload.NewEvents([]eventstream.Task{{WCET: 2, Deadline: 8, Stream: eventstream.Periodic(10)}}),
+	}
+	// qpa has no event support; allapprox has.
+	analyzers := []Analyzer{MustGet("allapprox"), MustGet("qpa")}
+	results := Run(context.Background(), BatchWorkloads(wls, analyzers, core.Options{}), RunOptions{})
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for i, r := range results {
+		if r.SetIndex != i/2 {
+			t.Errorf("job %d: set index %d", i, r.SetIndex)
+		}
+	}
+	for i := range 3 {
+		if results[i].Err != nil {
+			t.Errorf("job %d failed: %v", i, results[i].Err)
+		}
+		if results[i].Result.Verdict != core.Feasible {
+			t.Errorf("job %d: verdict %s", i, results[i].Result.Verdict)
+		}
+	}
+	var unsup *EventsUnsupportedError
+	if !errors.As(results[3].Err, &unsup) || unsup.Analyzer != "qpa" {
+		t.Errorf("events x qpa: want *EventsUnsupportedError{qpa}, got %v", results[3].Err)
+	}
+}

@@ -7,7 +7,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/eventstream"
 	"repro/internal/model"
+	"repro/internal/workload"
 )
 
 // AdmissionConfig tunes an admission controller.
@@ -18,9 +20,11 @@ type AdmissionConfig struct {
 	Analyzer string
 	// Options tune the test.
 	Options core.Options
-	// Seed optionally pre-commits an initial task set; it must be
-	// feasible under the analyzer.
-	Seed model.TaskSet
+	// Seed optionally pre-commits an initial workload; it must be
+	// feasible under the analyzer. Its model — sporadic for the zero
+	// value — becomes the session model, and every later proposal must
+	// match it. An event-model seed requires an event-capable analyzer.
+	Seed workload.Workload
 }
 
 // ProposeOutcome reports one admission decision. Its counts are taken in
@@ -61,8 +65,10 @@ type AdmissionStats struct {
 }
 
 // Admission is a concurrency-safe online admission controller: tasks are
-// proposed one at a time, staged while feasibility holds, and made
-// permanent (or discarded) transactionally. It keeps the running
+// proposed one at a time (or in bulk), staged while feasibility holds,
+// and made permanent (or discarded) transactionally. The session is fixed
+// to one workload model at construction; sporadic sessions admit sporadic
+// tasks, event sessions admit event-driven tasks. It keeps the running
 // utilization incrementally as an exact rational, so the cheap
 // reject-on-overload path costs one addition and one comparison and never
 // consults an analyzer.
@@ -70,16 +76,16 @@ type Admission struct {
 	mu        sync.Mutex
 	analyzer  engine.Analyzer
 	opt       core.Options
-	committed model.TaskSet
-	pending   model.TaskSet
+	model     workload.Model
+	committed workload.Workload
+	pending   workload.Workload
 	util      *big.Rat // utilization of committed + pending
 	stats     AdmissionStats
 }
 
 // NewAdmission builds an admission controller. It fails when the analyzer
-// is unknown, not exact-capable for admission (sufficient analyzers are
-// allowed but reject everything they cannot accept), or the seed set is
-// invalid or infeasible.
+// is unknown, lacks event support for an event-model seed, or the seed
+// workload is invalid or infeasible.
 func NewAdmission(cfg AdmissionConfig) (*Admission, error) {
 	name := cfg.Analyzer
 	if name == "" {
@@ -89,15 +95,29 @@ func NewAdmission(cfg AdmissionConfig) (*Admission, error) {
 	if !ok {
 		return nil, fmt.Errorf("service: unknown analyzer %q", name)
 	}
-	adm := &Admission{analyzer: a, opt: cfg.Options, util: new(big.Rat)}
-	if len(cfg.Seed) > 0 {
+	m := cfg.Seed.Kind()
+	if m == workload.Events && !a.Info().Events {
+		return nil, fmt.Errorf("service: analyzer %q cannot admit event-stream workloads", a.Info().Name)
+	}
+	adm := &Admission{
+		analyzer:  a,
+		opt:       cfg.Options,
+		model:     m,
+		committed: workload.Workload{Model: m},
+		pending:   workload.Workload{Model: m},
+		util:      new(big.Rat),
+	}
+	if cfg.Seed.Len() > 0 {
 		seed := cfg.Seed.Clone()
 		if err := seed.Validate(); err != nil {
-			return nil, fmt.Errorf("service: seed set: %w", err)
+			return nil, fmt.Errorf("service: seed workload: %w", err)
 		}
-		res := a.Analyze(seed, cfg.Options)
+		res, err := engine.AnalyzeWorkload(a, seed, cfg.Options)
+		if err != nil {
+			return nil, fmt.Errorf("service: seed workload: %w", err)
+		}
 		if res.Verdict != core.Feasible {
-			return nil, fmt.Errorf("service: seed set is not admissible (%s)", res.Verdict)
+			return nil, fmt.Errorf("service: seed workload is not admissible (%s)", res.Verdict)
 		}
 		adm.committed = seed
 		adm.util = seed.Utilization()
@@ -108,41 +128,122 @@ func NewAdmission(cfg AdmissionConfig) (*Admission, error) {
 // Analyzer returns the controller's analyzer name.
 func (a *Admission) Analyzer() string { return a.analyzer.Info().Name }
 
-// Propose decides whether the session can also accommodate t. On a
+// Model returns the session's workload model.
+func (a *Admission) Model() workload.Model { return a.model }
+
+// Propose decides whether the session can also accommodate the sporadic
+// task t — the pre-workload entry point, equivalent to ProposeTask on a
+// wrapped task.
+func (a *Admission) Propose(t model.Task) (ProposeOutcome, error) {
+	return a.ProposeTask(workload.SporadicTask(t))
+}
+
+// ProposeTask decides whether the session can also accommodate t. On a
 // feasible verdict the task is staged into the pending set; Commit makes
 // pending tasks permanent, Rollback discards them. Decisions are
-// cheap-first: an invalid task or one that would push utilization past 1
-// is rejected before any analyzer runs.
-func (a *Admission) Propose(t model.Task) (ProposeOutcome, error) {
-	if err := t.Validate(); err != nil {
+// cheap-first: an invalid task, a model mismatch, or one that would push
+// utilization past 1 is rejected before any analyzer runs.
+func (a *Admission) ProposeTask(t workload.Task) (ProposeOutcome, error) {
+	if err := a.check(t); err != nil {
 		return ProposeOutcome{}, err
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	return a.proposeLocked(t)
+}
+
+// ProposeBatch decides a sequence of tasks in one critical section, each
+// decision seeing the tasks staged before it — the bulk counterpart of
+// ProposeTask, one verdict per task in order. The whole slice is
+// validated first, so a malformed or mismatched task fails the call
+// before any state changes.
+func (a *Admission) ProposeBatch(tasks []workload.Task) ([]ProposeOutcome, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("service: propose batch needs at least one task")
+	}
+	for i, t := range tasks {
+		if err := a.check(t); err != nil {
+			return nil, fmt.Errorf("task %d: %w", i, err)
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]ProposeOutcome, len(tasks))
+	for i, t := range tasks {
+		var err error
+		if out[i], err = a.proposeLocked(t); err != nil {
+			// Unreachable today (every task was validated above), but a
+			// future error path must not masquerade as a rejection.
+			return nil, fmt.Errorf("task %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// check validates a proposal against the task's own structure and the
+// session model.
+func (a *Admission) check(t workload.Task) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if t.Kind() != a.model {
+		return fmt.Errorf("service: session admits %s tasks, got a %s task", a.model, t.Kind())
+	}
+	return nil
+}
+
+// proposeLocked decides one already-validated task; the caller holds the
+// mutex. The returned error is always nil today (the analyzer's model
+// capability is fixed at construction) but kept for symmetry.
+func (a *Admission) proposeLocked(t workload.Task) (ProposeOutcome, error) {
 	a.stats.Proposed++
 
-	// Cheap gate: incremental utilization. U > 1 is exactly infeasible,
-	// so this is a sound O(1) rejection, not a heuristic.
+	// Cheap gate: incremental utilization. U > 1 is exactly infeasible
+	// under either model, so this is a sound O(1) rejection, not a
+	// heuristic.
 	grown := new(big.Rat).Add(a.util, t.Utilization())
 	if grown.Cmp(big.NewRat(1, 1)) > 0 {
 		a.stats.Rejected++
 		return a.outcome(false, core.Result{Verdict: core.Infeasible}), nil
 	}
 
-	candidate := make(model.TaskSet, 0, len(a.committed)+len(a.pending)+1)
-	candidate = append(candidate, a.committed...)
-	candidate = append(candidate, a.pending...)
-	candidate = append(candidate, t)
-	res := a.analyzer.Analyze(candidate, a.opt)
+	res, err := engine.AnalyzeWorkload(a.analyzer, a.candidateLocked(t), a.opt)
+	if err != nil {
+		return ProposeOutcome{}, err
+	}
 	a.stats.Iterations += res.Iterations
 	if res.Verdict != core.Feasible {
 		a.stats.Rejected++
 		return a.outcome(false, res), nil
 	}
-	a.pending = append(a.pending, t)
+	if a.model == workload.Events {
+		a.pending.Events = append(a.pending.Events, *t.Event)
+	} else {
+		a.pending.Tasks = append(a.pending.Tasks, *t.Sporadic)
+	}
 	a.util = grown
 	a.stats.Admitted++
 	return a.outcome(true, res), nil
+}
+
+// candidateLocked assembles committed + pending + t into one fresh
+// workload for the analyzer; the caller holds the mutex. Shallow copies
+// suffice — analyzers never mutate tasks — so a proposal costs one slice
+// allocation instead of deep clones of the whole session.
+func (a *Admission) candidateLocked(t workload.Task) workload.Workload {
+	w := workload.Workload{Model: a.model}
+	if a.model == workload.Events {
+		ev := make([]eventstream.Task, 0, len(a.committed.Events)+len(a.pending.Events)+1)
+		ev = append(ev, a.committed.Events...)
+		ev = append(ev, a.pending.Events...)
+		w.Events = append(ev, *t.Event)
+	} else {
+		ts := make(model.TaskSet, 0, len(a.committed.Tasks)+len(a.pending.Tasks)+1)
+		ts = append(ts, a.committed.Tasks...)
+		ts = append(ts, a.pending.Tasks...)
+		w.Tasks = append(ts, *t.Sporadic)
+	}
+	return w
 }
 
 // outcome snapshots the decision state; the caller holds the mutex.
@@ -151,8 +252,8 @@ func (a *Admission) outcome(admitted bool, res core.Result) ProposeOutcome {
 		Admitted:    admitted,
 		Result:      res,
 		Utilization: ratFloat(a.util),
-		Committed:   len(a.committed),
-		Pending:     len(a.pending),
+		Committed:   a.committed.Len(),
+		Pending:     a.pending.Len(),
 	}
 }
 
@@ -160,29 +261,28 @@ func (a *Admission) outcome(admitted bool, res core.Result) ProposeOutcome {
 func (a *Admission) Commit() FinishOutcome {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	n := len(a.pending)
-	a.committed = append(a.committed, a.pending...)
-	a.pending = nil
+	n := a.pending.Len()
+	// The models always match (both are fixed at construction).
+	a.committed, _ = a.committed.Concat(a.pending)
+	a.pending = workload.Workload{Model: a.model}
 	a.stats.Commits++
-	return FinishOutcome{Moved: n, Committed: len(a.committed), Utilization: ratFloat(a.util)}
+	return FinishOutcome{Moved: n, Committed: a.committed.Len(), Utilization: ratFloat(a.util)}
 }
 
 // Rollback discards every pending task.
 func (a *Admission) Rollback() FinishOutcome {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	n := len(a.pending)
-	for _, t := range a.pending {
-		a.util.Sub(a.util, t.Utilization())
-	}
-	a.pending = nil
+	n := a.pending.Len()
+	a.pending = workload.Workload{Model: a.model}
+	a.util = a.committed.Utilization()
 	a.stats.Rollbacks++
-	return FinishOutcome{Moved: n, Committed: len(a.committed), Utilization: ratFloat(a.util)}
+	return FinishOutcome{Moved: n, Committed: a.committed.Len(), Utilization: ratFloat(a.util)}
 }
 
-// Snapshot returns copies of the committed and pending sets and the
-// combined utilization.
-func (a *Admission) Snapshot() (committed, pending model.TaskSet, utilization float64) {
+// Snapshot returns deep copies of the committed and pending workloads and
+// the combined utilization.
+func (a *Admission) Snapshot() (committed, pending workload.Workload, utilization float64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.committed.Clone(), a.pending.Clone(), ratFloat(a.util)

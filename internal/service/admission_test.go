@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/workload"
 )
 
 func TestAdmissionProposeCommitRollback(t *testing.T) {
@@ -22,8 +23,8 @@ func TestAdmissionProposeCommitRollback(t *testing.T) {
 		t.Fatalf("first propose: %+v, %v", out, err)
 	}
 	committed, pending, util := adm.Snapshot()
-	if len(committed) != 0 || len(pending) != 1 {
-		t.Fatalf("after propose: committed %d pending %d", len(committed), len(pending))
+	if committed.Len() != 0 || pending.Len() != 1 {
+		t.Fatalf("after propose: committed %d pending %d", committed.Len(), pending.Len())
 	}
 	if util < 0.19 || util > 0.21 {
 		t.Errorf("utilization = %v, want 0.2", util)
@@ -33,8 +34,8 @@ func TestAdmissionProposeCommitRollback(t *testing.T) {
 		t.Fatalf("commit outcome %+v", out)
 	}
 	committed, pending, _ = adm.Snapshot()
-	if len(committed) != 1 || len(pending) != 0 {
-		t.Fatalf("after commit: committed %d pending %d", len(committed), len(pending))
+	if committed.Len() != 1 || pending.Len() != 0 {
+		t.Fatalf("after commit: committed %d pending %d", committed.Len(), pending.Len())
 	}
 
 	// Stage another task, then discard it: set and utilization revert.
@@ -45,8 +46,8 @@ func TestAdmissionProposeCommitRollback(t *testing.T) {
 		t.Fatalf("rollback outcome %+v", out)
 	}
 	committed, pending, util = adm.Snapshot()
-	if len(committed) != 1 || len(pending) != 0 {
-		t.Fatalf("after rollback: committed %d pending %d", len(committed), len(pending))
+	if committed.Len() != 1 || pending.Len() != 0 {
+		t.Fatalf("after rollback: committed %d pending %d", committed.Len(), pending.Len())
 	}
 	if util < 0.19 || util > 0.21 {
 		t.Errorf("utilization after rollback = %v, want 0.2", util)
@@ -55,7 +56,7 @@ func TestAdmissionProposeCommitRollback(t *testing.T) {
 
 func TestAdmissionUtilizationGate(t *testing.T) {
 	adm, err := NewAdmission(AdmissionConfig{
-		Seed: model.TaskSet{{Name: "base", WCET: 9, Deadline: 10, Period: 10}},
+		Seed: workload.NewSporadic(model.TaskSet{{Name: "base", WCET: 9, Deadline: 10, Period: 10}}),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -78,7 +79,7 @@ func TestAdmissionUtilizationGate(t *testing.T) {
 
 func TestAdmissionRejectsInfeasibleWithoutStaging(t *testing.T) {
 	adm, err := NewAdmission(AdmissionConfig{
-		Seed: model.TaskSet{{Name: "tight", WCET: 5, Deadline: 6, Period: 20}},
+		Seed: workload.NewSporadic(model.TaskSet{{Name: "tight", WCET: 5, Deadline: 6, Period: 20}}),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -93,8 +94,8 @@ func TestAdmissionRejectsInfeasibleWithoutStaging(t *testing.T) {
 		t.Fatalf("infeasible task admitted: %+v", out)
 	}
 	committed, pending, util := adm.Snapshot()
-	if len(committed) != 1 || len(pending) != 0 {
-		t.Errorf("state changed on rejection: committed %d pending %d", len(committed), len(pending))
+	if committed.Len() != 1 || pending.Len() != 0 {
+		t.Errorf("state changed on rejection: committed %d pending %d", committed.Len(), pending.Len())
 	}
 	if util > 0.26 {
 		t.Errorf("utilization grew on rejection: %v", util)
@@ -106,7 +107,7 @@ func TestAdmissionErrors(t *testing.T) {
 		t.Error("unknown analyzer accepted")
 	}
 	if _, err := NewAdmission(AdmissionConfig{
-		Seed: model.TaskSet{{WCET: 9, Deadline: 10, Period: 10}, {WCET: 9, Deadline: 10, Period: 10}},
+		Seed: workload.NewSporadic(model.TaskSet{{WCET: 9, Deadline: 10, Period: 10}, {WCET: 9, Deadline: 10, Period: 10}}),
 	}); err == nil {
 		t.Error("infeasible seed accepted")
 	}
@@ -146,8 +147,8 @@ func TestAdmissionConcurrentProposals(t *testing.T) {
 			n++
 		}
 	}
-	if n != len(committed) {
-		t.Errorf("admitted %d but committed %d", n, len(committed))
+	if n != committed.Len() {
+		t.Errorf("admitted %d but committed %d", n, committed.Len())
 	}
 	if util > 1.0000001 {
 		t.Errorf("utilization exceeded 1: %v", util)

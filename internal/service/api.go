@@ -1,12 +1,38 @@
 package service
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/eventstream"
 	"repro/internal/model"
+	"repro/internal/workload"
 )
+
+// Workload is the polymorphic wire task set: {"model": "sporadic",
+// "tasks": [...]} or {"model": "events", "tasks": [{wcet, deadline,
+// stream: [{cycle, offset}, ...]}]}. A missing model means sporadic, so
+// every pre-workload payload keeps parsing unchanged.
+type Workload = workload.Workload
+
+// WorkloadTask is the polymorphic wire task of the propose endpoints: an
+// object with a "stream" key is an event-driven task, anything else is a
+// sporadic task.
+type WorkloadTask = workload.Task
+
+// SporadicWorkload wraps a sporadic task set for a request.
+func SporadicWorkload(ts model.TaskSet) Workload { return workload.NewSporadic(ts) }
+
+// EventWorkload wraps an event-driven task set for a request.
+func EventWorkload(tasks []eventstream.Task) Workload { return workload.NewEvents(tasks) }
+
+// SporadicTask wraps a sporadic task for a propose request.
+func SporadicTask(t model.Task) WorkloadTask { return workload.SporadicTask(t) }
+
+// EventTask wraps an event-driven task for a propose request.
+func EventTask(t eventstream.Task) WorkloadTask { return workload.EventTask(t) }
 
 // OptionsJSON is the wire form of the serializable subset of core.Options.
 // Blocking functions cannot cross the wire (and would defeat the content-
@@ -74,21 +100,56 @@ func NewResultJSON(r core.Result) ResultJSON {
 	}
 }
 
-// AnalyzeRequest asks for one analysis of one task set.
+// AnalyzeRequest asks for one analysis of one workload. On the wire the
+// workload is flattened into the request object: {"name": ..., "model":
+// ..., "tasks": [...], "analyzer": ..., "options": {...}}.
 type AnalyzeRequest struct {
-	// Name optionally labels the set in logs and responses.
-	Name string `json:"name,omitempty"`
-	// Tasks is the task set to analyze.
-	Tasks []model.Task `json:"tasks"`
+	// Name optionally labels the workload in logs and responses.
+	Name string
+	// Workload is the task set to analyze, under either model.
+	Workload Workload
 	// Analyzer names a registered analyzer; empty selects the cascade.
-	Analyzer string `json:"analyzer,omitempty"`
+	Analyzer string
 	// Options tune the test.
-	Options OptionsJSON `json:"options,omitempty"`
+	Options OptionsJSON
+}
+
+// analyzeShadow carries AnalyzeRequest's non-workload fields.
+type analyzeShadow struct {
+	Name     string      `json:"name,omitempty"`
+	Analyzer string      `json:"analyzer,omitempty"`
+	Options  OptionsJSON `json:"options,omitzero"`
+}
+
+// UnmarshalJSON flattens the workload out of the request object, so
+// pre-workload bodies ({"tasks": [...]}) keep working.
+func (r *AnalyzeRequest) UnmarshalJSON(data []byte) error {
+	var aux analyzeShadow
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	r.Name, r.Analyzer, r.Options = aux.Name, aux.Analyzer, aux.Options
+	return json.Unmarshal(data, &r.Workload)
+}
+
+// MarshalJSON emits the flattened wire form; sporadic requests omit the
+// model discriminator and stay byte-compatible with the pre-workload
+// schema.
+func (r AnalyzeRequest) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Name     string         `json:"name,omitempty"`
+		Model    workload.Model `json:"model,omitempty"`
+		Tasks    any            `json:"tasks"`
+		Analyzer string         `json:"analyzer,omitempty"`
+		Options  OptionsJSON    `json:"options,omitzero"`
+	}{r.Name, r.Workload.WireModel(), r.Workload.TasksJSON(), r.Analyzer, r.Options})
 }
 
 // AnalyzeResponse reports one analysis with telemetry.
 type AnalyzeResponse struct {
-	Name     string     `json:"name,omitempty"`
+	Name string `json:"name,omitempty"`
+	// Model echoes the workload model the analysis ran under.
+	Model    string     `json:"model"`
 	Analyzer string     `json:"analyzer"`
 	Result   ResultJSON `json:"result"`
 	// WallNS is the analysis wall time in nanoseconds (zero on cache hits:
@@ -97,37 +158,65 @@ type AnalyzeResponse struct {
 	// Cached reports whether the result came from the content-addressed
 	// cache.
 	Cached bool `json:"cached"`
-	// Fingerprint is the content address of (tasks, analyzer, options);
-	// empty when the analysis is not cacheable.
+	// Fingerprint is the content address of (workload, analyzer, options);
+	// empty when the analysis is not cacheable. Sporadic and event
+	// workloads hash into disjoint domains, so their results can never
+	// alias in a cache keyed by this value.
 	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
-// SetJSON is one named task set of a batch request.
-type SetJSON struct {
-	Name  string       `json:"name,omitempty"`
-	Tasks []model.Task `json:"tasks"`
+// WorkloadSet is one named workload of a batch request: {"name": ...,
+// "model": ..., "tasks": [...]}. It replaces the sporadic-only SetJSON of
+// the pre-workload schema, whose payloads still parse (no model means
+// sporadic).
+type WorkloadSet struct {
+	Name     string
+	Workload Workload
 }
 
-// BatchRequest fans sets x analyzers over the parallel batch runner.
+// UnmarshalJSON flattens the workload out of the set object.
+func (s *WorkloadSet) UnmarshalJSON(data []byte) error {
+	var aux struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	s.Name = aux.Name
+	return json.Unmarshal(data, &s.Workload)
+}
+
+// MarshalJSON emits the flattened wire form.
+func (s WorkloadSet) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Name  string         `json:"name,omitempty"`
+		Model workload.Model `json:"model,omitempty"`
+		Tasks any            `json:"tasks"`
+	}{s.Name, s.Workload.WireModel(), s.Workload.TasksJSON()})
+}
+
+// BatchRequest fans workloads x analyzers over the parallel batch runner.
 type BatchRequest struct {
-	Sets []SetJSON `json:"sets"`
+	Sets []WorkloadSet `json:"sets"`
 	// Analyzers holds registered analyzer names or the group keywords
 	// all/exact/sufficient; empty selects the cascade.
 	Analyzers []string    `json:"analyzers,omitempty"`
-	Options   OptionsJSON `json:"options,omitempty"`
+	Options   OptionsJSON `json:"options,omitzero"`
 	// Workers bounds the worker pool; 0 selects the server default.
 	Workers int `json:"workers,omitempty"`
 }
 
-// BatchJobJSON is one (set, analyzer) outcome in set-major order.
+// BatchJobJSON is one (workload, analyzer) outcome in set-major order.
 type BatchJobJSON struct {
 	SetIndex int        `json:"set_index"`
 	SetName  string     `json:"set_name,omitempty"`
+	Model    string     `json:"model,omitempty"`
 	Analyzer string     `json:"analyzer"`
 	Result   ResultJSON `json:"result"`
 	WallNS   int64      `json:"wall_ns"`
 	Cached   bool       `json:"cached,omitempty"`
-	// Err is set when the batch context was canceled before the job ran.
+	// Err is set when the batch context was canceled before the job ran,
+	// or when an event workload met an analyzer without event support.
 	Err string `json:"err,omitempty"`
 }
 
@@ -136,28 +225,67 @@ type BatchResponse struct {
 	Results []BatchJobJSON `json:"results"`
 }
 
-// SessionRequest opens an admission session.
+// SessionRequest opens an admission session. The optional seed workload
+// is flattened into the object ({"model": ..., "tasks": [...]}) and fixes
+// the session's model; pre-workload bodies seed sporadic sessions.
 type SessionRequest struct {
 	// Analyzer names the admission test; empty selects the cascade.
-	Analyzer string      `json:"analyzer,omitempty"`
-	Options  OptionsJSON `json:"options,omitempty"`
-	// Tasks optionally seeds the committed set; the seed must be feasible
-	// under the session analyzer.
-	Tasks []model.Task `json:"tasks,omitempty"`
+	Analyzer string
+	Options  OptionsJSON
+	// Workload optionally seeds the committed set; the seed must be
+	// feasible under the session analyzer. Its model (default sporadic)
+	// becomes the session model.
+	Workload Workload
+}
+
+// UnmarshalJSON flattens the seed workload out of the request object.
+func (r *SessionRequest) UnmarshalJSON(data []byte) error {
+	var aux struct {
+		Analyzer string      `json:"analyzer,omitempty"`
+		Options  OptionsJSON `json:"options,omitzero"`
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	r.Analyzer, r.Options = aux.Analyzer, aux.Options
+	return json.Unmarshal(data, &r.Workload)
+}
+
+// MarshalJSON emits the flattened wire form. An empty seed still carries
+// its model so event sessions can be opened without tasks.
+func (r SessionRequest) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Analyzer string         `json:"analyzer,omitempty"`
+		Options  OptionsJSON    `json:"options,omitzero"`
+		Model    workload.Model `json:"model,omitempty"`
+		Tasks    any            `json:"tasks,omitempty"`
+	}{r.Analyzer, r.Options, r.Workload.WireModel(), tasksOrNil(r.Workload)})
+}
+
+// tasksOrNil omits the task array entirely for an empty seed.
+func tasksOrNil(w Workload) any {
+	if w.Len() == 0 {
+		return nil
+	}
+	return w.TasksJSON()
 }
 
 // SessionResponse describes a session's current state.
 type SessionResponse struct {
-	ID          string  `json:"id"`
+	ID string `json:"id"`
+	// Model is the session's workload model; proposals must match it.
+	Model       string  `json:"model"`
 	Analyzer    string  `json:"analyzer"`
 	Committed   int     `json:"committed"`
 	Pending     int     `json:"pending"`
 	Utilization float64 `json:"utilization"`
 }
 
-// ProposeRequest stages one task into a session.
+// ProposeRequest stages one task into a session. The task is polymorphic:
+// a "stream" key makes it an event-driven task, otherwise it is sporadic.
+// Its model must match the session's.
 type ProposeRequest struct {
-	Task model.Task `json:"task"`
+	Task WorkloadTask `json:"task"`
 }
 
 // ProposeResponse reports an admission verdict.
@@ -170,6 +298,20 @@ type ProposeResponse struct {
 	Utilization float64 `json:"utilization"`
 	Committed   int     `json:"committed"`
 	Pending     int     `json:"pending"`
+}
+
+// ProposeBatchRequest stages several tasks in one round trip. The tasks
+// are decided in order, each seeing the ones staged before it; the whole
+// array is validated up front, so a malformed task fails the request
+// before any state changes.
+type ProposeBatchRequest struct {
+	Tasks []WorkloadTask `json:"tasks"`
+}
+
+// ProposeBatchResponse reports one verdict per proposed task, in request
+// order.
+type ProposeBatchResponse struct {
+	Results []ProposeResponse `json:"results"`
 }
 
 // CommitResponse reports a commit or rollback.

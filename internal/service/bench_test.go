@@ -52,7 +52,7 @@ func BenchmarkServiceAnalyze(b *testing.B) {
 					ts = base.Clone()
 					ts[0].Period += int64(i)
 				}
-				if _, err := c.Analyze(ctx, service.AnalyzeRequest{Tasks: ts}); err != nil {
+				if _, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.SporadicWorkload(ts)}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -73,8 +73,8 @@ func BenchmarkServiceBatch(b *testing.B) {
 		if err != nil {
 			continue
 		}
-		req.Sets = append(req.Sets, service.SetJSON{
-			Name: fmt.Sprintf("set-%d", len(req.Sets)), Tasks: ts,
+		req.Sets = append(req.Sets, service.WorkloadSet{
+			Name: fmt.Sprintf("set-%d", len(req.Sets)), Workload: edf.SporadicWorkload(ts),
 		})
 	}
 	ctx := context.Background()

@@ -156,6 +156,14 @@ func (s *Session) Propose(ctx context.Context, req service.ProposeRequest) (serv
 	return out, err
 }
 
+// ProposeBatch stages several tasks in one round trip, returning one
+// verdict per task in request order.
+func (s *Session) ProposeBatch(ctx context.Context, req service.ProposeBatchRequest) (service.ProposeBatchResponse, error) {
+	var out service.ProposeBatchResponse
+	err := s.c.do(ctx, http.MethodPost, s.path("/propose-batch"), req, &out)
+	return out, err
+}
+
 // Commit makes every pending task permanent.
 func (s *Session) Commit(ctx context.Context) (service.CommitResponse, error) {
 	var out service.CommitResponse

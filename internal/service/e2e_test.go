@@ -70,7 +70,7 @@ func TestE2EConcurrentAnalyze(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			si := i % len(sets)
-			resp, err := c.Analyze(ctx, service.AnalyzeRequest{Tasks: sets[si]})
+			resp, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.SporadicWorkload(sets[si])})
 			if err != nil {
 				t.Errorf("request %d: %v", i, err)
 				return
@@ -111,7 +111,7 @@ func TestE2ESessionFlow(t *testing.T) {
 	ctx := context.Background()
 
 	sess, state, err := c.OpenSession(ctx, service.SessionRequest{
-		Tasks: []edf.Task{{Name: "seed", WCET: 10, Deadline: 90, Period: 100}},
+		Workload: edf.SporadicWorkload(edf.TaskSet{{Name: "seed", WCET: 10, Deadline: 90, Period: 100}}),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +125,7 @@ func TestE2ESessionFlow(t *testing.T) {
 		{Name: "a", WCET: 20, Deadline: 150, Period: 200},
 		{Name: "b", WCET: 5, Deadline: 40, Period: 50},
 	} {
-		resp, err := sess.Propose(ctx, service.ProposeRequest{Task: task})
+		resp, err := sess.Propose(ctx, service.ProposeRequest{Task: service.SporadicTask(task)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,7 +140,7 @@ func TestE2ESessionFlow(t *testing.T) {
 
 	// An overload proposal is rejected and stages nothing.
 	resp, err := sess.Propose(ctx, service.ProposeRequest{
-		Task: edf.Task{Name: "hog", WCET: 99, Deadline: 100, Period: 100},
+		Task: service.SporadicTask(edf.Task{Name: "hog", WCET: 99, Deadline: 100, Period: 100}),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -151,7 +151,7 @@ func TestE2ESessionFlow(t *testing.T) {
 
 	// Stage one more, roll it back, and confirm the state reverts.
 	if resp, err = sess.Propose(ctx, service.ProposeRequest{
-		Task: edf.Task{Name: "c", WCET: 1, Deadline: 100, Period: 100},
+		Task: service.SporadicTask(edf.Task{Name: "c", WCET: 1, Deadline: 100, Period: 100}),
 	}); err != nil || !resp.Admitted {
 		t.Fatalf("propose c: %+v, %v", resp, err)
 	}
@@ -182,7 +182,7 @@ func TestE2EBatch(t *testing.T) {
 	sets := e2eSets(t, 6)
 	req := service.BatchRequest{Analyzers: []string{"devi", "allapprox"}}
 	for i, ts := range sets {
-		req.Sets = append(req.Sets, service.SetJSON{Name: string(rune('a' + i)), Tasks: ts})
+		req.Sets = append(req.Sets, service.WorkloadSet{Name: string(rune('a' + i)), Workload: edf.SporadicWorkload(ts)})
 	}
 
 	analyzers, err := edf.ParseAnalyzers("devi,allapprox")
@@ -245,7 +245,7 @@ func TestE2EErrorsAndIntrospection(t *testing.T) {
 
 	// Unknown analyzer -> 400 with a JSON error body.
 	_, err = c.Analyze(ctx, service.AnalyzeRequest{
-		Tasks:    []edf.Task{{WCET: 1, Deadline: 2, Period: 3}},
+		Workload: edf.SporadicWorkload(edf.TaskSet{{WCET: 1, Deadline: 2, Period: 3}}),
 		Analyzer: "no-such-test",
 	})
 	var ce *client.Error
@@ -255,7 +255,7 @@ func TestE2EErrorsAndIntrospection(t *testing.T) {
 
 	// Structurally invalid set -> 422.
 	_, err = c.Analyze(ctx, service.AnalyzeRequest{
-		Tasks: []edf.Task{{WCET: 5, Deadline: 2, Period: 3}},
+		Workload: edf.SporadicWorkload(edf.TaskSet{{WCET: 5, Deadline: 2, Period: 3}}),
 	})
 	if !asClientError(err, &ce) || ce.StatusCode != 422 {
 		t.Errorf("invalid set: %v", err)
@@ -263,8 +263,8 @@ func TestE2EErrorsAndIntrospection(t *testing.T) {
 
 	// Bad options -> 400.
 	_, err = c.Analyze(ctx, service.AnalyzeRequest{
-		Tasks:   []edf.Task{{WCET: 1, Deadline: 2, Period: 3}},
-		Options: service.OptionsJSON{Arithmetic: "float32"},
+		Workload: edf.SporadicWorkload(edf.TaskSet{{WCET: 1, Deadline: 2, Period: 3}}),
+		Options:  service.OptionsJSON{Arithmetic: "float32"},
 	})
 	if !asClientError(err, &ce) || ce.StatusCode != 400 {
 		t.Errorf("bad options: %v", err)
@@ -278,7 +278,7 @@ func TestE2EErrorsAndIntrospection(t *testing.T) {
 
 	// Metrics render the cache and request counters as text.
 	if _, err := c.Analyze(ctx, service.AnalyzeRequest{
-		Tasks: []edf.Task{{WCET: 1, Deadline: 8, Period: 10}},
+		Workload: edf.SporadicWorkload(edf.TaskSet{{WCET: 1, Deadline: 8, Period: 10}}),
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +311,7 @@ func TestE2EThrottleAndDeadline(t *testing.T) {
 		RequestTimeout: 200 * time.Millisecond,
 	})
 	ctx := context.Background()
-	task := []edf.Task{{WCET: 1, Deadline: 8, Period: 10}}
+	task := edf.TaskSet{{WCET: 1, Deadline: 8, Period: 10}}
 
 	// Two gated requests occupy both slots...
 	var wg sync.WaitGroup
@@ -322,7 +322,7 @@ func TestE2EThrottleAndDeadline(t *testing.T) {
 			// The gated job itself runs to completion once started; the
 			// response arrives after the gate opens.
 			if _, err := c.Analyze(ctx, service.AnalyzeRequest{
-				Tasks: task, Analyzer: "e2e-gated",
+				Workload: edf.SporadicWorkload(task), Analyzer: "e2e-gated",
 			}); err != nil {
 				t.Errorf("gated analyze: %v", err)
 			}
@@ -332,7 +332,7 @@ func TestE2EThrottleAndDeadline(t *testing.T) {
 	// (no probe may race them for a slot before that) ...
 	waitForInflight(t, c, 2)
 	// ... so a third request bounces with 429 instead of queueing.
-	_, err := c.Analyze(ctx, service.AnalyzeRequest{Tasks: task})
+	_, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.SporadicWorkload(task)})
 	var ce *client.Error
 	if !asClientError(err, &ce) || ce.StatusCode != 429 {
 		t.Fatalf("limiter did not engage: %v", err)
@@ -349,7 +349,7 @@ func TestE2EThrottleAndDeadline(t *testing.T) {
 	setGate("e2e-gated-2", gate2)
 	time.AfterFunc(2*time.Second, func() { gate2Once.Do(func() { close(gate2) }) })
 	resp, err := c.Batch(ctx, service.BatchRequest{
-		Sets:      []service.SetJSON{{Tasks: task}, {Tasks: task}},
+		Sets:      []service.WorkloadSet{{Workload: edf.SporadicWorkload(task)}, {Workload: edf.SporadicWorkload(task)}},
 		Analyzers: []string{"e2e-gated-2"},
 		Workers:   1,
 	})

@@ -11,14 +11,16 @@ import (
 // pulled from their owners at render time, so this struct only tracks
 // request-level activity.
 type metrics struct {
-	requests    atomic.Uint64 // requests accepted into a handler
-	throttled   atomic.Uint64 // requests rejected by the concurrency limiter
-	errors      atomic.Uint64 // 4xx/5xx responses
-	analyses    atomic.Uint64 // single analyses served (cache hits included)
-	batchJobs   atomic.Uint64 // batch jobs served (cache hits included)
-	proposals   atomic.Uint64 // session proposals served
-	inflight    atomic.Int64  // requests currently inside a handler
-	maxInflight atomic.Int64  // high-water mark of inflight
+	requests       atomic.Uint64 // requests accepted into a handler
+	throttled      atomic.Uint64 // requests rejected by the concurrency limiter
+	errors         atomic.Uint64 // 4xx/5xx responses
+	analyses       atomic.Uint64 // single analyses served (cache hits included)
+	eventAnalyses  atomic.Uint64 // the subset of analyses on event-stream workloads
+	batchJobs      atomic.Uint64 // batch jobs served (cache hits included)
+	proposals      atomic.Uint64 // session proposals served (bulk members included)
+	proposeBatches atomic.Uint64 // propose-batch requests served
+	inflight       atomic.Int64  // requests currently inside a handler
+	maxInflight    atomic.Int64  // high-water mark of inflight
 }
 
 // enter records a request entering a handler and keeps the high-water
@@ -41,24 +43,27 @@ func (m *metrics) leave() { m.inflight.Add(-1) }
 // needed.
 func (s *Server) writeMetrics(w io.Writer) {
 	cs := s.cache.Stats()
-	active, created := s.sessions.counts()
+	active, created, expired := s.sessions.counts()
 	vals := map[string]any{
-		"requests_total":          s.m.requests.Load(),
-		"requests_throttled":      s.m.throttled.Load(),
-		"requests_errors":         s.m.errors.Load(),
-		"requests_inflight":       s.m.inflight.Load(),
-		"requests_inflight_peak":  s.m.maxInflight.Load(),
-		"analyses_total":          s.m.analyses.Load(),
-		"batch_jobs_total":        s.m.batchJobs.Load(),
-		"session_proposals_total": s.m.proposals.Load(),
-		"sessions_active":         active,
-		"sessions_created":        created,
-		"cache_hits":              cs.Hits,
-		"cache_misses":            cs.Misses,
-		"cache_evictions":         cs.Evictions,
-		"cache_entries":           cs.Entries,
-		"cache_capacity":          cs.Capacity,
-		"cache_hit_rate":          fmt.Sprintf("%.4f", cs.HitRate()),
+		"requests_total":                s.m.requests.Load(),
+		"requests_throttled":            s.m.throttled.Load(),
+		"requests_errors":               s.m.errors.Load(),
+		"requests_inflight":             s.m.inflight.Load(),
+		"requests_inflight_peak":        s.m.maxInflight.Load(),
+		"analyses_total":                s.m.analyses.Load(),
+		"analyses_events_total":         s.m.eventAnalyses.Load(),
+		"batch_jobs_total":              s.m.batchJobs.Load(),
+		"session_proposals_total":       s.m.proposals.Load(),
+		"session_propose_batches_total": s.m.proposeBatches.Load(),
+		"sessions_active":               active,
+		"sessions_created":              created,
+		"sessions_expired":              expired,
+		"cache_hits":                    cs.Hits,
+		"cache_misses":                  cs.Misses,
+		"cache_evictions":               cs.Evictions,
+		"cache_entries":                 cs.Entries,
+		"cache_capacity":                cs.Capacity,
+		"cache_hit_rate":                fmt.Sprintf("%.4f", cs.HitRate()),
 	}
 	names := make([]string, 0, len(vals))
 	for name := range vals {

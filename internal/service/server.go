@@ -11,7 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/model"
+	"repro/internal/workload"
 )
 
 // Config tunes the server. The zero value selects production defaults.
@@ -34,6 +34,10 @@ type Config struct {
 	// MaxBatchJobs bounds sets x analyzers per batch request; 0 selects
 	// DefaultMaxBatchJobs.
 	MaxBatchJobs int
+	// SessionTTL closes admission sessions idle past this duration; 0 (the
+	// default) disables sweeping, preserving the sessions-live-until-closed
+	// behavior.
+	SessionTTL time.Duration
 }
 
 // Defaults for Config's zero values.
@@ -49,12 +53,13 @@ const (
 // Server is the edfd daemon: engine registry in, HTTP/JSON out. Construct
 // with New and mount Handler on an http.Server.
 type Server struct {
-	cfg      Config
-	cache    *Cache
-	sessions *sessionStore
-	limiter  chan struct{}
-	m        metrics
-	started  time.Time
+	cfg       Config
+	cache     *Cache
+	sessions  *sessionStore
+	limiter   chan struct{}
+	m         metrics
+	started   time.Time
+	stopSweep chan struct{}
 }
 
 // New builds a server from the config.
@@ -74,12 +79,29 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatchJobs <= 0 {
 		cfg.MaxBatchJobs = DefaultMaxBatchJobs
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheCapacity),
 		sessions: newSessionStore(cfg.MaxSessions),
 		limiter:  make(chan struct{}, cfg.MaxInFlight),
 		started:  time.Now(),
+	}
+	if cfg.SessionTTL > 0 {
+		s.stopSweep = make(chan struct{})
+		// Sweep a few times per TTL so expiry lags the deadline by at
+		// most ~a quarter of it.
+		interval := max(cfg.SessionTTL/4, 10*time.Millisecond)
+		go s.sessions.sweeper(cfg.SessionTTL, interval, s.stopSweep)
+	}
+	return s
+}
+
+// Close stops the background session sweeper (a no-op without one). The
+// server keeps serving; Close only releases the goroutine.
+func (s *Server) Close() {
+	if s.stopSweep != nil {
+		close(s.stopSweep)
+		s.stopSweep = nil
 	}
 }
 
@@ -96,6 +118,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
 	mux.HandleFunc("POST /v1/sessions/{id}/propose", s.handleSessionPropose)
+	mux.HandleFunc("POST /v1/sessions/{id}/propose-batch", s.handleSessionProposeBatch)
 	mux.HandleFunc("POST /v1/sessions/{id}/commit", s.handleSessionCommit)
 	mux.HandleFunc("POST /v1/sessions/{id}/rollback", s.handleSessionRollback)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -125,18 +148,18 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// analyzeOne serves one (set, analyzer, options) analysis through the
-// cache: a hit costs one lookup, a miss runs the analyzer via the batch
-// runner (one job) so cancellation and wall-time telemetry stay uniform
-// with the batch path.
-func (s *Server) analyzeOne(ctx context.Context, ts model.TaskSet, a engine.Analyzer, opt core.Options) (core.Result, time.Duration, bool, string, error) {
-	fp, cacheable := engine.Fingerprint(ts, a.Info().Name, opt)
+// analyzeOne serves one (workload, analyzer, options) analysis through
+// the cache: a hit costs one lookup, a miss runs the analyzer via the
+// batch runner (one job) so cancellation and wall-time telemetry stay
+// uniform with the batch path.
+func (s *Server) analyzeOne(ctx context.Context, wl workload.Workload, a engine.Analyzer, opt core.Options) (core.Result, time.Duration, bool, string, error) {
+	fp, cacheable := engine.WorkloadFingerprint(wl, a.Info().Name, opt)
 	if cacheable {
 		if res, hit := s.cache.Get(fp); hit {
 			return res, 0, true, fp, nil
 		}
 	}
-	jr := engine.Run(ctx, []engine.Job{{Set: ts, Analyzer: a, Opt: opt}}, engine.RunOptions{Workers: 1})[0]
+	jr := engine.Run(ctx, []engine.Job{{Workload: wl, Analyzer: a, Opt: opt}}, engine.RunOptions{Workers: 1})[0]
 	if jr.Err != nil {
 		return core.Result{}, 0, false, fp, jr.Err
 	}
@@ -146,13 +169,23 @@ func (s *Server) analyzeOne(ctx context.Context, ts model.TaskSet, a engine.Anal
 	return jr.Result, jr.Wall, false, fp, nil
 }
 
+// failAnalysis maps an analysis error to its status: 422 for a workload
+// the analyzer cannot run, 503 for a canceled request.
+func (s *Server) failAnalysis(w http.ResponseWriter, err error) {
+	var unsup *engine.EventsUnsupportedError
+	if errors.As(err, &unsup) {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("analysis canceled: %w", err))
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	ts := model.TaskSet(req.Tasks)
-	if err := ts.Validate(); err != nil {
+	if err := req.Workload.Validate(); err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
@@ -161,14 +194,18 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	res, wall, cached, fp, err := s.analyzeOne(r.Context(), ts, a, opt)
+	res, wall, cached, fp, err := s.analyzeOne(r.Context(), req.Workload, a, opt)
 	if err != nil {
-		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("analysis canceled: %w", err))
+		s.failAnalysis(w, err)
 		return
 	}
 	s.m.analyses.Add(1)
+	if req.Workload.Kind() == workload.Events {
+		s.m.eventAnalyses.Add(1)
+	}
 	writeJSON(w, http.StatusOK, AnalyzeResponse{
 		Name:        req.Name,
+		Model:       string(req.Workload.Kind()),
 		Analyzer:    a.Info().Name,
 		Result:      NewResultJSON(res),
 		WallNS:      wall.Nanoseconds(),
@@ -205,25 +242,41 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d jobs exceeds the limit of %d", jobs, s.cfg.MaxBatchJobs))
 		return
 	}
-	sets := make([]model.TaskSet, len(req.Sets))
-	for i, sj := range req.Sets {
-		sets[i] = model.TaskSet(sj.Tasks)
-		if err := sets[i].Validate(); err != nil {
+	wls := make([]workload.Workload, len(req.Sets))
+	for i, ws := range req.Sets {
+		wls[i] = ws.Workload
+		if err := wls[i].Validate(); err != nil {
 			s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("set %d: %w", i, err))
 			return
 		}
 	}
 
-	// Split the cross product into cache hits and jobs that must run, in
-	// set-major order so the response order matches the batch contract.
-	out := make([]BatchJobJSON, 0, len(sets)*len(analyzers))
+	// Split the cross product into cache hits, capability rejections and
+	// jobs that must run, in set-major order so the response order matches
+	// the batch contract.
+	out := make([]BatchJobJSON, 0, len(wls)*len(analyzers))
 	var jobs []engine.Job
 	var jobFor []int // jobs[k] fills out[jobFor[k]]
 	var fps []string
-	for si, ts := range sets {
+	for wi, wl := range wls {
 		for _, a := range analyzers {
-			j := BatchJobJSON{SetIndex: si, SetName: req.Sets[si].Name, Analyzer: a.Info().Name}
-			fp, cacheable := engine.Fingerprint(ts, a.Info().Name, opt)
+			j := BatchJobJSON{
+				SetIndex: wi,
+				SetName:  req.Sets[wi].Name,
+				Model:    string(wl.Kind()),
+				Analyzer: a.Info().Name,
+			}
+			// Capability gate: an event workload on a non-event analyzer
+			// can never produce a verdict — report the typed error without
+			// spending a worker slot or a cache lookup.
+			if wl.Kind() == workload.Events && !a.Info().Events {
+				err := &engine.EventsUnsupportedError{Analyzer: a.Info().Name}
+				j.Result = NewResultJSON(core.Result{Verdict: core.Undecided})
+				j.Err = err.Error()
+				out = append(out, j)
+				continue
+			}
+			fp, cacheable := engine.WorkloadFingerprint(wl, a.Info().Name, opt)
 			if cacheable {
 				if res, hit := s.cache.Get(fp); hit {
 					j.Result = NewResultJSON(res)
@@ -232,7 +285,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					continue
 				}
 			}
-			jobs = append(jobs, engine.Job{SetIndex: si, SetName: req.Sets[si].Name, Set: ts, Analyzer: a, Opt: opt})
+			jobs = append(jobs, engine.Job{SetIndex: wi, SetName: req.Sets[wi].Name, Workload: wl, Analyzer: a, Opt: opt})
 			jobFor = append(jobFor, len(out))
 			if !cacheable {
 				fp = ""
@@ -289,7 +342,7 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	adm, err := NewAdmission(AdmissionConfig{Analyzer: req.Analyzer, Options: opt, Seed: req.Tasks})
+	adm, err := NewAdmission(AdmissionConfig{Analyzer: req.Analyzer, Options: opt, Seed: req.Workload})
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
@@ -317,9 +370,10 @@ func (s *Server) sessionState(id string, adm *Admission) SessionResponse {
 	committed, pending, util := adm.Snapshot()
 	return SessionResponse{
 		ID:          id,
+		Model:       string(adm.Model()),
 		Analyzer:    adm.Analyzer(),
-		Committed:   len(committed),
-		Pending:     len(pending),
+		Committed:   committed.Len(),
+		Pending:     pending.Len(),
 		Utilization: util,
 	}
 }
@@ -338,6 +392,17 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// newProposeResponse converts an admission outcome to its wire form.
+func newProposeResponse(out ProposeOutcome) ProposeResponse {
+	return ProposeResponse{
+		Admitted:    out.Admitted,
+		Result:      NewResultJSON(out.Result),
+		Utilization: out.Utilization,
+		Committed:   out.Committed,
+		Pending:     out.Pending,
+	}
+}
+
 func (s *Server) handleSessionPropose(w http.ResponseWriter, r *http.Request) {
 	_, adm, ok := s.session(w, r)
 	if !ok {
@@ -347,19 +412,36 @@ func (s *Server) handleSessionPropose(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	out, err := adm.Propose(req.Task)
+	out, err := adm.ProposeTask(req.Task)
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	s.m.proposals.Add(1)
-	writeJSON(w, http.StatusOK, ProposeResponse{
-		Admitted:    out.Admitted,
-		Result:      NewResultJSON(out.Result),
-		Utilization: out.Utilization,
-		Committed:   out.Committed,
-		Pending:     out.Pending,
-	})
+	writeJSON(w, http.StatusOK, newProposeResponse(out))
+}
+
+func (s *Server) handleSessionProposeBatch(w http.ResponseWriter, r *http.Request) {
+	_, adm, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req ProposeBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	outs, err := adm.ProposeBatch(req.Tasks)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.m.proposals.Add(uint64(len(outs)))
+	s.m.proposeBatches.Add(1)
+	resp := ProposeBatchResponse{Results: make([]ProposeResponse, len(outs))}
+	for i, out := range outs {
+		resp.Results[i] = newProposeResponse(out)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSessionCommit(w http.ResponseWriter, r *http.Request) {

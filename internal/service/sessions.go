@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // errSessionLimit is returned when the store is full.
@@ -13,18 +14,27 @@ var errSessionLimit = fmt.Errorf("service: session limit reached")
 // errSessionUnknown is returned for missing session ids.
 var errSessionUnknown = fmt.Errorf("service: unknown session")
 
+// sessionEntry pairs a controller with its last-touched time for idle-TTL
+// sweeping.
+type sessionEntry struct {
+	adm      *Admission
+	lastUsed time.Time
+}
+
 // sessionStore is a bounded, concurrency-safe id -> admission controller
-// map. Sessions live until explicitly closed; the bound keeps a client
-// that leaks sessions from exhausting server memory.
+// map. Sessions live until explicitly closed or — when the server runs a
+// sweeper — idle past the TTL; the bound keeps a client that leaks
+// sessions from exhausting server memory.
 type sessionStore struct {
 	mu       sync.Mutex
-	sessions map[string]*Admission
+	sessions map[string]*sessionEntry
 	limit    int
 	created  uint64
+	expired  uint64
 }
 
 func newSessionStore(limit int) *sessionStore {
-	return &sessionStore{sessions: make(map[string]*Admission), limit: limit}
+	return &sessionStore{sessions: make(map[string]*sessionEntry), limit: limit}
 }
 
 // open registers a controller under a fresh random id.
@@ -35,20 +45,21 @@ func (s *sessionStore) open(adm *Admission) (string, error) {
 	if len(s.sessions) >= s.limit {
 		return "", errSessionLimit
 	}
-	s.sessions[id] = adm
+	s.sessions[id] = &sessionEntry{adm: adm, lastUsed: time.Now()}
 	s.created++
 	return id, nil
 }
 
-// get looks a session up.
+// get looks a session up and refreshes its idle clock.
 func (s *sessionStore) get(id string) (*Admission, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	adm, ok := s.sessions[id]
+	e, ok := s.sessions[id]
 	if !ok {
 		return nil, errSessionUnknown
 	}
-	return adm, nil
+	e.lastUsed = time.Now()
+	return e.adm, nil
 }
 
 // close removes a session; ok is false when it did not exist.
@@ -60,11 +71,43 @@ func (s *sessionStore) close(id string) bool {
 	return ok
 }
 
-// counts returns active and lifetime-created session counts.
-func (s *sessionStore) counts() (active int, created uint64) {
+// counts returns active, lifetime-created and swept session counts.
+func (s *sessionStore) counts() (active int, created, expired uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.sessions), s.created
+	return len(s.sessions), s.created, s.expired
+}
+
+// sweep closes every session idle since before now-ttl and returns how
+// many it removed. Pending (uncommitted) proposals die with the session —
+// the same outcome as an explicit close.
+func (s *sessionStore) sweep(ttl time.Duration, now time.Time) int {
+	cutoff := now.Add(-ttl)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, e := range s.sessions {
+		if e.lastUsed.Before(cutoff) {
+			delete(s.sessions, id)
+			n++
+		}
+	}
+	s.expired += uint64(n)
+	return n
+}
+
+// sweeper runs sweep every interval until stop closes.
+func (s *sessionStore) sweeper(ttl, interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			s.sweep(ttl, now)
+		case <-stop:
+			return
+		}
+	}
 }
 
 // newSessionID returns 16 random bytes as hex. crypto/rand cannot fail on

@@ -1,0 +1,7 @@
+// Package workload defines the polymorphic workload type shared by the
+// analysis engine, the edfd wire API and the CLI tools: one schema that
+// carries either a sporadic task set (the paper's base model) or a
+// Gresser event-stream task set (Section 3.4), selected by a "model"
+// discriminator that defaults to sporadic so pre-existing payloads keep
+// parsing unchanged.
+package workload

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"encoding/json"
+	"math/big"
+	"strings"
+	"testing"
+
+	"repro/internal/eventstream"
+	"repro/internal/model"
+)
+
+func sporadicSet() model.TaskSet {
+	return model.TaskSet{
+		{Name: "a", WCET: 2, Deadline: 8, Period: 10},
+		{Name: "b", WCET: 3, Deadline: 15, Period: 15},
+	}
+}
+
+func eventSet() []eventstream.Task {
+	return []eventstream.Task{
+		{Name: "p", WCET: 2, Deadline: 9, Stream: eventstream.Periodic(10)},
+		{Name: "q", WCET: 1, Deadline: 24, Stream: eventstream.Burst(50, 3, 4)},
+	}
+}
+
+// TestUnmarshalDefaultsToSporadic is the back-compat cornerstone: a
+// payload without a model discriminator must decode as a sporadic
+// workload, bit for bit like the pre-workload schema did.
+func TestUnmarshalDefaultsToSporadic(t *testing.T) {
+	var w Workload
+	payload := `{"name":"x","tasks":[{"wcet":2,"deadline":8,"period":10}],"analyzer":"devi"}`
+	if err := json.Unmarshal([]byte(payload), &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Kind() != Sporadic || len(w.Tasks) != 1 || w.Tasks[0].Period != 10 {
+		t.Fatalf("decoded %+v", w)
+	}
+	if w.Events != nil {
+		t.Error("sporadic decode populated the event side")
+	}
+}
+
+func TestUnmarshalDispatchesOnModel(t *testing.T) {
+	var w Workload
+	payload := `{"model":"events","tasks":[
+		{"wcet":2,"deadline":9,"stream":[{"cycle":10,"offset":0}]}]}`
+	if err := json.Unmarshal([]byte(payload), &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Kind() != Events || len(w.Events) != 1 || w.Events[0].Stream[0].Cycle != 10 {
+		t.Fatalf("decoded %+v", w)
+	}
+	if err := json.Unmarshal([]byte(`{"model":"bogus","tasks":[]}`), &w); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestMarshalRoundTrips(t *testing.T) {
+	for _, w := range []Workload{NewSporadic(sporadicSet()), NewEvents(eventSet())} {
+		data, err := json.Marshal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Workload
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("round trip of %s: %v\n%s", w.Kind(), err, data)
+		}
+		if back.Kind() != w.Kind() || back.Len() != w.Len() {
+			t.Errorf("round trip of %s changed shape: %+v", w.Kind(), back)
+		}
+	}
+	// Sporadic marshal must not leak the discriminator (byte compat).
+	data, _ := json.Marshal(NewSporadic(sporadicSet()))
+	if strings.Contains(string(data), "model") {
+		t.Errorf("sporadic workload marshals a model field: %s", data)
+	}
+	// Event marshal must carry it.
+	data, _ = json.Marshal(NewEvents(eventSet()))
+	if !strings.Contains(string(data), `"model":"events"`) {
+		t.Errorf("event workload misses the model field: %s", data)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := NewSporadic(sporadicSet()).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := NewEvents(eventSet()).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Workload{}).Validate(); err == nil {
+		t.Error("empty workload validated")
+	}
+	if err := NewEvents(nil).Validate(); err == nil {
+		t.Error("empty event workload validated")
+	}
+	bad := eventSet()
+	bad[0].WCET = 0
+	if err := NewEvents(bad).Validate(); err == nil {
+		t.Error("invalid event task validated")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	// Sporadic: 2/10 + 3/15 = 2/5.
+	if u := NewSporadic(sporadicSet()).Utilization(); u.Cmp(big.NewRat(2, 5)) != 0 {
+		t.Errorf("sporadic utilization %s", u)
+	}
+	// Events: 2·(1/10) + 1·(3/50) = 13/50.
+	if u := NewEvents(eventSet()).Utilization(); u.Cmp(big.NewRat(13, 50)) != 0 {
+		t.Errorf("event utilization %s", u)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	w := NewEvents(eventSet())
+	c := w.Clone()
+	c.Events[0].WCET = 99
+	c.Events[1].Stream[0].Cycle = 1
+	if w.Events[0].WCET == 99 || w.Events[1].Stream[0].Cycle == 1 {
+		t.Error("clone shares state with the original")
+	}
+	s := NewSporadic(sporadicSet())
+	cs := s.Clone()
+	cs.Tasks[0].WCET = 99
+	if s.Tasks[0].WCET == 99 {
+		t.Error("sporadic clone shares state")
+	}
+}
+
+func TestConcatAndWith(t *testing.T) {
+	a := NewSporadic(sporadicSet())
+	b := NewSporadic(model.TaskSet{{WCET: 1, Deadline: 5, Period: 5}})
+	sum, err := a.Concat(b)
+	if err != nil || sum.Len() != 3 {
+		t.Fatalf("concat: %v, len %d", err, sum.Len())
+	}
+	if _, err := a.Concat(NewEvents(eventSet())); err == nil {
+		t.Error("cross-model concat accepted")
+	}
+	grown := a.With(SporadicTask(model.Task{WCET: 1, Deadline: 5, Period: 5}))
+	if grown.Len() != 3 || a.Len() != 2 {
+		t.Errorf("With mutated the receiver or dropped the task: %d, %d", grown.Len(), a.Len())
+	}
+	ev := NewEvents(eventSet()).With(EventTask(eventstream.Task{
+		WCET: 1, Deadline: 5, Stream: eventstream.Periodic(7),
+	}))
+	if ev.Len() != 3 {
+		t.Errorf("event With: len %d", ev.Len())
+	}
+}
+
+func TestTaskUnionJSON(t *testing.T) {
+	var tk Task
+	if err := json.Unmarshal([]byte(`{"wcet":2,"deadline":8,"period":10}`), &tk); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Kind() != Sporadic || tk.Sporadic == nil || tk.Sporadic.Period != 10 {
+		t.Fatalf("sporadic task decoded as %+v", tk)
+	}
+	if err := json.Unmarshal([]byte(`{"wcet":2,"deadline":8,"stream":[{"cycle":10,"offset":0}]}`), &tk); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Kind() != Events || tk.Event == nil || tk.Event.Stream[0].Cycle != 10 {
+		t.Fatalf("event task decoded as %+v", tk)
+	}
+	// Round trip both shapes.
+	for _, orig := range []Task{
+		SporadicTask(model.Task{WCET: 2, Deadline: 8, Period: 10}),
+		EventTask(eventstream.Task{WCET: 2, Deadline: 8, Stream: eventstream.Periodic(10)}),
+	} {
+		data, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Task
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Kind() != orig.Kind() {
+			t.Errorf("task round trip changed model: %s -> %s", orig.Kind(), back.Kind())
+		}
+	}
+	if err := (Task{}).Validate(); err == nil {
+		t.Error("empty task validated")
+	}
+	// Task utilization: event task 2·(1/10).
+	u := EventTask(eventstream.Task{WCET: 2, Deadline: 8, Stream: eventstream.Periodic(10)}).Utilization()
+	if u.Cmp(big.NewRat(1, 5)) != 0 {
+		t.Errorf("event task utilization %s", u)
+	}
+}

@@ -1,0 +1,68 @@
+package edf
+
+import (
+	"context"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Workload is the polymorphic task set shared by the engine, the edfd
+// wire API and the CLI tools: either a sporadic task set or a Gresser
+// event-stream task set, discriminated by Model. On the wire it is
+// {"model": "sporadic"|"events", "tasks": [...]}, with a missing model
+// meaning sporadic so pre-workload payloads keep parsing.
+type Workload = workload.Workload
+
+// WorkloadModel discriminates the activation model of a Workload.
+type WorkloadModel = workload.Model
+
+// Workload models.
+const (
+	WorkloadSporadic = workload.Sporadic
+	WorkloadEvents   = workload.Events
+)
+
+// WorkloadTask is one task under either model — the element type of the
+// polymorphic propose endpoints.
+type WorkloadTask = workload.Task
+
+// SporadicWorkload wraps a sporadic task set.
+func SporadicWorkload(ts TaskSet) Workload { return workload.NewSporadic(ts) }
+
+// EventWorkload wraps an event-driven task set.
+func EventWorkload(tasks []EventTask) Workload { return workload.NewEvents(tasks) }
+
+// SporadicWorkloadTask wraps a sporadic task for a proposal.
+func SporadicWorkloadTask(t Task) WorkloadTask { return workload.SporadicTask(t) }
+
+// EventWorkloadTask wraps an event-driven task for a proposal.
+func EventWorkloadTask(t EventTask) WorkloadTask { return workload.EventTask(t) }
+
+// EventsUnsupportedError reports that an analyzer without event-stream
+// support was asked to analyze an event workload.
+type EventsUnsupportedError = engine.EventsUnsupportedError
+
+// AnalyzeWorkload runs an analyzer on a workload, dispatching to the
+// matching entry point by model. An event workload on an analyzer
+// without event support fails with an *EventsUnsupportedError.
+func AnalyzeWorkload(a Analyzer, wl Workload, opt Options) (Result, error) {
+	return engine.AnalyzeWorkload(a, wl, opt)
+}
+
+// AnalyzeWorkloads fans the (workload x analyzer) cross product out over
+// the parallel batch runner — the workload-polymorphic counterpart of
+// AnalyzeBatch, with identical ordering and cancellation semantics. Jobs
+// pairing an event workload with a non-event analyzer report an
+// *EventsUnsupportedError in their Err field.
+func AnalyzeWorkloads(ctx context.Context, wls []Workload, analyzers []Analyzer, opt Options, workers int) []BatchResult {
+	return engine.Run(ctx, engine.BatchWorkloads(wls, analyzers, opt), engine.RunOptions{Workers: workers})
+}
+
+// WorkloadFingerprint is the workload-polymorphic content address: the
+// same contract as Fingerprint, with sporadic and event workloads hashed
+// into disjoint domains so their cached results can never alias. Sporadic
+// workloads produce exactly the fingerprint Fingerprint does.
+func WorkloadFingerprint(wl Workload, analyzer string, opt Options) (fp string, ok bool) {
+	return engine.WorkloadFingerprint(wl, analyzer, opt)
+}
