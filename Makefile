@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-json serve smoke fmt vet clean
+.PHONY: all build test bench bench-json bench-core serve smoke fmt vet clean
 
 all: build test
 
@@ -19,6 +19,17 @@ bench:
 bench-json:
 	$(GO) test -json -bench . -benchtime 1x -run xxx ./internal/service/ > BENCH_service.json
 
+# Core analyzer hot-path benchmarks, merged into the committed trend file
+# BENCH_core.json (the first run freezes the baseline section; later runs
+# only replace "current"). BENCHTIME trades precision for runtime. The
+# test output lands in a temp file first so a benchmark failure aborts
+# the recipe instead of being masked by the pipe.
+BENCHTIME ?= 300ms
+bench-core:
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./internal/core/ > bench-core.out
+	$(GO) run ./cmd/benchmerge -out BENCH_core.json < bench-core.out
+	rm -f bench-core.out
+
 # Run the edfd feasibility daemon locally.
 serve:
 	$(GO) run ./cmd/edfd -addr :8080
@@ -36,5 +47,5 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -f bench.out BENCH_service.json
+	rm -f bench.out bench-core.out BENCH_service.json
 	$(GO) clean ./...

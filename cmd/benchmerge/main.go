@@ -1,0 +1,145 @@
+// Command benchmerge turns `go test -bench` output into a committed JSON
+// trend file. It reads benchmark result lines from stdin and merges them
+// into -out:
+//
+//	go test -bench . -benchmem ./internal/core/ | benchmerge -out BENCH_core.json
+//
+// The file keeps two sections. "baseline" is written only when the file
+// does not yet contain one — it freezes the numbers of the first run
+// (the pre-optimization state) so later runs can be compared against it.
+// "current" is replaced on every invocation. -reset-baseline overwrites
+// the baseline too, for re-anchoring after intentional regressions.
+//
+// Only lines of the canonical benchmark form are consumed; everything
+// else (PASS, ok, custom metrics on separate lines) is echoed to stderr
+// untouched so the tool can sit at the end of a pipe without hiding the
+// test outcome.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's measured cost.
+type Metrics struct {
+	// N is the number of iterations the benchmark ran.
+	N int64 `json:"n"`
+	// NsPerOp is wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when -benchmem was set.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Extra carries custom b.ReportMetric values (unit -> value).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Section is one snapshot of every benchmark.
+type Section struct {
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// File is the on-disk layout of BENCH_core.json.
+type File struct {
+	Schema   string   `json:"schema"`
+	Baseline *Section `json:"baseline,omitempty"`
+	Current  *Section `json:"current,omitempty"`
+}
+
+// benchLine matches "BenchmarkName-8  123  456 ns/op  [metrics...]".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// metricPair matches "12.5 unit" fragments of a benchmark line.
+var metricPair = regexp.MustCompile(`([0-9.eE+-]+)\s+([^\s]+)`)
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "JSON trend file to update")
+	reset := flag.Bool("reset-baseline", false, "overwrite the baseline section too")
+	flag.Parse()
+
+	parsed, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmerge:", err)
+		os.Exit(1)
+	}
+	if len(parsed.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchmerge: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	if err := merge(*out, parsed, *reset); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmerge:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchmerge: wrote %d benchmarks to %s\n", len(parsed.Benchmarks), *out)
+}
+
+// parse consumes benchmark lines and echoes the rest to stderr.
+func parse(r *os.File) (*Section, error) {
+	sec := &Section{Benchmarks: make(map[string]Metrics)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		name := m[1]
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("iterations of %s: %w", name, err)
+		}
+		met := Metrics{N: n}
+		for _, pair := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := pair[2]; unit {
+			case "ns/op":
+				met.NsPerOp = v
+			case "B/op":
+				met.BytesPerOp = &v
+			case "allocs/op":
+				met.AllocsPerOp = &v
+			default:
+				if met.Extra == nil {
+					met.Extra = make(map[string]float64)
+				}
+				met.Extra[unit] = v
+			}
+		}
+		sec.Benchmarks[name] = met
+	}
+	return sec, sc.Err()
+}
+
+// merge updates the trend file: current always, baseline only when absent
+// (or when reset is requested).
+func merge(path string, parsed *Section, reset bool) error {
+	var f File
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("existing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	f.Schema = "edf-bench/v1"
+	if f.Baseline == nil || reset {
+		f.Baseline = parsed
+	}
+	f.Current = parsed
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -5,6 +5,7 @@
 //	edffeas -set tasks.json [-test all|exact|sufficient|<name>,<name>,...]
 //	        [-level N] [-float] [-example name] [-wcrt] [-slack]
 //	        [-curve I] [-events stream.json] [-list]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The task set file is JSON: {"tasks":[{"wcet":2,"deadline":8,"period":10}, ...]}
 // or a bare array of tasks. Alternatively -example selects one of the
@@ -24,6 +25,11 @@
 // interchangeably. It covers -events too: the jobs then carry "model":
 // "events", and analyzers without event support report a per-job error,
 // exactly as the service's batch endpoint would.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (CPU
+// sampled across the analysis, heap captured after it), so hot-path
+// regressions can be diagnosed with `go tool pprof` without editing
+// code. Both work with every mode, including -json and -events.
 package main
 
 import (
@@ -32,6 +38,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 
@@ -40,6 +48,12 @@ import (
 )
 
 func main() {
+	// All work happens in run so deferred cleanups (profile writers) run
+	// before the process exits with the verdict code.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		setPath = flag.String("set", "", "path to a task set JSON file")
 		example = flag.String("example", "", "literature set name (burns, mashin, gap, gresser1, gresser2)")
@@ -52,22 +66,31 @@ func main() {
 		events  = flag.String("events", "", "path to an event-stream task set JSON file (Gresser model)")
 		list    = flag.Bool("list", false, "list the registered analyzers and exit")
 		asJSON  = flag.Bool("json", false, "emit results as the edfd service's batch JSON schema")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the analysis to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile (after the analysis) to this file")
 	)
 	flag.Parse()
 
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edffeas:", err)
+		return 2
+	}
+	defer stopProfiles()
+
 	if *list {
 		listAnalyzers()
-		return
+		return 0
 	}
 	if *asJSON && (*curve > 0 || *wcrt || *slack) {
 		fmt.Fprintln(os.Stderr, "edffeas: -json covers the analyzer results only (not -curve/-wcrt/-slack)")
-		os.Exit(2)
+		return 2
 	}
 
 	analyzers, err := selectAnalyzers(*test, *level)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edffeas:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	opt := edf.Options{}
@@ -76,29 +99,30 @@ func main() {
 	}
 
 	if *events != "" {
-		if err := analyzeEvents(*events, analyzers, opt, *asJSON); err != nil {
+		code, err := analyzeEvents(*events, analyzers, opt, *asJSON)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "edffeas:", err)
-			os.Exit(2)
+			return 2
 		}
-		return
+		return code
 	}
 
 	ts, name, err := loadSet(*setPath, *example)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edffeas:", err)
-		os.Exit(2)
+		return 2
 	}
 	if err := ts.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "edffeas:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	if *curve > 0 {
 		if err := dumpCurve(ts, *curve); err != nil {
 			fmt.Fprintln(os.Stderr, "edffeas:", err)
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	if !*asJSON {
@@ -114,10 +138,9 @@ func main() {
 	if *asJSON {
 		if err := emitJSON(name, results); err != nil {
 			fmt.Fprintln(os.Stderr, "edffeas:", err)
-			os.Exit(2)
+			return 2
 		}
-		exitOnInfeasible(results)
-		return
+		return infeasibleCode(results)
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -138,17 +161,53 @@ func main() {
 		reportPerTask(ts, *wcrt, *slack)
 	}
 
-	exitOnInfeasible(results)
+	return infeasibleCode(results)
 }
 
-// exitOnInfeasible mirrors the strongest verdict in the exit code:
+// startProfiles arms the requested pprof profiles and returns the cleanup
+// that stops the CPU profile and writes the heap profile.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "edffeas: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // surface live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "edffeas: memprofile:", err)
+			}
+		}
+	}, nil
+}
+
+// infeasibleCode mirrors the strongest verdict in the exit code:
 // 0 feasible, 1 infeasible.
-func exitOnInfeasible(results []edf.BatchResult) {
+func infeasibleCode(results []edf.BatchResult) int {
 	for _, r := range results {
 		if r.Result.Verdict == edf.Infeasible {
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // emitJSON prints the results in the edfd service's batch response
@@ -283,22 +342,22 @@ func dumpCurve(ts edf.TaskSet, upTo int64) error {
 }
 
 // analyzeEvents runs the selection on an event-stream task set file
-// through the workload batch runner. The table view skips analyzers
-// without event support; the JSON view reports them as per-job errors,
-// exactly as the service's batch endpoint would.
-func analyzeEvents(path string, analyzers []edf.Analyzer, opt edf.Options, asJSON bool) error {
+// through the workload batch runner and returns the process exit code.
+// The table view skips analyzers without event support; the JSON view
+// reports them as per-job errors, exactly as the service's batch endpoint
+// would.
+func analyzeEvents(path string, analyzers []edf.Analyzer, opt edf.Options, asJSON bool) (int, error) {
 	tasks, name, err := edf.LoadEventTasks(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	results := edf.AnalyzeWorkloads(context.Background(),
 		[]edf.Workload{edf.EventWorkload(tasks)}, analyzers, opt, 0)
 	if asJSON {
 		if err := emitJSON(name, results); err != nil {
-			return err
+			return 0, err
 		}
-		exitOnInfeasible(results)
-		return nil
+		return infeasibleCode(results), nil
 	}
 	fmt.Printf("event task set %q: %d tasks\n", name, len(tasks))
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -313,9 +372,12 @@ func analyzeEvents(path string, analyzers []edf.Analyzer, opt edf.Options, asJSO
 			r.Analyzer.Info().Label, r.Result.Verdict, r.Result.Iterations, r.Result.Revisions)
 	}
 	if ran == 0 {
-		return fmt.Errorf("none of the selected analyzers supports event streams")
+		return 0, fmt.Errorf("none of the selected analyzers supports event streams")
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return 0, err
+	}
+	return infeasibleCode(results), nil
 }
 
 func loadSet(path, example string) (edf.TaskSet, string, error) {

@@ -34,6 +34,7 @@ package edf
 
 import (
 	"repro/internal/core"
+	"repro/internal/demand"
 	"repro/internal/model"
 )
 
@@ -65,11 +66,27 @@ type Result = core.Result
 // arithmetic, FIFO revisions and no caps.
 type Options = core.Options
 
-// Arithmetic modes for the approximated accumulators.
+// Arithmetic modes for the approximated accumulators. ArithExact (the
+// default) runs on exact int64 rationals with 128-bit intermediates that
+// transparently fall back to big.Rat on overflow; ArithBigRat forces the
+// big.Rat reference implementation; ArithFloat64 trades exactness for
+// speed with tolerance-based comparisons.
 const (
 	ArithExact   = core.ArithExact
 	ArithFloat64 = core.ArithFloat64
+	ArithBigRat  = core.ArithBigRat
 )
+
+// Scratch is reusable analysis working memory (test list, job counters,
+// source adapters). Attach one to Options.Scratch and reuse it across
+// calls to run the iterative tests allocation-free in steady state; a
+// Scratch serves one analysis at a time and must not be shared between
+// concurrent analyses. When Options.Scratch is nil the tests borrow from
+// an internal pool.
+type Scratch = demand.Scratch
+
+// NewScratch returns an empty analysis Scratch.
+func NewScratch() *Scratch { return demand.NewScratch() }
 
 // Revision orders for the all-approximated test.
 const (

@@ -15,7 +15,7 @@ func TestGeorgeWithBlockingCoversViolations(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	for range 1500 {
 		ts := randomConstrainedSet(rng, 1+rng.Intn(4), 16)
-		if ts.Utilization().Cmp(one) >= 0 {
+		if ts.Utilization().Cmp(refOne) >= 0 {
 			continue
 		}
 		bmax := rng.Int63n(6)
@@ -41,7 +41,7 @@ func TestGeorgeWithBlockingZeroMatchesGeorge(t *testing.T) {
 	rng := rand.New(rand.NewSource(14))
 	for range 500 {
 		ts := randomConstrainedSet(rng, 1+rng.Intn(5), 30)
-		if ts.Utilization().Cmp(one) >= 0 {
+		if ts.Utilization().Cmp(refOne) >= 0 {
 			continue
 		}
 		srcs := demand.FromTasks(ts)

@@ -1,29 +1,31 @@
 package bounds
 
 import (
-	"math/big"
-
 	"repro/internal/demand"
 	"repro/internal/model"
 	"repro/internal/numeric"
 )
 
-var one = big.NewRat(1, 1)
+// fastOne is the comparison constant 1 of the fast bound arithmetic.
+var fastOne = numeric.NewFast(1, 1)
 
-// ceilRatInt64 rounds the non-negative rational up and reports whether the
-// result fits in int64.
-func ceilRatInt64(r *big.Rat) (int64, bool) {
-	if r.Sign() <= 0 {
+// utilFastTasks returns Σ Ci/Ti as an exact numeric.Fast.
+func utilFastTasks(ts model.TaskSet) numeric.Fast {
+	var u numeric.Fast
+	for _, t := range ts {
+		u = u.AddRat(t.WCET, t.Period)
+	}
+	return u
+}
+
+// ceilQuo rounds sum/(1-u) up to an int64 with the historical
+// ceilRatInt64 semantics: non-positive sums yield 0, and ok is false only
+// when the (positive) result does not fit in int64. Requires u < 1.
+func ceilQuo(sum, u numeric.Fast) (int64, bool) {
+	if sum.Sign() <= 0 {
 		return 0, true
 	}
-	num := new(big.Int).Set(r.Num())
-	den := r.Denom()
-	num.Add(num, new(big.Int).Sub(den, big.NewInt(1)))
-	q := num.Div(num, den)
-	if !q.IsInt64() {
-		return 0, false
-	}
-	return q.Int64(), true
+	return sum.QuoCeil(fastOne.Sub(u))
 }
 
 // Baruah returns the bound of Baruah et al. (Definition 3):
@@ -31,11 +33,15 @@ func ceilRatInt64(r *big.Rat) (int64, bool) {
 // (Di <= Ti for every task) with U < 1; otherwise ok is false. A zero bound
 // means no violation interval exists at all (every Di == Ti and U <= 1).
 func Baruah(ts model.TaskSet) (bound int64, ok bool) {
+	return baruahU(ts, utilFastTasks(ts))
+}
+
+// baruahU is Baruah with the utilization precomputed by the caller.
+func baruahU(ts model.TaskSet, u numeric.Fast) (bound int64, ok bool) {
 	if !ts.Constrained() {
 		return 0, false
 	}
-	u := ts.Utilization()
-	if u.Cmp(one) >= 0 {
+	if u.CmpInt(1) >= 0 {
 		return 0, false
 	}
 	var maxGap int64
@@ -45,21 +51,18 @@ func Baruah(ts model.TaskSet) (bound int64, ok bool) {
 	if maxGap == 0 {
 		return 0, true
 	}
-	// U/(1-U) * maxGap
-	den := new(big.Rat).Sub(one, u)
-	b := new(big.Rat).Quo(u, den)
-	b.Mul(b, new(big.Rat).SetInt64(maxGap))
-	return ceilRatInt64(b)
+	// ceil(U*maxGap / (1-U))
+	return ceilQuo(u.MulInt(maxGap), u)
 }
 
 // georgeTerm returns C - F*num/den for a source (first deadline F, slope
 // num/den), the per-source constant of the linear upper bound
 // dbf_s(I) <= U_s*I + (C - F*U_s).
-func georgeTerm(s demand.Source) *big.Rat {
+func georgeTerm(s demand.Source) numeric.Fast {
 	num, den := s.UtilRat()
 	f := s.JobDeadline(1)
-	t := new(big.Rat).Mul(big.NewRat(num, den), new(big.Rat).SetInt64(f))
-	return t.Sub(new(big.Rat).SetInt64(s.WCET()), t)
+	t := numeric.NewFast(num, den).MulInt(f)
+	return numeric.NewFast(s.WCET(), 1).Sub(t)
 }
 
 // George returns the bound of George et al.:
@@ -67,18 +70,17 @@ func georgeTerm(s demand.Source) *big.Rat {
 // (deadline beyond period) are excluded, which keeps the bound sound.
 // ok is false when U >= 1 or the bound overflows.
 func George(srcs []demand.Source) (bound int64, ok bool) {
-	u := demand.Utilization(srcs)
-	if u.Cmp(one) >= 0 {
+	u := demand.UtilizationFast(srcs)
+	if u.CmpInt(1) >= 0 {
 		return 0, false
 	}
-	sum := new(big.Rat)
+	var sum numeric.Fast
 	for _, s := range srcs {
 		if t := georgeTerm(s); t.Sign() > 0 {
-			sum.Add(sum, t)
+			sum = sum.Add(t)
 		}
 	}
-	sum.Quo(sum, new(big.Rat).Sub(one, u))
-	return ceilRatInt64(sum)
+	return ceilQuo(sum, u)
 }
 
 // GeorgeTasks is George over a sporadic task set.
@@ -88,18 +90,17 @@ func GeorgeTasks(ts model.TaskSet) (int64, bool) { return George(demand.FromTask
 // a violation dbf(I) > I - B(I) with B non-increasing and B(I) <= bmax
 // implies I < (Σ terms + bmax)/(1-U).
 func GeorgeWithBlocking(srcs []demand.Source, bmax int64) (bound int64, ok bool) {
-	u := demand.Utilization(srcs)
-	if u.Cmp(one) >= 0 {
+	u := demand.UtilizationFast(srcs)
+	if u.CmpInt(1) >= 0 {
 		return 0, false
 	}
-	sum := new(big.Rat).SetInt64(bmax)
+	sum := numeric.NewFast(bmax, 1)
 	for _, s := range srcs {
 		if t := georgeTerm(s); t.Sign() > 0 {
-			sum.Add(sum, t)
+			sum = sum.Add(t)
 		}
 	}
-	sum.Quo(sum, new(big.Rat).Sub(one, u))
-	return ceilRatInt64(sum)
+	return ceilQuo(sum, u)
 }
 
 // Superposition returns the new bound I_sup of Section 4.3:
@@ -110,18 +111,17 @@ func GeorgeWithBlocking(srcs []demand.Source, bmax int64) (bound int64, ok bool)
 // at most George's bound (the relationship the paper proves). ok is false
 // when U >= 1 or on overflow.
 func Superposition(srcs []demand.Source) (bound int64, ok bool) {
-	u := demand.Utilization(srcs)
-	if u.Cmp(one) >= 0 {
+	u := demand.UtilizationFast(srcs)
+	if u.CmpInt(1) >= 0 {
 		return 0, false
 	}
-	sum := new(big.Rat)
+	var sum numeric.Fast
 	var dmax int64
 	for _, s := range srcs {
-		sum.Add(sum, georgeTerm(s))
+		sum = sum.Add(georgeTerm(s))
 		dmax = max(dmax, s.JobDeadline(1))
 	}
-	sum.Quo(sum, new(big.Rat).Sub(one, u))
-	b, ok := ceilRatInt64(sum)
+	b, ok := ceilQuo(sum, u)
 	if !ok {
 		return 0, false
 	}
@@ -131,6 +131,39 @@ func Superposition(srcs []demand.Source) (bound int64, ok bool) {
 // SuperpositionTasks is Superposition over a sporadic task set.
 func SuperpositionTasks(ts model.TaskSet) (int64, bool) {
 	return Superposition(demand.FromTasks(ts))
+}
+
+// LinearBounds returns George's bound and the superposition bound in one
+// pass over the sources: the two share the utilization sum and the
+// per-source linear terms, so computing them together halves the
+// rational arithmetic — the dominant cost of a bound when the slope sums
+// overflow into big.Rat. Each (bound, ok) pair matches the standalone
+// function exactly.
+func LinearBounds(srcs []demand.Source) (george int64, okG bool, superpos int64, okS bool) {
+	return linearBoundsU(srcs, demand.UtilizationFast(srcs))
+}
+
+// linearBoundsU is LinearBounds with the utilization precomputed.
+func linearBoundsU(srcs []demand.Source, u numeric.Fast) (george int64, okG bool, superpos int64, okS bool) {
+	if u.CmpInt(1) >= 0 {
+		return 0, false, 0, false
+	}
+	var sumPos, sumAll numeric.Fast
+	var dmax int64
+	for _, s := range srcs {
+		t := georgeTerm(s)
+		sumAll = sumAll.Add(t)
+		if t.Sign() > 0 {
+			sumPos = sumPos.Add(t)
+		}
+		dmax = max(dmax, s.JobDeadline(1))
+	}
+	george, okG = ceilQuo(sumPos, u)
+	b, okB := ceilQuo(sumAll, u)
+	if !okB {
+		return george, okG, 0, false
+	}
+	return george, okG, max(b, dmax), true
 }
 
 // busyPeriodMaxIter caps the fixpoint iteration of BusyPeriod; real task
@@ -205,8 +238,17 @@ const (
 // dbf(I+H) = dbf(I) + H for I >= Dmax when U == 1. ok is false for U > 1
 // or when nothing applies within int64.
 func Best(ts model.TaskSet) (bound int64, kind Kind, ok bool) {
-	u := ts.Utilization()
-	switch u.Cmp(one) {
+	return BestSources(ts, demand.FromTasks(ts))
+}
+
+// BestSources is Best for callers that already hold the set's demand
+// sources (e.g. a reused analysis Scratch): srcs must be FromTasks(ts) or
+// equivalent. It allocates nothing beyond what the U == 1 fallback needs.
+func BestSources(ts model.TaskSet, srcs []demand.Source) (bound int64, kind Kind, ok bool) {
+	// One utilization sum feeds every candidate bound: the sum dominates
+	// the bound cost once slope denominators overflow into big.Rat.
+	u := utilFastTasks(ts)
+	switch u.CmpInt(1) {
 	case 1:
 		return 0, KindNone, false
 	case 0:
@@ -231,11 +273,10 @@ func Best(ts model.TaskSet) (bound int64, kind Kind, ok bool) {
 			bound, kind, ok = b, k, true
 		}
 	}
-	b, okB := Baruah(ts)
+	b, okB := baruahU(ts, u)
 	consider(b, KindBaruah, okB)
-	b, okB = GeorgeTasks(ts)
-	consider(b, KindGeorge, okB)
-	b, okB = SuperpositionTasks(ts)
-	consider(b, KindSuperposition, okB)
+	bg, okG, bs, okS := linearBoundsU(srcs, u)
+	consider(bg, KindGeorge, okG)
+	consider(bs, KindSuperposition, okS)
 	return bound, kind, ok
 }

@@ -25,7 +25,7 @@ func TestBoundsCoverViolations(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	for range 2000 {
 		ts := randomConstrainedSet(rng, 1+rng.Intn(5), 20)
-		if ts.Utilization().Cmp(one) >= 0 {
+		if ts.Utilization().Cmp(refOne) >= 0 {
 			continue
 		}
 		srcs := demand.FromTasks(ts)
@@ -72,7 +72,7 @@ func TestSuperpositionNotAboveGeorge(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for range 3000 {
 		ts := randomConstrainedSet(rng, 1+rng.Intn(6), 50)
-		if ts.Utilization().Cmp(one) >= 0 {
+		if ts.Utilization().Cmp(refOne) >= 0 {
 			continue
 		}
 		g, okG := GeorgeTasks(ts)
@@ -163,7 +163,7 @@ func TestBestSelectsSmallest(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	for range 500 {
 		ts := randomConstrainedSet(rng, 1+rng.Intn(5), 30)
-		u := ts.Utilization().Cmp(one)
+		u := ts.Utilization().Cmp(refOne)
 		b, kind, ok := Best(ts)
 		switch {
 		case u > 0:

@@ -20,14 +20,16 @@ import (
 // behaviour and cost equal Devi's test; the feasibility bound of Section
 // 4.3 is implicit: the test list simply drains.
 func AllApprox(ts model.TaskSet, opt Options) Result {
-	if ts.OverUtilized() {
+	opt, borrowed := opt.acquire()
+	defer release(borrowed)
+	if taskUtilCmpOne(ts) > 0 {
 		return Result{Verdict: Infeasible, Iterations: 1}
 	}
 	stopAt, kind, ok := fullUtilizationHorizon(ts)
 	if !ok {
 		return Result{Verdict: Undecided}
 	}
-	r := AllApproxSources(demand.FromTasks(ts), stopAt, opt)
+	r := AllApproxSources(opt.Scratch.Sources(ts), stopAt, opt)
 	if stopAt > 0 {
 		r.Bound, r.BoundKind = stopAt, kind
 	}
@@ -40,7 +42,7 @@ func AllApprox(ts model.TaskSet, opt Options) Result {
 // For U < 1 it returns 0 (no horizon needed). ok is false when U == 1 and
 // the hyperperiod overflows.
 func fullUtilizationHorizon(ts model.TaskSet) (int64, bounds.Kind, bool) {
-	if !ts.FullyUtilized() {
+	if taskUtilCmpOne(ts) != 0 {
 		return 0, bounds.KindNone, true
 	}
 	b, kind, ok := bounds.Best(ts)
@@ -54,6 +56,8 @@ func fullUtilizationHorizon(ts model.TaskSet) (int64, bounds.Kind, bool) {
 // sources. stopAt, when positive, is an exclusive sound horizon: reaching
 // it concludes feasibility (needed only for U == 1; pass 0 otherwise).
 func AllApproxSources(srcs []demand.Source, stopAt int64, opt Options) Result {
+	opt, borrowed := opt.acquire()
+	defer release(borrowed)
 	switch utilCmpOne(srcs) {
 	case 1:
 		return Result{Verdict: Infeasible, Iterations: 1}
@@ -64,19 +68,23 @@ func AllApproxSources(srcs []demand.Source, stopAt int64, opt Options) Result {
 			return Result{Verdict: Undecided}
 		}
 	}
-	if opt.Arithmetic == ArithFloat64 {
+	switch opt.Arithmetic {
+	case ArithFloat64:
 		return allApprox(numeric.F64(0), srcs, stopAt, opt)
+	case ArithBigRat:
+		return allApprox(numeric.Rat{}, srcs, stopAt, opt)
+	default:
+		return allApprox(numeric.Fast{}, srcs, stopAt, opt)
 	}
-	return allApprox(numeric.Rat{}, srcs, stopAt, opt)
 }
 
 func allApprox[S numeric.Scalar[S]](zero S, srcs []demand.Source, stopAt int64, opt Options) Result {
-	tl := demand.NewTestList(len(srcs))
-	jobs := make([]int64, len(srcs))
+	tl := opt.Scratch.TestList(len(srcs))
+	jobs := opt.Scratch.Jobs(len(srcs))
 	for i, s := range srcs {
 		tl.Add(s.JobDeadline(1), i)
 	}
-	approx := newApproxTracker(len(srcs))
+	approx := newApproxTracker(opt.Scratch, len(srcs))
 	dbf, uready := zero, zero
 	var iold, iterations, revisions int64
 	for !tl.Empty() {

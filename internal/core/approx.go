@@ -8,14 +8,15 @@ import (
 // currently approximated sources in insertion order. Only sources with a
 // positive approximation slope are tracked — a zero-slope (one-shot) source
 // is exact under approximation, so revising it can never reduce the
-// approximated demand.
+// approximated demand. Its buffers live in the analysis Scratch, so a
+// reused Scratch makes the tracker allocation-free.
 type approxTracker struct {
 	order []int  // approximated source indices, oldest first
 	in    []bool // membership by source index
 }
 
-func newApproxTracker(n int) *approxTracker {
-	return &approxTracker{order: make([]int, 0, n), in: make([]bool, n)}
+func newApproxTracker(s *demand.Scratch, n int) approxTracker {
+	return approxTracker{order: s.Ints(n), in: s.Bools(n)}
 }
 
 func (a *approxTracker) empty() bool { return len(a.order) == 0 }

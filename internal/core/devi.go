@@ -1,9 +1,8 @@
 package core
 
 import (
-	"math/big"
-
 	"repro/internal/model"
+	"repro/internal/numeric"
 )
 
 // Devi applies the sufficient test of Devi (Definition 1): with tasks
@@ -12,30 +11,29 @@ import (
 //
 //	Σ_{i<=k} Ci/Ti  +  (1/Dk)·Σ_{i<=k} ((Ti - min(Ti,Di))/Ti)·Ci  <=  1.
 //
-// The test is evaluated in exact rational arithmetic. Iterations counts the
-// prefix conditions checked, one per task up to and including the first
-// failing one, matching the iteration metric of the paper's Table 1.
+// The test is evaluated in exact rational arithmetic (fast int64
+// rationals with big.Rat fallback); the prefix condition is checked in
+// the division-free form Σ Ci/Ti · Dk + Σ gap-terms <= Dk. Iterations
+// counts the prefix conditions checked, one per task up to and including
+// the first failing one, matching the iteration metric of the paper's
+// Table 1.
 func Devi(ts model.TaskSet) Result {
-	u := ts.Utilization()
-	if u.Cmp(ratOne) > 0 {
+	if taskUtilCmpOne(ts) > 0 {
 		return Result{Verdict: Infeasible, Iterations: 1}
 	}
 	sorted := ts.SortedByDeadline()
-	cumU := new(big.Rat)   // Σ Ci/Ti
-	cumGap := new(big.Rat) // Σ (Ti - min(Ti,Di))/Ti · Ci
-	cond := new(big.Rat)
+	var cumU numeric.Fast   // Σ Ci/Ti
+	var cumGap numeric.Fast // Σ (Ti - min(Ti,Di))/Ti · Ci
 	var iterations int64
 	for _, t := range sorted {
 		iterations++
-		cumU.Add(cumU, big.NewRat(t.WCET, t.Period))
+		cumU = cumU.AddRat(t.WCET, t.Period)
 		if gap := t.Period - min(t.Period, t.Deadline); gap > 0 {
-			term := big.NewRat(gap, t.Period)
-			term.Mul(term, new(big.Rat).SetInt64(t.WCET))
-			cumGap.Add(cumGap, term)
+			cumGap = cumGap.Add(numeric.NewFast(gap, t.Period).MulInt(t.WCET))
 		}
-		cond.Quo(cumGap, new(big.Rat).SetInt64(t.Deadline))
-		cond.Add(cond, cumU)
-		if cond.Cmp(ratOne) > 0 {
+		// cumU + cumGap/Dk <= 1  ⇔  cumU·Dk + cumGap <= Dk (Dk > 0).
+		cond := cumU.MulInt(t.Deadline).Add(cumGap)
+		if cond.CmpInt(t.Deadline) > 0 {
 			return Result{
 				Verdict:         NotAccepted,
 				Iterations:      iterations,

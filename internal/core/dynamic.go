@@ -19,14 +19,16 @@ import (
 // describes: a strictly limited worst-case run time at the price of a
 // merely sufficient verdict (NotAccepted when the cap prevents refinement).
 func DynamicError(ts model.TaskSet, opt Options) Result {
-	if ts.OverUtilized() {
+	opt, borrowed := opt.acquire()
+	defer release(borrowed)
+	if taskUtilCmpOne(ts) > 0 {
 		return Result{Verdict: Infeasible, Iterations: 1, MaxLevel: 1}
 	}
 	stopAt, kind, ok := fullUtilizationHorizon(ts)
 	if !ok {
 		return Result{Verdict: Undecided}
 	}
-	r := DynamicErrorSources(demand.FromTasks(ts), stopAt, opt)
+	r := DynamicErrorSources(opt.Scratch.Sources(ts), stopAt, opt)
 	if stopAt > 0 {
 		r.Bound, r.BoundKind = stopAt, kind
 	}
@@ -37,6 +39,8 @@ func DynamicError(ts model.TaskSet, opt Options) Result {
 // sources. stopAt, when positive, is an exclusive sound horizon (needed
 // only for U == 1; pass 0 otherwise).
 func DynamicErrorSources(srcs []demand.Source, stopAt int64, opt Options) Result {
+	opt, borrowed := opt.acquire()
+	defer release(borrowed)
 	switch utilCmpOne(srcs) {
 	case 1:
 		return Result{Verdict: Infeasible, Iterations: 1, MaxLevel: 1}
@@ -46,19 +50,23 @@ func DynamicErrorSources(srcs []demand.Source, stopAt int64, opt Options) Result
 			return Result{Verdict: Undecided}
 		}
 	}
-	if opt.Arithmetic == ArithFloat64 {
+	switch opt.Arithmetic {
+	case ArithFloat64:
 		return dynamicError(numeric.F64(0), srcs, stopAt, opt)
+	case ArithBigRat:
+		return dynamicError(numeric.Rat{}, srcs, stopAt, opt)
+	default:
+		return dynamicError(numeric.Fast{}, srcs, stopAt, opt)
 	}
-	return dynamicError(numeric.Rat{}, srcs, stopAt, opt)
 }
 
 func dynamicError[S numeric.Scalar[S]](zero S, srcs []demand.Source, stopAt int64, opt Options) Result {
-	tl := demand.NewTestList(len(srcs))
-	jobs := make([]int64, len(srcs))
+	tl := opt.Scratch.TestList(len(srcs))
+	jobs := opt.Scratch.Jobs(len(srcs))
 	for i, s := range srcs {
 		tl.Add(s.JobDeadline(1), i)
 	}
-	approx := newApproxTracker(len(srcs))
+	approx := newApproxTracker(opt.Scratch, len(srcs))
 	level := int64(1)
 	dbf, uready := zero, zero
 	var iold, iterations, revisions int64

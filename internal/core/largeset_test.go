@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/big"
 	"math/rand"
 	"testing"
 
@@ -84,7 +85,7 @@ func TestSourcesAndTaskSetAPIsAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(113))
 	for range 500 {
 		ts := randomSmallSet(rng)
-		if ts.Utilization().Cmp(ratOne) >= 0 {
+		if ts.Utilization().Cmp(big.NewRat(1, 1)) >= 0 {
 			continue
 		}
 		srcs := demand.FromTasks(ts)

@@ -1,12 +1,8 @@
 package core
 
 import (
-	"math/big"
-
 	"repro/internal/model"
 )
-
-var ratOne = big.NewRat(1, 1)
 
 // LiuLayland applies the classic utilization-bound test of Liu & Layland
 // (Section 3.1 of the paper): for deadlines no smaller than periods, the
@@ -14,8 +10,7 @@ var ratOne = big.NewRat(1, 1)
 // D < T the test cannot accept (NotAccepted), although U > 1 still proves
 // infeasibility.
 func LiuLayland(ts model.TaskSet) Result {
-	u := ts.Utilization()
-	if u.Cmp(ratOne) > 0 {
+	if taskUtilCmpOne(ts) > 0 {
 		return Result{Verdict: Infeasible, Iterations: 1}
 	}
 	for _, t := range ts {

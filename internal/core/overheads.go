@@ -5,7 +5,6 @@ import (
 	"slices"
 
 	"repro/internal/bounds"
-	"repro/internal/demand"
 	"repro/internal/model"
 )
 
@@ -119,10 +118,12 @@ func DynamicErrorWithOverheads(ts model.TaskSet, ov Overheads, opt Options) Resu
 // bound widened by the maximal blocking (George's bound plus B_max).
 func ProcessorDemandWithOverheads(ts model.TaskSet, ov Overheads, opt Options) Result {
 	inflated, opt := prepareOverheads(ts, ov, opt)
+	opt, borrowed := opt.acquire()
+	defer release(borrowed)
 	if inflated.OverUtilized() {
 		return Result{Verdict: Infeasible, Iterations: 1}
 	}
-	srcs := demand.FromTasks(inflated)
+	srcs := opt.Scratch.Sources(inflated)
 	bmax := maxCriticalSection(inflated)
 	var bound int64
 	var kind bounds.Kind
@@ -153,10 +154,10 @@ func ProcessorDemandWithOverheads(ts model.TaskSet, ov Overheads, opt Options) R
 // switch and self-suspension charges.
 func DeviWithOverheads(ts model.TaskSet, ov Overheads) Result {
 	inflated := InflateOverheads(ts, ov)
-	u := inflated.Utilization()
-	if u.Cmp(ratOne) > 0 {
+	if taskUtilCmpOne(inflated) > 0 {
 		return Result{Verdict: Infeasible, Iterations: 1}
 	}
+	ratOne := big.NewRat(1, 1) // loop compare below stays on big.Rat
 	blocking := SRPBlocking(inflated)
 	sorted := inflated.SortedByDeadline()
 	cumU := new(big.Rat)

@@ -4,19 +4,30 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/demand"
 	"repro/internal/model"
+	"repro/internal/numeric"
 )
 
-// utilCmpOne compares the total utilization of the sources with 1.
+// utilCmpOne compares the total utilization of the sources with 1. The
+// sum is exact and allocation-free while it stays within int64.
 func utilCmpOne(srcs []demand.Source) int {
-	return demand.Utilization(srcs).Cmp(ratOne)
+	return demand.UtilCmpOne(srcs)
+}
+
+// taskUtilCmpOne compares Σ Ci/Ti with 1 exactly without adapting the
+// tasks to sources first.
+func taskUtilCmpOne(ts model.TaskSet) int {
+	var u numeric.Fast
+	for _, t := range ts {
+		u = u.AddRat(t.WCET, t.Period)
+	}
+	return u.CmpInt(1)
 }
 
 // sourceBound returns the smallest applicable feasibility bound over plain
 // sources (George or superposition; Baruah and hyperperiod need the task
 // structure). Requires U < 1.
 func sourceBound(srcs []demand.Source) (int64, bounds.Kind, bool) {
-	bg, okG := bounds.George(srcs)
-	bs, okS := bounds.Superposition(srcs)
+	bg, okG, bs, okS := bounds.LinearBounds(srcs)
 	switch {
 	case okG && okS:
 		if bs <= bg {
@@ -33,19 +44,21 @@ func sourceBound(srcs []demand.Source) (int64, bounds.Kind, bool) {
 }
 
 // taskBound returns the feasibility bound for a task set honoring an
-// explicit Options.Bound selection.
-func taskBound(ts model.TaskSet, opt Options) (int64, bounds.Kind, bool) {
+// explicit Options.Bound selection. srcs must be the task set's demand
+// sources (they carry the George/superposition computation so a reused
+// Scratch avoids re-adapting the set).
+func taskBound(ts model.TaskSet, srcs []demand.Source, opt Options) (int64, bounds.Kind, bool) {
 	switch opt.Bound {
 	case "", bounds.KindNone:
-		return bounds.Best(ts)
+		return bounds.BestSources(ts, srcs)
 	case bounds.KindBaruah:
 		b, ok := bounds.Baruah(ts)
 		return b, bounds.KindBaruah, ok
 	case bounds.KindGeorge:
-		b, ok := bounds.GeorgeTasks(ts)
+		b, ok := bounds.George(srcs)
 		return b, bounds.KindGeorge, ok
 	case bounds.KindSuperposition:
-		b, ok := bounds.SuperpositionTasks(ts)
+		b, ok := bounds.Superposition(srcs)
 		return b, bounds.KindSuperposition, ok
 	case bounds.KindBusyPeriod:
 		b, ok := bounds.BusyPeriod(ts)
@@ -65,26 +78,38 @@ func taskBound(ts model.TaskSet, opt Options) (int64, bounds.Kind, bool) {
 // deadline I below the feasibility bound. Iterations counts the distinct
 // test intervals checked.
 func ProcessorDemand(ts model.TaskSet, opt Options) Result {
-	if ts.OverUtilized() {
+	opt, borrowed := opt.acquire()
+	defer release(borrowed)
+	if taskUtilCmpOne(ts) > 0 {
 		return Result{Verdict: Infeasible, Iterations: 1}
 	}
-	bound, kind, ok := taskBound(ts, opt)
+	srcs := opt.Scratch.Sources(ts)
+	bound, kind, ok := taskBound(ts, srcs, opt)
 	if !ok {
 		return Result{Verdict: Undecided}
 	}
-	r := processorDemand(demand.FromTasks(ts), bound, opt)
+	r := processorDemand(srcs, bound, opt)
 	r.Bound, r.BoundKind = bound, kind
 	return r
 }
 
 // ProcessorDemandSources runs the processor demand test over generic
-// demand sources (e.g. event streams). Requires U <= 1; for U == 1 pass a
-// sound stopAt horizon via opt.MaxIterations-style capping is not possible,
-// so the bound must come from George/superposition (U < 1) or the result is
-// Undecided.
+// demand sources (e.g. event streams). It decides sets with U < 1, whose
+// horizon comes from the George/superposition bound, and rejects U > 1.
+// For U == 1 the result is Undecided: generic sources carry no task
+// structure, so no finite hyperperiod horizon can be derived and neither
+// linear bound exists — use DynamicErrorSources with an explicit stopAt
+// horizon when the enclosing model can supply one.
 func ProcessorDemandSources(srcs []demand.Source, opt Options) Result {
-	if utilCmpOne(srcs) > 0 {
+	opt, borrowed := opt.acquire()
+	defer release(borrowed)
+	switch utilCmpOne(srcs) {
+	case 1:
 		return Result{Verdict: Infeasible, Iterations: 1}
+	case 0:
+		// No sound finite horizon exists for fully utilized generic
+		// sources; report Undecided instead of running an unbounded walk.
+		return Result{Verdict: Undecided}
 	}
 	bound, kind, ok := sourceBound(srcs)
 	if !ok {
@@ -96,9 +121,10 @@ func ProcessorDemandSources(srcs []demand.Source, opt Options) Result {
 }
 
 // processorDemand checks dbf(I) <= I for every distinct absolute deadline
-// I < bound, walking deadlines in ascending order through a heap.
+// I < bound, walking deadlines in ascending order through the scratch
+// heap. The caller must have attached a Scratch to opt.
 func processorDemand(srcs []demand.Source, bound int64, opt Options) Result {
-	tl := demand.NewTestList(len(srcs))
+	tl := opt.Scratch.TestList(len(srcs))
 	for i, s := range srcs {
 		if d := s.JobDeadline(1); d < bound {
 			tl.Add(d, i)

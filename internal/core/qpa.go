@@ -36,14 +36,16 @@ func QPA(ts model.TaskSet, opt Options) Result {
 		// capacity; refuse rather than guess.
 		return Result{Verdict: Undecided}
 	}
-	if ts.OverUtilized() {
+	opt, borrowed := opt.acquire()
+	defer release(borrowed)
+	if taskUtilCmpOne(ts) > 0 {
 		return Result{Verdict: Infeasible, Iterations: 1}
 	}
-	bound, kind, ok := taskBound(ts, opt)
+	srcs := opt.Scratch.Sources(ts)
+	bound, kind, ok := taskBound(ts, srcs, opt)
 	if !ok {
 		return Result{Verdict: Undecided}
 	}
-	srcs := demand.FromTasks(ts)
 	dmin := ts.MinDeadline()
 	t := maxDeadlineBelow(srcs, bound)
 	var iterations int64

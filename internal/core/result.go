@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bounds"
+	"repro/internal/demand"
 )
 
 // Verdict is the outcome of a feasibility test.
@@ -70,11 +71,17 @@ type Result struct {
 type Arithmetic uint8
 
 const (
-	// ArithExact uses math/big.Rat accumulators (default).
+	// ArithExact uses exact accumulators on the fast path (default):
+	// int64 numerator/denominator rationals with 128-bit intermediate
+	// products that transparently fall back to big.Rat on overflow
+	// (numeric.Fast). Results are bit-identical to ArithBigRat.
 	ArithExact Arithmetic = iota
 	// ArithFloat64 uses float64 accumulators with a comparison tolerance;
 	// rejections are still confirmed exactly.
 	ArithFloat64
+	// ArithBigRat forces math/big.Rat accumulators everywhere — the slow
+	// reference implementation ArithExact is property-tested against.
+	ArithBigRat
 )
 
 // RevisionOrder selects which approximated task the all-approximated test
@@ -119,6 +126,32 @@ type Options struct {
 	// I, the shape of SRP/priority-ceiling blocking (see SRPBlocking).
 	// QPA does not support blocking and returns Undecided when it is set.
 	Blocking func(I int64) int64
+	// Scratch, when non-nil, provides reusable working memory (test list,
+	// job counters, source adapters) so repeated analyses run
+	// allocation-free in steady state. A Scratch serves one analysis at a
+	// time: callers sharing one across goroutines must serialize. When
+	// nil, the tests borrow one from an internal pool.
+	Scratch *demand.Scratch
+}
+
+// acquire returns opt with a Scratch attached, plus the borrowed scratch
+// to release (nil when the caller supplied one, or one was already
+// attached by an outer entry point).
+func (o Options) acquire() (Options, *demand.Scratch) {
+	if o.Scratch != nil {
+		return o, nil
+	}
+	s := demand.GetScratch()
+	o.Scratch = s
+	return o, s
+}
+
+// release returns a borrowed scratch to the pool; release(nil) is a no-op
+// so it can be deferred unconditionally.
+func release(s *demand.Scratch) {
+	if s != nil {
+		demand.PutScratch(s)
+	}
 }
 
 // capacityAt returns the capacity available at interval I under the

@@ -13,21 +13,29 @@ import (
 // interval (Lemma 1). The test is sufficient with an error that shrinks as
 // the level grows; SuperPos(1) is exactly Devi's test (Lemma 2).
 func SuperPos(ts model.TaskSet, level int64, opt Options) Result {
-	return SuperPosSources(demand.FromTasks(ts), level, opt)
+	opt, borrowed := opt.acquire()
+	defer release(borrowed)
+	return SuperPosSources(opt.Scratch.Sources(ts), level, opt)
 }
 
 // SuperPosSources runs SuperPos(x) over generic demand sources.
 func SuperPosSources(srcs []demand.Source, level int64, opt Options) Result {
+	opt, borrowed := opt.acquire()
+	defer release(borrowed)
 	if level < 1 {
 		level = 1
 	}
 	if utilCmpOne(srcs) > 0 {
 		return Result{Verdict: Infeasible, Iterations: 1, MaxLevel: level}
 	}
-	if opt.Arithmetic == ArithFloat64 {
+	switch opt.Arithmetic {
+	case ArithFloat64:
 		return superPos(numeric.F64(0), srcs, level, opt)
+	case ArithBigRat:
+		return superPos(numeric.Rat{}, srcs, level, opt)
+	default:
+		return superPos(numeric.Fast{}, srcs, level, opt)
 	}
-	return superPos(numeric.Rat{}, srcs, level, opt)
 }
 
 // superPos is the arithmetic-generic SuperPos(x) implementation. It walks
@@ -42,8 +50,8 @@ func SuperPosSources(srcs []demand.Source, level int64, opt Options) Result {
 // with slope 1, so the approximated test holds for all larger intervals
 // (the implicit superposition bound).
 func superPos[S numeric.Scalar[S]](zero S, srcs []demand.Source, level int64, opt Options) Result {
-	tl := demand.NewTestList(len(srcs))
-	jobs := make([]int64, len(srcs)) // processed jobs per source
+	tl := opt.Scratch.TestList(len(srcs))
+	jobs := opt.Scratch.Jobs(len(srcs)) // processed jobs per source
 	for i, s := range srcs {
 		tl.Add(s.JobDeadline(1), i)
 	}

@@ -1,7 +1,5 @@
 package demand
 
-import "container/heap"
-
 // Entry is one pending test interval of a source: the absolute deadline I
 // of the source's next unprocessed job.
 type Entry struct {
@@ -9,31 +7,42 @@ type Entry struct {
 	Src int   // index into the source slice
 }
 
-// entryHeap orders entries by interval, breaking ties by source index so
-// runs are deterministic.
-type entryHeap []Entry
-
-func (h entryHeap) Len() int { return len(h) }
-func (h entryHeap) Less(i, j int) bool {
-	if h[i].I != h[j].I {
-		return h[i].I < h[j].I
+// less orders entries by interval, breaking ties by source index so runs
+// are deterministic regardless of heap shape. Within one list every
+// (I, Src) pair is unique (a source has at most one pending entry), so
+// the order is total and the pop sequence is exactly the sorted order.
+func (e Entry) less(o Entry) bool {
+	if e.I != o.I {
+		return e.I < o.I
 	}
-	return h[i].Src < h[j].Src
+	return e.Src < o.Src
 }
-func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *entryHeap) Push(x any)   { *h = append(*h, x.(Entry)) }
-func (h *entryHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // TestList is the ascending queue of pending test intervals used by all
-// iterative tests ("testlist" in the paper's pseudocode).
+// iterative tests ("testlist" in the paper's pseudocode). It is a flat
+// 4-ary min-heap of Entry values: no interface boxing, no per-operation
+// allocation, and the shallow fan-out keeps sift-downs short and the
+// backing array cache-resident. The zero value is an empty list ready for
+// use; Reset recycles the backing array across runs.
 type TestList struct {
-	h entryHeap
+	h []Entry
 }
 
 // NewTestList returns a list with capacity for n entries.
 func NewTestList(n int) *TestList {
-	tl := &TestList{h: make(entryHeap, 0, n)}
-	return tl
+	return &TestList{h: make([]Entry, 0, n)}
+}
+
+// Reset empties the list, keeping the backing array.
+func (tl *TestList) Reset() { tl.h = tl.h[:0] }
+
+// Grow ensures capacity for n entries without changing the content.
+func (tl *TestList) Grow(n int) {
+	if cap(tl.h) < n {
+		h := make([]Entry, len(tl.h), n)
+		copy(h, tl.h)
+		tl.h = h
+	}
 }
 
 // Add queues the interval I for source src. Adding MaxInterval is a no-op:
@@ -42,7 +51,8 @@ func (tl *TestList) Add(I int64, src int) {
 	if I == MaxInterval {
 		return
 	}
-	heap.Push(&tl.h, Entry{I: I, Src: src})
+	tl.h = append(tl.h, Entry{I: I, Src: src})
+	tl.up(len(tl.h) - 1)
 }
 
 // Empty reports whether no intervals are pending.
@@ -50,7 +60,17 @@ func (tl *TestList) Empty() bool { return len(tl.h) == 0 }
 
 // Next removes and returns the smallest pending interval.
 // It must not be called on an empty list.
-func (tl *TestList) Next() Entry { return heap.Pop(&tl.h).(Entry) }
+func (tl *TestList) Next() Entry {
+	h := tl.h
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	tl.h = h[:last]
+	if last > 1 {
+		tl.down(0)
+	}
+	return top
+}
 
 // Peek returns the smallest pending interval without removing it.
 // It must not be called on an empty list.
@@ -58,3 +78,44 @@ func (tl *TestList) Peek() Entry { return tl.h[0] }
 
 // Len returns the number of pending entries.
 func (tl *TestList) Len() int { return len(tl.h) }
+
+// up sifts the entry at position i toward the root.
+func (tl *TestList) up(i int) {
+	h := tl.h
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+}
+
+// down sifts the entry at position i toward the leaves.
+func (tl *TestList) down(i int) {
+	h := tl.h
+	n := len(h)
+	e := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := min(first+4, n)
+		for c := first + 1; c < end; c++ {
+			if h[c].less(h[best]) {
+				best = c
+			}
+		}
+		if !h[best].less(e) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = e
+}

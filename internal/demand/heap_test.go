@@ -1,0 +1,95 @@
+package demand
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// TestTestListRandomOrdering drives random interleaved Add/Next sequences
+// and checks the 4-ary heap pops exactly the sorted order of what a plain
+// sorted slice would produce.
+func TestTestListRandomOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for round := range 200 {
+		tl := NewTestList(4)
+		var ref []Entry
+		popRef := func() Entry {
+			sort.Slice(ref, func(i, j int) bool { return ref[i].less(ref[j]) })
+			e := ref[0]
+			ref = ref[1:]
+			return e
+		}
+		src := 0
+		for step := range 300 {
+			if len(ref) == 0 || rng.Intn(3) > 0 {
+				e := Entry{I: rng.Int63n(50), Src: src}
+				src++
+				tl.Add(e.I, e.Src)
+				ref = append(ref, e)
+			} else {
+				if got, want := tl.Next(), popRef(); got != want {
+					t.Fatalf("round %d step %d: popped %+v, want %+v", round, step, got, want)
+				}
+			}
+			if tl.Len() != len(ref) {
+				t.Fatalf("round %d: len %d, want %d", round, tl.Len(), len(ref))
+			}
+			if len(ref) > 0 {
+				sort.Slice(ref, func(i, j int) bool { return ref[i].less(ref[j]) })
+				if tl.Peek() != ref[0] {
+					t.Fatalf("round %d: peek %+v, want %+v", round, tl.Peek(), ref[0])
+				}
+			}
+		}
+		// Drain: must come out fully sorted.
+		var drained []Entry
+		for !tl.Empty() {
+			drained = append(drained, tl.Next())
+		}
+		if !slices.IsSortedFunc(drained, func(a, b Entry) int {
+			switch {
+			case a.less(b):
+				return -1
+			case b.less(a):
+				return 1
+			default:
+				return 0
+			}
+		}) {
+			t.Fatalf("round %d: drain not sorted: %v", round, drained)
+		}
+	}
+}
+
+// TestTestListMaxIntervalNoop pins the "no further deadline" contract.
+func TestTestListMaxIntervalNoop(t *testing.T) {
+	tl := NewTestList(1)
+	tl.Add(MaxInterval, 0)
+	if !tl.Empty() {
+		t.Fatalf("adding MaxInterval must be a no-op")
+	}
+}
+
+// TestScratchReuse checks that scratch parts are reset between uses and
+// usable simultaneously.
+func TestScratchReuse(t *testing.T) {
+	s := NewScratch()
+	tl := s.TestList(8)
+	tl.Add(5, 0)
+	jobs := s.Jobs(4)
+	jobs[2] = 9
+	if tl2 := s.TestList(2); !tl2.Empty() {
+		t.Fatalf("TestList not reset")
+	}
+	if j := s.Jobs(4); j[2] != 0 {
+		t.Fatalf("Jobs not zeroed")
+	}
+	if b := s.Bools(3); len(b) != 3 || b[0] || b[1] || b[2] {
+		t.Fatalf("Bools not zeroed: %v", b)
+	}
+	if i := s.Ints(3); len(i) != 0 || cap(i) < 3 {
+		t.Fatalf("Ints shape wrong: len %d cap %d", len(i), cap(i))
+	}
+}

@@ -1,0 +1,102 @@
+package demand
+
+import (
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Scratch is reusable working memory for the iterative feasibility tests:
+// the test list, the per-source job counters, the adapted source slice
+// and the revision-tracker buffers. A Scratch serves one analysis at a
+// time — its parts are distinct fields, so one test may use all of them
+// concurrently, but two concurrent tests must not share a Scratch. With a
+// reused Scratch the sporadic analyzers run allocation-free in steady
+// state.
+//
+// The zero value is ready for use; NewScratch exists for symmetry with
+// the pool helpers.
+type Scratch struct {
+	list      TestList
+	jobs      []int64
+	sporadics []Sporadic
+	srcs      []Source
+	ints      []int
+	bools     []bool
+}
+
+// NewScratch returns an empty Scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// scratchPool feeds analyzers that were not handed an explicit Scratch.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch borrows a Scratch from the package pool. Return it with
+// PutScratch when the analysis is done.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a borrowed Scratch to the pool. The caller must not
+// use s afterwards.
+func PutScratch(s *Scratch) {
+	if s != nil {
+		scratchPool.Put(s)
+	}
+}
+
+// TestList returns the scratch test list, emptied and grown to hold n
+// entries.
+func (s *Scratch) TestList(n int) *TestList {
+	s.list.Reset()
+	s.list.Grow(n)
+	return &s.list
+}
+
+// Jobs returns a zeroed int64 slice of length n.
+func (s *Scratch) Jobs(n int) []int64 {
+	if cap(s.jobs) < n {
+		s.jobs = make([]int64, n)
+	}
+	s.jobs = s.jobs[:n]
+	for i := range s.jobs {
+		s.jobs[i] = 0
+	}
+	return s.jobs
+}
+
+// Ints returns an empty int slice with capacity for n elements.
+func (s *Scratch) Ints(n int) []int {
+	if cap(s.ints) < n {
+		s.ints = make([]int, 0, n)
+	}
+	return s.ints[:0]
+}
+
+// Bools returns a zeroed bool slice of length n.
+func (s *Scratch) Bools(n int) []bool {
+	if cap(s.bools) < n {
+		s.bools = make([]bool, n)
+	}
+	s.bools = s.bools[:n]
+	for i := range s.bools {
+		s.bools[i] = false
+	}
+	return s.bools
+}
+
+// Sources adapts the task set to demand sources, rebuilding the scratch
+// source slice in place: after the first call at a given size, no
+// allocation happens. The returned slice is valid until the next Sources
+// call on the same Scratch.
+func (s *Scratch) Sources(ts model.TaskSet) []Source {
+	s.sporadics = s.sporadics[:0]
+	for _, t := range ts {
+		s.sporadics = append(s.sporadics, NewSporadic(t))
+	}
+	s.srcs = s.srcs[:0]
+	for i := range s.sporadics {
+		// Pointers into the stable sporadics backing array: the interface
+		// conversion is allocation-free, unlike boxing a Sporadic value.
+		s.srcs = append(s.srcs, &s.sporadics[i])
+	}
+	return s.srcs
+}

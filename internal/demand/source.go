@@ -128,11 +128,15 @@ func (s Sporadic) ApproxError(I int64) (num, den int64) {
 }
 
 // FromTasks adapts a task set to demand sources, ignoring phases
-// (synchronous case).
+// (synchronous case). The sources are pointers into one backing array, so
+// the adaptation costs two allocations regardless of the set size; use
+// Scratch.Sources to avoid even those across repeated analyses.
 func FromTasks(ts model.TaskSet) []Source {
+	backing := make([]Sporadic, len(ts))
 	srcs := make([]Source, len(ts))
 	for i, t := range ts {
-		srcs[i] = NewSporadic(t)
+		backing[i] = NewSporadic(t)
+		srcs[i] = &backing[i]
 	}
 	return srcs
 }

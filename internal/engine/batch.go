@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/demand"
 	"repro/internal/model"
 	"repro/internal/workload"
 )
@@ -74,10 +75,12 @@ func Batch(sets []model.TaskSet, analyzers []Analyzer, opt core.Options) []Job {
 
 // Run executes the jobs over a bounded worker pool and returns one result
 // per job, in job order regardless of completion order, so batch output
-// is deterministic for any worker count. Cancel the context to stop: jobs
-// not yet started are returned with Err set to the context's error (a job
-// already running finishes normally — the tests themselves are not
-// preemptible).
+// is deterministic for any worker count. Each worker analyzes with its
+// own pooled Scratch; Job.Opt.Scratch is ignored (it would be shared
+// across workers otherwise) and comes back nil in the results. Cancel
+// the context to stop: jobs not yet started are returned with Err set to
+// the context's error (a job already running finishes normally — the
+// tests themselves are not preemptible).
 func Run(ctx context.Context, jobs []Job, ro RunOptions) []JobResult {
 	out := make([]JobResult, len(jobs))
 	workers := ro.Workers
@@ -92,8 +95,21 @@ func Run(ctx context.Context, jobs []Job, ro RunOptions) []JobResult {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One analysis Scratch per worker: every job this worker runs
+			// reuses the same test list, job counters and source adapters,
+			// so a long batch allocates per worker, not per job. Any
+			// caller-supplied Opt.Scratch is replaced — a Scratch serves
+			// one analysis at a time, and a single one shared across the
+			// fanned-out jobs would race between workers.
+			scratch := demand.GetScratch()
+			defer demand.PutScratch(scratch)
 			for i := range next {
-				out[i] = runJob(ctx, jobs[i])
+				job := jobs[i]
+				job.Opt.Scratch = scratch
+				out[i] = runJob(ctx, job)
+				// Do not leak the pooled scratch to the caller through the
+				// echoed Job: it is recycled when this worker exits.
+				out[i].Job.Opt.Scratch = nil
 			}
 		}()
 	}

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/demand"
+	"repro/internal/model"
+	"repro/internal/taskgen"
+)
+
+// TestRunReplacesSharedScratch pins the batch runner's Scratch semantics:
+// a caller-supplied Options.Scratch is fanned out to every job by Batch,
+// so Run must replace it with per-worker scratches (otherwise parallel
+// workers would race on it — this test runs under -race in CI) and must
+// not leak its pooled scratches through the echoed jobs.
+func TestRunReplacesSharedScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	sets := make([]model.TaskSet, 24)
+	for i := range sets {
+		ts, err := taskgen.New(taskgen.Config{
+			N: 10 + i%10, Utilization: 0.9,
+			PeriodMin: 100, PeriodMax: 100000,
+			GapMean: 0.2,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets[i] = ts
+	}
+	shared := demand.NewScratch()
+	jobs := Batch(sets, []Analyzer{MustGet("cascade"), MustGet("pd")}, core.Options{Scratch: shared})
+	results := Run(context.Background(), jobs, RunOptions{Workers: max(runtime.NumCPU(), 4)})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if !r.Result.Verdict.Definite() {
+			t.Fatalf("job %d: verdict %s", i, r.Result.Verdict)
+		}
+		if r.Job.Opt.Scratch != nil {
+			t.Fatalf("job %d leaks a scratch through the echoed Job", i)
+		}
+		// The batch verdict must match a serial run with fresh state.
+		serial, err := AnalyzeWorkload(r.Job.Analyzer, r.Job.workload(), core.Options{})
+		if err != nil {
+			t.Fatalf("job %d serial: %v", i, err)
+		}
+		if serial.Verdict != r.Result.Verdict || serial.Iterations != r.Result.Iterations {
+			t.Fatalf("job %d: batch %+v != serial %+v", i, r.Result, serial)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package numeric
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// applyOp applies the op-th randomized operation to both implementations
+// and returns a description for failure messages.
+func applyOp(rng *rand.Rand, f Fast, r Rat, huge bool) (Fast, Rat, string) {
+	den := rng.Int63n(1000) + 1
+	num := rng.Int63n(2000) - 1000
+	dt := rng.Int63n(100000)
+	if huge {
+		// Magnitudes near int64 overflow with coprime-ish denominators.
+		den = math.MaxInt64/2 - rng.Int63n(1000)
+		num = math.MaxInt64/3 - rng.Int63n(1000)
+		dt = rng.Int63n(math.MaxInt64 / 2)
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return f.AddRat(num, den), r.AddRat(num, den), "AddRat"
+	case 1:
+		return f.SubRat(num, den), r.SubRat(num, den), "SubRat"
+	case 2:
+		return f.AddInt(num), r.AddInt(num), "AddInt"
+	case 3:
+		u := NewFast(num, den)
+		ur := NewRat(num, den)
+		return f.AddScaled(u, dt), r.AddScaled(ur, dt), "AddScaled"
+	default:
+		o := NewFast(num, den)
+		or := NewRat(num, den)
+		return f.Add(o), r.Add(or), "Add"
+	}
+}
+
+// TestFastMatchesRat drives random op sequences through Fast and the
+// big.Rat reference and requires exact agreement after every step.
+func TestFastMatchesRat(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		huge bool
+	}{
+		{"small", false},
+		{"overflowing", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for seq := range 200 {
+				f, r := Fast{}, Rat{}
+				for step := range 30 {
+					var op string
+					f, r, op = applyOp(rng, f, r, tc.huge)
+					if f.Rat().Cmp(r.val()) != 0 {
+						t.Fatalf("seq %d step %d (%s): fast %s != rat %s",
+							seq, step, op, f.Rat(), r.val())
+					}
+					v := rng.Int63n(2000) - 1000
+					if got, want := f.CmpInt(v), r.CmpInt(v); got != want {
+						t.Fatalf("seq %d step %d: CmpInt(%d) = %d, want %d", seq, step, v, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFastPromotionAndDemotion pins the fallback contract: denominators
+// beyond int64 promote to big.Rat, and values demote again as soon as the
+// normalized result fits.
+func TestFastPromotionAndDemotion(t *testing.T) {
+	// Two coprime denominators whose product exceeds int64.
+	p1 := int64(math.MaxInt64/2 - 1)
+	p2 := int64(math.MaxInt64/3 - 4)
+	for GCD(p1, p2) != 1 {
+		p2--
+	}
+	f := Fast{}.AddRat(1, p1)
+	if f.Promoted() {
+		t.Fatalf("single fraction should stay in int64")
+	}
+	f = f.AddRat(1, p2)
+	if !f.Promoted() {
+		t.Fatalf("lcm overflow must promote to big.Rat")
+	}
+	want := new(big.Rat).Add(big.NewRat(1, p1), big.NewRat(1, p2))
+	if f.Rat().Cmp(want) != 0 {
+		t.Fatalf("promoted value %s, want %s", f.Rat(), want)
+	}
+	f = f.SubRat(1, p2)
+	if f.Promoted() {
+		t.Fatalf("value fitting int64 again must demote")
+	}
+	if f.Rat().Cmp(big.NewRat(1, p1)) != 0 {
+		t.Fatalf("demoted value %s, want 1/%d", f.Rat(), p1)
+	}
+}
+
+// TestFastZeroValue checks the Scalar contract for the zero value.
+func TestFastZeroValue(t *testing.T) {
+	var f Fast
+	if f.Sign() != 0 || f.CmpInt(0) != 0 || f.Float() != 0 {
+		t.Fatalf("zero value is not the number zero: %+v", f)
+	}
+	if got := f.AddInt(7).CmpInt(7); got != 0 {
+		t.Fatalf("0+7 != 7 (cmp %d)", got)
+	}
+}
+
+// TestFastCmpAgainstBig cross-checks Cmp/CmpInt on values around the
+// 128-bit comparison path.
+func TestFastCmpAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := []int64{0, 1, -1, 2, math.MaxInt64, math.MaxInt64 - 1, math.MaxInt64 / 2}
+	for range 2000 {
+		a := NewFast(rng.Int63()-rng.Int63(), rng.Int63n(math.MaxInt64-1)+1)
+		b := NewFast(rng.Int63()-rng.Int63(), rng.Int63n(math.MaxInt64-1)+1)
+		if got, want := a.Cmp(b), a.Rat().Cmp(b.Rat()); got != want {
+			t.Fatalf("Cmp(%s, %s) = %d, want %d", a.Rat(), b.Rat(), got, want)
+		}
+		v := vals[rng.Intn(len(vals))]
+		if got, want := a.CmpInt(v), a.Rat().Cmp(big.NewRat(v, 1)); got != want {
+			t.Fatalf("CmpInt(%s, %d) = %d, want %d", a.Rat(), v, got, want)
+		}
+	}
+}
+
+// TestFastQuoCeil compares QuoCeil with an arbitrary-precision reference
+// over small, large and 128-bit-numerator operands.
+func TestFastQuoCeil(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ceilRef := func(s, o *big.Rat) (int64, bool) {
+		q := new(big.Rat).Quo(s, o)
+		num := new(big.Int).Set(q.Num())
+		den := q.Denom()
+		num.Add(num, new(big.Int).Sub(den, big.NewInt(1)))
+		num.Div(num, den)
+		if !num.IsInt64() {
+			return 0, false
+		}
+		return num.Int64(), true
+	}
+	for i := range 5000 {
+		var s, o Fast
+		if i%3 == 0 {
+			// Large operands: the cross products exceed int64, forcing the
+			// Mul64/Div64 128-bit path.
+			s = NewFast(math.MaxInt64-rng.Int63n(1000), rng.Int63n(1000)+1)
+			o = NewFast(rng.Int63n(1000)+1, math.MaxInt64-rng.Int63n(1000))
+		} else {
+			s = NewFast(rng.Int63n(1_000_000), rng.Int63n(1000)+1)
+			o = NewFast(rng.Int63n(1000)+1, rng.Int63n(1000)+1)
+		}
+		got, ok := s.QuoCeil(o)
+		want, wantOK := ceilRef(s.Rat(), o.Rat())
+		if ok != wantOK || (ok && got != want) {
+			t.Fatalf("QuoCeil(%s / %s) = (%d, %v), want (%d, %v)",
+				s.Rat(), o.Rat(), got, ok, want, wantOK)
+		}
+	}
+}
+
+// TestFastQuoCeilWrap pins the uint64-wrap regression: a 128-bit
+// quotient of exactly 2^64-1 with a remainder must report ok=false, not
+// wrap q++ to zero and claim (0, true).
+func TestFastQuoCeilWrap(t *testing.T) {
+	// s/o = 31 * 1190112520884487201 / 2 = (2^65 - 1) / 2:
+	// Div64 yields q = 2^64-1, r = 1.
+	s := NewFast(31, 2)
+	o := NewFast(1, 1190112520884487201)
+	got, ok := s.QuoCeil(o)
+	wantV, wantOK := quoCeilBig(s.Rat(), o.Rat())
+	if ok != wantOK || (ok && got != wantV) {
+		t.Fatalf("QuoCeil = (%d, %v), big reference (%d, %v)", got, ok, wantV, wantOK)
+	}
+	if ok {
+		t.Fatalf("a quotient beyond int64 must not report ok")
+	}
+}
+
+// TestFastMulInt pins MulInt exactness including the reduce-first path
+// that keeps (C/T)·T in int64.
+func TestFastMulInt(t *testing.T) {
+	big1 := int64(math.MaxInt64 - 57)
+	f := NewFast(3, big1).MulInt(big1)
+	if f.Promoted() || f.CmpInt(3) != 0 {
+		t.Fatalf("(3/p)*p = %s promoted=%v, want 3 unpromoted", f.Rat(), f.Promoted())
+	}
+	rng := rand.New(rand.NewSource(3))
+	for range 2000 {
+		s := NewFast(rng.Int63n(1<<40)-1<<39, rng.Int63n(1<<20)+1)
+		v := rng.Int63n(1 << 30)
+		want := new(big.Rat).Mul(s.Rat(), big.NewRat(v, 1))
+		if got := s.MulInt(v); got.Rat().Cmp(want) != 0 {
+			t.Fatalf("MulInt(%s, %d) = %s, want %s", s.Rat(), v, got.Rat(), want)
+		}
+	}
+}

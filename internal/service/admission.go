@@ -2,13 +2,14 @@ package service
 
 import (
 	"fmt"
-	"math/big"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/demand"
 	"repro/internal/engine"
 	"repro/internal/eventstream"
 	"repro/internal/model"
+	"repro/internal/numeric"
 	"repro/internal/workload"
 )
 
@@ -68,10 +69,16 @@ type AdmissionStats struct {
 // proposed one at a time (or in bulk), staged while feasibility holds,
 // and made permanent (or discarded) transactionally. The session is fixed
 // to one workload model at construction; sporadic sessions admit sporadic
-// tasks, event sessions admit event-driven tasks. It keeps the running
-// utilization incrementally as an exact rational, so the cheap
-// reject-on-overload path costs one addition and one comparison and never
-// consults an analyzer.
+// tasks, event sessions admit event-driven tasks.
+//
+// The controller is built for sustained proposal rates: it keeps the
+// running utilization incrementally as an exact fast rational (so the
+// reject-on-overload path costs one addition and one comparison, no
+// allocation, and never consults an analyzer), caches the committed and
+// pending tasks in one contiguous candidate buffer (so a proposal appends
+// the candidate instead of re-materializing the whole session workload),
+// and owns an analysis Scratch reused across every decision (so the
+// analyzers run allocation-free in steady state).
 type Admission struct {
 	mu        sync.Mutex
 	analyzer  engine.Analyzer
@@ -79,8 +86,14 @@ type Admission struct {
 	model     workload.Model
 	committed workload.Workload
 	pending   workload.Workload
-	util      *big.Rat // utilization of committed + pending
-	stats     AdmissionStats
+	util      numeric.Fast // utilization of committed + pending
+	// candTasks/candEvents hold committed followed by pending tasks in
+	// admission order; a proposal appends the candidate, a rejection
+	// truncates it again, a rollback truncates to the committed prefix.
+	candTasks  model.TaskSet
+	candEvents []eventstream.Task
+	scratch    *demand.Scratch
+	stats      AdmissionStats
 }
 
 // NewAdmission builds an admission controller. It fails when the analyzer
@@ -105,14 +118,14 @@ func NewAdmission(cfg AdmissionConfig) (*Admission, error) {
 		model:     m,
 		committed: workload.Workload{Model: m},
 		pending:   workload.Workload{Model: m},
-		util:      new(big.Rat),
+		scratch:   demand.NewScratch(),
 	}
 	if cfg.Seed.Len() > 0 {
 		seed := cfg.Seed.Clone()
 		if err := seed.Validate(); err != nil {
 			return nil, fmt.Errorf("service: seed workload: %w", err)
 		}
-		res, err := engine.AnalyzeWorkload(a, seed, cfg.Options)
+		res, err := engine.AnalyzeWorkload(a, seed, adm.analyzeOptions())
 		if err != nil {
 			return nil, fmt.Errorf("service: seed workload: %w", err)
 		}
@@ -120,9 +133,19 @@ func NewAdmission(cfg AdmissionConfig) (*Admission, error) {
 			return nil, fmt.Errorf("service: seed workload is not admissible (%s)", res.Verdict)
 		}
 		adm.committed = seed
-		adm.util = seed.Utilization()
+		adm.util = workloadUtilFast(seed)
+		adm.candTasks = append(model.TaskSet(nil), seed.Tasks...)
+		adm.candEvents = append([]eventstream.Task(nil), seed.Events...)
 	}
 	return adm, nil
+}
+
+// analyzeOptions returns the test options with the controller's reusable
+// Scratch attached; only the caller holding the mutex may run with them.
+func (a *Admission) analyzeOptions() core.Options {
+	opt := a.opt
+	opt.Scratch = a.scratch
+	return opt
 }
 
 // Analyzer returns the controller's analyzer name.
@@ -201,21 +224,25 @@ func (a *Admission) proposeLocked(t workload.Task) (ProposeOutcome, error) {
 	// Cheap gate: incremental utilization. U > 1 is exactly infeasible
 	// under either model, so this is a sound O(1) rejection, not a
 	// heuristic.
-	grown := new(big.Rat).Add(a.util, t.Utilization())
-	if grown.Cmp(big.NewRat(1, 1)) > 0 {
+	grown := addTaskUtil(a.util, t)
+	if grown.CmpInt(1) > 0 {
 		a.stats.Rejected++
 		return a.outcome(false, core.Result{Verdict: core.Infeasible}), nil
 	}
 
-	res, err := engine.AnalyzeWorkload(a.analyzer, a.candidateLocked(t), a.opt)
+	res, err := engine.AnalyzeWorkload(a.analyzer, a.candidateLocked(t), a.analyzeOptions())
 	if err != nil {
+		a.retractCandidateLocked()
 		return ProposeOutcome{}, err
 	}
 	a.stats.Iterations += res.Iterations
 	if res.Verdict != core.Feasible {
 		a.stats.Rejected++
+		a.retractCandidateLocked()
 		return a.outcome(false, res), nil
 	}
+	// Admitted: the candidate stays in the buffer (it is now the last
+	// pending task) and is mirrored into the pending workload.
 	if a.model == workload.Events {
 		a.pending.Events = append(a.pending.Events, *t.Event)
 	} else {
@@ -226,24 +253,29 @@ func (a *Admission) proposeLocked(t workload.Task) (ProposeOutcome, error) {
 	return a.outcome(true, res), nil
 }
 
-// candidateLocked assembles committed + pending + t into one fresh
-// workload for the analyzer; the caller holds the mutex. Shallow copies
-// suffice — analyzers never mutate tasks — so a proposal costs one slice
-// allocation instead of deep clones of the whole session.
+// candidateLocked appends t to the cached committed+pending buffer and
+// returns it wrapped as the analyzer's workload — no per-proposal
+// re-materialization of the session; the caller holds the mutex. The
+// analyzers never mutate or retain the slice.
 func (a *Admission) candidateLocked(t workload.Task) workload.Workload {
 	w := workload.Workload{Model: a.model}
 	if a.model == workload.Events {
-		ev := make([]eventstream.Task, 0, len(a.committed.Events)+len(a.pending.Events)+1)
-		ev = append(ev, a.committed.Events...)
-		ev = append(ev, a.pending.Events...)
-		w.Events = append(ev, *t.Event)
+		a.candEvents = append(a.candEvents, *t.Event)
+		w.Events = a.candEvents
 	} else {
-		ts := make(model.TaskSet, 0, len(a.committed.Tasks)+len(a.pending.Tasks)+1)
-		ts = append(ts, a.committed.Tasks...)
-		ts = append(ts, a.pending.Tasks...)
-		w.Tasks = append(ts, *t.Sporadic)
+		a.candTasks = append(a.candTasks, *t.Sporadic)
+		w.Tasks = a.candTasks
 	}
 	return w
+}
+
+// retractCandidateLocked drops the rejected candidate from the buffer.
+func (a *Admission) retractCandidateLocked() {
+	if a.model == workload.Events {
+		a.candEvents = a.candEvents[:len(a.candEvents)-1]
+	} else {
+		a.candTasks = a.candTasks[:len(a.candTasks)-1]
+	}
 }
 
 // outcome snapshots the decision state; the caller holds the mutex.
@@ -251,13 +283,14 @@ func (a *Admission) outcome(admitted bool, res core.Result) ProposeOutcome {
 	return ProposeOutcome{
 		Admitted:    admitted,
 		Result:      res,
-		Utilization: ratFloat(a.util),
+		Utilization: a.util.Float(),
 		Committed:   a.committed.Len(),
 		Pending:     a.pending.Len(),
 	}
 }
 
-// Commit makes every pending task permanent.
+// Commit makes every pending task permanent. The candidate buffer already
+// lists committed followed by pending tasks, so it is left untouched.
 func (a *Admission) Commit() FinishOutcome {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -266,18 +299,24 @@ func (a *Admission) Commit() FinishOutcome {
 	a.committed, _ = a.committed.Concat(a.pending)
 	a.pending = workload.Workload{Model: a.model}
 	a.stats.Commits++
-	return FinishOutcome{Moved: n, Committed: a.committed.Len(), Utilization: ratFloat(a.util)}
+	return FinishOutcome{Moved: n, Committed: a.committed.Len(), Utilization: a.util.Float()}
 }
 
-// Rollback discards every pending task.
+// Rollback discards every pending task, truncating the candidate buffer
+// back to its committed prefix.
 func (a *Admission) Rollback() FinishOutcome {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	n := a.pending.Len()
 	a.pending = workload.Workload{Model: a.model}
-	a.util = a.committed.Utilization()
+	if a.model == workload.Events {
+		a.candEvents = a.candEvents[:len(a.committed.Events)]
+	} else {
+		a.candTasks = a.candTasks[:len(a.committed.Tasks)]
+	}
+	a.util = workloadUtilFast(a.committed)
 	a.stats.Rollbacks++
-	return FinishOutcome{Moved: n, Committed: a.committed.Len(), Utilization: ratFloat(a.util)}
+	return FinishOutcome{Moved: n, Committed: a.committed.Len(), Utilization: a.util.Float()}
 }
 
 // Snapshot returns deep copies of the committed and pending workloads and
@@ -285,7 +324,7 @@ func (a *Admission) Rollback() FinishOutcome {
 func (a *Admission) Snapshot() (committed, pending workload.Workload, utilization float64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.committed.Clone(), a.pending.Clone(), ratFloat(a.util)
+	return a.committed.Clone(), a.pending.Clone(), a.util.Float()
 }
 
 // Stats returns the lifetime counters.
@@ -295,7 +334,38 @@ func (a *Admission) Stats() AdmissionStats {
 	return a.stats
 }
 
-func ratFloat(r *big.Rat) float64 {
-	f, _ := r.Float64()
-	return f
+// addTaskUtil adds one task's exact utilization to u without allocating:
+// C/T for a sporadic task, Σ C/cycle over the stream for an event task.
+func addTaskUtil(u numeric.Fast, t workload.Task) numeric.Fast {
+	if t.Event != nil {
+		return addEventUtil(u, t.Event)
+	}
+	return u.AddRat(t.Sporadic.WCET, t.Sporadic.Period)
+}
+
+// addEventUtil adds an event task's utilization (one-shot elements
+// contribute nothing).
+func addEventUtil(u numeric.Fast, et *eventstream.Task) numeric.Fast {
+	for _, e := range et.Stream {
+		if e.Cycle > 0 {
+			u = u.AddRat(et.WCET, e.Cycle)
+		}
+	}
+	return u
+}
+
+// workloadUtilFast returns a workload's exact utilization as a fast
+// rational.
+func workloadUtilFast(w workload.Workload) numeric.Fast {
+	var u numeric.Fast
+	if w.Kind() == workload.Events {
+		for i := range w.Events {
+			u = addEventUtil(u, &w.Events[i])
+		}
+		return u
+	}
+	for _, t := range w.Tasks {
+		u = u.AddRat(t.WCET, t.Period)
+	}
+	return u
 }
