@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-core serve smoke fmt vet clean
+.PHONY: all build test bench bench-json bench-core bench-cluster serve smoke smoke-cluster fmt vet clean
 
 all: build test
 
@@ -9,7 +9,7 @@ build:
 
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/engine/ ./internal/service/...
+	$(GO) test -race ./internal/engine/ ./internal/service/... ./internal/cluster/
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx . | tee bench.out
@@ -23,12 +23,28 @@ bench-json:
 # BENCH_core.json (the first run freezes the baseline section; later runs
 # only replace "current"). BENCHTIME trades precision for runtime. The
 # test output lands in a temp file first so a benchmark failure aborts
-# the recipe instead of being masked by the pipe.
+# the recipe instead of being masked by the pipe. With GATE=<pct> set,
+# benchmerge exits non-zero when any benchmark regresses more than pct%
+# (ns/op, or any allocation on a 0-alloc baseline) vs the frozen
+# baseline — the CI regression gate protecting the zero-alloc hot path.
 BENCHTIME ?= 300ms
+GATE ?=
 bench-core:
 	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./internal/core/ > bench-core.out
-	$(GO) run ./cmd/benchmerge -out BENCH_core.json < bench-core.out
+	$(GO) run ./cmd/benchmerge -out BENCH_core.json $(if $(GATE),-gate $(GATE)) < bench-core.out
 	rm -f bench-core.out
+
+# Cluster benchmarks: 2 edfd replicas behind edfproxy vs a single direct
+# edfd, as machine-readable test2json events in the committed trend file
+# BENCH_cluster.json. The output lands in a temp file first so a failed
+# benchmark run cannot clobber the committed numbers. CI smokes the suite
+# with CLUSTER_BENCHTIME=1x into a separate CLUSTER_BENCH_OUT for the
+# same reason; the committed numbers use the defaults.
+CLUSTER_BENCHTIME ?= 1s
+CLUSTER_BENCH_OUT ?= BENCH_cluster.json
+bench-cluster:
+	$(GO) test -json -run xxx -bench BenchmarkCluster -benchtime $(CLUSTER_BENCHTIME) ./internal/cluster/ > bench-cluster.out
+	mv bench-cluster.out $(CLUSTER_BENCH_OUT)
 
 # Run the edfd feasibility daemon locally.
 serve:
@@ -40,6 +56,12 @@ serve:
 smoke:
 	$(GO) run ./cmd/edfsmoke
 
+# Cluster smoke: 2 real edfd replicas behind a real edfproxy, the full
+# protocol suite through the proxy plus ring-affinity, deterministic
+# split/merge and aggregate-metrics checks.
+smoke-cluster:
+	$(GO) run ./cmd/edfsmoke -cluster 2
+
 fmt:
 	gofmt -l -w .
 
@@ -47,5 +69,5 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -f bench.out bench-core.out BENCH_service.json
+	rm -f bench.out bench-core.out bench-cluster.out BENCH_service.json
 	$(GO) clean ./...

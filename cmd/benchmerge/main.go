@@ -5,10 +5,20 @@
 //	go test -bench . -benchmem ./internal/core/ | benchmerge -out BENCH_core.json
 //
 // The file keeps two sections. "baseline" is written only when the file
-// does not yet contain one — it freezes the numbers of the first run
-// (the pre-optimization state) so later runs can be compared against it.
-// "current" is replaced on every invocation. -reset-baseline overwrites
-// the baseline too, for re-anchoring after intentional regressions.
+// does not yet contain one — it freezes the numbers of the first run so
+// later runs can be compared against it. "current" is replaced on every
+// invocation. -reset-baseline overwrites the baseline too, for
+// re-anchoring after intentional performance changes.
+//
+// -gate pct turns the merge into a CI regression gate: after writing the
+// file, every benchmark present in both sections is compared and the
+// tool exits with status 2 when any current ns/op exceeds its frozen
+// baseline by more than pct percent. Allocations gate harder: a
+// benchmark whose baseline is 0 allocs/op fails on ANY allocation
+// (machine-independent, so this check is stable across runner hardware),
+// and a non-zero baseline fails past the same pct threshold. Wall-clock
+// comparisons assume the baseline was frozen on comparable hardware —
+// after a machine change, re-anchor with -reset-baseline.
 //
 // Only lines of the canonical benchmark form are consumed; everything
 // else (PASS, ok, custom metrics on separate lines) is echoed to stderr
@@ -23,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -61,6 +72,7 @@ var metricPair = regexp.MustCompile(`([0-9.eE+-]+)\s+([^\s]+)`)
 func main() {
 	out := flag.String("out", "BENCH_core.json", "JSON trend file to update")
 	reset := flag.Bool("reset-baseline", false, "overwrite the baseline section too")
+	gate := flag.Float64("gate", 0, "fail (exit 2) when any current ns/op or allocs/op regresses more than this percentage vs the frozen baseline")
 	flag.Parse()
 
 	parsed, err := parse(os.Stdin)
@@ -72,11 +84,72 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchmerge: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	if err := merge(*out, parsed, *reset); err != nil {
+	merged, err := merge(*out, parsed, *reset)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchmerge:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchmerge: wrote %d benchmarks to %s\n", len(parsed.Benchmarks), *out)
+	if *gate > 0 {
+		violations, checked := gateCheck(merged, *gate)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchmerge: GATE:", v)
+		}
+		if len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "benchmerge: GATE FAILED: %d of %d benchmarks regressed more than %g%% vs the frozen baseline\n",
+				len(violations), checked, *gate)
+			os.Exit(2)
+		}
+		if checked == 0 {
+			fmt.Fprintln(os.Stderr, "benchmerge: GATE: no benchmark exists in both baseline and current — nothing was checked")
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchmerge: GATE PASSED: %d benchmarks within %g%% of baseline\n", checked, *gate)
+	}
+}
+
+// gateCheck compares current against baseline. Wall-clock regressions
+// past pct percent fail; allocation regressions fail past the same
+// threshold, except a 0-alloc baseline which fails on any allocation at
+// all (the 0-alloc hot-path contract is exact, and allocation counts do
+// not vary with runner hardware the way nanoseconds do).
+func gateCheck(f *File, pct float64) (violations []string, checked int) {
+	if f.Baseline == nil || f.Current == nil {
+		return []string{"trend file is missing a baseline or current section"}, 0
+	}
+	names := make([]string, 0, len(f.Current.Benchmarks))
+	for name := range f.Current.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, ok := f.Baseline.Benchmarks[name]
+		if !ok {
+			continue // new benchmark: nothing frozen to compare against
+		}
+		cur := f.Current.Benchmarks[name]
+		checked++
+		if base.NsPerOp > 0 {
+			if excess := 100 * (cur.NsPerOp - base.NsPerOp) / base.NsPerOp; excess > pct {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %.0f ns/op is %.1f%% above the baseline %.0f ns/op (threshold %g%%)",
+					name, cur.NsPerOp, excess, base.NsPerOp, pct))
+			}
+		}
+		if base.AllocsPerOp == nil || cur.AllocsPerOp == nil {
+			continue
+		}
+		switch b, c := *base.AllocsPerOp, *cur.AllocsPerOp; {
+		case b == 0 && c > 0:
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f allocs/op on a frozen 0-alloc baseline", name, c))
+		case b > 0 && 100*(c-b)/b > pct:
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f allocs/op is %.1f%% above the baseline %.0f (threshold %g%%)",
+				name, c, 100*(c-b)/b, b, pct))
+		}
+	}
+	return violations, checked
 }
 
 // parse consumes benchmark lines and echoes the rest to stderr.
@@ -122,15 +195,15 @@ func parse(r *os.File) (*Section, error) {
 }
 
 // merge updates the trend file: current always, baseline only when absent
-// (or when reset is requested).
-func merge(path string, parsed *Section, reset bool) error {
+// (or when reset is requested). It returns the merged file for gating.
+func merge(path string, parsed *Section, reset bool) (*File, error) {
 	var f File
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &f); err != nil {
-			return fmt.Errorf("existing %s: %w", path, err)
+			return nil, fmt.Errorf("existing %s: %w", path, err)
 		}
 	} else if !os.IsNotExist(err) {
-		return err
+		return nil, err
 	}
 	f.Schema = "edf-bench/v1"
 	if f.Baseline == nil || reset {
@@ -139,7 +212,7 @@ func merge(path string, parsed *Section, reset bool) error {
 	f.Current = parsed
 	data, err := json.MarshalIndent(&f, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return &f, os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -3,6 +3,7 @@ package cmd_test
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -205,6 +206,79 @@ func TestEdfexpTable1(t *testing.T) {
 	}
 	if !strings.Contains(out, "name,tasks,utilization") {
 		t.Errorf("csv header missing:\n%s", out)
+	}
+}
+
+// TestBenchmergeGate pins the CI bench-regression gate: the first merge
+// freezes the baseline, a within-threshold run passes, a slow run or an
+// allocation on a 0-alloc baseline fails with exit status 2 naming the
+// offender.
+func TestBenchmergeGate(t *testing.T) {
+	bin := buildTool(t, "benchmerge")
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	feed := func(t *testing.T, stdin string, args ...string) (string, error) {
+		t.Helper()
+		cmd := exec.Command(bin, append([]string{"-out", out}, args...)...)
+		cmd.Stdin = strings.NewReader(stdin)
+		b, err := cmd.CombinedOutput()
+		return string(b), err
+	}
+	baseline := "BenchmarkHot-8  1000  100000 ns/op  0 B/op  0 allocs/op\n" +
+		"BenchmarkWarm-8  500  200000 ns/op  64 B/op  4 allocs/op\n"
+	if o, err := feed(t, baseline); err != nil {
+		t.Fatalf("freezing baseline: %v\n%s", err, o)
+	}
+
+	// Within threshold (+10% on a 25% gate, allocs unchanged): pass.
+	ok := "BenchmarkHot-8  1000  110000 ns/op  0 B/op  0 allocs/op\n" +
+		"BenchmarkWarm-8  500  210000 ns/op  64 B/op  4 allocs/op\n"
+	if o, err := feed(t, ok, "-gate", "25"); err != nil {
+		t.Fatalf("within-threshold run failed the gate: %v\n%s", err, o)
+	} else if !strings.Contains(o, "GATE PASSED") {
+		t.Errorf("no pass banner:\n%s", o)
+	}
+
+	// +50% ns/op regression: fail with status 2, naming the benchmark.
+	slow := "BenchmarkHot-8  1000  150000 ns/op  0 B/op  0 allocs/op\n" +
+		"BenchmarkWarm-8  500  200000 ns/op  64 B/op  4 allocs/op\n"
+	o, err := feed(t, slow, "-gate", "25")
+	if err == nil {
+		t.Fatalf("50%% regression passed the gate:\n%s", o)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Fatalf("gate failure exit: %v", err)
+	}
+	if !strings.Contains(o, "BenchmarkHot") || !strings.Contains(o, "GATE FAILED") {
+		t.Errorf("violation does not name the benchmark:\n%s", o)
+	}
+
+	// Any allocation on a 0-alloc baseline: fail even though ns/op is fine.
+	leaky := "BenchmarkHot-8  1000  100000 ns/op  16 B/op  1 allocs/op\n" +
+		"BenchmarkWarm-8  500  200000 ns/op  64 B/op  4 allocs/op\n"
+	if o, err := feed(t, leaky, "-gate", "25"); err == nil {
+		t.Fatalf("allocation on 0-alloc baseline passed the gate:\n%s", o)
+	} else if !strings.Contains(o, "0-alloc baseline") {
+		t.Errorf("alloc violation message:\n%s", o)
+	}
+
+	// The gate must not have clobbered the frozen baseline.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		Baseline struct {
+			Benchmarks map[string]struct {
+				NsPerOp float64 `json:"ns_per_op"`
+			} `json:"benchmarks"`
+		} `json:"baseline"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Baseline.Benchmarks["BenchmarkHot"].NsPerOp; got != 100000 {
+		t.Errorf("baseline drifted to %v ns/op", got)
 	}
 }
 

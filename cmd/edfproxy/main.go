@@ -1,0 +1,113 @@
+// Command edfproxy routes edfd's HTTP/JSON API across a cluster of edfd
+// replicas with a consistent-hash ring over content-addressed workload
+// fingerprints, so identical workloads always land on the replica whose
+// cache already holds their results.
+//
+// Usage:
+//
+//	edfproxy -replicas http://h1:8080,http://h2:8080 [-addr :8070]
+//	         [-vnodes 128] [-health-interval 2s]
+//
+// Routing:
+//
+//	POST /v1/analyze     by workload fingerprint; idempotent, fails over
+//	                     to the next ring node when a replica is down
+//	POST /v1/batch       split per-fingerprint across replicas, per-job
+//	                     results re-merged in deterministic set-major order
+//	POST /v1/sessions    sticky: the creating replica owns the session;
+//	/v1/sessions/{id}... later requests always go to the owner (503 naming
+//	                     the owner when it is down — sessions are stateful)
+//	GET  /v1/analyzers   any healthy replica (registries are identical)
+//	GET  /healthz        proxy + per-replica health
+//	GET  /metrics        replica counters summed + per-replica values +
+//	                     edfproxy_* routing/failover counters
+//
+// A background checker probes every replica's /healthz each interval,
+// ejecting failed replicas from the ring and re-admitting them when they
+// recover; a transport error during proxying ejects immediately. Ring
+// membership changes remap only ~1/N of the key space (virtual nodes),
+// keeping the surviving replicas' caches warm.
+//
+// The proxy drains in-flight requests on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8070", "listen address")
+		replicas = flag.String("replicas", "", "comma-separated edfd base URLs (required)")
+		vnodes   = flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per replica on the hash ring")
+		interval = flag.Duration("health-interval", cluster.DefaultHealthInterval, "replica /healthz probe interval")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	p, err := cluster.New(cluster.Config{
+		Replicas:       urls,
+		VirtualNodes:   *vnodes,
+		HealthInterval: *interval,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edfproxy:", err)
+		os.Exit(2)
+	}
+	p.Start()
+	defer p.Close()
+
+	hs := &http.Server{
+		Handler:           p.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// An explicit listener resolves ":0" to a real port before the banner
+	// prints, so scripts (make smoke-cluster) can parse the address.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edfproxy:", err)
+		os.Exit(1)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("edfproxy: listening on %s (%d replicas, %d vnodes, health every %s)\n",
+			ln.Addr(), len(urls), *vnodes, *interval)
+		errc <- hs.Serve(ln)
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "edfproxy:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("edfproxy: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "edfproxy: shutdown:", err)
+		os.Exit(1)
+	}
+}

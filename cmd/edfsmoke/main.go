@@ -1,21 +1,31 @@
-// Command edfsmoke is the end-to-end smoke test behind `make smoke`: it
-// builds and starts a real edfd process on an ephemeral port, drives
-// analyze, batch and session propose-batch with both workload models
-// through the typed client, and exits non-zero on any non-2xx response or
-// contract violation (missed cache hit, colliding fingerprints, wrong
-// verdict count).
+// Command edfsmoke is the end-to-end smoke test behind `make smoke` and
+// `make smoke-cluster`: it builds and starts real daemons on ephemeral
+// ports, drives analyze, batch and session propose-batch with both
+// workload models through the typed client, and exits non-zero on any
+// non-2xx response or contract violation (missed cache hit, colliding
+// fingerprints, wrong verdict count, non-deterministic batch order).
 //
 // Usage:
 //
-//	edfsmoke [-edfd path/to/edfd] [-timeout 60s]
+//	edfsmoke [-cluster n] [-edfd path] [-edfproxy path] [-timeout 120s]
 //
-// Without -edfd the daemon is compiled from ./cmd/edfd into a temp dir,
-// so `go run ./cmd/edfsmoke` works from a clean checkout.
+// With -cluster n > 0 it boots n edfd replicas behind a real edfproxy
+// and drives the whole suite through the proxy, plus cluster-specific
+// checks: repeated workloads route to the same replica and hit its
+// cache, split batches re-merge deterministically, and the aggregate
+// /metrics page carries both proxy and fleet counters.
+//
+// Without -edfd/-edfproxy the daemons are compiled from ./cmd into a
+// temp dir, so `go run ./cmd/edfsmoke` works from a clean checkout.
+// Every daemon's stderr is captured; when startup or any request fails,
+// the captured output is printed so CI failures are diagnosable from
+// the log alone.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +33,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	edf "repro"
@@ -32,58 +43,199 @@ import (
 
 func main() {
 	var (
-		edfdPath = flag.String("edfd", "", "edfd binary to drive (default: build ./cmd/edfd)")
-		timeout  = flag.Duration("timeout", 60*time.Second, "overall smoke deadline")
+		edfdPath  = flag.String("edfd", "", "edfd binary to drive (default: build ./cmd/edfd)")
+		proxyPath = flag.String("edfproxy", "", "edfproxy binary to drive (default: build ./cmd/edfproxy)")
+		clusterN  = flag.Int("cluster", 0, "boot n edfd replicas behind an edfproxy and smoke through the proxy (0 = single edfd)")
+		timeout   = flag.Duration("timeout", 120*time.Second, "overall smoke deadline")
 	)
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	if err := run(ctx, *edfdPath); err != nil {
+	daemons := &fleet{}
+	err := run(ctx, daemons, *edfdPath, *proxyPath, *clusterN)
+	daemons.stopAll()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "edfsmoke: FAIL:", err)
+		daemons.dumpStderr(os.Stderr)
 		os.Exit(1)
 	}
 	fmt.Println("edfsmoke: PASS")
 }
 
-func run(ctx context.Context, edfdPath string) error {
-	if edfdPath == "" {
+// tailBuffer captures the last cap bytes of a daemon's stderr, so a
+// failure report carries the daemon's own diagnostics without an
+// unbounded buffer on a chatty process.
+type tailBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+	cap int
+}
+
+func newTailBuffer() *tailBuffer { return &tailBuffer{cap: 64 << 10} }
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.cap {
+		t.buf = t.buf[len(t.buf)-t.cap:]
+	}
+	return len(p), nil
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
+}
+
+// daemon is one child process with its captured stderr and parsed
+// listen address.
+type daemon struct {
+	name   string
+	cmd    *exec.Cmd
+	stderr *tailBuffer
+	addr   string
+}
+
+// fleet tracks every daemon for teardown and failure reporting.
+type fleet struct{ daemons []*daemon }
+
+func (f *fleet) stopAll() {
+	for _, d := range f.daemons {
+		_ = d.cmd.Process.Kill()
+		_ = d.cmd.Wait()
+	}
+}
+
+// dumpStderr prints every daemon's captured stderr — the satellite fix
+// that makes CI smoke failures diagnosable: the non-2xx status alone
+// says nothing, the daemon's own log usually says everything.
+func (f *fleet) dumpStderr(w io.Writer) {
+	for _, d := range f.daemons {
+		out := strings.TrimSpace(d.stderr.String())
+		if out == "" {
+			fmt.Fprintf(w, "edfsmoke: %s (%s): no stderr output\n", d.name, d.addr)
+			continue
+		}
+		fmt.Fprintf(w, "edfsmoke: --- %s (%s) stderr ---\n%s\nedfsmoke: --- end %s stderr ---\n",
+			d.name, d.addr, out, d.name)
+	}
+}
+
+// start launches a daemon and parses "<name>: listening on <addr>" from
+// its stdout.
+func (f *fleet) start(ctx context.Context, name, bin string, args ...string) (*daemon, error) {
+	d := &daemon{name: name, stderr: newTailBuffer()}
+	d.cmd = exec.CommandContext(ctx, bin, args...)
+	d.cmd.Stderr = d.stderr
+	stdout, err := d.cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting %s: %w", name, err)
+	}
+	f.daemons = append(f.daemons, d)
+	addr, err := listenAddr(stdout, name+": listening on ")
+	if err != nil {
+		return nil, fmt.Errorf("%s startup: %w", name, err)
+	}
+	d.addr = addr
+	return d, nil
+}
+
+// listenAddr parses a daemon's startup banner for the resolved address.
+func listenAddr(stdout io.Reader, prefix string) (string, error) {
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), prefix); ok {
+			go io.Copy(io.Discard, stdout) // keep the pipe drained
+			addr, _, _ := strings.Cut(rest, " ")
+			return addr, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("daemon exited before announcing its address")
+}
+
+// buildTool compiles ./cmd/<name> into dir.
+func buildTool(ctx context.Context, dir, name string) (string, error) {
+	bin := filepath.Join(dir, name)
+	build := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/"+name)
+	if out, err := build.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("building %s: %v\n%s", name, err, out)
+	}
+	return bin, nil
+}
+
+func run(ctx context.Context, daemons *fleet, edfdPath, proxyPath string, clusterN int) error {
+	if edfdPath == "" || (clusterN > 0 && proxyPath == "") {
 		dir, err := os.MkdirTemp("", "edfsmoke")
 		if err != nil {
 			return err
 		}
 		defer os.RemoveAll(dir)
-		edfdPath = filepath.Join(dir, "edfd")
-		build := exec.CommandContext(ctx, "go", "build", "-o", edfdPath, "./cmd/edfd")
-		if out, err := build.CombinedOutput(); err != nil {
-			return fmt.Errorf("building edfd: %v\n%s", err, out)
+		if edfdPath == "" {
+			if edfdPath, err = buildTool(ctx, dir, "edfd"); err != nil {
+				return err
+			}
+		}
+		if clusterN > 0 && proxyPath == "" {
+			if proxyPath, err = buildTool(ctx, dir, "edfproxy"); err != nil {
+				return err
+			}
 		}
 	}
 
-	cmd := exec.CommandContext(ctx, edfdPath, "-addr", "127.0.0.1:0", "-session-ttl", "10m")
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return err
+	if clusterN <= 0 {
+		d, err := daemons.start(ctx, "edfd", edfdPath, "-addr", "127.0.0.1:0", "-session-ttl", "10m")
+		if err != nil {
+			return err
+		}
+		c := client.New("http://"+d.addr, nil)
+		if err := waitHealthy(ctx, c); err != nil {
+			return err
+		}
+		fmt.Println("edfsmoke: edfd healthy on", d.addr)
+		return drive(ctx, c)
 	}
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
-		return err
-	}
-	defer func() {
-		_ = cmd.Process.Kill()
-		_ = cmd.Wait()
-	}()
 
-	addr, err := listenAddr(stdout)
+	// Cluster mode: n real replicas behind a real proxy.
+	var replicas []string
+	for i := range clusterN {
+		d, err := daemons.start(ctx, "edfd", edfdPath, "-addr", "127.0.0.1:0", "-session-ttl", "10m")
+		if err != nil {
+			return fmt.Errorf("replica %d: %w", i, err)
+		}
+		replicas = append(replicas, "http://"+d.addr)
+	}
+	proxy, err := daemons.start(ctx, "edfproxy", proxyPath,
+		"-addr", "127.0.0.1:0", "-replicas", strings.Join(replicas, ","), "-health-interval", "250ms")
 	if err != nil {
 		return err
 	}
-	c := client.New("http://"+addr, nil)
+	c := client.New("http://"+proxy.addr, nil)
 	if err := waitHealthy(ctx, c); err != nil {
 		return err
 	}
-	fmt.Println("edfsmoke: edfd healthy on", addr)
+	fmt.Printf("edfsmoke: edfproxy healthy on %s over %d replicas\n", proxy.addr, clusterN)
 
+	// The full single-daemon suite must behave identically via the proxy.
+	if err := drive(ctx, c); err != nil {
+		return err
+	}
+	return driveCluster(ctx, c, clusterN)
+}
+
+// drive runs the protocol suite — analyze with cache/fingerprint checks,
+// batch, sessions with propose-batch, both workload models — against one
+// endpoint, which may be an edfd or an edfproxy (the contract is the
+// same; that is the point of the typed client).
+func drive(ctx context.Context, c *client.Client) error {
 	sporadic := edf.TaskSet{
 		{Name: "ctrl", WCET: 2, Deadline: 8, Period: 10},
 		{Name: "io", WCET: 3, Deadline: 15, Period: 15},
@@ -193,21 +345,118 @@ func run(ctx context.Context, edfdPath string) error {
 	return nil
 }
 
-// listenAddr parses the daemon's startup banner for the resolved address.
-func listenAddr(stdout io.Reader) (string, error) {
-	sc := bufio.NewScanner(stdout)
-	for sc.Scan() {
-		line := sc.Text()
-		if rest, ok := strings.CutPrefix(line, "edfd: listening on "); ok {
-			go io.Copy(io.Discard, stdout) // keep the pipe drained
-			addr, _, _ := strings.Cut(rest, " ")
-			return addr, nil
+// driveCluster runs the proxy-specific checks: ring affinity, split
+// batch determinism and the aggregate metrics page.
+func driveCluster(ctx context.Context, c *client.Client, n int) error {
+	// Affinity: distinct workloads spread over the ring; each repeat must
+	// land on its first replica and hit that replica's cache.
+	servedBy := map[string]bool{}
+	for i := range 12 {
+		wl := edf.SporadicWorkload(edf.TaskSet{
+			{Name: "a", WCET: 1, Deadline: 40 + int64(i), Period: 100 + int64(i)},
+			{Name: "b", WCET: 2, Deadline: 90, Period: 200},
+		})
+		first, rt1, err := c.AnalyzeRouted(ctx, service.AnalyzeRequest{Workload: wl})
+		if err != nil {
+			return fmt.Errorf("cluster analyze %d: %w", i, err)
+		}
+		if rt1.Replica == "" {
+			return fmt.Errorf("cluster analyze %d: proxy did not name a replica", i)
+		}
+		again, rt2, err := c.AnalyzeRouted(ctx, service.AnalyzeRequest{Workload: wl})
+		if err != nil {
+			return fmt.Errorf("cluster re-analyze %d: %w", i, err)
+		}
+		if rt2.Replica != rt1.Replica {
+			return fmt.Errorf("workload %d remapped: %s then %s", i, rt1.Replica, rt2.Replica)
+		}
+		if !again.Cached || again.Fingerprint != first.Fingerprint {
+			return fmt.Errorf("workload %d repeat missed the cache on %s", i, rt2.Replica)
+		}
+		servedBy[rt1.Replica] = true
+	}
+	if n > 1 && len(servedBy) < 2 {
+		return fmt.Errorf("12 distinct workloads all routed to one replica: %v", servedBy)
+	}
+	fmt.Printf("edfsmoke: cluster affinity ok (%d replicas served, repeats cached)\n", len(servedBy))
+
+	// Deterministic split/merge: a mixed-model batch large enough to
+	// split, issued twice, must come back in identical set-major order
+	// with identical verdicts.
+	req := service.BatchRequest{Analyzers: []string{"cascade"}}
+	for i := range 10 {
+		req.Sets = append(req.Sets, service.WorkloadSet{
+			Name: fmt.Sprintf("set-%d", i),
+			Workload: edf.SporadicWorkload(edf.TaskSet{
+				{Name: "t", WCET: 2, Deadline: 50 + int64(i), Period: 80 + int64(i)},
+			}),
+		})
+	}
+	req.Sets = append(req.Sets, service.WorkloadSet{
+		Name: "ev",
+		Workload: edf.EventWorkload([]edf.EventTask{
+			{Name: "p", WCET: 1, Deadline: 9, Stream: edf.PeriodicStream(10)},
+		}),
+	})
+	norm := func(r service.BatchResponse) (string, error) {
+		for i := range r.Results {
+			r.Results[i].WallNS = 0
+			r.Results[i].Cached = false
+		}
+		b, err := json.Marshal(r)
+		return string(b), err
+	}
+	first, rt, err := c.BatchRouted(ctx, req)
+	if err != nil {
+		return fmt.Errorf("cluster batch: %w", err)
+	}
+	for i, jr := range first.Results {
+		if jr.SetIndex != i || jr.SetName != req.Sets[i].Name {
+			return fmt.Errorf("cluster batch order broken at %d: set %d %q", i, jr.SetIndex, jr.SetName)
+		}
+		if jr.Err != "" {
+			return fmt.Errorf("cluster batch job %d failed: %s", i, jr.Err)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return "", err
+	again, _, err := c.BatchRouted(ctx, req)
+	if err != nil {
+		return fmt.Errorf("cluster batch repeat: %w", err)
 	}
-	return "", fmt.Errorf("edfd exited before announcing its address")
+	a, err := norm(first)
+	if err != nil {
+		return err
+	}
+	b, err := norm(again)
+	if err != nil {
+		return err
+	}
+	if a != b {
+		return fmt.Errorf("cluster batch not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	split := "unsplit"
+	if strings.Contains(rt.Replica, ",") {
+		split = "split across " + rt.Replica
+	}
+	fmt.Printf("edfsmoke: cluster batch deterministic through the merge path (%s)\n", split)
+
+	// Aggregate metrics: proxy counters plus fleet-summed replica
+	// counters on one page.
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("cluster metrics: %w", err)
+	}
+	for _, want := range []string{
+		"edfproxy_analyze_routed_total",
+		"edfproxy_replicas_healthy " + fmt.Sprint(n),
+		"edfd_cache_hits",
+		"{replica=",
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("aggregate metrics missing %q:\n%s", want, text)
+		}
+	}
+	fmt.Println("edfsmoke: cluster aggregate metrics ok")
+	return nil
 }
 
 // waitHealthy polls /healthz until the daemon answers.
@@ -216,7 +465,7 @@ func waitHealthy(ctx context.Context, c *client.Client) error {
 		if err := c.Healthz(ctx); err == nil {
 			return nil
 		} else if ctx.Err() != nil {
-			return fmt.Errorf("edfd never became healthy: %w", err)
+			return fmt.Errorf("daemon never became healthy: %w", err)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}

@@ -1,0 +1,138 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	edf "repro"
+	"repro/internal/cluster"
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// benchTarget boots the topology under test: n replicas served either
+// directly (n must be 1) or through an in-process proxy.
+func benchTarget(b *testing.B, n int, proxied bool) (string, *cluster.Spawner) {
+	b.Helper()
+	sp, err := cluster.Spawn(n, service.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sp.Close)
+	if !proxied {
+		return sp.URLs()[0], sp
+	}
+	p, err := cluster.New(cluster.Config{Replicas: sp.URLs()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(p.Handler())
+	b.Cleanup(hs.Close)
+	return hs.URL, sp
+}
+
+// BenchmarkClusterAnalyze compares single-process edfd against a
+// 2-replica cluster behind edfproxy under parallel load, mirroring
+// BenchmarkServiceAnalyze's modes: "hit" hammers one hot workload (the
+// ring pins it to one replica, whose cache answers), "miss" perturbs the
+// workload every request (unique fingerprints spread over the ring and
+// every replica's engine runs). Custom metrics: aggregate req/s,
+// fleet-wide cache hit_rate, and — through the proxy — owner_hit_share,
+// the fraction of all cache hits concentrated on the hottest replica
+// (1.0 means perfect affinity).
+func BenchmarkClusterAnalyze(b *testing.B) {
+	base := genSets(b, 1, 99)[0]
+	ctx := context.Background()
+	for _, topo := range []struct {
+		name     string
+		replicas int
+		proxied  bool
+	}{
+		{"direct-1", 1, false},
+		{"proxy-2", 2, true},
+	} {
+		for _, mode := range []string{"hit", "miss"} {
+			b.Run(topo.name+"/"+mode, func(b *testing.B) {
+				target, sp := benchTarget(b, topo.replicas, topo.proxied)
+				var ctr atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					c := client.New(target, nil)
+					for pb.Next() {
+						ts := base
+						if mode == "miss" {
+							// A never-repeating perturbation: every request
+							// carries a fresh fingerprint.
+							ts = base.Clone()
+							ts[0].Period += ctr.Add(1)
+						}
+						if _, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.SporadicWorkload(ts)}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				b.StopTimer()
+				var hits, misses, maxHits uint64
+				for _, rep := range sp.Replicas {
+					cs := rep.Server().CacheStats()
+					hits += cs.Hits
+					misses += cs.Misses
+					maxHits = max(maxHits, cs.Hits)
+				}
+				if total := hits + misses; total > 0 {
+					b.ReportMetric(float64(hits)/float64(total), "hit_rate")
+				}
+				if topo.proxied && hits > 0 {
+					b.ReportMetric(float64(maxHits)/float64(hits), "owner_hit_share")
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			})
+		}
+	}
+}
+
+// BenchmarkClusterBatch measures a warm 32-set batch — through the proxy
+// this exercises the full split / concurrent sub-batch / deterministic
+// re-merge path with every job answered from replica caches, so the
+// numbers isolate the routing overhead rather than analysis cost.
+func BenchmarkClusterBatch(b *testing.B) {
+	req := service.BatchRequest{Analyzers: []string{"cascade"}}
+	for i, ts := range genSets(b, 32, 77) {
+		req.Sets = append(req.Sets, service.WorkloadSet{
+			Name: fmt.Sprintf("set-%d", i), Workload: edf.SporadicWorkload(ts),
+		})
+	}
+	ctx := context.Background()
+	for _, topo := range []struct {
+		name     string
+		replicas int
+		proxied  bool
+	}{
+		{"direct-1", 1, false},
+		{"proxy-2", 2, true},
+	} {
+		b.Run(topo.name, func(b *testing.B) {
+			target, _ := benchTarget(b, topo.replicas, topo.proxied)
+			c := client.New(target, nil)
+			if _, err := c.Batch(ctx, req); err != nil { // warm the caches
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for b.Loop() {
+				resp, err := c.Batch(ctx, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(resp.Results) != len(req.Sets) {
+					b.Fatalf("got %d results, want %d", len(resp.Results), len(req.Sets))
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(req.Sets))/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}

@@ -1,0 +1,19 @@
+// Package cluster scales the edfd feasibility service horizontally: a
+// consistent-hash ring with virtual nodes maps content-addressed workload
+// fingerprints onto edfd replicas, and Proxy is an HTTP reverse proxy
+// that routes /v1/analyze by that ring, splits /v1/batch per fingerprint
+// across replicas (re-merging per-job results in deterministic order),
+// pins admission sessions to the replica that created them, health-checks
+// replicas (ejecting and re-admitting them with ring rebalancing), fails
+// idempotent requests over to the next ring node, and serves an aggregate
+// /metrics page merging replica counters with its own routing counters.
+//
+// Because edfd's result cache is keyed by the same fingerprints
+// (engine.WorkloadFingerprint), ring routing gives cache affinity for
+// free: identical workloads always land on the replica that already holds
+// their results, so N replicas approach N disjoint caches rather than N
+// copies of one.
+//
+// Spawner boots real in-process replicas on ephemeral ports for tests and
+// benchmarks; cmd/edfproxy wraps Proxy as a standalone daemon.
+package cluster

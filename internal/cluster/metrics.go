@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// proxyMetrics holds the proxy's own routing and failover counters.
+// Replica-side numbers are scraped live at render time, never stored.
+type proxyMetrics struct {
+	requests       atomic.Uint64 // requests entering the proxy
+	analyzeRouted  atomic.Uint64 // /v1/analyze requests routed by fingerprint
+	batchRequests  atomic.Uint64 // /v1/batch requests accepted
+	batchSplits    atomic.Uint64 // per-replica sub-batches dispatched
+	batchJobs      atomic.Uint64 // merged batch jobs returned to clients
+	sessionCreates atomic.Uint64 // sessions opened through the proxy
+	sessionRoutes  atomic.Uint64 // session requests routed to their owner
+	sessionOrphans atomic.Uint64 // session requests whose owner was unavailable
+	failovers      atomic.Uint64 // requests retried on the next ring node
+	ejections      atomic.Uint64 // replicas removed from the ring
+	readmissions   atomic.Uint64 // replicas re-added after recovering
+	noReplica      atomic.Uint64 // requests failed because the ring was empty
+	upstreamErrors atomic.Uint64 // replica requests that failed all attempts
+}
+
+// writeMetrics renders the aggregate metrics page: the proxy's own
+// counters under edfproxy_, each replica counter summed across healthy
+// replicas under edfd_ (the single-process scrape keeps working against
+// the proxy), and the raw per-replica values with a {replica="..."}
+// label so cache affinity stays observable per node.
+func (p *Proxy) writeMetrics(w io.Writer, scrapes []replicaScrape) {
+	healthy, total := p.replicaCounts()
+	own := map[string]uint64{
+		"requests_total":             p.m.requests.Load(),
+		"analyze_routed_total":       p.m.analyzeRouted.Load(),
+		"batch_requests_total":       p.m.batchRequests.Load(),
+		"batch_splits_total":         p.m.batchSplits.Load(),
+		"batch_jobs_total":           p.m.batchJobs.Load(),
+		"session_creates_total":      p.m.sessionCreates.Load(),
+		"session_routes_total":       p.m.sessionRoutes.Load(),
+		"session_owner_unavailable":  p.m.sessionOrphans.Load(),
+		"failovers_total":            p.m.failovers.Load(),
+		"replica_ejections_total":    p.m.ejections.Load(),
+		"replica_readmissions_total": p.m.readmissions.Load(),
+		"no_replica_errors_total":    p.m.noReplica.Load(),
+		"upstream_errors_total":      p.m.upstreamErrors.Load(),
+		"replicas_healthy":           uint64(healthy),
+		"replicas_configured":        uint64(total),
+		"sessions_tracked":           uint64(p.ownedSessions()),
+	}
+	names := make([]string, 0, len(own))
+	for name := range own {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "edfproxy_%s %d\n", name, own[name])
+	}
+
+	// Merge the replica pages: numeric counters sum across replicas.
+	sums := map[string]float64{}
+	for _, sc := range scrapes {
+		for name, v := range sc.values {
+			sums[name] += v
+		}
+	}
+	names = names[:0]
+	for name := range sums {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %s\n", name, formatMetric(sums[name]))
+	}
+	// Derived ratios cannot be summed; recompute from the summed parts.
+	if hits, misses := sums["edfd_cache_hits"], sums["edfd_cache_misses"]; hits+misses > 0 {
+		fmt.Fprintf(w, "edfd_cache_hit_rate %.4f\n", hits/(hits+misses))
+	}
+	for _, sc := range scrapes {
+		names = names[:0]
+		for name := range sc.values {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "%s{replica=%q} %s\n", name, sc.replica, formatMetric(sc.values[name]))
+		}
+	}
+}
+
+// formatMetric renders counters as integers and everything else with the
+// shortest float form, matching edfd's own page.
+func formatMetric(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// replicaScrape is one replica's parsed /metrics page.
+type replicaScrape struct {
+	replica string
+	values  map[string]float64
+}
+
+// parseMetrics reads "name value" lines (edfd's format), keeping the
+// numeric ones. Ratio lines such as edfd_cache_hit_rate are dropped —
+// summing rates across replicas is meaningless, the aggregate recomputes
+// them.
+func parseMetrics(r io.Reader) map[string]float64 {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		name, val, ok := strings.Cut(strings.TrimSpace(sc.Text()), " ")
+		if !ok || strings.HasSuffix(name, "_rate") {
+			continue
+		}
+		if v, err := strconv.ParseFloat(val, 64); err == nil {
+			out[name] = v
+		}
+	}
+	return out
+}

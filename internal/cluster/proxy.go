@@ -1,0 +1,797 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// Response headers the proxy adds so clients (and tests) can observe
+// routing without parsing metrics: the replica that served the request
+// and how many attempts it took (1 = no failover).
+const (
+	HeaderReplica  = "X-Edf-Replica"
+	HeaderAttempts = "X-Edf-Attempts"
+	// HeaderOwner names a sticky session's owner on 503 replies when the
+	// owner replica is unavailable.
+	HeaderOwner = "X-Edf-Owner"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultHealthInterval = 2 * time.Second
+	defaultHealthTimeout  = 2 * time.Second
+	maxRequestBytes       = 8 << 20
+	// maxTrackedSessions bounds the proxy's session->owner map; replicas
+	// bound real sessions themselves (MaxSessions, TTL sweeping), this
+	// only caps the proxy's bookkeeping for leaked ids.
+	maxTrackedSessions = 1 << 16
+)
+
+// Config tunes a Proxy.
+type Config struct {
+	// Replicas are the edfd base URLs ("http://127.0.0.1:8081"). At least
+	// one is required; all start healthy and on the ring.
+	Replicas []string
+	// VirtualNodes is the ring's points-per-replica count; <= 0 selects
+	// DefaultVirtualNodes.
+	VirtualNodes int
+	// HealthInterval spaces background /healthz sweeps once Start runs;
+	// 0 selects DefaultHealthInterval.
+	HealthInterval time.Duration
+	// Client carries replica traffic; nil selects a keep-alive transport
+	// sized for a small replica fleet.
+	Client *http.Client
+}
+
+// Proxy is the consistent-hash cluster router over edfd replicas.
+// Construct with New, optionally Start the background health checker,
+// and mount Handler on an http.Server.
+type Proxy struct {
+	hc      *http.Client
+	started time.Time
+
+	mu      sync.Mutex
+	ring    *Ring
+	healthy map[string]bool   // over the configured replica set
+	owners  map[string]string // session id -> owner replica
+	creates uint64            // round-robin key for seedless session creates
+
+	m          proxyMetrics
+	healthStop chan struct{}
+	healthTick time.Duration
+}
+
+// New builds a proxy over the configured replicas. Every replica starts
+// healthy; the first failed request or health sweep ejects it.
+func New(cfg Config) (*Proxy, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("cluster: at least one replica required")
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+			// A replica that accepts connections but never answers (wedged
+			// process, SIGSTOP) must still trigger failover: cap the wait
+			// for response headers just above edfd's own per-request
+			// deadline, after which a live replica would have answered 503.
+			ResponseHeaderTimeout: service.DefaultRequestTimeout + 5*time.Second,
+		}}
+	}
+	tick := cfg.HealthInterval
+	if tick <= 0 {
+		tick = DefaultHealthInterval
+	}
+	p := &Proxy{
+		hc:         hc,
+		started:    time.Now(),
+		ring:       NewRing(cfg.VirtualNodes),
+		healthy:    make(map[string]bool, len(cfg.Replicas)),
+		owners:     make(map[string]string),
+		healthTick: tick,
+	}
+	for _, rep := range cfg.Replicas {
+		rep = strings.TrimRight(rep, "/")
+		if rep == "" {
+			return nil, errors.New("cluster: empty replica URL")
+		}
+		if _, dup := p.healthy[rep]; dup {
+			return nil, fmt.Errorf("cluster: duplicate replica %s", rep)
+		}
+		p.healthy[rep] = true
+		p.ring.Add(rep)
+	}
+	return p, nil
+}
+
+// Start launches the background health checker. Calling Start twice is
+// an error in the caller; Close stops the checker.
+func (p *Proxy) Start() {
+	p.healthStop = make(chan struct{})
+	go p.healthLoop(p.healthStop)
+}
+
+// Close stops the background health checker (a no-op without Start).
+func (p *Proxy) Close() {
+	if p.healthStop != nil {
+		close(p.healthStop)
+		p.healthStop = nil
+	}
+}
+
+// Handler returns the routed proxy handler.
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", p.handleAnalyze)
+	mux.HandleFunc("POST /v1/batch", p.handleBatch)
+	mux.HandleFunc("GET /v1/analyzers", p.handleAnalyzers)
+	mux.HandleFunc("POST /v1/sessions", p.handleSessionCreate)
+	mux.HandleFunc("/v1/sessions/{id}", p.handleSession)
+	mux.HandleFunc("/v1/sessions/{id}/{action}", p.handleSession)
+	mux.HandleFunc("GET /healthz", p.handleHealthz)
+	mux.HandleFunc("GET /metrics", p.handleMetrics)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p.m.requests.Add(1)
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// routeKey is the ring key of a workload: its content-addressed
+// fingerprint under a fixed (empty) analyzer and zero options. Every
+// request about the same workload — any analyzer, any options — lands on
+// the same replica, so that replica's cache accumulates all of the
+// workload's results.
+func routeKey(wl workload.Workload) string {
+	fp, _ := engine.WorkloadFingerprint(wl, "", core.Options{})
+	return fp
+}
+
+// seqFor snapshots the failover sequence for a key under the lock.
+func (p *Proxy) seqFor(key string) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ring.Seq(key)
+}
+
+// setHealthy flips one replica's state, rebalancing the ring on a
+// transition. It returns whether the state changed.
+func (p *Proxy) setHealthy(rep string, ok bool) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	was, known := p.healthy[rep]
+	if !known || was == ok {
+		return false
+	}
+	p.healthy[rep] = ok
+	if ok {
+		p.ring.Add(rep)
+		p.m.readmissions.Add(1)
+	} else {
+		p.ring.Remove(rep)
+		p.m.ejections.Add(1)
+	}
+	return true
+}
+
+func (p *Proxy) isHealthy(rep string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healthy[rep]
+}
+
+// replicaCounts returns (healthy, configured).
+func (p *Proxy) replicaCounts() (int, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, ok := range p.healthy {
+		if ok {
+			n++
+		}
+	}
+	return n, len(p.healthy)
+}
+
+// replicaStates snapshots the health map in sorted order.
+func (p *Proxy) replicaStates() map[string]bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]bool, len(p.healthy))
+	for rep, ok := range p.healthy {
+		out[rep] = ok
+	}
+	return out
+}
+
+func (p *Proxy) ownedSessions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.owners)
+}
+
+// healthLoop sweeps every replica until stop closes.
+func (p *Proxy) healthLoop(stop <-chan struct{}) {
+	t := time.NewTicker(p.healthTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.CheckReplicas(context.Background())
+		case <-stop:
+			return
+		}
+	}
+}
+
+// CheckReplicas probes every configured replica's /healthz once,
+// ejecting the failed and re-admitting the recovered with ring
+// rebalancing. It is the body of the background checker and is exported
+// so tests and operators can force an immediate sweep.
+func (p *Proxy) CheckReplicas(ctx context.Context) {
+	states := p.replicaStates()
+	var wg sync.WaitGroup
+	for rep := range states {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hctx, cancel := context.WithTimeout(ctx, defaultHealthTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(hctx, http.MethodGet, rep+"/healthz", nil)
+			if err != nil {
+				return
+			}
+			resp, err := p.hc.Do(req)
+			ok := err == nil && resp.StatusCode == http.StatusOK
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			p.setHealthy(rep, ok)
+		}()
+	}
+	wg.Wait()
+}
+
+// retryable reports whether a replica status is worth a failover: the
+// replica is saturated (429) or transiently failing (502/503/504). The
+// analysis endpoints are idempotent — re-running an analysis elsewhere
+// can only produce the same result — so retrying is always sound there.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// post sends one upstream request. A transport-level failure ejects the
+// replica immediately (passive health detection); the background checker
+// re-admits it when /healthz answers again.
+func (p *Proxy) post(ctx context.Context, method, rep, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rep+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		if ctx.Err() == nil { // the replica failed, not the client
+			p.setHealthy(rep, false)
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// forward tries the request on each node of seq in order, streaming the
+// first acceptable response through to the client. It returns the
+// serving replica and attempt count for callers that post-process.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, seq []string, method, path string, body []byte) (served string, resp *http.Response, ok bool) {
+	if len(seq) == 0 {
+		p.m.noReplica.Add(1)
+		p.fail(w, http.StatusServiceUnavailable, errors.New("no healthy replica on the ring"))
+		return "", nil, false
+	}
+	attempts := 0
+	for i, rep := range seq {
+		attempts++
+		if i > 0 {
+			p.m.failovers.Add(1)
+		}
+		rs, err := p.post(r.Context(), method, rep, path, body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				p.fail(w, http.StatusServiceUnavailable, fmt.Errorf("client canceled: %w", err))
+				return "", nil, false
+			}
+			continue
+		}
+		if retryable(rs.StatusCode) && i < len(seq)-1 {
+			io.Copy(io.Discard, rs.Body)
+			rs.Body.Close()
+			continue
+		}
+		w.Header().Set(HeaderReplica, rep)
+		w.Header().Set(HeaderAttempts, strconv.Itoa(attempts))
+		return rep, rs, true
+	}
+	p.m.upstreamErrors.Add(1)
+	p.fail(w, http.StatusBadGateway, fmt.Errorf("all %d replicas failed for %s", len(seq), path))
+	return "", nil, false
+}
+
+// stream copies an upstream response through to the client.
+func (p *Proxy) stream(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+func (p *Proxy) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	body, req, ok := decodeBody[service.AnalyzeRequest](p, w, r)
+	if !ok {
+		return
+	}
+	p.m.analyzeRouted.Add(1)
+	_, resp, ok := p.forward(w, r, p.seqFor(routeKey(req.Workload)), http.MethodPost, "/v1/analyze", body)
+	if ok {
+		p.stream(w, resp)
+	}
+}
+
+func (p *Proxy) handleAnalyzers(w http.ResponseWriter, r *http.Request) {
+	// Registries are identical across replicas; any healthy one answers.
+	_, resp, ok := p.forward(w, r, p.seqFor("analyzers"), http.MethodGet, "/v1/analyzers", nil)
+	if ok {
+		p.stream(w, resp)
+	}
+}
+
+// subBatch is the slice of a batch bound for one replica.
+type subBatch struct {
+	seq      []string // failover sequence of the group's first set
+	origSets []int    // original set indices, ascending
+	req      service.BatchRequest
+}
+
+func (p *Proxy) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, req, ok := decodeBody[service.BatchRequest](p, w, r)
+	if !ok {
+		return
+	}
+	p.m.batchRequests.Add(1)
+	if len(req.Sets) == 0 {
+		// Forward the degenerate request untouched; the replica owns the
+		// error contract.
+		_, resp, ok := p.forward(w, r, p.seqFor("batch-empty"), http.MethodPost, "/v1/batch", body)
+		if ok {
+			p.stream(w, resp)
+		}
+		return
+	}
+
+	// Partition the sets over the ring by workload fingerprint.
+	groups := make(map[string]*subBatch)
+	var order []string // first-touched order, for deterministic dispatch
+	for i, set := range req.Sets {
+		seq := p.seqFor(routeKey(set.Workload))
+		if len(seq) == 0 {
+			p.m.noReplica.Add(1)
+			p.fail(w, http.StatusServiceUnavailable, errors.New("no healthy replica on the ring"))
+			return
+		}
+		owner := seq[0]
+		g, exists := groups[owner]
+		if !exists {
+			g = &subBatch{seq: seq, req: service.BatchRequest{
+				Analyzers: req.Analyzers, Options: req.Options, Workers: req.Workers,
+			}}
+			groups[owner] = g
+			order = append(order, owner)
+		}
+		g.origSets = append(g.origSets, i)
+		g.req.Sets = append(g.req.Sets, set)
+	}
+
+	// One owner: the common case for small batches — forward the original
+	// body untouched, no re-merge needed.
+	if len(groups) == 1 {
+		g := groups[order[0]]
+		_, resp, ok := p.forward(w, r, g.seq, http.MethodPost, "/v1/batch", body)
+		if ok {
+			p.stream(w, resp)
+		}
+		return
+	}
+
+	// Fan the sub-batches out concurrently; each fails over independently
+	// along its own ring sequence.
+	type groupResult struct {
+		g        *subBatch
+		resp     service.BatchResponse
+		served   string
+		attempts int
+		err      error
+	}
+	results := make([]groupResult, len(order))
+	var wg sync.WaitGroup
+	for gi, owner := range order {
+		p.m.batchSplits.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := groups[owner]
+			results[gi] = groupResult{g: g}
+			payload, err := json.Marshal(g.req)
+			if err != nil {
+				results[gi].err = err
+				return
+			}
+			results[gi].resp, results[gi].served, results[gi].attempts, results[gi].err = p.subBatchCall(r.Context(), g.seq, payload)
+		}()
+	}
+	wg.Wait()
+
+	// Re-merge in deterministic set-major order: per-set job runs keep
+	// their within-set (analyzer) order, set indices are rewritten back to
+	// the caller's numbering, and sets are emitted in request order.
+	perSet := make([][]service.BatchJobJSON, len(req.Sets))
+	served := map[string]bool{}
+	attempts := 1
+	for _, gr := range results {
+		if gr.served != "" {
+			served[gr.served] = true
+		}
+		attempts = max(attempts, gr.attempts)
+		if gr.err != nil {
+			// A replica's own 4xx is the client's error, not an upstream
+			// fault: relay it with its original status so the contract
+			// does not depend on how the batch happened to shard.
+			var rse *replicaStatusError
+			if errors.As(gr.err, &rse) && rse.status < 500 {
+				p.fail(w, rse.status, rse)
+				return
+			}
+			p.m.upstreamErrors.Add(1)
+			p.fail(w, http.StatusBadGateway, fmt.Errorf("batch split failed: %w", gr.err))
+			return
+		}
+		for _, job := range gr.resp.Results {
+			if job.SetIndex < 0 || job.SetIndex >= len(gr.g.origSets) {
+				p.fail(w, http.StatusBadGateway,
+					fmt.Errorf("replica returned set index %d for a %d-set sub-batch", job.SetIndex, len(gr.g.origSets)))
+				return
+			}
+			orig := gr.g.origSets[job.SetIndex]
+			job.SetIndex = orig
+			perSet[orig] = append(perSet[orig], job)
+		}
+	}
+	out := service.BatchResponse{Results: make([]service.BatchJobJSON, 0, len(req.Sets))}
+	for _, jobs := range perSet {
+		out.Results = append(out.Results, jobs...)
+	}
+	p.m.batchJobs.Add(uint64(len(out.Results)))
+	// Attempts reports the worst sub-batch, so a failover anywhere in the
+	// split is visible to the client.
+	w.Header().Set(HeaderAttempts, strconv.Itoa(attempts))
+	w.Header().Set(HeaderReplica, strings.Join(sortedKeys(served), ","))
+	writeJSON(w, http.StatusOK, out)
+}
+
+// subBatchCall runs one sub-batch with failover, decoding the reply. It
+// returns the replica that actually served (which differs from the
+// planned owner after a failover) and the attempt count.
+func (p *Proxy) subBatchCall(ctx context.Context, seq []string, payload []byte) (service.BatchResponse, string, int, error) {
+	var lastErr error
+	tries := 0
+	for i, rep := range seq {
+		tries++
+		if i > 0 {
+			p.m.failovers.Add(1)
+		}
+		resp, err := p.post(ctx, http.MethodPost, rep, "/v1/batch", payload)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return service.BatchResponse{}, "", tries, err
+			}
+			continue
+		}
+		out, err, retry := decodeSubBatch(rep, resp)
+		if err == nil {
+			return out, rep, tries, nil
+		}
+		lastErr = err
+		if !retry {
+			break
+		}
+	}
+	return service.BatchResponse{}, "", tries, lastErr
+}
+
+// replicaStatusError is a replica's authoritative non-2xx answer. The
+// split path relays it verbatim, so a client error (400 analyzer spec,
+// 422 invalid set) keeps its status and body no matter how the batch
+// sharded — the same contract a single edfd gives.
+type replicaStatusError struct {
+	status int
+	msg    string
+}
+
+func (e *replicaStatusError) Error() string { return e.msg }
+
+// decodeSubBatch consumes one sub-batch response. retry reports whether
+// the failure is worth the next ring node; an authoritative bad answer
+// (4xx, undecodable body) is not.
+func decodeSubBatch(rep string, resp *http.Response) (service.BatchResponse, error, bool) {
+	defer resp.Body.Close()
+	if retryable(resp.StatusCode) {
+		io.Copy(io.Discard, resp.Body)
+		return service.BatchResponse{}, fmt.Errorf("replica %s: status %d", rep, resp.StatusCode), true
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er service.ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		if er.Error == "" {
+			er.Error = fmt.Sprintf("replica %s: status %d", rep, resp.StatusCode)
+		}
+		return service.BatchResponse{}, &replicaStatusError{resp.StatusCode, er.Error}, false
+	}
+	var out service.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return service.BatchResponse{}, fmt.Errorf("replica %s: %w", rep, err), false
+	}
+	return out, nil, false
+}
+
+func (p *Proxy) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	body, req, ok := decodeBody[service.SessionRequest](p, w, r)
+	if !ok {
+		return
+	}
+	// Seeded sessions ride the seed's fingerprint (the admission cascade
+	// re-analyzes grown variants of it, so affinity helps the cache);
+	// seedless sessions spread round-robin over the ring.
+	var key string
+	if !req.Workload.IsZero() && req.Workload.Len() > 0 {
+		key = routeKey(req.Workload)
+	} else {
+		p.mu.Lock()
+		p.creates++
+		key = "session-create-" + strconv.FormatUint(p.creates, 10)
+		p.mu.Unlock()
+	}
+	// Creation is NOT idempotent: a create whose connection dies after
+	// the replica committed it would leak a duplicate session if retried
+	// elsewhere. Unlike analyze/batch it gets exactly one attempt — the
+	// failed node is ejected passively, so a client retry lands on a
+	// rebalanced ring.
+	seq := p.seqFor(key)
+	if len(seq) > 1 {
+		seq = seq[:1]
+	}
+	rep, resp, ok := p.forward(w, r, seq, http.MethodPost, "/v1/sessions", body)
+	if !ok {
+		return
+	}
+	defer resp.Body.Close()
+	// Buffer the (small) reply to learn the session id before relaying.
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	if err != nil {
+		p.fail(w, http.StatusBadGateway, fmt.Errorf("reading session reply: %w", err))
+		return
+	}
+	if resp.StatusCode == http.StatusCreated {
+		var sr service.SessionResponse
+		if json.Unmarshal(payload, &sr) == nil && sr.ID != "" {
+			p.recordOwner(sr.ID, rep)
+			p.m.sessionCreates.Add(1)
+		}
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(payload)
+}
+
+// recordOwner maps a session to its creator under the tracking bound.
+func (p *Proxy) recordOwner(id, rep string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.owners) >= maxTrackedSessions {
+		for victim := range p.owners { // arbitrary eviction; replicas hold the truth
+			delete(p.owners, victim)
+			break
+		}
+	}
+	p.owners[id] = rep
+}
+
+// ownerOf resolves a session's owner: the recorded creator, or — for ids
+// this proxy never saw created (restart, second proxy) — the ring-hash
+// of the session id as a best-effort guess.
+func (p *Proxy) ownerOf(id string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if rep, ok := p.owners[id]; ok {
+		return rep
+	}
+	return p.ring.Get(id)
+}
+
+func (p *Proxy) dropOwner(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.owners, id)
+}
+
+// handleSession routes every /v1/sessions/{id}[/...] verb to the sticky
+// owner. Sessions are stateful, so there is no failover: a dead owner is
+// a clear 503 naming the owner, not a silent re-route that would hand
+// the client an empty session on another replica.
+func (p *Proxy) handleSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	owner := p.ownerOf(id)
+	if owner == "" {
+		p.m.noReplica.Add(1)
+		p.fail(w, http.StatusServiceUnavailable, errors.New("no healthy replica on the ring"))
+		return
+	}
+	if !p.isHealthy(owner) {
+		p.m.sessionOrphans.Add(1)
+		w.Header().Set(HeaderOwner, owner)
+		p.fail(w, http.StatusServiceUnavailable,
+			fmt.Errorf("session %s is owned by replica %s, which is unavailable", id, owner))
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		p.fail(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	if len(body) == 0 {
+		body = nil
+	}
+	p.m.sessionRoutes.Add(1)
+	resp, err := p.post(r.Context(), r.Method, owner, r.URL.Path, body)
+	if err != nil {
+		p.m.sessionOrphans.Add(1)
+		w.Header().Set(HeaderOwner, owner)
+		p.fail(w, http.StatusServiceUnavailable,
+			fmt.Errorf("session %s: owner replica %s failed: %v", id, owner, err))
+		return
+	}
+	// The owner no longer knows the session (closed, TTL-swept) — or the
+	// client closed it; either way the sticky mapping is stale.
+	if resp.StatusCode == http.StatusNotFound ||
+		(resp.StatusCode == http.StatusNoContent && r.Method == http.MethodDelete) {
+		p.dropOwner(id)
+	}
+	w.Header().Set(HeaderReplica, owner)
+	w.Header().Set(HeaderAttempts, "1")
+	p.stream(w, resp)
+}
+
+func (p *Proxy) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	healthy, total := p.replicaCounts()
+	states := p.replicaStates()
+	reps := make(map[string]string, len(states))
+	for rep, ok := range states {
+		if ok {
+			reps[rep] = "healthy"
+		} else {
+			reps[rep] = "unhealthy"
+		}
+	}
+	status, code := "ok", http.StatusOK
+	if healthy == 0 {
+		status, code = "no healthy replicas", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":    status,
+		"healthy":   healthy,
+		"replicas":  reps,
+		"total":     total,
+		"uptime_ns": time.Since(p.started).Nanoseconds(),
+	})
+}
+
+func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	states := p.replicaStates()
+	var mu sync.Mutex
+	var scrapes []replicaScrape
+	var wg sync.WaitGroup
+	for rep, ok := range states {
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := p.post(r.Context(), http.MethodGet, rep, "/metrics", nil)
+			if err != nil || resp.StatusCode != http.StatusOK {
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				return
+			}
+			defer resp.Body.Close()
+			vals := parseMetrics(io.LimitReader(resp.Body, maxRequestBytes))
+			mu.Lock()
+			scrapes = append(scrapes, replicaScrape{replica: rep, values: vals})
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	sort.Slice(scrapes, func(i, j int) bool { return scrapes[i].replica < scrapes[j].replica })
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	p.writeMetrics(w, scrapes)
+}
+
+// decodeBody reads the full request body and decodes it as T, answering
+// 400 itself on failure. The raw bytes come back too, so forwarding
+// reuses the client's exact payload instead of a re-encoding.
+func decodeBody[T any](p *Proxy, w http.ResponseWriter, r *http.Request) ([]byte, T, bool) {
+	var req T
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		p.fail(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return nil, req, false
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		p.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return nil, req, false
+	}
+	return body, req, true
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fail writes the service's uniform error body.
+func (p *Proxy) fail(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, service.ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

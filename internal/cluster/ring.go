@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the ring's default points-per-node count. 128
+// points keep the per-node share of the key space within a few percent
+// of 1/N for small clusters while membership changes stay cheap (the
+// ring is rebuilt on Add/Remove, never on lookups).
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring with virtual nodes. Keys and nodes hash
+// onto the same 64-bit circle; a key is owned by the first node point at
+// or clockwise after its hash. Adding or removing one node therefore
+// remaps only the ~1/N of the key space adjacent to its points, which is
+// exactly the property that keeps replica caches warm across membership
+// changes.
+//
+// Ring is not concurrency-safe; Proxy guards it with its own lock.
+type Ring struct {
+	vnodes int
+	nodes  map[string]bool
+	points []point // sorted by hash, ties broken by node name
+}
+
+// point is one virtual node on the circle.
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring; vnodes <= 0 selects DefaultVirtualNodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]bool)}
+}
+
+// Add inserts a node (a replica identity such as its base URL); adding a
+// present node is a no-op.
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	r.rebuild()
+}
+
+// Remove ejects a node; removing an absent node is a no-op.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	r.rebuild()
+}
+
+// Len returns the number of (real) nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the ring membership in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the node owning key, or "" on an empty ring.
+func (r *Ring) Get(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].node
+}
+
+// Seq returns every node in ring order starting at key's owner — the
+// failover sequence: requests for key spill onto Seq(key)[1], then [2],
+// as nodes fail. The slice is freshly allocated.
+func (r *Ring) Seq(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.nodes))
+	seen := make(map[string]bool, len(r.nodes))
+	for i, start := 0, r.search(key); i < len(r.points) && len(out) < len(r.nodes); i++ {
+		n := r.points[(start+i)%len(r.points)].node
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point at or clockwise after the
+// key's hash.
+func (r *Ring) search(key string) int {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the circle
+	}
+	return i
+}
+
+// rebuild re-derives the sorted point list from the node set. Point
+// placement depends only on (node, index), so the ring layout is
+// independent of insertion order and identical across proxy restarts.
+func (r *Ring) rebuild() {
+	r.points = r.points[:0]
+	for node := range r.nodes {
+		for i := range r.vnodes {
+			r.points = append(r.points, point{ringHash(node + "#" + strconv.Itoa(i)), node})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// ringHash is 64-bit FNV-1a followed by a murmur-style finalizer: fast,
+// dependency-free and stable across processes (the layout must match
+// between proxy restarts so a rolling proxy deploy does not shuffle the
+// key space). Bare FNV-1a clusters badly on short, similar inputs —
+// exactly what "node#0".."node#127" vnode labels are — so the finalizer
+// mixes the bits until point placement is effectively uniform.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// String renders a compact membership summary for logs.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d nodes, %d vnodes)", len(r.nodes), r.vnodes)
+}

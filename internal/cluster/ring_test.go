@@ -1,0 +1,147 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func ringOf(nodes ...string) *cluster.Ring {
+	r := cluster.NewRing(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := cluster.NewRing(0)
+	if got := r.Get("key"); got != "" {
+		t.Fatalf("empty ring returned %q", got)
+	}
+	if seq := r.Seq("key"); seq != nil {
+		t.Fatalf("empty ring Seq = %v", seq)
+	}
+	r.Add("a")
+	for _, key := range []string{"x", "y", "z"} {
+		if got := r.Get(key); got != "a" {
+			t.Fatalf("single-node ring sent %q to %q", key, got)
+		}
+	}
+}
+
+// TestRingOrderIndependence pins that membership order cannot change the
+// layout: a proxy restart that re-adds replicas in a different order must
+// not shuffle the key space.
+func TestRingOrderIndependence(t *testing.T) {
+	a := ringOf("n1", "n2", "n3", "n4")
+	b := ringOf("n4", "n2", "n1", "n3")
+	for i := range 1000 {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Get(key) != b.Get(key) {
+			t.Fatalf("key %q owner depends on insertion order: %q vs %q", key, a.Get(key), b.Get(key))
+		}
+	}
+}
+
+// TestRingBalance checks virtual nodes spread keys roughly evenly: each
+// of 4 nodes should own 25% +- 12 points of a large key population.
+func TestRingBalance(t *testing.T) {
+	r := ringOf("n1", "n2", "n3", "n4")
+	counts := map[string]int{}
+	const keys = 10000
+	for i := range keys {
+		counts[r.Get(fmt.Sprintf("key-%d", i))]++
+	}
+	for node, c := range counts {
+		share := float64(c) / keys
+		if share < 0.13 || share > 0.37 {
+			t.Errorf("node %s owns %.1f%% of the key space", node, 100*share)
+		}
+	}
+	if len(counts) != 4 {
+		t.Errorf("only %d of 4 nodes own keys: %v", len(counts), counts)
+	}
+}
+
+// TestRingMinimalRemap is the consistent-hashing contract: removing one
+// of N nodes remaps only that node's share (~1/N); every other key keeps
+// its owner. Re-adding the node restores the original layout exactly.
+func TestRingMinimalRemap(t *testing.T) {
+	r := ringOf("n1", "n2", "n3", "n4")
+	const keys = 10000
+	before := make([]string, keys)
+	for i := range keys {
+		before[i] = r.Get(fmt.Sprintf("key-%d", i))
+	}
+	r.Remove("n3")
+	moved := 0
+	for i := range keys {
+		after := r.Get(fmt.Sprintf("key-%d", i))
+		if after == "n3" {
+			t.Fatalf("key-%d still routed to the removed node", i)
+		}
+		if after != before[i] {
+			if before[i] != "n3" {
+				t.Fatalf("key-%d moved from surviving node %q to %q", i, before[i], after)
+			}
+			moved++
+		}
+	}
+	// Every n3 key moved, and n3 held roughly a quarter of the space.
+	if share := float64(moved) / keys; share < 0.10 || share > 0.40 {
+		t.Errorf("removal remapped %.1f%% of keys, want ~25%%", 100*share)
+	}
+	r.Add("n3")
+	for i := range keys {
+		if got := r.Get(fmt.Sprintf("key-%d", i)); got != before[i] {
+			t.Fatalf("key-%d owner %q != original %q after re-admission", i, got, before[i])
+		}
+	}
+}
+
+// TestRingSeq pins the failover order: Seq starts at the owner, covers
+// every node exactly once, and its tail matches the ring after the owner
+// is removed (so failover and ejection agree on the next node).
+func TestRingSeq(t *testing.T) {
+	r := ringOf("n1", "n2", "n3")
+	for i := range 100 {
+		key := fmt.Sprintf("key-%d", i)
+		seq := r.Seq(key)
+		if len(seq) != 3 {
+			t.Fatalf("Seq(%q) = %v, want 3 distinct nodes", key, seq)
+		}
+		if seq[0] != r.Get(key) {
+			t.Fatalf("Seq(%q)[0] = %q, owner = %q", key, seq[0], r.Get(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("Seq(%q) repeats %q: %v", key, n, seq)
+			}
+			seen[n] = true
+		}
+		// The failover target must be where the key lands post-ejection.
+		r2 := ringOf("n1", "n2", "n3")
+		r2.Remove(seq[0])
+		if got := r2.Get(key); got != seq[1] {
+			t.Fatalf("key %q: failover target %q but post-ejection owner %q", key, seq[1], got)
+		}
+	}
+}
+
+func TestRingDoubleAddRemove(t *testing.T) {
+	r := ringOf("n1", "n2")
+	r.Add("n1") // no-op
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d after duplicate Add", r.Len())
+	}
+	r.Remove("n9") // no-op
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d after absent Remove", r.Len())
+	}
+	if got := fmt.Sprint(r.Nodes()); got != "[n1 n2]" {
+		t.Fatalf("Nodes = %s", got)
+	}
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"repro/internal/service"
+)
+
+// Replica is one in-process edfd instance under a Spawner.
+type Replica struct {
+	// URL is the replica's base URL ("http://127.0.0.1:<port>").
+	URL string
+	srv *service.Server
+	hs  *http.Server
+	ln  net.Listener
+
+	mu   sync.Mutex
+	dead bool
+	done chan struct{}
+}
+
+// Server exposes the replica's service for white-box assertions (cache
+// stats, metrics) in tests and benchmarks.
+func (r *Replica) Server() *service.Server { return r.srv }
+
+// Kill stops the replica abruptly: the listener and every open
+// connection close immediately, so in-flight and future requests see
+// transport errors — exactly what a crashed process looks like to the
+// proxy. Killing twice is a no-op.
+func (r *Replica) Kill() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dead {
+		return
+	}
+	r.dead = true
+	_ = r.hs.Close()
+	r.srv.Close()
+	<-r.done
+}
+
+// Spawner boots real edfd replicas in-process on ephemeral 127.0.0.1
+// ports — real TCP, real HTTP, no exec — so cluster tests and benchmarks
+// exercise the same wire path as production without process management.
+type Spawner struct {
+	// Replicas are the running instances, in spawn order.
+	Replicas []*Replica
+}
+
+// Spawn boots n replicas, each its own service.Server built from cfg.
+func Spawn(n int, cfg service.Config) (*Spawner, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: spawn needs n > 0, got %d", n)
+	}
+	s := &Spawner{}
+	for i := 0; i < n; i++ {
+		rep, err := spawnOne(cfg)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("replica %d: %w", i, err)
+		}
+		s.Replicas = append(s.Replicas, rep)
+	}
+	return s, nil
+}
+
+func spawnOne(cfg service.Config) (*Replica, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := service.New(cfg)
+	rep := &Replica{
+		URL:  "http://" + ln.Addr().String(),
+		srv:  srv,
+		hs:   &http.Server{Handler: srv.Handler()},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(rep.done)
+		// Serve returns ErrServerClosed (or a listener error) on Kill.
+		_ = rep.hs.Serve(ln)
+	}()
+	return rep, nil
+}
+
+// URLs returns every replica's base URL in spawn order, dead ones
+// included (the proxy is configured with the full set and discovers
+// deaths itself).
+func (s *Spawner) URLs() []string {
+	out := make([]string, len(s.Replicas))
+	for i, r := range s.Replicas {
+		out[i] = r.URL
+	}
+	return out
+}
+
+// Close kills every replica still running.
+func (s *Spawner) Close() {
+	for _, r := range s.Replicas {
+		r.Kill()
+	}
+}

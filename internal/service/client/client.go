@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/service"
@@ -40,58 +41,99 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("edfd: %d: %s", e.StatusCode, e.Message)
 }
 
+// Route describes how the cluster proxy served a request, parsed from
+// the X-Edf-* response headers edfproxy adds. Against a plain edfd (no
+// proxy in the path) every field is zero — the typed client works
+// identically against either, Route just stays empty.
+type Route struct {
+	// Replica is the edfd base URL that served the request (for a split
+	// batch: the comma-joined replicas).
+	Replica string
+	// Attempts is 1 plus the number of failovers the proxy needed.
+	Attempts int
+}
+
+// routeFrom extracts the proxy routing headers, if any.
+func routeFrom(h http.Header) Route {
+	rt := Route{Replica: h.Get("X-Edf-Replica")}
+	rt.Attempts, _ = strconv.Atoi(h.Get("X-Edf-Attempts"))
+	return rt
+}
+
 // do runs one JSON round trip. A nil in sends no body; a nil out discards
 // the reply body.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	_, err := c.doRoute(ctx, method, path, in, out)
+	return err
+}
+
+// doRoute is do plus the proxy routing metadata of the response.
+func (c *Client) doRoute(ctx context.Context, method, path string, in, out any) (Route, error) {
 	var body io.Reader
 	if in != nil {
 		payload, err := json.Marshal(in)
 		if err != nil {
-			return fmt.Errorf("edfd: encoding request: %w", err)
+			return Route{}, fmt.Errorf("edfd: encoding request: %w", err)
 		}
 		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return err
+		return Route{}, err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return Route{}, err
 	}
 	defer resp.Body.Close()
+	rt := routeFrom(resp.Header)
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var er service.ErrorResponse
 		msg := resp.Status
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
 			msg = er.Error
 		}
-		return &Error{StatusCode: resp.StatusCode, Message: msg}
+		return rt, &Error{StatusCode: resp.StatusCode, Message: msg}
 	}
 	if out == nil {
-		return nil
+		return rt, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("edfd: decoding response: %w", err)
+		return rt, fmt.Errorf("edfd: decoding response: %w", err)
 	}
-	return nil
+	return rt, nil
 }
 
 // Analyze runs one analysis.
 func (c *Client) Analyze(ctx context.Context, req service.AnalyzeRequest) (service.AnalyzeResponse, error) {
-	var out service.AnalyzeResponse
-	err := c.do(ctx, http.MethodPost, "/v1/analyze", req, &out)
+	out, _, err := c.AnalyzeRouted(ctx, req)
 	return out, err
+}
+
+// AnalyzeRouted is Analyze plus the cluster routing metadata — which
+// replica served, after how many failovers — when the request went
+// through edfproxy (the Route is zero against a plain edfd).
+func (c *Client) AnalyzeRouted(ctx context.Context, req service.AnalyzeRequest) (service.AnalyzeResponse, Route, error) {
+	var out service.AnalyzeResponse
+	rt, err := c.doRoute(ctx, http.MethodPost, "/v1/analyze", req, &out)
+	return out, rt, err
 }
 
 // Batch fans sets x analyzers over the server's worker pool.
 func (c *Client) Batch(ctx context.Context, req service.BatchRequest) (service.BatchResponse, error) {
-	var out service.BatchResponse
-	err := c.do(ctx, http.MethodPost, "/v1/batch", req, &out)
+	out, _, err := c.BatchRouted(ctx, req)
 	return out, err
+}
+
+// BatchRouted is Batch plus the cluster routing metadata; a batch split
+// across several replicas reports them comma-joined in Route.Replica.
+func (c *Client) BatchRouted(ctx context.Context, req service.BatchRequest) (service.BatchResponse, Route, error) {
+	var out service.BatchResponse
+	rt, err := c.doRoute(ctx, http.MethodPost, "/v1/batch", req, &out)
+	return out, rt, err
 }
 
 // Analyzers lists the server's registry.
