@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-core bench-cluster serve smoke smoke-cluster fmt vet clean
+.PHONY: all build test bench bench-json bench-core bench-session bench-cluster serve smoke smoke-cluster fmt vet clean
 
 all: build test
 
@@ -33,6 +33,16 @@ bench-core:
 	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./internal/core/ > bench-core.out
 	$(GO) run ./cmd/benchmerge -out BENCH_core.json $(if $(GATE),-gate $(GATE)) < bench-core.out
 	rm -f bench-core.out
+
+# Session admission benchmarks (incremental fast path vs full
+# re-analysis on 1k-task sessions, plus churn replay), merged into the
+# committed trend file BENCH_session.json under the same baseline/gate
+# rules as bench-core. The incremental grid benchmark has a 0-alloc
+# baseline, so with GATE set any allocation on the fast path fails CI.
+bench-session:
+	$(GO) test -run xxx -bench BenchmarkSession -benchmem -benchtime $(BENCHTIME) ./internal/service/ > bench-session.out
+	$(GO) run ./cmd/benchmerge -out BENCH_session.json $(if $(GATE),-gate $(GATE)) < bench-session.out
+	rm -f bench-session.out
 
 # Cluster benchmarks: 2 edfd replicas behind edfproxy vs a single direct
 # edfd, as machine-readable test2json events in the committed trend file
@@ -69,5 +79,5 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -f bench.out bench-core.out bench-cluster.out BENCH_service.json
+	rm -f bench.out bench-core.out bench-session.out bench-cluster.out BENCH_service.json
 	$(GO) clean ./...

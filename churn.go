@@ -1,0 +1,36 @@
+package edf
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/churn"
+)
+
+// ChurnConfig shapes a generated session-churn scenario: seed workload
+// parameters plus the propose/commit/rollback mix.
+type ChurnConfig = churn.Config
+
+// ChurnScenario is a replayable session history — a committed seed
+// workload and an ordered propose/commit/rollback op stream. Its JSON
+// form is what `edfgen -churn` emits and what the bench suite and the
+// smoke harness replay.
+type ChurnScenario = churn.Scenario
+
+// ChurnOp is one step of a churn scenario.
+type ChurnOp = churn.Op
+
+// Churn op kinds.
+const (
+	ChurnPropose  = churn.OpPropose
+	ChurnCommit   = churn.OpCommit
+	ChurnRollback = churn.OpRollback
+)
+
+// GenerateChurn builds a deterministic churn scenario.
+func GenerateChurn(name string, cfg ChurnConfig, rng *rand.Rand) (ChurnScenario, error) {
+	return churn.Generate(name, cfg, rng)
+}
+
+// ReadChurn parses and validates a churn scenario from JSON.
+func ReadChurn(r io.Reader) (ChurnScenario, error) { return churn.Read(r) }

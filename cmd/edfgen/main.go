@@ -17,6 +17,12 @@
 // tasks keep the target utilization by splitting the WCET across the burst.
 // The output is the workload schema the edfd service's /v1/analyze and
 // /v1/batch endpoints accept, and edffeas -events reads it directly.
+//
+// -churn emits a session-churn scenario instead of a plain set: a seed
+// workload (generated with the flags above) plus -ops
+// propose/commit/rollback steps, the replayable input behind `make
+// bench-session` and the smoke harness's session phase. It composes with
+// -events for event-stream scenarios.
 package main
 
 import (
@@ -44,6 +50,8 @@ func main() {
 		events  = flag.Bool("events", false, "emit a Gresser event-stream workload instead of a sporadic set")
 		burst   = flag.Int("burst", 1, "events per burst in -events mode (1 = strictly periodic streams)")
 		spacing = flag.Int64("spacing", 0, "burst event spacing in -events mode (0 = period/(4*burst))")
+		doChurn = flag.Bool("churn", false, "emit a session-churn scenario (seed workload + propose/commit/rollback ops)")
+		ops     = flag.Int("ops", 2000, "ops per scenario in -churn mode")
 	)
 	flag.Parse()
 
@@ -58,6 +66,29 @@ func main() {
 		PeriodMin: *tmin, PeriodMax: *tmax,
 		LogUniformPeriods: *logU,
 		GapMean:           *gap,
+	}
+	if *doChurn {
+		ccfg := edf.ChurnConfig{
+			SeedTasks: *n, Ops: *ops, Events: *events,
+			Utilization: *u, PeriodMin: *tmin, PeriodMax: *tmax,
+			LogUniformPeriods: *logU, GapMean: *gap,
+		}
+		for i := range *count {
+			sc, err := edf.GenerateChurn(fmt.Sprintf("churn-%d", i+1), ccfg, rng)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "edfgen:", err)
+				os.Exit(2)
+			}
+			path := *out
+			if path != "" && *count > 1 {
+				path = fmt.Sprintf("%s_%03d.json", trimJSON(*out), i+1)
+			}
+			if err := emitChurn(path, sc); err != nil {
+				fmt.Fprintln(os.Stderr, "edfgen:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 	for i := range *count {
 		ts, err := edf.Generate(cfg, rng)
@@ -75,6 +106,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// emitChurn writes one scenario to path (stdout when empty).
+func emitChurn(path string, sc edf.ChurnScenario) error {
+	if path == "" {
+		return sc.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sc.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // emit writes one set to path (stdout when empty), as a sporadic task set

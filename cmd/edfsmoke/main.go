@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -342,8 +343,86 @@ func drive(ctx context.Context, c *client.Client) error {
 		fmt.Printf("edfsmoke: %s session propose-batch ok (%d verdicts)\n",
 			sess.name, len(presp.Results))
 	}
+	return driveChurn(ctx, c)
+}
+
+// driveChurn replays generated churn scenarios (the `edfgen -churn`
+// format) through real sessions, one per workload model, shadowing the
+// committed/pending counters client-side: any drift between the shadow
+// and the server's counts means a propose, commit or rollback moved
+// state it should not have — exactly the regression class the
+// incremental admission path could introduce.
+func driveChurn(ctx context.Context, c *client.Client) error {
+	for _, events := range []bool{false, true} {
+		name := "sporadic"
+		if events {
+			name = "events"
+		}
+		sc, err := edf.GenerateChurn("smoke-"+name, edf.ChurnConfig{
+			SeedTasks: 8, Ops: 60, Events: events,
+		}, newDeterministicRand())
+		if err != nil {
+			return fmt.Errorf("churn %s: generate: %w", name, err)
+		}
+		h, state, err := c.OpenSession(ctx, service.SessionRequest{Workload: sc.Seed})
+		if err != nil {
+			return fmt.Errorf("churn %s: open: %w", name, err)
+		}
+		committed, pending := state.Committed, 0
+		admitted, escalated := 0, 0
+		for i, op := range sc.Ops {
+			switch op.Op {
+			case edf.ChurnPropose:
+				pr, err := h.Propose(ctx, service.ProposeRequest{Task: *op.Task})
+				if err != nil {
+					return fmt.Errorf("churn %s: op %d: %w", name, i, err)
+				}
+				if pr.Admitted {
+					pending++
+					admitted++
+				}
+				if pr.Escalated {
+					escalated++
+				}
+				if pr.Committed != committed || pr.Pending != pending {
+					return fmt.Errorf("churn %s: op %d: state %d/%d, shadow %d/%d",
+						name, i, pr.Committed, pr.Pending, committed, pending)
+				}
+			case edf.ChurnCommit:
+				cr, err := h.Commit(ctx)
+				if err != nil {
+					return fmt.Errorf("churn %s: op %d commit: %w", name, i, err)
+				}
+				if cr.Moved != pending || cr.Committed != committed+pending {
+					return fmt.Errorf("churn %s: op %d: commit moved %d of %d pending",
+						name, i, cr.Moved, pending)
+				}
+				committed += pending
+				pending = 0
+			case edf.ChurnRollback:
+				rr, err := h.Rollback(ctx)
+				if err != nil {
+					return fmt.Errorf("churn %s: op %d rollback: %w", name, i, err)
+				}
+				if rr.Moved != pending || rr.Committed != committed {
+					return fmt.Errorf("churn %s: op %d: rollback moved %d of %d pending",
+						name, i, rr.Moved, pending)
+				}
+				pending = 0
+			}
+		}
+		if err := h.Close(ctx); err != nil {
+			return fmt.Errorf("churn %s: close: %w", name, err)
+		}
+		fmt.Printf("edfsmoke: %s churn ok (%d ops, %d admitted, %d escalated)\n",
+			name, len(sc.Ops), admitted, escalated)
+	}
 	return nil
 }
+
+// newDeterministicRand gives the churn phase a fixed seed so smoke
+// failures reproduce.
+func newDeterministicRand() *rand.Rand { return rand.New(rand.NewSource(20260808)) }
 
 // driveCluster runs the proxy-specific checks: ring affinity, split
 // batch determinism and the aggregate metrics page.

@@ -1,0 +1,252 @@
+// Package churn generates long propose/commit/rollback scenario streams
+// for session admission control. A Scenario is a committed seed workload
+// plus an ordered op list; replaying it against a session — in-process
+// through service.Admission or over the wire through the edfd client —
+// exercises exactly the state machine the incremental analysis fast path
+// optimizes: long runs of cheap proposals punctuated by commits and
+// rollbacks. The JSON form is stable, so `edfgen -churn` output feeds
+// both the bench suite and the smoke harness.
+package churn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/eventstream"
+	"repro/internal/model"
+	"repro/internal/taskgen"
+	"repro/internal/workload"
+)
+
+// Op kinds. Propose carries a task; commit and rollback carry none.
+const (
+	OpPropose  = "propose"
+	OpCommit   = "commit"
+	OpRollback = "rollback"
+)
+
+// Op is one step of a scenario.
+type Op struct {
+	Op string `json:"op"`
+	// Task is the proposed task; nil for commit and rollback ops.
+	Task *workload.Task `json:"task,omitempty"`
+}
+
+// Scenario is a replayable session history: a seed workload the session
+// opens with (already committed) and the op stream driven against it.
+type Scenario struct {
+	Name string            `json:"name"`
+	Seed workload.Workload `json:"seed"`
+	Ops  []Op              `json:"ops"`
+}
+
+// Config shapes a generated scenario. The seed fields mirror the task
+// generator; the op fields control the churn mix.
+type Config struct {
+	// SeedTasks is the committed baseline size (> 0).
+	SeedTasks int
+	// Ops is the total number of ops to emit (> 0).
+	Ops int
+	// Events selects the event-stream workload model.
+	Events bool
+	// Utilization is the seed's target utilization in (0, 1); proposals
+	// spend part of the remaining headroom. Default 0.6.
+	Utilization float64
+	// PeriodMin and PeriodMax bound the seed periods. Defaults 1000 and
+	// 100000.
+	PeriodMin, PeriodMax int64
+	// LogUniformPeriods draws seed periods log-uniformly.
+	LogUniformPeriods bool
+	// GapMean is the seed's average relative deadline gap. Default 0.2.
+	GapMean float64
+	// CommitFrac and RollbackFrac are the per-op probabilities of a
+	// commit or rollback (the rest are proposals). Defaults 0.1 each.
+	CommitFrac, RollbackFrac float64
+	// TightFrac is the fraction of proposals that are deliberately tight
+	// (short deadline relative to demand), forcing certificate failures
+	// and analyzer escalations. Default 0.2.
+	TightFrac float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Utilization == 0 {
+		c.Utilization = 0.6
+	}
+	if c.PeriodMin == 0 {
+		c.PeriodMin = 1000
+	}
+	if c.PeriodMax == 0 {
+		c.PeriodMax = 100000
+	}
+	if c.GapMean == 0 {
+		c.GapMean = 0.2
+	}
+	if c.CommitFrac == 0 {
+		c.CommitFrac = 0.1
+	}
+	if c.RollbackFrac == 0 {
+		c.RollbackFrac = 0.1
+	}
+	if c.TightFrac == 0 {
+		c.TightFrac = 0.2
+	}
+	return c
+}
+
+// Validate reports the first configuration problem.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	switch {
+	case c.SeedTasks <= 0:
+		return fmt.Errorf("churn: SeedTasks must be positive, got %d", c.SeedTasks)
+	case c.Ops <= 0:
+		return fmt.Errorf("churn: Ops must be positive, got %d", c.Ops)
+	case c.Utilization <= 0 || c.Utilization >= 1:
+		return fmt.Errorf("churn: Utilization must be in (0, 1), got %g", c.Utilization)
+	case c.CommitFrac < 0 || c.RollbackFrac < 0 || c.CommitFrac+c.RollbackFrac >= 1:
+		return fmt.Errorf("churn: CommitFrac+RollbackFrac must stay below 1, got %g+%g",
+			c.CommitFrac, c.RollbackFrac)
+	case c.TightFrac < 0 || c.TightFrac > 1:
+		return fmt.Errorf("churn: TightFrac must be in [0, 1], got %g", c.TightFrac)
+	}
+	return nil
+}
+
+// Generate builds a deterministic scenario from cfg and rng: a feasible
+// seed workload at the target utilization, then an op stream whose
+// proposals are mostly light tasks (the incremental fast path's bread
+// and butter) with a tight minority that forces escalations, broken up
+// by commits and rollbacks.
+func Generate(name string, cfg Config, rng *rand.Rand) (Scenario, error) {
+	if err := cfg.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	cfg = cfg.withDefaults()
+	ts, err := taskgen.New(taskgen.Config{
+		N: cfg.SeedTasks, Utilization: cfg.Utilization,
+		PeriodMin: cfg.PeriodMin, PeriodMax: cfg.PeriodMax,
+		LogUniformPeriods: cfg.LogUniformPeriods,
+		GapMean:           cfg.GapMean,
+	}, rng)
+	if err != nil {
+		return Scenario{}, err
+	}
+	sc := Scenario{Name: name, Seed: seedWorkload(ts, cfg.Events), Ops: make([]Op, 0, cfg.Ops)}
+	for len(sc.Ops) < cfg.Ops {
+		switch r := rng.Float64(); {
+		case r < cfg.CommitFrac:
+			sc.Ops = append(sc.Ops, Op{Op: OpCommit})
+		case r < cfg.CommitFrac+cfg.RollbackFrac:
+			sc.Ops = append(sc.Ops, Op{Op: OpRollback})
+		default:
+			t := proposal(cfg, rng)
+			sc.Ops = append(sc.Ops, Op{Op: OpPropose, Task: &t})
+		}
+	}
+	return sc, nil
+}
+
+// seedWorkload wraps the generated set in the requested model; in events
+// mode each task becomes a strictly periodic stream, the direct analogue
+// of its sporadic form.
+func seedWorkload(ts model.TaskSet, events bool) workload.Workload {
+	if !events {
+		return workload.NewSporadic(ts)
+	}
+	ets := make([]eventstream.Task, len(ts))
+	for i, t := range ts {
+		ets[i] = eventstream.Task{
+			Name: t.Name, WCET: t.WCET, Deadline: t.Deadline,
+			Stream: eventstream.Periodic(t.Period),
+		}
+	}
+	return workload.NewEvents(ets)
+}
+
+// proposal draws one candidate task. Light tasks use a tiny WCET over a
+// long period and a comfortable deadline, so a healthy session admits
+// them on the certificate alone. Tight tasks come in two flavors, split
+// evenly: heavy ones whose utilization alone overflows the session (the
+// cheap gate rejects them before any analysis), and short-deadline ones
+// whose utilization is harmless but whose deadline window is half WCET —
+// the incremental certificate cannot vouch for those, so the full
+// analyzer must decide. Both keep the replayed session from drifting to
+// saturation over long streams while exercising every decision path.
+func proposal(cfg Config, rng *rand.Rand) workload.Task {
+	period := cfg.PeriodMin +
+		rng.Int63n(cfg.PeriodMax-cfg.PeriodMin+1)
+	var c, d int64
+	switch r := rng.Float64(); {
+	case r < cfg.TightFrac/2: // heavy: dies at the utilization gate
+		c = period/2 + rng.Int63n(period/4+1)
+		d = c + rng.Int63n(c/8+1)
+	case r < cfg.TightFrac: // tight deadline: forces an escalation
+		d = max(period/16, 2)
+		c = d/2 + rng.Int63n(d/4+1)
+	default:
+		c = 1 + rng.Int63n(max(period/1000, 1))
+		d = period/2 + rng.Int63n(period/2+1)
+	}
+	if cfg.Events {
+		return workload.EventTask(eventstream.Task{
+			WCET: c, Deadline: d, Stream: eventstream.Periodic(period),
+		})
+	}
+	return workload.SporadicTask(model.Task{WCET: c, Deadline: d, Period: period})
+}
+
+// Validate checks a scenario (typically one read from JSON) for replay:
+// a valid seed, known op kinds, proposals carrying a task of the seed's
+// model, and bare commit/rollback ops.
+func (s Scenario) Validate() error {
+	if err := s.Seed.Validate(); err != nil {
+		return fmt.Errorf("churn: seed: %w", err)
+	}
+	for i, op := range s.Ops {
+		switch op.Op {
+		case OpPropose:
+			if op.Task == nil {
+				return fmt.Errorf("churn: op %d: propose without a task", i)
+			}
+			if err := op.Task.Validate(); err != nil {
+				return fmt.Errorf("churn: op %d: %w", i, err)
+			}
+			if op.Task.Kind() != s.Seed.Kind() {
+				return fmt.Errorf("churn: op %d: %s task in a %s scenario",
+					i, op.Task.Kind(), s.Seed.Kind())
+			}
+		case OpCommit, OpRollback:
+			if op.Task != nil {
+				return fmt.Errorf("churn: op %d: %s carries a task", i, op.Op)
+			}
+		default:
+			return fmt.Errorf("churn: op %d: unknown op %q", i, op.Op)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the scenario as indented JSON.
+func (s Scenario) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Read parses and validates a scenario from JSON.
+func Read(r io.Reader) (Scenario, error) {
+	var s Scenario
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("churn: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,145 @@
+package churn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// TestGenerateDeterministic pins the contract edfgen relies on: the same
+// seed yields byte-identical JSON, for both models.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, events := range []bool{false, true} {
+		cfg := Config{SeedTasks: 8, Ops: 200, Events: events}
+		var a, b bytes.Buffer
+		s1, err := Generate("x", cfg, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Generate("x", cfg, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s1.WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("events=%v: same seed produced different scenarios", events)
+		}
+	}
+}
+
+// TestGenerateRoundTrip checks generated scenarios validate, survive a
+// JSON round trip, and contain a sane op mix.
+func TestGenerateRoundTrip(t *testing.T) {
+	for _, events := range []bool{false, true} {
+		sc, err := Generate("rt", Config{SeedTasks: 6, Ops: 400, Events: events},
+			rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("events=%v: generated scenario invalid: %v", events, err)
+		}
+		var buf bytes.Buffer
+		if err := sc.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("events=%v: round trip: %v", events, err)
+		}
+		if len(back.Ops) != len(sc.Ops) || back.Name != sc.Name {
+			t.Fatalf("events=%v: round trip lost ops or name", events)
+		}
+		counts := map[string]int{}
+		for _, op := range back.Ops {
+			counts[op.Op]++
+		}
+		if counts[OpPropose] == 0 || counts[OpCommit] == 0 || counts[OpRollback] == 0 {
+			t.Errorf("events=%v: degenerate op mix %v", events, counts)
+		}
+		wantKind := workload.Sporadic
+		if events {
+			wantKind = workload.Events
+		}
+		if back.Seed.Kind() != wantKind {
+			t.Errorf("events=%v: seed model %s", events, back.Seed.Kind())
+		}
+	}
+}
+
+// TestReplayAgainstAdmission replays a scenario through a real session
+// controller: the seed must open, every op must apply without transport
+// or state errors, and the stream must exercise both decision paths —
+// the realism property the bench suite depends on.
+func TestReplayAgainstAdmission(t *testing.T) {
+	for _, events := range []bool{false, true} {
+		sc, err := Generate("replay", Config{SeedTasks: 10, Ops: 500, Events: events},
+			rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		adm, err := service.NewAdmission(service.AdmissionConfig{Seed: sc.Seed})
+		if err != nil {
+			t.Fatalf("events=%v: seed rejected: %v", events, err)
+		}
+		admitted, rejected := 0, 0
+		for i, op := range sc.Ops {
+			switch op.Op {
+			case OpPropose:
+				out, err := adm.ProposeTask(*op.Task)
+				if err != nil {
+					t.Fatalf("events=%v: op %d: %v", events, i, err)
+				}
+				if out.Admitted {
+					admitted++
+				} else {
+					rejected++
+				}
+			case OpCommit:
+				adm.Commit()
+			case OpRollback:
+				adm.Rollback()
+			}
+		}
+		if admitted == 0 || rejected == 0 {
+			t.Errorf("events=%v: unrealistic scenario: %d admitted, %d rejected",
+				events, admitted, rejected)
+		}
+		// The op stream must light up both decision paths, or the benches
+		// replaying it would measure only one of them.
+		if st := adm.Stats(); st.FastAccepts == 0 || st.Escalations == 0 {
+			t.Errorf("events=%v: decision paths not both exercised: %+v", events, st)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	sc, err := Generate("v", Config{SeedTasks: 4, Ops: 20}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := sc
+	bad.Ops = append([]Op{{Op: "reanalyze"}}, sc.Ops...)
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown op accepted")
+	}
+	bad = sc
+	bad.Ops = append([]Op{{Op: OpPropose}}, sc.Ops...)
+	if err := bad.Validate(); err == nil {
+		t.Error("propose without task accepted")
+	}
+	if err := (Config{SeedTasks: 0, Ops: 5}).Validate(); err == nil {
+		t.Error("zero seed tasks accepted")
+	}
+	if err := (Config{SeedTasks: 5, Ops: 5, CommitFrac: 0.6, RollbackFrac: 0.5}).Validate(); err == nil {
+		t.Error("commit+rollback >= 1 accepted")
+	}
+}

@@ -81,6 +81,10 @@ func (p *Proxy) writeMetrics(w io.Writer, scrapes []replicaScrape) {
 	if hits, misses := sums["edfd_cache_hits"], sums["edfd_cache_misses"]; hits+misses > 0 {
 		fmt.Fprintf(w, "edfd_cache_hit_rate %.4f\n", hits/(hits+misses))
 	}
+	// Quantiles cannot be summed either, but the cumulative latency
+	// buckets can — the summed page is itself a fleet histogram, so the
+	// fleet p50/p99 fall out of it.
+	writeFleetQuantiles(w, sums)
 	for _, sc := range scrapes {
 		names = names[:0]
 		for name := range sc.values {
@@ -91,6 +95,50 @@ func (p *Proxy) writeMetrics(w io.Writer, scrapes []replicaScrape) {
 			fmt.Fprintf(w, "%s{replica=%q} %s\n", name, sc.replica, formatMetric(sc.values[name]))
 		}
 	}
+}
+
+// proposeBucketPrefix matches edfd's cumulative propose-latency buckets;
+// the suffix is the bucket's upper bound in nanoseconds.
+const proposeBucketPrefix = "edfd_propose_ns_bucket_le_"
+
+// writeFleetQuantiles re-derives edfd_propose_ns_p50/p99 from the summed
+// cumulative buckets. Replica pages without buckets (an older edfd) just
+// produce no fleet quantiles.
+func writeFleetQuantiles(w io.Writer, sums map[string]float64) {
+	type bucket struct {
+		le  int64
+		cum float64
+	}
+	var bs []bucket
+	for name, v := range sums {
+		if strings.HasPrefix(name, proposeBucketPrefix) {
+			if le, err := strconv.ParseInt(name[len(proposeBucketPrefix):], 10, 64); err == nil {
+				bs = append(bs, bucket{le: le, cum: v})
+			}
+		}
+	}
+	if len(bs) == 0 {
+		return
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+	count := bs[len(bs)-1].cum
+	quantile := func(q float64) int64 {
+		if count <= 0 {
+			return 0
+		}
+		rank := q * count
+		if rank < 1 {
+			rank = 1
+		}
+		for _, b := range bs {
+			if b.cum >= rank {
+				return b.le
+			}
+		}
+		return bs[len(bs)-1].le
+	}
+	fmt.Fprintf(w, "edfd_propose_ns_p50 %d\n", quantile(0.50))
+	fmt.Fprintf(w, "edfd_propose_ns_p99 %d\n", quantile(0.99))
 }
 
 // formatMetric renders counters as integers and everything else with the
@@ -109,15 +157,16 @@ type replicaScrape struct {
 }
 
 // parseMetrics reads "name value" lines (edfd's format), keeping the
-// numeric ones. Ratio lines such as edfd_cache_hit_rate are dropped —
-// summing rates across replicas is meaningless, the aggregate recomputes
-// them.
+// numeric ones. Ratio and quantile lines (edfd_cache_hit_rate,
+// edfd_propose_ns_p50/p99) are dropped — neither can be summed across
+// replicas, the aggregate recomputes them from their summable parts.
 func parseMetrics(r io.Reader) map[string]float64 {
 	out := map[string]float64{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		name, val, ok := strings.Cut(strings.TrimSpace(sc.Text()), " ")
-		if !ok || strings.HasSuffix(name, "_rate") {
+		if !ok || strings.HasSuffix(name, "_rate") ||
+			strings.HasSuffix(name, "_p50") || strings.HasSuffix(name, "_p99") {
 			continue
 		}
 		if v, err := strconv.ParseFloat(val, 64); err == nil {

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseMetricsDropsDerived asserts quantile and ratio lines are
+// dropped at scrape time — they are recomputed from summable parts.
+func TestParseMetricsDropsDerived(t *testing.T) {
+	page := strings.NewReader(strings.Join([]string{
+		"edfd_cache_hits 5",
+		"edfd_cache_hit_rate 0.5000",
+		"edfd_propose_ns_p50 1024",
+		"edfd_propose_ns_p99 8192",
+		"edfd_propose_ns_count 7",
+		"edfd_propose_ns_bucket_le_1024 6",
+	}, "\n"))
+	vals := parseMetrics(page)
+	for _, dropped := range []string{"edfd_cache_hit_rate", "edfd_propose_ns_p50", "edfd_propose_ns_p99"} {
+		if _, ok := vals[dropped]; ok {
+			t.Errorf("parseMetrics kept derived metric %s", dropped)
+		}
+	}
+	for _, kept := range []string{"edfd_cache_hits", "edfd_propose_ns_count", "edfd_propose_ns_bucket_le_1024"} {
+		if _, ok := vals[kept]; !ok {
+			t.Errorf("parseMetrics dropped summable metric %s", kept)
+		}
+	}
+}
+
+// TestWriteFleetQuantiles rebuilds fleet p50/p99 from summed cumulative
+// buckets — the two-replica sum below has 90 samples <= 1024 ns and 10
+// more <= 1048576 ns.
+func TestWriteFleetQuantiles(t *testing.T) {
+	sums := map[string]float64{
+		"edfd_propose_ns_bucket_le_1024":    90,
+		"edfd_propose_ns_bucket_le_1048576": 100,
+		"edfd_propose_ns_count":             100,
+	}
+	var sb strings.Builder
+	writeFleetQuantiles(&sb, sums)
+	out := sb.String()
+	if !strings.Contains(out, "edfd_propose_ns_p50 1024\n") {
+		t.Errorf("fleet p50 wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "edfd_propose_ns_p99 1048576\n") {
+		t.Errorf("fleet p99 wrong:\n%s", out)
+	}
+
+	// No buckets (older replicas): no quantile lines at all.
+	sb.Reset()
+	writeFleetQuantiles(&sb, map[string]float64{"edfd_cache_hits": 3})
+	if sb.Len() != 0 {
+		t.Errorf("quantiles emitted without buckets:\n%s", sb.String())
+	}
+
+	// Zero samples: quantiles pin to zero rather than inventing latency.
+	sb.Reset()
+	writeFleetQuantiles(&sb, map[string]float64{"edfd_propose_ns_bucket_le_1024": 0})
+	if !strings.Contains(sb.String(), "edfd_propose_ns_p50 0\n") {
+		t.Errorf("zero-sample p50 wrong:\n%s", sb.String())
+	}
+}

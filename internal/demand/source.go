@@ -127,6 +127,107 @@ func (s Sporadic) ApproxError(I int64) (num, den int64) {
 	return n, s.T
 }
 
+// Uniform is the Source of any equidistant-deadline job stream: WCET C
+// per job, first absolute deadline First, separation Sep between
+// consecutive deadlines. Sep == 0 denotes a one-shot source releasing a
+// single job. It is the common generalization of Sporadic (First = D,
+// Sep = T) and of one event-stream element (First = offset + relative
+// deadline, Sep = cycle), and the concrete representation the
+// incremental admission state keeps its per-session sources in — one
+// flat arena, no interface boxing on the fold path.
+type Uniform struct {
+	C     int64 // WCET
+	First int64 // first absolute deadline (> 0)
+	Sep   int64 // deadline separation; 0 = one-shot
+}
+
+var _ Source = Uniform{}
+
+// UniformFromTask adapts a sporadic model task.
+func UniformFromTask(t model.Task) Uniform {
+	return Uniform{C: t.WCET, First: t.Deadline, Sep: t.Period}
+}
+
+// WCET returns C.
+func (s Uniform) WCET() int64 { return s.C }
+
+// UtilRat returns the slope C/Sep, or 0 for a one-shot source.
+func (s Uniform) UtilRat() (num, den int64) {
+	if s.Sep == 0 {
+		return 0, 1
+	}
+	return s.C, s.Sep
+}
+
+// JobDeadline returns First + (k-1)*Sep, or MaxInterval past the last
+// job or on overflow.
+func (s Uniform) JobDeadline(k int64) int64 {
+	if k < 1 {
+		return 0
+	}
+	if s.Sep == 0 {
+		if k == 1 {
+			return s.First
+		}
+		return MaxInterval
+	}
+	span, ok := numeric.MulChecked(k-1, s.Sep)
+	if !ok {
+		return MaxInterval
+	}
+	d, ok := numeric.AddChecked(s.First, span)
+	if !ok {
+		return MaxInterval
+	}
+	return d
+}
+
+// NextDeadline returns the first job deadline > after.
+func (s Uniform) NextDeadline(after int64) int64 {
+	if after < s.First {
+		return s.First
+	}
+	if s.Sep == 0 {
+		return MaxInterval
+	}
+	return s.JobDeadline((after-s.First)/s.Sep + 2)
+}
+
+// JobsUpTo counts deadlines <= I.
+func (s Uniform) JobsUpTo(I int64) int64 {
+	if I < s.First {
+		return 0
+	}
+	if s.Sep == 0 {
+		return 1
+	}
+	return (I-s.First)/s.Sep + 1
+}
+
+// DemandUpTo returns dbf(I) = JobsUpTo(I) * C, saturating at MaxInterval
+// on overflow.
+func (s Uniform) DemandUpTo(I int64) int64 {
+	d, ok := numeric.MulChecked(s.JobsUpTo(I), s.C)
+	if !ok {
+		return MaxInterval
+	}
+	return d
+}
+
+// ApproxError returns C*((I-First) mod Sep) / Sep; one-shot sources are
+// approximated exactly, so their error is 0.
+func (s Uniform) ApproxError(I int64) (num, den int64) {
+	if I < s.First || s.Sep == 0 {
+		return 0, 1
+	}
+	r := (I - s.First) % s.Sep
+	n, ok := numeric.MulChecked(s.C, r)
+	if !ok {
+		return MaxInterval, s.Sep
+	}
+	return n, s.Sep
+}
+
 // FromTasks adapts a task set to demand sources, ignoring phases
 // (synchronous case). The sources are pointers into one backing array, so
 // the adaptation costs two allocations regardless of the set size; use

@@ -1,0 +1,84 @@
+package demand
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestUniformMatchesSporadic asserts the Uniform generalization agrees
+// with the Sporadic source on every interface method when instantiated
+// from the same task.
+func TestUniformMatchesSporadic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		tk := model.Task{
+			WCET:     1 + r.Int63n(50),
+			Deadline: 1 + r.Int63n(500),
+			Period:   1 + r.Int63n(500),
+		}
+		sp := NewSporadic(tk)
+		un := UniformFromTask(tk)
+		if un.WCET() != sp.WCET() {
+			t.Fatalf("WCET differs for %+v", tk)
+		}
+		un1, ud1 := un.UtilRat()
+		sn1, sd1 := sp.UtilRat()
+		if un1*sd1 != sn1*ud1 {
+			t.Fatalf("UtilRat differs for %+v: %d/%d vs %d/%d", tk, un1, ud1, sn1, sd1)
+		}
+		for k := int64(1); k <= 5; k++ {
+			if un.JobDeadline(k) != sp.JobDeadline(k) {
+				t.Fatalf("JobDeadline(%d) differs for %+v", k, tk)
+			}
+		}
+		for j := 0; j < 20; j++ {
+			I := r.Int63n(3000)
+			if un.JobsUpTo(I) != sp.JobsUpTo(I) {
+				t.Fatalf("JobsUpTo(%d) differs for %+v", I, tk)
+			}
+			if un.DemandUpTo(I) != sp.DemandUpTo(I) {
+				t.Fatalf("DemandUpTo(%d) differs for %+v", I, tk)
+			}
+			an, ad := un.ApproxError(I)
+			bn, bd := sp.ApproxError(I)
+			if an*bd != bn*ad {
+				t.Fatalf("ApproxError(%d) differs for %+v", I, tk)
+			}
+			if un.NextDeadline(I) != sp.NextDeadline(I) {
+				t.Fatalf("NextDeadline(%d) differs for %+v", I, tk)
+			}
+		}
+	}
+}
+
+// TestUniformOneShot pins the Sep == 0 semantics: one job, zero slope,
+// exact approximation.
+func TestUniformOneShot(t *testing.T) {
+	u := Uniform{C: 7, First: 30}
+	if n, d := u.UtilRat(); n != 0 || d <= 0 {
+		t.Fatalf("one-shot UtilRat = %d/%d, want 0 slope", n, d)
+	}
+	if got := u.JobDeadline(1); got != 30 {
+		t.Fatalf("JobDeadline(1) = %d", got)
+	}
+	if got := u.JobDeadline(2); got != MaxInterval {
+		t.Fatalf("JobDeadline(2) = %d, want MaxInterval", got)
+	}
+	if got := u.NextDeadline(29); got != 30 {
+		t.Fatalf("NextDeadline(29) = %d", got)
+	}
+	if got := u.NextDeadline(30); got != MaxInterval {
+		t.Fatalf("NextDeadline(30) = %d, want MaxInterval", got)
+	}
+	if got := u.DemandUpTo(29); got != 0 {
+		t.Fatalf("DemandUpTo(29) = %d", got)
+	}
+	if got := u.DemandUpTo(1 << 60); got != 7 {
+		t.Fatalf("DemandUpTo(huge) = %d", got)
+	}
+	if n, _ := u.ApproxError(1 << 60); n != 0 {
+		t.Fatalf("one-shot ApproxError num = %d, want 0", n)
+	}
+}

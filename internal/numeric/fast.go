@@ -311,6 +311,41 @@ func (s Fast) Float() float64 {
 	return float64(n) / float64(d)
 }
 
+// CeilInt64 returns ceil(s) for s >= 0, and whether the result fits in
+// int64. It is QuoCeil by one without the division setup — the rounding
+// step of the incremental admission state, which turns exact rational
+// demand values into conservative integer slack floors.
+func (s Fast) CeilInt64() (int64, bool) {
+	if s.br != nil {
+		return ceilRatInt64(s.br)
+	}
+	n, d := s.frac()
+	if n < 0 {
+		return 0, false
+	}
+	q := n / d
+	if n%d != 0 {
+		// d >= 2 here, so q <= n/2 and q+1 cannot overflow.
+		q++
+	}
+	return q, true
+}
+
+// ceilRatInt64 is the arbitrary-precision path of CeilInt64.
+func ceilRatInt64(r *big.Rat) (int64, bool) {
+	if r.Sign() < 0 {
+		return 0, false
+	}
+	num := new(big.Int).Set(r.Num())
+	den := r.Denom()
+	num.Add(num, new(big.Int).Sub(den, big.NewInt(1)))
+	num.Div(num, den)
+	if !num.IsInt64() {
+		return 0, false
+	}
+	return num.Int64(), true
+}
+
 // QuoCeil returns ceil(s/o) for s >= 0 and o > 0, and whether the result
 // fits in int64. The 128-bit numerator path divides through
 // math/bits.Div64, so the quotient is exact even when the cross products

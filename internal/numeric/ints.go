@@ -54,6 +54,18 @@ func AddChecked(a, b int64) (int64, bool) {
 	return s, true
 }
 
+// SubChecked returns a-b and reports whether the difference fits in
+// int64. Unlike AddChecked it is fully signed: either operand may be
+// negative (the incremental admission state subtracts demand from slack
+// floors that legitimately go negative on tight sessions).
+func SubChecked(a, b int64) (int64, bool) {
+	d := a - b
+	if (b > 0 && d > a) || (b < 0 && d < a) {
+		return 0, false
+	}
+	return d, true
+}
+
 // CeilDiv returns ceil(a/b) for non-negative a and positive b.
 func CeilDiv(a, b int64) int64 {
 	return (a + b - 1) / b

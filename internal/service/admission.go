@@ -8,6 +8,7 @@ import (
 	"repro/internal/demand"
 	"repro/internal/engine"
 	"repro/internal/eventstream"
+	"repro/internal/incremental"
 	"repro/internal/model"
 	"repro/internal/numeric"
 	"repro/internal/workload"
@@ -26,6 +27,12 @@ type AdmissionConfig struct {
 	// value — becomes the session model, and every later proposal must
 	// match it. An event-model seed requires an event-capable analyzer.
 	Seed workload.Workload
+	// NoIncremental disables the incremental fast path even when the
+	// analyzer and options are eligible, forcing a full analysis on
+	// every proposal. Decisions are identical either way; the knob
+	// exists for benchmarking the escalation path and as an operational
+	// escape hatch.
+	NoIncremental bool
 }
 
 // ProposeOutcome reports one admission decision. Its counts are taken in
@@ -43,6 +50,10 @@ type ProposeOutcome struct {
 	Utilization float64
 	// Committed and Pending count the session's tasks after the decision.
 	Committed, Pending int
+	// Escalated reports that a full analyzer run decided the proposal.
+	// False means the decision came from the O(delta) paths: the
+	// utilization gate or the incremental certificate.
+	Escalated bool
 }
 
 // FinishOutcome reports a commit or rollback.
@@ -63,6 +74,12 @@ type AdmissionStats struct {
 	Commits    int64
 	Rollbacks  int64
 	Iterations int64 // total test intervals spent on admission decisions
+	// FastAccepts counts proposals admitted by the incremental
+	// certificate alone; Escalations counts proposals that ran a full
+	// analysis (the two never overlap, and utilization-gate rejections
+	// count toward neither).
+	FastAccepts int64
+	Escalations int64
 }
 
 // Admission is a concurrency-safe online admission controller: tasks are
@@ -94,6 +111,15 @@ type Admission struct {
 	candEvents []eventstream.Task
 	scratch    *demand.Scratch
 	stats      AdmissionStats
+	// inc, when non-nil, is the persistent incremental-analysis state
+	// that decides most proposals in O(delta): a sufficient certificate
+	// whose accepts provably agree with the cascade, escalating to the
+	// full analyzer otherwise. Only eligible configurations get one (see
+	// incrementalEligible).
+	inc *incremental.State
+	// committedUtil mirrors util at the last commit point, making
+	// Rollback's utilization reset O(1) instead of O(committed).
+	committedUtil numeric.Fast
 }
 
 // NewAdmission builds an admission controller. It fails when the analyzer
@@ -137,7 +163,38 @@ func NewAdmission(cfg AdmissionConfig) (*Admission, error) {
 		adm.candTasks = append(model.TaskSet(nil), seed.Tasks...)
 		adm.candEvents = append([]eventstream.Task(nil), seed.Events...)
 	}
+	if incrementalEligible(name, cfg.Options, cfg.NoIncremental) {
+		inc := incremental.New(engine.DefaultSuperPosLevel)
+		if inc.AppendWorkload(adm.committed) {
+			inc.Rebuild()
+		}
+		if inc.Usable() {
+			inc.Commit()
+			adm.inc = inc
+		}
+		// An unusable anchor (a seed the walk cannot certify) would only
+		// ever escalate; dropping it keeps proposals from paying for the
+		// arena bookkeeping.
+	}
+	adm.committedUtil = adm.util
 	return adm, nil
+}
+
+// incrementalEligible reports whether a session configuration can use the
+// incremental fast path. The certificate reasons about the plain
+// synchronous demand-bound criterion the cascade decides, so anything
+// that changes the cascade's semantics — blocking, iteration or level
+// caps, a forced bound, float64 accumulators (whose tolerance the exact
+// certificate cannot mirror), or a different analyzer altogether —
+// disables it. ArithBigRat stays eligible: it is bit-identical to exact.
+func incrementalEligible(analyzer string, opt core.Options, disabled bool) bool {
+	return !disabled &&
+		analyzer == "cascade" &&
+		opt.Blocking == nil &&
+		opt.MaxIterations == 0 &&
+		opt.MaxLevel == 0 &&
+		opt.Bound == "" &&
+		opt.Arithmetic != core.ArithFloat64
 }
 
 // analyzeOptions returns the test options with the controller's reusable
@@ -225,9 +282,29 @@ func (a *Admission) proposeLocked(t workload.Task) (ProposeOutcome, error) {
 	// under either model, so this is a sound O(1) rejection, not a
 	// heuristic.
 	grown := addTaskUtil(a.util, t)
-	if grown.CmpInt(1) > 0 {
+	cmp1 := grown.CmpInt(1)
+	if cmp1 > 0 {
 		a.stats.Rejected++
-		return a.outcome(false, core.Result{Verdict: core.Infeasible}), nil
+		return a.outcome(false, core.Result{Verdict: core.Infeasible}, false), nil
+	}
+
+	// Incremental fast path: with strictly sub-unit grown utilization the
+	// certificate's accept is provably the cascade's verdict, so a full
+	// analysis only runs when the certificate cannot accept. Grown
+	// utilization of exactly 1 escalates — the certificate's between-point
+	// slope argument needs U < 1.
+	if a.inc != nil && cmp1 < 0 {
+		if ok, checked := a.inc.Check(t); ok {
+			a.stats.Iterations += checked
+			a.admitLocked(t, grown)
+			res := core.Result{
+				Verdict:    core.Feasible,
+				Iterations: checked,
+				MaxLevel:   engine.DefaultSuperPosLevel,
+			}
+			a.stats.FastAccepts++
+			return a.outcome(true, res, false), nil
+		}
 	}
 
 	res, err := engine.AnalyzeWorkload(a.analyzer, a.candidateLocked(t), a.analyzeOptions())
@@ -236,21 +313,35 @@ func (a *Admission) proposeLocked(t workload.Task) (ProposeOutcome, error) {
 		return ProposeOutcome{}, err
 	}
 	a.stats.Iterations += res.Iterations
+	a.stats.Escalations++
 	if res.Verdict != core.Feasible {
 		a.stats.Rejected++
 		a.retractCandidateLocked()
-		return a.outcome(false, res), nil
+		return a.outcome(false, res, true), nil
 	}
 	// Admitted: the candidate stays in the buffer (it is now the last
 	// pending task) and is mirrored into the pending workload.
+	a.retractCandidateLocked()
+	a.admitLocked(t, grown)
+	return a.outcome(true, res, true), nil
+}
+
+// admitLocked stages an accepted task: appends it to the candidate buffer,
+// mirrors it into the pending workload, folds it into the incremental
+// state and advances the running utilization; the caller holds the mutex.
+func (a *Admission) admitLocked(t workload.Task, grown numeric.Fast) {
 	if a.model == workload.Events {
+		a.candEvents = append(a.candEvents, *t.Event)
 		a.pending.Events = append(a.pending.Events, *t.Event)
 	} else {
+		a.candTasks = append(a.candTasks, *t.Sporadic)
 		a.pending.Tasks = append(a.pending.Tasks, *t.Sporadic)
+	}
+	if a.inc != nil {
+		a.inc.Admit(t)
 	}
 	a.util = grown
 	a.stats.Admitted++
-	return a.outcome(true, res), nil
 }
 
 // candidateLocked appends t to the cached committed+pending buffer and
@@ -279,13 +370,14 @@ func (a *Admission) retractCandidateLocked() {
 }
 
 // outcome snapshots the decision state; the caller holds the mutex.
-func (a *Admission) outcome(admitted bool, res core.Result) ProposeOutcome {
+func (a *Admission) outcome(admitted bool, res core.Result, escalated bool) ProposeOutcome {
 	return ProposeOutcome{
 		Admitted:    admitted,
 		Result:      res,
 		Utilization: a.util.Float(),
 		Committed:   a.committed.Len(),
 		Pending:     a.pending.Len(),
+		Escalated:   escalated,
 	}
 }
 
@@ -298,6 +390,10 @@ func (a *Admission) Commit() FinishOutcome {
 	// The models always match (both are fixed at construction).
 	a.committed, _ = a.committed.Concat(a.pending)
 	a.pending = workload.Workload{Model: a.model}
+	if a.inc != nil {
+		a.inc.Commit()
+	}
+	a.committedUtil = a.util
 	a.stats.Commits++
 	return FinishOutcome{Moved: n, Committed: a.committed.Len(), Utilization: a.util.Float()}
 }
@@ -308,13 +404,20 @@ func (a *Admission) Rollback() FinishOutcome {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	n := a.pending.Len()
-	a.pending = workload.Workload{Model: a.model}
+	// Truncate the pending mirror and the candidate buffer in place:
+	// keeping their capacity is what makes the steady-state
+	// propose/rollback cycle allocation-free.
 	if a.model == workload.Events {
 		a.candEvents = a.candEvents[:len(a.committed.Events)]
+		a.pending.Events = a.pending.Events[:0]
 	} else {
 		a.candTasks = a.candTasks[:len(a.committed.Tasks)]
+		a.pending.Tasks = a.pending.Tasks[:0]
 	}
-	a.util = workloadUtilFast(a.committed)
+	if a.inc != nil {
+		a.inc.Rollback()
+	}
+	a.util = a.committedUtil
 	a.stats.Rollbacks++
 	return FinishOutcome{Moved: n, Committed: a.committed.Len(), Utilization: a.util.Float()}
 }

@@ -298,6 +298,9 @@ type ProposeResponse struct {
 	Utilization float64 `json:"utilization"`
 	Committed   int     `json:"committed"`
 	Pending     int     `json:"pending"`
+	// Escalated reports that a full analyzer run decided this proposal
+	// instead of the incremental fast path.
+	Escalated bool `json:"escalated,omitempty"`
 }
 
 // ProposeBatchRequest stages several tasks in one round trip. The tasks

@@ -1,0 +1,147 @@
+package service_test
+
+// Session admission benchmarks, the trend suite behind `make
+// bench-session` / BENCH_session.json. They measure what an online
+// admission controller actually pays per decision on a large committed
+// session, in both period regimes from the core suite:
+//
+//   - grid: round {1,2,5}·10^k periods, the shape where the whole
+//     decision — utilization gate, incremental certificate, rollback —
+//     stays in int64 and must not allocate.
+//   - spread: log-uniform periods over four decades, where exact
+//     utilization arithmetic overflows int64 and falls back to big.Rat
+//     (allocations come from that pre-existing path, not the
+//     certificate).
+//
+// The incremental/full pair on the same session is the headline number:
+// full forces NoIncremental (every proposal re-runs the cascade over the
+// whole set), incremental is the default fast path. BENCH_session.json
+// records both so the speedup and the 0-alloc grid contract are gated
+// in CI.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/churn"
+	"repro/internal/model"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// benchSessionPeriods is the round-period grid sets draw from.
+var benchSessionPeriods = []int64{
+	1000, 2000, 5000,
+	10000, 20000, 50000,
+	100000, 200000, 500000,
+	1000000, 2000000, 5000000,
+}
+
+// benchSessionSeed builds a deterministic n-task, ~60%-utilization
+// committed baseline. Deadlines equal periods so the seed is feasible by
+// construction (utilization below one is sufficient for D = T); the
+// proposals supply the constrained deadlines.
+func benchSessionSeed(n int, grid bool, seed int64) workload.Workload {
+	rng := rand.New(rand.NewSource(seed))
+	period := func() int64 {
+		if grid {
+			return benchSessionPeriods[rng.Intn(len(benchSessionPeriods))]
+		}
+		lo, hi := 3.0, 7.0 // 10^3 .. 10^7
+		return int64(math.Pow(10, lo+rng.Float64()*(hi-lo)))
+	}
+	shares := make([]float64, n)
+	sum := 0.0
+	for i := range shares {
+		shares[i] = 0.1 + rng.Float64()
+		sum += shares[i]
+	}
+	ts := make(model.TaskSet, 0, n)
+	for i := range n {
+		t := period()
+		c := int64(shares[i] / sum * 0.60 * float64(t))
+		if c < 1 {
+			c = 1
+		}
+		ts = append(ts, model.Task{WCET: c, Deadline: t, Period: t})
+	}
+	return workload.NewSporadic(ts)
+}
+
+// BenchmarkSessionPropose is the headline online-admission benchmark:
+// one ProposeTask + Rollback against a session holding 1000 committed
+// tasks. The proposal is a light task a healthy session admits, so
+// "incremental" measures the certificate fast path end to end (grid must
+// stay 0 allocs/op) and "full" measures the same decision with
+// NoIncremental — a cascade re-analysis of all 1001 tasks — the
+// pre-incremental cost this PR removes.
+func BenchmarkSessionPropose(b *testing.B) {
+	for _, shape := range []struct {
+		name string
+		grid bool
+	}{{"grid", true}, {"spread", false}} {
+		seed := benchSessionSeed(1000, shape.grid, 1)
+		for _, mode := range []struct {
+			name  string
+			noInc bool
+		}{{"incremental", false}, {"full", true}} {
+			b.Run(shape.name+"/"+mode.name, func(b *testing.B) {
+				adm, err := service.NewAdmission(service.AdmissionConfig{
+					Seed: seed, NoIncremental: mode.noInc,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				light := workload.SporadicTask(model.Task{
+					WCET: 1, Deadline: 500000, Period: 1000000,
+				})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for b.Loop() {
+					out, err := adm.ProposeTask(light)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !out.Admitted {
+						b.Fatal("light task rejected")
+					}
+					adm.Rollback()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSessionChurn replays one generated churn scenario per
+// iteration on a fresh session: 100 committed seed tasks, 1000 mixed
+// propose/commit/rollback ops with light, heavy and tight-deadline
+// proposals — the macro number for sustained session churn, decision
+// paths mixed in realistic proportion.
+func BenchmarkSessionChurn(b *testing.B) {
+	sc, err := churn.Generate("bench", churn.Config{SeedTasks: 100, Ops: 1000},
+		rand.New(rand.NewSource(9)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		adm, err := service.NewAdmission(service.AdmissionConfig{Seed: sc.Seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range sc.Ops {
+			switch op := &sc.Ops[i]; op.Op {
+			case churn.OpPropose:
+				if _, err := adm.ProposeTask(*op.Task); err != nil {
+					b.Fatal(err)
+				}
+			case churn.OpCommit:
+				adm.Commit()
+			case churn.OpRollback:
+				adm.Rollback()
+			}
+		}
+	}
+}

@@ -3,9 +3,81 @@ package service
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"sync/atomic"
 )
+
+// histBuckets is the number of log2 latency buckets: bucket i counts
+// samples <= 2^i nanoseconds, and the last bucket absorbs everything
+// beyond (~4.3 s) so no sample is ever dropped.
+const histBuckets = 33
+
+// latencyHist is a lock-free log2 histogram of nanosecond latencies. The
+// exported form — cumulative "le" bucket counters — is summable across
+// replicas, which is exactly how the proxy aggregates fleet quantiles;
+// p50/p99 are derived at render time and never stored.
+type latencyHist struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// bucketOf maps a latency to its bucket index: the smallest i with
+// ns <= 2^i.
+func bucketOf(ns int64) int {
+	if ns <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns - 1))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// observe records n samples of the same latency (n > 1 is the batch
+// path, which spreads one request's wall time evenly over its tasks).
+func (h *latencyHist) observe(ns int64, n int) {
+	if n <= 0 {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(uint64(n))
+	h.count.Add(uint64(n))
+	h.sum.Add(uint64(ns) * uint64(n))
+}
+
+// snapshot copies the bucket counters (non-cumulative).
+func (h *latencyHist) snapshot() (b [histBuckets]uint64, count, sum uint64) {
+	for i := range h.buckets {
+		b[i] = h.buckets[i].Load()
+	}
+	return b, h.count.Load(), h.sum.Load()
+}
+
+// histQuantile returns the upper bound of the bucket holding the q-th
+// sample — the same conservative estimate for one replica and for a
+// summed fleet. Zero samples yield zero.
+func histQuantile(b [histBuckets]uint64, count uint64, q float64) int64 {
+	if count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range b {
+		cum += n
+		if cum >= rank {
+			return int64(1) << i
+		}
+	}
+	return int64(1) << (histBuckets - 1)
+}
 
 // metrics holds the server's own counters. Cache and session numbers are
 // pulled from their owners at render time, so this struct only tracks
@@ -21,6 +93,12 @@ type metrics struct {
 	proposeBatches atomic.Uint64 // propose-batch requests served
 	inflight       atomic.Int64  // requests currently inside a handler
 	maxInflight    atomic.Int64  // high-water mark of inflight
+
+	// proposeNS tracks per-proposal decision latency; incremental and
+	// escalated split the proposals by which path decided them.
+	proposeNS   latencyHist
+	incremental atomic.Uint64
+	escalated   atomic.Uint64
 }
 
 // enter records a request entering a handler and keeps the high-water
@@ -45,26 +123,41 @@ func (s *Server) writeMetrics(w io.Writer) {
 	cs := s.cache.Stats()
 	active, created, expired := s.sessions.counts()
 	vals := map[string]any{
-		"requests_total":                s.m.requests.Load(),
-		"requests_throttled":            s.m.throttled.Load(),
-		"requests_errors":               s.m.errors.Load(),
-		"requests_inflight":             s.m.inflight.Load(),
-		"requests_inflight_peak":        s.m.maxInflight.Load(),
-		"analyses_total":                s.m.analyses.Load(),
-		"analyses_events_total":         s.m.eventAnalyses.Load(),
-		"batch_jobs_total":              s.m.batchJobs.Load(),
-		"session_proposals_total":       s.m.proposals.Load(),
-		"session_propose_batches_total": s.m.proposeBatches.Load(),
-		"sessions_active":               active,
-		"sessions_created":              created,
-		"sessions_expired":              expired,
-		"cache_hits":                    cs.Hits,
-		"cache_misses":                  cs.Misses,
-		"cache_evictions":               cs.Evictions,
-		"cache_entries":                 cs.Entries,
-		"cache_capacity":                cs.Capacity,
-		"cache_hit_rate":                fmt.Sprintf("%.4f", cs.HitRate()),
+		"requests_total":                      s.m.requests.Load(),
+		"requests_throttled":                  s.m.throttled.Load(),
+		"requests_errors":                     s.m.errors.Load(),
+		"requests_inflight":                   s.m.inflight.Load(),
+		"requests_inflight_peak":              s.m.maxInflight.Load(),
+		"analyses_total":                      s.m.analyses.Load(),
+		"analyses_events_total":               s.m.eventAnalyses.Load(),
+		"batch_jobs_total":                    s.m.batchJobs.Load(),
+		"session_proposals_total":             s.m.proposals.Load(),
+		"session_propose_batches_total":       s.m.proposeBatches.Load(),
+		"sessions_active":                     active,
+		"sessions_created":                    created,
+		"sessions_expired":                    expired,
+		"cache_hits":                          cs.Hits,
+		"cache_misses":                        cs.Misses,
+		"cache_evictions":                     cs.Evictions,
+		"cache_entries":                       cs.Entries,
+		"cache_capacity":                      cs.Capacity,
+		"cache_hit_rate":                      fmt.Sprintf("%.4f", cs.HitRate()),
+		"session_proposals_incremental_total": s.m.incremental.Load(),
+		"session_proposals_escalated_total":   s.m.escalated.Load(),
 	}
+	// Buckets are rendered cumulatively ("le" semantics): sums of
+	// cumulative counters across replicas stay cumulative, so the proxy
+	// can add them up and re-derive fleet quantiles.
+	hb, hcount, hsum := s.m.proposeNS.snapshot()
+	var cum uint64
+	for i := range hb {
+		cum += hb[i]
+		vals[fmt.Sprintf("propose_ns_bucket_le_%d", int64(1)<<i)] = cum
+	}
+	vals["propose_ns_count"] = hcount
+	vals["propose_ns_sum"] = hsum
+	vals["propose_ns_p50"] = histQuantile(hb, hcount, 0.50)
+	vals["propose_ns_p99"] = histQuantile(hb, hcount, 0.99)
 	names := make([]string, 0, len(vals))
 	for name := range vals {
 		names = append(names, name)

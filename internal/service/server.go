@@ -356,14 +356,16 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 }
 
 // session resolves the {id} path value, answering 404 itself on a miss.
-func (s *Server) session(w http.ResponseWriter, r *http.Request) (string, *Admission, bool) {
+// The session is held in-flight (safe from the TTL sweeper) until the
+// returned release runs; the caller must defer it on success.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (string, *Admission, func(), bool) {
 	id := r.PathValue("id")
-	adm, err := s.sessions.get(id)
+	adm, release, err := s.sessions.acquire(id)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, err)
-		return "", nil, false
+		return "", nil, nil, false
 	}
-	return id, adm, true
+	return id, adm, release, true
 }
 
 func (s *Server) sessionState(id string, adm *Admission) SessionResponse {
@@ -379,7 +381,8 @@ func (s *Server) sessionState(id string, adm *Admission) SessionResponse {
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
-	if id, adm, ok := s.session(w, r); ok {
+	if id, adm, release, ok := s.session(w, r); ok {
+		defer release()
 		writeJSON(w, http.StatusOK, s.sessionState(id, adm))
 	}
 }
@@ -400,45 +403,67 @@ func newProposeResponse(out ProposeOutcome) ProposeResponse {
 		Utilization: out.Utilization,
 		Committed:   out.Committed,
 		Pending:     out.Pending,
+		Escalated:   out.Escalated,
+	}
+}
+
+// countProposePath splits a decision into the incremental/escalated
+// telemetry counters.
+func (s *Server) countProposePath(out ProposeOutcome) {
+	if out.Escalated {
+		s.m.escalated.Add(1)
+	} else {
+		s.m.incremental.Add(1)
 	}
 }
 
 func (s *Server) handleSessionPropose(w http.ResponseWriter, r *http.Request) {
-	_, adm, ok := s.session(w, r)
+	_, adm, release, ok := s.session(w, r)
 	if !ok {
 		return
 	}
+	defer release()
 	var req ProposeRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
+	start := time.Now()
 	out, err := adm.ProposeTask(req.Task)
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.m.proposeNS.observe(time.Since(start).Nanoseconds(), 1)
 	s.m.proposals.Add(1)
+	s.countProposePath(out)
 	writeJSON(w, http.StatusOK, newProposeResponse(out))
 }
 
 func (s *Server) handleSessionProposeBatch(w http.ResponseWriter, r *http.Request) {
-	_, adm, ok := s.session(w, r)
+	_, adm, release, ok := s.session(w, r)
 	if !ok {
 		return
 	}
+	defer release()
 	var req ProposeBatchRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
+	start := time.Now()
 	outs, err := adm.ProposeBatch(req.Tasks)
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	// One wall-clock measurement spread evenly over the batch keeps the
+	// histogram's per-proposal semantics without timing each task inside
+	// the critical section.
+	s.m.proposeNS.observe(time.Since(start).Nanoseconds()/int64(len(outs)), len(outs))
 	s.m.proposals.Add(uint64(len(outs)))
 	s.m.proposeBatches.Add(1)
 	resp := ProposeBatchResponse{Results: make([]ProposeResponse, len(outs))}
 	for i, out := range outs {
+		s.countProposePath(out)
 		resp.Results[i] = newProposeResponse(out)
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -455,10 +480,11 @@ func (s *Server) handleSessionRollback(w http.ResponseWriter, r *http.Request) {
 // finishPending serves commit and rollback, which differ only in the
 // Admission method they invoke.
 func (s *Server) finishPending(w http.ResponseWriter, r *http.Request, move func(*Admission) FinishOutcome) {
-	_, adm, ok := s.session(w, r)
+	_, adm, release, ok := s.session(w, r)
 	if !ok {
 		return
 	}
+	defer release()
 	out := move(adm)
 	writeJSON(w, http.StatusOK, CommitResponse{
 		Moved:       out.Moved,

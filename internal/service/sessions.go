@@ -19,6 +19,10 @@ var errSessionUnknown = fmt.Errorf("service: unknown session")
 type sessionEntry struct {
 	adm      *Admission
 	lastUsed time.Time
+	// inflight counts requests currently using the session. The sweeper
+	// never expires a busy session: a propose that slips past its TTL
+	// mid-request must still find its controller alive.
+	inflight int
 }
 
 // sessionStore is a bounded, concurrency-safe id -> admission controller
@@ -50,16 +54,27 @@ func (s *sessionStore) open(adm *Admission) (string, error) {
 	return id, nil
 }
 
-// get looks a session up and refreshes its idle clock.
-func (s *sessionStore) get(id string) (*Admission, error) {
+// acquire looks a session up, refreshes its idle clock and marks it
+// in-flight so the TTL sweeper cannot expire it mid-request. The caller
+// must invoke the returned release exactly once when done with the
+// controller; release refreshes the clock again so the idle TTL measures
+// time since the request finished, not since it started.
+func (s *sessionStore) acquire(id string) (*Admission, func(), error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.sessions[id]
 	if !ok {
-		return nil, errSessionUnknown
+		return nil, nil, errSessionUnknown
 	}
+	e.inflight++
 	e.lastUsed = time.Now()
-	return e.adm, nil
+	release := func() {
+		s.mu.Lock()
+		e.inflight--
+		e.lastUsed = time.Now()
+		s.mu.Unlock()
+	}
+	return e.adm, release, nil
 }
 
 // close removes a session; ok is false when it did not exist.
@@ -78,16 +93,18 @@ func (s *sessionStore) counts() (active int, created, expired uint64) {
 	return len(s.sessions), s.created, s.expired
 }
 
-// sweep closes every session idle since before now-ttl and returns how
-// many it removed. Pending (uncommitted) proposals die with the session —
-// the same outcome as an explicit close.
+// sweep closes every idle session last touched before now-ttl and returns
+// how many it removed. Pending (uncommitted) proposals die with the
+// session — the same outcome as an explicit close. Sessions with an
+// in-flight request are never swept, however stale their clock looks: a
+// long-running propose is activity, not idleness.
 func (s *sessionStore) sweep(ttl time.Duration, now time.Time) int {
 	cutoff := now.Add(-ttl)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
 	for id, e := range s.sessions {
-		if e.lastUsed.Before(cutoff) {
+		if e.inflight == 0 && e.lastUsed.Before(cutoff) {
 			delete(s.sessions, id)
 			n++
 		}

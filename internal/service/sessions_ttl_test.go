@@ -1,0 +1,119 @@
+package service
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// TestSweepSkipsInflight pins the TTL fix deterministically: a session
+// with an in-flight request survives a sweep however stale its clock,
+// and becomes sweepable again once released.
+func TestSweepSkipsInflight(t *testing.T) {
+	store := newSessionStore(8)
+	adm, err := NewAdmission(AdmissionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := store.open(adm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, release, err := store.acquire(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sweep far in the future must not expire the busy session.
+	future := time.Now().Add(time.Hour)
+	if n := store.sweep(time.Millisecond, future); n != 0 {
+		t.Fatalf("sweep expired %d in-flight sessions", n)
+	}
+	if _, rel2, err := store.acquire(id); err != nil {
+		t.Fatal("session vanished while in-flight")
+	} else {
+		rel2()
+	}
+	release()
+	// Released and idle past the TTL: now it may go.
+	if n := store.sweep(time.Millisecond, future); n != 1 {
+		t.Fatalf("sweep removed %d sessions after release, want 1", n)
+	}
+	if _, _, err := store.acquire(id); err == nil {
+		t.Fatal("expired session still resolvable")
+	}
+	if _, _, expired := store.counts(); expired != 1 {
+		t.Fatalf("expired counter = %d, want 1", expired)
+	}
+}
+
+// TestSweepInflightRace hammers a store with proposals while an
+// aggressive sweeper runs: no request may ever observe its session's
+// controller disappearing mid-flight, and the race detector watches the
+// locking.
+func TestSweepInflightRace(t *testing.T) {
+	store := newSessionStore(64)
+	adm, err := NewAdmission(AdmissionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := store.open(adm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	// Sweeper with a zero TTL: everything idle is expired instantly, so
+	// only the inflight guard keeps the session alive between requests'
+	// acquire and release.
+	sweeperDone := make(chan struct{})
+	go func() {
+		defer close(sweeperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				store.sweep(0, time.Now())
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	var lost sync.Once
+	var lostMid bool
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 300; i++ {
+				a, release, err := store.acquire(id)
+				if err != nil {
+					// The sweeper legitimately expired the session between
+					// requests (zero TTL); that is the documented behavior.
+					return
+				}
+				if a == nil {
+					lost.Do(func() { lostMid = true })
+					release()
+					return
+				}
+				tk := workload.SporadicTask(model.Task{
+					WCET: 1, Deadline: 50 + r.Int63n(1000), Period: 50 + r.Int63n(1000),
+				})
+				if _, err := a.ProposeTask(tk); err != nil {
+					t.Error(err)
+				}
+				release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-sweeperDone
+	if lostMid {
+		t.Fatal("a request held a nil controller mid-flight")
+	}
+}
