@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-core bench-session bench-cluster serve smoke smoke-cluster fmt vet clean
+.PHONY: all build test bench bench-json bench-core bench-session bench-cluster serve smoke smoke-cluster lint-metrics fmt vet clean
 
 all: build test
 
@@ -71,6 +71,15 @@ smoke:
 # split/merge and aggregate-metrics checks.
 smoke-cluster:
 	$(GO) run ./cmd/edfsmoke -cluster 2
+
+# Metrics-contract lint: boot real edfd replicas behind a real
+# edfproxy, drive each metered path once, scrape every daemon's
+# /metrics and validate the pages as Prometheus text exposition with
+# the repo's own parser (no external deps): # TYPE before samples,
+# family contiguity, histogram +Inf/_count consistency, label escaping
+# and the edfd_/edfproxy_ family-name prefixes.
+lint-metrics:
+	$(GO) run ./cmd/edfpromlint
 
 fmt:
 	gofmt -l -w .

@@ -19,13 +19,22 @@
 //	POST /v1/sessions/{id}/propose-batch  stage several tasks, one verdict each
 //	POST /v1/sessions/{id}/commit         make staged tasks permanent
 //	POST /v1/sessions/{id}/rollback       discard staged tasks
+//	GET  /v1/sessions/{id}/events         live SSE admission feed for one session
+//	GET  /v1/events                       live SSE admission feed, all sessions
+//	GET  /v1/traces                       recent request traces
+//	GET  /v1/traces/{id}                  one request's span record
 //	GET  /healthz                         liveness
-//	GET  /metrics                         text counters (cache, sessions, requests)
+//	GET  /metrics                         Prometheus text exposition
 //
 // Workloads are {"model": "sporadic"|"events", "tasks": [...]}; a missing
 // model means sporadic, so pre-workload payloads keep working. With
 // -session-ttl > 0 a background sweeper closes admission sessions idle
 // past the TTL (off by default).
+//
+// Diagnostics go to stderr as JSON (log/slog) carrying trace/session
+// attributes; -log-level tunes the threshold. The stdout banner line
+// stays printf-style — scripts parse it for the listen address. With
+// -debug-addr a second mux serves net/http/pprof on that address only.
 //
 // The server drains in-flight requests on SIGINT/SIGTERM before exiting.
 package main
@@ -35,8 +44,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,9 +65,16 @@ func main() {
 		timeout    = flag.Duration("timeout", service.DefaultRequestTimeout, "per-request analysis deadline")
 		sessions   = flag.Int("sessions", service.DefaultMaxSessions, "max open admission sessions")
 		sessionTTL = flag.Duration("session-ttl", 0, "close admission sessions idle past this duration (0 disables)")
+		logLevel   = flag.String("log-level", "info", "slog threshold: debug, info, warn or error")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (off when empty)")
 	)
 	flag.Parse()
 
+	log, err := newLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edfd:", err)
+		os.Exit(2)
+	}
 	srv := service.New(service.Config{
 		CacheCapacity:  *cache,
 		Workers:        *workers,
@@ -64,8 +82,12 @@ func main() {
 		RequestTimeout: *timeout,
 		MaxSessions:    *sessions,
 		SessionTTL:     *sessionTTL,
+		Logger:         log,
 	})
 	defer srv.Close()
+	if *debugAddr != "" {
+		go serveDebug(log, *debugAddr)
+	}
 	hs := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -83,24 +105,55 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() {
+		// The stdout banner is the scriptable contract (make smoke parses
+		// the address); structured diagnostics go to stderr via slog.
 		fmt.Printf("edfd: listening on %s (cache %d, inflight %d, timeout %s, session-ttl %s)\n",
 			ln.Addr(), *cache, *inflight, *timeout, *sessionTTL)
+		log.Info("listening", "addr", ln.Addr().String(), "cache", *cache,
+			"inflight", *inflight, "timeout", timeout.String(), "session_ttl", sessionTTL.String())
 		errc <- hs.Serve(ln)
 	}()
 
 	select {
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, "edfd:", err)
+		log.Error("serve failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
 
 	// Graceful drain: stop accepting, finish in-flight work, then exit.
-	fmt.Println("edfd: shutting down")
+	// Close first so open SSE feeds end — otherwise Shutdown would wait
+	// its full timeout on streams that never finish on their own.
+	log.Info("shutting down")
+	srv.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "edfd: shutdown:", err)
+		log.Error("shutdown failed", "err", err)
 		os.Exit(1)
+	}
+}
+
+// newLogger builds the daemon's JSON logger at the requested threshold.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+// serveDebug exposes net/http/pprof on its own opt-in address, keeping
+// profiling off the public API mux.
+func serveDebug(log *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Info("debug mux listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Error("debug mux failed", "err", err)
 	}
 }

@@ -18,9 +18,19 @@
 //	/v1/sessions/{id}... later requests always go to the owner (503 naming
 //	                     the owner when it is down — sessions are stateful)
 //	GET  /v1/analyzers   any healthy replica (registries are identical)
+//	GET  /v1/events      fleet-wide SSE admission feed fanned in from every
+//	                     replica, events labeled with their replica
+//	GET  /v1/traces      recent proxied request traces
+//	GET  /v1/traces/{id} merged fleet trace: routing spans + replica spans
 //	GET  /healthz        proxy + per-replica health
-//	GET  /metrics        replica counters summed + per-replica values +
-//	                     edfproxy_* routing/failover counters
+//	GET  /metrics        Prometheus exposition: replica families summed +
+//	                     per-replica {replica="..."} samples + edfproxy_*
+//	                     routing/failover counters
+//
+// Diagnostics go to stderr as JSON (log/slog); -log-level tunes the
+// threshold, -debug-addr serves net/http/pprof on a separate opt-in mux.
+// The stdout banner line stays printf-style — scripts parse it for the
+// listen address.
 //
 // A background checker probes every replica's /healthz each interval,
 // ejecting failed replicas from the ring and re-admitting them when they
@@ -36,8 +46,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -49,13 +61,20 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8070", "listen address")
-		replicas = flag.String("replicas", "", "comma-separated edfd base URLs (required)")
-		vnodes   = flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per replica on the hash ring")
-		interval = flag.Duration("health-interval", cluster.DefaultHealthInterval, "replica /healthz probe interval")
+		addr      = flag.String("addr", ":8070", "listen address")
+		replicas  = flag.String("replicas", "", "comma-separated edfd base URLs (required)")
+		vnodes    = flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per replica on the hash ring")
+		interval  = flag.Duration("health-interval", cluster.DefaultHealthInterval, "replica /healthz probe interval")
+		logLevel  = flag.String("log-level", "info", "slog threshold: debug, info, warn or error")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (off when empty)")
 	)
 	flag.Parse()
 
+	log, err := newLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edfproxy:", err)
+		os.Exit(2)
+	}
 	var urls []string
 	for _, u := range strings.Split(*replicas, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -66,6 +85,7 @@ func main() {
 		Replicas:       urls,
 		VirtualNodes:   *vnodes,
 		HealthInterval: *interval,
+		Logger:         log,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edfproxy:", err)
@@ -73,6 +93,9 @@ func main() {
 	}
 	p.Start()
 	defer p.Close()
+	if *debugAddr != "" {
+		go serveDebug(log, *debugAddr)
+	}
 
 	hs := &http.Server{
 		Handler:           p.Handler(),
@@ -91,23 +114,54 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() {
+		// The stdout banner is the scriptable contract (make smoke-cluster
+		// parses the address); structured diagnostics go to stderr.
 		fmt.Printf("edfproxy: listening on %s (%d replicas, %d vnodes, health every %s)\n",
 			ln.Addr(), len(urls), *vnodes, *interval)
+		log.Info("listening", "addr", ln.Addr().String(), "replicas", len(urls),
+			"vnodes", *vnodes, "health_interval", interval.String())
 		errc <- hs.Serve(ln)
 	}()
 
 	select {
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, "edfproxy:", err)
+		log.Error("serve failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	fmt.Println("edfproxy: shutting down")
+	// Close first so open feed relays and SSE streams end — otherwise
+	// Shutdown would wait its full timeout on streams that never finish.
+	log.Info("shutting down")
+	p.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "edfproxy: shutdown:", err)
+		log.Error("shutdown failed", "err", err)
 		os.Exit(1)
+	}
+}
+
+// newLogger builds the daemon's JSON logger at the requested threshold.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+// serveDebug exposes net/http/pprof on its own opt-in address, keeping
+// profiling off the public API mux.
+func serveDebug(log *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Info("debug mux listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Error("debug mux failed", "err", err)
 	}
 }

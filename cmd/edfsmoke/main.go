@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	edf "repro"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/service/client"
 )
@@ -55,12 +57,17 @@ func main() {
 	defer cancel()
 	daemons := &fleet{}
 	err := run(ctx, daemons, *edfdPath, *proxyPath, *clusterN)
-	daemons.stopAll()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edfsmoke: FAIL:", err)
+		// Snapshot /metrics while the daemons are still alive, then kill
+		// them and dump their stderr: counters plus logs make a CI failure
+		// diagnosable without a rerun.
+		daemons.dumpMetrics(os.Stderr)
+		daemons.stopAll()
 		daemons.dumpStderr(os.Stderr)
 		os.Exit(1)
 	}
+	daemons.stopAll()
 	fmt.Println("edfsmoke: PASS")
 }
 
@@ -122,6 +129,24 @@ func (f *fleet) dumpStderr(w io.Writer) {
 		}
 		fmt.Fprintf(w, "edfsmoke: --- %s (%s) stderr ---\n%s\nedfsmoke: --- end %s stderr ---\n",
 			d.name, d.addr, out, d.name)
+	}
+}
+
+// dumpMetrics captures a final /metrics snapshot from every daemon that
+// is still answering — the counter state at the moment of failure often
+// pinpoints which daemon absorbed the work that went missing.
+func (f *fleet) dumpMetrics(w io.Writer) {
+	hc := &http.Client{Timeout: 2 * time.Second}
+	for _, d := range f.daemons {
+		resp, err := hc.Get("http://" + d.addr + "/metrics")
+		if err != nil {
+			fmt.Fprintf(w, "edfsmoke: %s (%s): metrics unavailable: %v\n", d.name, d.addr, err)
+			continue
+		}
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		resp.Body.Close()
+		fmt.Fprintf(w, "edfsmoke: --- %s (%s) /metrics ---\n%s\nedfsmoke: --- end %s /metrics ---\n",
+			d.name, d.addr, strings.TrimSpace(string(b)), d.name)
 	}
 }
 
@@ -202,7 +227,10 @@ func run(ctx context.Context, daemons *fleet, edfdPath, proxyPath string, cluste
 			return err
 		}
 		fmt.Println("edfsmoke: edfd healthy on", d.addr)
-		return drive(ctx, c)
+		if err := drive(ctx, c); err != nil {
+			return err
+		}
+		return driveFeed(ctx, c, false)
 	}
 
 	// Cluster mode: n real replicas behind a real proxy.
@@ -229,7 +257,10 @@ func run(ctx context.Context, daemons *fleet, edfdPath, proxyPath string, cluste
 	if err := drive(ctx, c); err != nil {
 		return err
 	}
-	return driveCluster(ctx, c, clusterN)
+	if err := driveCluster(ctx, c, clusterN); err != nil {
+		return err
+	}
+	return driveFeed(ctx, c, true)
 }
 
 // drive runs the protocol suite — analyze with cache/fingerprint checks,
@@ -535,6 +566,166 @@ func driveCluster(ctx context.Context, c *client.Client, n int) error {
 		}
 	}
 	fmt.Println("edfsmoke: cluster aggregate metrics ok")
+	return nil
+}
+
+// driveFeed subscribes to the live admission feed (fleet-wide and
+// per-session), drives session churn underneath it, and asserts every
+// decision event carries a trace ID that resolves to a span record on
+// the same endpoint. On failure the captured event stream is dumped, so
+// a missing or malformed event is diagnosable from the log.
+func driveFeed(ctx context.Context, c *client.Client, cluster bool) error {
+	tail := newTailBuffer()
+	fail := func(err error) error {
+		if out := strings.TrimSpace(tail.String()); out != "" {
+			fmt.Fprintf(os.Stderr, "edfsmoke: --- event stream tail ---\n%s\nedfsmoke: --- end event stream ---\n", out)
+		}
+		return err
+	}
+	feedCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fleetCh, err := c.FleetEvents(feedCtx)
+	if err != nil {
+		return fail(fmt.Errorf("feed: fleet subscribe: %w", err))
+	}
+	// Against a proxy the fleet feed's per-replica relays connect
+	// asynchronously after the subscribe returns; give them a moment so
+	// the open event of the session below cannot slip past the fan-in.
+	time.Sleep(500 * time.Millisecond)
+
+	h, _, err := c.OpenSession(ctx, service.SessionRequest{})
+	if err != nil {
+		return fail(fmt.Errorf("feed: open session: %w", err))
+	}
+	ownCh, err := c.Events(feedCtx, h.ID)
+	if err != nil {
+		return fail(fmt.Errorf("feed: session subscribe: %w", err))
+	}
+
+	// Churn under the live feed: three proposes, a commit, one more
+	// propose, a rollback, then close — seven events for this session.
+	proposes := 0
+	for i := range 3 {
+		if _, err := h.Propose(ctx, service.ProposeRequest{
+			Task: service.SporadicTask(edf.Task{WCET: 1, Deadline: 50 + int64(i), Period: 100}),
+		}); err != nil {
+			return fail(fmt.Errorf("feed: propose %d: %w", i, err))
+		}
+		proposes++
+	}
+	if _, err := h.Commit(ctx); err != nil {
+		return fail(fmt.Errorf("feed: commit: %w", err))
+	}
+	if _, err := h.Propose(ctx, service.ProposeRequest{
+		Task: service.SporadicTask(edf.Task{WCET: 1, Deadline: 80, Period: 160}),
+	}); err != nil {
+		return fail(fmt.Errorf("feed: extra propose: %w", err))
+	}
+	proposes++
+	if _, err := h.Rollback(ctx); err != nil {
+		return fail(fmt.Errorf("feed: rollback: %w", err))
+	}
+	if err := h.Close(ctx); err != nil {
+		return fail(fmt.Errorf("feed: close: %w", err))
+	}
+
+	// Collect this session's events off the fleet feed until the close
+	// arrives (the feed is ordered per publisher, so close is last).
+	record := func(src string, ev obs.Event) {
+		b, _ := json.Marshal(ev)
+		fmt.Fprintf(tail, "%s %s\n", src, b)
+	}
+	counts := map[string]int{}
+	var mine []obs.Event
+	deadline := time.After(15 * time.Second)
+collect:
+	for {
+		select {
+		case ev, ok := <-fleetCh:
+			if !ok {
+				return fail(fmt.Errorf("feed: fleet stream closed early"))
+			}
+			record("fleet", ev)
+			if ev.Session != h.ID {
+				continue
+			}
+			mine = append(mine, ev)
+			counts[ev.Type]++
+			if ev.Type == obs.EventClose {
+				break collect
+			}
+		case <-deadline:
+			return fail(fmt.Errorf("feed: timed out waiting for events (got %v)", counts))
+		case <-ctx.Done():
+			return fail(ctx.Err())
+		}
+	}
+	decisions := counts[obs.EventAdmit] + counts[obs.EventReject]
+	if decisions != proposes || counts[obs.EventCommit] != 1 ||
+		counts[obs.EventRollback] != 1 || counts[obs.EventOpen] != 1 {
+		return fail(fmt.Errorf("feed: event counts off: %v for %d proposes", counts, proposes))
+	}
+
+	// Every decision, commit and rollback must carry a trace that
+	// resolves to at least one span on this same endpoint; fleet events
+	// must name their replica when a proxy fans them in.
+	for _, ev := range mine {
+		if ev.Type == obs.EventOpen || ev.Type == obs.EventClose {
+			continue
+		}
+		if ev.Trace == "" {
+			return fail(fmt.Errorf("feed: %s event without trace: %+v", ev.Type, ev))
+		}
+		tr, err := c.Trace(ctx, ev.Trace)
+		if err != nil {
+			return fail(fmt.Errorf("feed: %s trace %s unresolvable: %w", ev.Type, ev.Trace, err))
+		}
+		if len(tr.Spans) == 0 {
+			return fail(fmt.Errorf("feed: %s trace %s has no spans", ev.Type, ev.Trace))
+		}
+		if cluster && ev.Replica == "" {
+			return fail(fmt.Errorf("feed: fleet event without replica label: %+v", ev))
+		}
+	}
+
+	// The per-session stream must deliver the same events in sequence
+	// order; after close it goes quiet, so drain what is buffered.
+	var ownSeqs []uint64
+drain:
+	for range mine {
+		select {
+		case ev, ok := <-ownCh:
+			if !ok {
+				break drain
+			}
+			record("session", ev)
+			if ev.Session != h.ID {
+				return fail(fmt.Errorf("feed: session stream leaked session %q", ev.Session))
+			}
+			ownSeqs = append(ownSeqs, ev.Seq)
+		case <-time.After(5 * time.Second):
+			break drain
+		}
+	}
+	if len(ownSeqs) < len(mine)-1 { // open may predate the subscription
+		return fail(fmt.Errorf("feed: session stream saw %d of %d events", len(ownSeqs), len(mine)))
+	}
+	for i := 1; i < len(ownSeqs); i++ {
+		if ownSeqs[i] <= ownSeqs[i-1] {
+			return fail(fmt.Errorf("feed: session stream out of order: %v", ownSeqs))
+		}
+	}
+
+	// The metrics page must stay valid Prometheus exposition with the
+	// feed counters on it.
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return fail(fmt.Errorf("feed: metrics: %w", err))
+	}
+	if err := obs.ValidateExposition(strings.NewReader(text)); err != nil {
+		return fail(fmt.Errorf("feed: metrics page not valid exposition: %w", err))
+	}
+	fmt.Printf("edfsmoke: feed ok (%d events traced, metrics page valid)\n", len(mine))
 	return nil
 }
 

@@ -14,6 +14,19 @@
 // their results, so N replicas approach N disjoint caches rather than N
 // copies of one.
 //
+// The proxy is also the fleet's observability plane. Every routed
+// request carries a trace (internal/obs) propagated to the replica via
+// X-Edf-Trace; GET /v1/traces/{id} merges the proxy's routing spans
+// (forward attempts, sub-batch fan-out, session routing) with the
+// replicas' own spans, each labeled with its origin replica, on one
+// shared time axis. GET /v1/events fans every replica's admission feed
+// into one fleet-wide server-sent-events stream — events labeled with
+// their replica, relays redialing ejected replicas until they return —
+// and the aggregate /metrics page is Prometheus text exposition:
+// replica families summed fleet-wide next to per-replica
+// {replica="..."} samples, with fleet hit-rate and propose-latency
+// quantiles recomputed from the summed histograms.
+//
 // Spawner boots real in-process replicas on ephemeral ports for tests and
 // benchmarks; cmd/edfproxy wraps Proxy as a standalone daemon.
 package cluster

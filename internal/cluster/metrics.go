@@ -1,122 +1,186 @@
 package cluster
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // proxyMetrics holds the proxy's own routing and failover counters.
 // Replica-side numbers are scraped live at render time, never stored.
 type proxyMetrics struct {
-	requests       atomic.Uint64 // requests entering the proxy
-	analyzeRouted  atomic.Uint64 // /v1/analyze requests routed by fingerprint
-	batchRequests  atomic.Uint64 // /v1/batch requests accepted
-	batchSplits    atomic.Uint64 // per-replica sub-batches dispatched
-	batchJobs      atomic.Uint64 // merged batch jobs returned to clients
-	sessionCreates atomic.Uint64 // sessions opened through the proxy
-	sessionRoutes  atomic.Uint64 // session requests routed to their owner
-	sessionOrphans atomic.Uint64 // session requests whose owner was unavailable
-	failovers      atomic.Uint64 // requests retried on the next ring node
-	ejections      atomic.Uint64 // replicas removed from the ring
-	readmissions   atomic.Uint64 // replicas re-added after recovering
-	noReplica      atomic.Uint64 // requests failed because the ring was empty
-	upstreamErrors atomic.Uint64 // replica requests that failed all attempts
+	requests         atomic.Uint64 // requests entering the proxy
+	analyzeRouted    atomic.Uint64 // /v1/analyze requests routed by fingerprint
+	batchRequests    atomic.Uint64 // /v1/batch requests accepted
+	batchSplits      atomic.Uint64 // per-replica sub-batches dispatched
+	batchJobs        atomic.Uint64 // merged batch jobs returned to clients
+	sessionCreates   atomic.Uint64 // sessions opened through the proxy
+	sessionRoutes    atomic.Uint64 // session requests routed to their owner
+	sessionOrphans   atomic.Uint64 // session requests whose owner was unavailable
+	failovers        atomic.Uint64 // requests retried on the next ring node
+	ejections        atomic.Uint64 // replicas removed from the ring
+	readmissions     atomic.Uint64 // replicas re-added after recovering
+	noReplica        atomic.Uint64 // requests failed because the ring was empty
+	upstreamErrors   atomic.Uint64 // replica requests that failed all attempts
+	eventsRelayed    atomic.Uint64 // feed events relayed from replica streams
+	eventSubscribers atomic.Int64  // open fleet feed streams
 }
 
-// writeMetrics renders the aggregate metrics page: the proxy's own
-// counters under edfproxy_, each replica counter summed across healthy
-// replicas under edfd_ (the single-process scrape keeps working against
-// the proxy), and the raw per-replica values with a {replica="..."}
-// label so cache affinity stays observable per node.
+// writeMetrics renders the aggregate page in Prometheus text exposition
+// format: the proxy's own counters under edfproxy_, then each replica
+// family with its fleet sum (unlabeled, so the single-process scrape
+// keeps working against the proxy) followed by the raw per-replica
+// samples under a {replica="..."} label — one contiguous block per
+// family, as the format requires. Ratios and quantiles cannot be
+// summed; they are recomputed from their summable parts.
 func (p *Proxy) writeMetrics(w io.Writer, scrapes []replicaScrape) {
 	healthy, total := p.replicaCounts()
-	own := map[string]uint64{
-		"requests_total":             p.m.requests.Load(),
-		"analyze_routed_total":       p.m.analyzeRouted.Load(),
-		"batch_requests_total":       p.m.batchRequests.Load(),
-		"batch_splits_total":         p.m.batchSplits.Load(),
-		"batch_jobs_total":           p.m.batchJobs.Load(),
-		"session_creates_total":      p.m.sessionCreates.Load(),
-		"session_routes_total":       p.m.sessionRoutes.Load(),
-		"session_owner_unavailable":  p.m.sessionOrphans.Load(),
-		"failovers_total":            p.m.failovers.Load(),
-		"replica_ejections_total":    p.m.ejections.Load(),
-		"replica_readmissions_total": p.m.readmissions.Load(),
-		"no_replica_errors_total":    p.m.noReplica.Load(),
-		"upstream_errors_total":      p.m.upstreamErrors.Load(),
-		"replicas_healthy":           uint64(healthy),
-		"replicas_configured":        uint64(total),
-		"sessions_tracked":           uint64(p.ownedSessions()),
+	ew := obs.NewExpositionWriter(w)
+	counter := func(name, help string, v uint64) {
+		name = "edfproxy_" + name
+		ew.Family(name, obs.Counter, help)
+		ew.Sample(name, nil, float64(v))
 	}
-	names := make([]string, 0, len(own))
-	for name := range own {
-		names = append(names, name)
+	gauge := func(name, help string, v float64) {
+		name = "edfproxy_" + name
+		ew.Family(name, obs.Gauge, help)
+		ew.Sample(name, nil, v)
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Fprintf(w, "edfproxy_%s %d\n", name, own[name])
-	}
+	counter("requests_total", "Requests entering the proxy.", p.m.requests.Load())
+	counter("analyze_routed_total", "Analyze requests routed by workload fingerprint.", p.m.analyzeRouted.Load())
+	counter("batch_requests_total", "Batch requests accepted.", p.m.batchRequests.Load())
+	counter("batch_splits_total", "Per-replica sub-batches dispatched.", p.m.batchSplits.Load())
+	counter("batch_jobs_total", "Merged batch jobs returned to clients.", p.m.batchJobs.Load())
+	counter("session_creates_total", "Sessions opened through the proxy.", p.m.sessionCreates.Load())
+	counter("session_routes_total", "Session requests routed to their sticky owner.", p.m.sessionRoutes.Load())
+	counter("session_owner_unavailable", "Session requests whose owner replica was down.", p.m.sessionOrphans.Load())
+	counter("failovers_total", "Requests retried on the next ring node.", p.m.failovers.Load())
+	counter("replica_ejections_total", "Replicas removed from the ring.", p.m.ejections.Load())
+	counter("replica_readmissions_total", "Replicas re-added after recovering.", p.m.readmissions.Load())
+	counter("no_replica_errors_total", "Requests failed because the ring was empty.", p.m.noReplica.Load())
+	counter("upstream_errors_total", "Replica requests that failed every attempt.", p.m.upstreamErrors.Load())
+	counter("events_relayed_total", "Feed events relayed from replica streams.", p.m.eventsRelayed.Load())
+	gauge("event_subscribers", "Fleet feed streams currently open.", float64(p.m.eventSubscribers.Load()))
+	gauge("replicas_healthy", "Replicas currently on the ring.", float64(healthy))
+	gauge("replicas_configured", "Replicas configured at startup.", float64(total))
+	gauge("sessions_tracked", "Session owners the proxy remembers.", float64(p.ownedSessions()))
 
-	// Merge the replica pages: numeric counters sum across replicas.
-	sums := map[string]float64{}
-	for _, sc := range scrapes {
-		for name, v := range sc.values {
-			sums[name] += v
+	// Merge the replica pages. Families and samples keep the first
+	// scrape's order (replica pages are identically structured), values
+	// sum across replicas under the sample's full key — name plus labels —
+	// so labeled series like histogram buckets merge per bucket.
+	type aggEntry struct {
+		sample obs.Sample // name + labels from the first scrape holding it
+		key    string
+		sum    float64
+	}
+	type familyBlock struct {
+		name    string
+		typ     obs.MetricType
+		entries []*aggEntry
+	}
+	var fams []*familyBlock
+	famIdx := map[string]*familyBlock{}
+	entryIdx := map[string]*aggEntry{}
+	perReplica := make([]map[string]float64, len(scrapes))
+	for si, sc := range scrapes {
+		perReplica[si] = make(map[string]float64, len(sc.samples))
+		for _, s := range sc.samples {
+			key := s.Key()
+			perReplica[si][key] = s.Value
+			e, ok := entryIdx[key]
+			if !ok {
+				famName, typ := familyOf(s.Name, sc.types)
+				fb, exists := famIdx[famName]
+				if !exists {
+					fb = &familyBlock{name: famName, typ: typ}
+					famIdx[famName] = fb
+					fams = append(fams, fb)
+				}
+				e = &aggEntry{sample: s, key: key}
+				fb.entries = append(fb.entries, e)
+				entryIdx[key] = e
+			}
+			e.sum += s.Value
 		}
 	}
-	names = names[:0]
-	for name := range sums {
-		names = append(names, name)
+	for _, fb := range fams {
+		ew.Family(fb.name, fb.typ, "Fleet sum; {replica} samples are per node.")
+		for _, e := range fb.entries {
+			ew.Sample(e.sample.Name, e.sample.Labels, e.sum)
+			for si, sc := range scrapes {
+				v, ok := perReplica[si][e.key]
+				if !ok {
+					continue
+				}
+				labels := make([]obs.Label, 0, len(e.sample.Labels)+1)
+				labels = append(labels, e.sample.Labels...)
+				labels = append(labels, obs.Label{Name: "replica", Value: sc.replica})
+				ew.Sample(e.sample.Name, labels, v)
+			}
+		}
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Fprintf(w, "%s %s\n", name, formatMetric(sums[name]))
-	}
+
 	// Derived ratios cannot be summed; recompute from the summed parts.
-	if hits, misses := sums["edfd_cache_hits"], sums["edfd_cache_misses"]; hits+misses > 0 {
-		fmt.Fprintf(w, "edfd_cache_hit_rate %.4f\n", hits/(hits+misses))
+	sumOf := func(key string) float64 {
+		if e, ok := entryIdx[key]; ok {
+			return e.sum
+		}
+		return 0
+	}
+	if hits, misses := sumOf("edfd_cache_hits"), sumOf("edfd_cache_misses"); hits+misses > 0 {
+		ew.Family("edfd_cache_hit_rate", obs.Gauge, "Fleet cache hits over lookups.")
+		ew.SampleString("edfd_cache_hit_rate", nil, fmt.Sprintf("%.4f", hits/(hits+misses)))
 	}
 	// Quantiles cannot be summed either, but the cumulative latency
 	// buckets can — the summed page is itself a fleet histogram, so the
 	// fleet p50/p99 fall out of it.
-	writeFleetQuantiles(w, sums)
-	for _, sc := range scrapes {
-		names = names[:0]
-		for name := range sc.values {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			fmt.Fprintf(w, "%s{replica=%q} %s\n", name, sc.replica, formatMetric(sc.values[name]))
+	var bs []fleetBucket
+	if fb, ok := famIdx["edfd_propose_ns"]; ok {
+		for _, e := range fb.entries {
+			if e.sample.Name != "edfd_propose_ns_bucket" {
+				continue
+			}
+			if le, err := strconv.ParseInt(e.sample.Label("le"), 10, 64); err == nil {
+				bs = append(bs, fleetBucket{le: le, cum: e.sum})
+			}
 		}
 	}
+	writeFleetQuantiles(ew, bs)
 }
 
-// proposeBucketPrefix matches edfd's cumulative propose-latency buckets;
-// the suffix is the bucket's upper bound in nanoseconds.
-const proposeBucketPrefix = "edfd_propose_ns_bucket_le_"
+// familyOf maps a sample name to its metric family: the name itself for
+// scalar families, the declared histogram family for its _bucket, _sum
+// and _count series.
+func familyOf(name string, types map[string]obs.MetricType) (string, obs.MetricType) {
+	if t, ok := types[name]; ok {
+		return name, t
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if t, exists := types[base]; exists && t == obs.Histogram {
+				return base, t
+			}
+		}
+	}
+	return name, obs.Untyped
+}
+
+// fleetBucket is one summed cumulative latency bucket.
+type fleetBucket struct {
+	le  int64
+	cum float64
+}
 
 // writeFleetQuantiles re-derives edfd_propose_ns_p50/p99 from the summed
 // cumulative buckets. Replica pages without buckets (an older edfd) just
 // produce no fleet quantiles.
-func writeFleetQuantiles(w io.Writer, sums map[string]float64) {
-	type bucket struct {
-		le  int64
-		cum float64
-	}
-	var bs []bucket
-	for name, v := range sums {
-		if strings.HasPrefix(name, proposeBucketPrefix) {
-			if le, err := strconv.ParseInt(name[len(proposeBucketPrefix):], 10, 64); err == nil {
-				bs = append(bs, bucket{le: le, cum: v})
-			}
-		}
-	}
+func writeFleetQuantiles(ew *obs.ExpositionWriter, bs []fleetBucket) {
 	if len(bs) == 0 {
 		return
 	}
@@ -137,41 +201,42 @@ func writeFleetQuantiles(w io.Writer, sums map[string]float64) {
 		}
 		return bs[len(bs)-1].le
 	}
-	fmt.Fprintf(w, "edfd_propose_ns_p50 %d\n", quantile(0.50))
-	fmt.Fprintf(w, "edfd_propose_ns_p99 %d\n", quantile(0.99))
-}
-
-// formatMetric renders counters as integers and everything else with the
-// shortest float form, matching edfd's own page.
-func formatMetric(v float64) string {
-	if v == float64(int64(v)) {
-		return strconv.FormatInt(int64(v), 10)
-	}
-	return strconv.FormatFloat(v, 'g', -1, 64)
+	ew.Family("edfd_propose_ns_p50", obs.Gauge, "Fleet median proposal latency, from summed buckets.")
+	ew.Sample("edfd_propose_ns_p50", nil, float64(quantile(0.50)))
+	ew.Family("edfd_propose_ns_p99", obs.Gauge, "Fleet 99th-percentile proposal latency, from summed buckets.")
+	ew.Sample("edfd_propose_ns_p99", nil, float64(quantile(0.99)))
 }
 
 // replicaScrape is one replica's parsed /metrics page.
 type replicaScrape struct {
 	replica string
-	values  map[string]float64
+	samples []obs.Sample
+	types   map[string]obs.MetricType
 }
 
-// parseMetrics reads "name value" lines (edfd's format), keeping the
-// numeric ones. Ratio and quantile lines (edfd_cache_hit_rate,
-// edfd_propose_ns_p50/p99) are dropped — neither can be summed across
-// replicas, the aggregate recomputes them from their summable parts.
-func parseMetrics(r io.Reader) map[string]float64 {
-	out := map[string]float64{}
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		name, val, ok := strings.Cut(strings.TrimSpace(sc.Text()), " ")
-		if !ok || strings.HasSuffix(name, "_rate") ||
-			strings.HasSuffix(name, "_p50") || strings.HasSuffix(name, "_p99") {
+// parseScrape parses a replica exposition page, dropping the derived
+// series (edfd_cache_hit_rate, edfd_propose_ns_p50/p99) — neither can be
+// summed across replicas; the aggregate recomputes them from their
+// summable parts.
+func parseScrape(r io.Reader) ([]obs.Sample, map[string]obs.MetricType, error) {
+	samples, types, err := obs.ParseExpositionTyped(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	kept := samples[:0]
+	for _, s := range samples {
+		if derivedName(s.Name) {
 			continue
 		}
-		if v, err := strconv.ParseFloat(val, 64); err == nil {
-			out[name] = v
-		}
+		kept = append(kept, s)
 	}
-	return out
+	return kept, types, nil
+}
+
+// derivedName reports whether a series is derived from other series and
+// therefore must not be summed.
+func derivedName(name string) bool {
+	return strings.HasSuffix(name, "_rate") ||
+		strings.HasSuffix(name, "_p50") ||
+		strings.HasSuffix(name, "_p99")
 }

@@ -3,29 +3,54 @@ package cluster
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
-// TestParseMetricsDropsDerived asserts quantile and ratio lines are
+// TestParseScrapeDropsDerived asserts quantile and ratio series are
 // dropped at scrape time — they are recomputed from summable parts.
-func TestParseMetricsDropsDerived(t *testing.T) {
+func TestParseScrapeDropsDerived(t *testing.T) {
 	page := strings.NewReader(strings.Join([]string{
+		"# TYPE edfd_cache_hits counter",
 		"edfd_cache_hits 5",
+		"# TYPE edfd_cache_hit_rate gauge",
 		"edfd_cache_hit_rate 0.5000",
-		"edfd_propose_ns_p50 1024",
-		"edfd_propose_ns_p99 8192",
+		"# TYPE edfd_propose_ns histogram",
+		`edfd_propose_ns_bucket{le="1024"} 6`,
+		`edfd_propose_ns_bucket{le="+Inf"} 7`,
+		"edfd_propose_ns_sum 9000",
 		"edfd_propose_ns_count 7",
-		"edfd_propose_ns_bucket_le_1024 6",
+		"# TYPE edfd_propose_ns_p50 gauge",
+		"edfd_propose_ns_p50 1024",
+		"# TYPE edfd_propose_ns_p99 gauge",
+		"edfd_propose_ns_p99 8192",
 	}, "\n"))
-	vals := parseMetrics(page)
+	samples, types, err := parseScrape(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, s := range samples {
+		got[s.Key()] = true
+	}
 	for _, dropped := range []string{"edfd_cache_hit_rate", "edfd_propose_ns_p50", "edfd_propose_ns_p99"} {
-		if _, ok := vals[dropped]; ok {
-			t.Errorf("parseMetrics kept derived metric %s", dropped)
+		if got[dropped] {
+			t.Errorf("parseScrape kept derived metric %s", dropped)
 		}
 	}
-	for _, kept := range []string{"edfd_cache_hits", "edfd_propose_ns_count", "edfd_propose_ns_bucket_le_1024"} {
-		if _, ok := vals[kept]; !ok {
-			t.Errorf("parseMetrics dropped summable metric %s", kept)
+	for _, kept := range []string{"edfd_cache_hits", "edfd_propose_ns_count", `edfd_propose_ns_bucket{le="1024"}`} {
+		if !got[kept] {
+			t.Errorf("parseScrape dropped summable metric %s", kept)
 		}
+	}
+	if types["edfd_propose_ns"] != obs.Histogram {
+		t.Errorf("histogram type lost: %v", types["edfd_propose_ns"])
+	}
+	if fam, typ := familyOf("edfd_propose_ns_bucket", types); fam != "edfd_propose_ns" || typ != obs.Histogram {
+		t.Errorf("familyOf(bucket) = %s/%s", fam, typ)
+	}
+	if fam, typ := familyOf("edfd_cache_hits", types); fam != "edfd_cache_hits" || typ != obs.Counter {
+		t.Errorf("familyOf(counter) = %s/%s", fam, typ)
 	}
 }
 
@@ -33,13 +58,11 @@ func TestParseMetricsDropsDerived(t *testing.T) {
 // buckets — the two-replica sum below has 90 samples <= 1024 ns and 10
 // more <= 1048576 ns.
 func TestWriteFleetQuantiles(t *testing.T) {
-	sums := map[string]float64{
-		"edfd_propose_ns_bucket_le_1024":    90,
-		"edfd_propose_ns_bucket_le_1048576": 100,
-		"edfd_propose_ns_count":             100,
-	}
 	var sb strings.Builder
-	writeFleetQuantiles(&sb, sums)
+	writeFleetQuantiles(obs.NewExpositionWriter(&sb), []fleetBucket{
+		{le: 1024, cum: 90},
+		{le: 1048576, cum: 100},
+	})
 	out := sb.String()
 	if !strings.Contains(out, "edfd_propose_ns_p50 1024\n") {
 		t.Errorf("fleet p50 wrong:\n%s", out)
@@ -50,14 +73,14 @@ func TestWriteFleetQuantiles(t *testing.T) {
 
 	// No buckets (older replicas): no quantile lines at all.
 	sb.Reset()
-	writeFleetQuantiles(&sb, map[string]float64{"edfd_cache_hits": 3})
+	writeFleetQuantiles(obs.NewExpositionWriter(&sb), nil)
 	if sb.Len() != 0 {
 		t.Errorf("quantiles emitted without buckets:\n%s", sb.String())
 	}
 
 	// Zero samples: quantiles pin to zero rather than inventing latency.
 	sb.Reset()
-	writeFleetQuantiles(&sb, map[string]float64{"edfd_propose_ns_bucket_le_1024": 0})
+	writeFleetQuantiles(obs.NewExpositionWriter(&sb), []fleetBucket{{le: 1024, cum: 0}})
 	if !strings.Contains(sb.String(), "edfd_propose_ns_p50 0\n") {
 		t.Errorf("zero-sample p50 wrong:\n%s", sb.String())
 	}

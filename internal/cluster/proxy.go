@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/workload"
 )
@@ -56,6 +58,12 @@ type Config struct {
 	// Client carries replica traffic; nil selects a keep-alive transport
 	// sized for a small replica fleet.
 	Client *http.Client
+	// TraceCapacity bounds the retained request traces; 0 selects
+	// obs.DefaultTraceCapacity.
+	TraceCapacity int
+	// Logger receives structured routing and replica lifecycle logs; nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // Proxy is the consistent-hash cluster router over edfd replicas.
@@ -74,6 +82,13 @@ type Proxy struct {
 	m          proxyMetrics
 	healthStop chan struct{}
 	healthTick time.Duration
+
+	log    *slog.Logger
+	traces *obs.Recorder
+	// stop ends the fleet feed relays so a graceful shutdown is not held
+	// open by streaming clients.
+	stop      chan struct{}
+	closeOnce sync.Once
 }
 
 // New builds a proxy over the configured replicas. Every replica starts
@@ -99,6 +114,10 @@ func New(cfg Config) (*Proxy, error) {
 	if tick <= 0 {
 		tick = DefaultHealthInterval
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
 	p := &Proxy{
 		hc:         hc,
 		started:    time.Now(),
@@ -106,6 +125,9 @@ func New(cfg Config) (*Proxy, error) {
 		healthy:    make(map[string]bool, len(cfg.Replicas)),
 		owners:     make(map[string]string),
 		healthTick: tick,
+		log:        log,
+		traces:     obs.NewRecorder(cfg.TraceCapacity),
+		stop:       make(chan struct{}),
 	}
 	for _, rep := range cfg.Replicas {
 		rep = strings.TrimRight(rep, "/")
@@ -128,12 +150,14 @@ func (p *Proxy) Start() {
 	go p.healthLoop(p.healthStop)
 }
 
-// Close stops the background health checker (a no-op without Start).
+// Close stops the background health checker (a no-op without Start) and
+// ends open fleet feed streams.
 func (p *Proxy) Close() {
 	if p.healthStop != nil {
 		close(p.healthStop)
 		p.healthStop = nil
 	}
+	p.closeOnce.Do(func() { close(p.stop) })
 }
 
 // Handler returns the routed proxy handler.
@@ -145,12 +169,31 @@ func (p *Proxy) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions", p.handleSessionCreate)
 	mux.HandleFunc("/v1/sessions/{id}", p.handleSession)
 	mux.HandleFunc("/v1/sessions/{id}/{action}", p.handleSession)
+	mux.HandleFunc("GET /v1/events", p.handleEvents)
+	mux.HandleFunc("GET /v1/traces", p.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", p.handleTrace)
 	mux.HandleFunc("GET /healthz", p.handleHealthz)
 	mux.HandleFunc("GET /metrics", p.handleMetrics)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		p.m.requests.Add(1)
 		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
-		mux.ServeHTTP(w, r)
+		// Streaming observability reads and the ops endpoints are not
+		// traced; everything else mints (or adopts) a trace here, and
+		// post() propagates its ID to the replicas so their spans land
+		// under the same ID.
+		if !strings.HasPrefix(r.URL.Path, "/v1/") || service.StreamingPath(r.URL.Path) {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		id := r.Header.Get(obs.TraceHeader)
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		tr := obs.StartTrace(id, service.OpFor(r))
+		w.Header().Set(obs.TraceHeader, id)
+		mux.ServeHTTP(w, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		p.traces.Record(tr)
+		p.log.Debug("request routed", "op", tr.Op, "trace", tr.ID, "session", tr.Session)
 	})
 }
 
@@ -184,9 +227,11 @@ func (p *Proxy) setHealthy(rep string, ok bool) bool {
 	if ok {
 		p.ring.Add(rep)
 		p.m.readmissions.Add(1)
+		defer p.log.Info("replica readmitted", "replica", rep)
 	} else {
 		p.ring.Remove(rep)
 		p.m.ejections.Add(1)
+		defer p.log.Warn("replica ejected", "replica", rep)
 	}
 	return true
 }
@@ -298,6 +343,9 @@ func (p *Proxy) post(ctx context.Context, method, rep, path string, body []byte)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if tr := obs.FromContext(ctx); tr != nil {
+		req.Header.Set(obs.TraceHeader, tr.ID)
+	}
 	resp, err := p.hc.Do(req)
 	if err != nil {
 		if ctx.Err() == nil { // the replica failed, not the client
@@ -317,14 +365,29 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, seq []string, me
 		p.fail(w, http.StatusServiceUnavailable, errors.New("no healthy replica on the ring"))
 		return "", nil, false
 	}
+	tr := obs.FromContext(r.Context())
+	span := func(rep string, start time.Time, detail string) {
+		if tr == nil {
+			return
+		}
+		tr.AddSpan(obs.Span{
+			Name:    "forward",
+			StartNS: start.Sub(tr.Start()).Nanoseconds(),
+			DurNS:   time.Since(start).Nanoseconds(),
+			Replica: rep,
+			Detail:  detail,
+		})
+	}
 	attempts := 0
 	for i, rep := range seq {
 		attempts++
 		if i > 0 {
 			p.m.failovers.Add(1)
 		}
+		start := time.Now()
 		rs, err := p.post(r.Context(), method, rep, path, body)
 		if err != nil {
+			span(rep, start, "error: "+err.Error())
 			if r.Context().Err() != nil {
 				p.fail(w, http.StatusServiceUnavailable, fmt.Errorf("client canceled: %w", err))
 				return "", nil, false
@@ -332,10 +395,12 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, seq []string, me
 			continue
 		}
 		if retryable(rs.StatusCode) && i < len(seq)-1 {
+			span(rep, start, "retryable status "+strconv.Itoa(rs.StatusCode))
 			io.Copy(io.Discard, rs.Body)
 			rs.Body.Close()
 			continue
 		}
+		span(rep, start, "status "+strconv.Itoa(rs.StatusCode))
 		w.Header().Set(HeaderReplica, rep)
 		w.Header().Set(HeaderAttempts, strconv.Itoa(attempts))
 		return rep, rs, true
@@ -345,14 +410,42 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, seq []string, me
 	return "", nil, false
 }
 
-// stream copies an upstream response through to the client.
+// stream copies an upstream response through to the client. SSE bodies
+// (a relayed per-session feed) are flushed per chunk so events reach the
+// subscriber as they happen instead of sitting in the response buffer.
 func (p *Proxy) stream(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
-	if ct := resp.Header.Get("Content-Type"); ct != "" {
+	ct := resp.Header.Get("Content-Type")
+	if ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
+	sse := strings.HasPrefix(ct, obs.SSEContentType)
+	if sse {
+		for _, h := range []string{"Cache-Control", "X-Accel-Buffering"} {
+			if v := resp.Header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+	}
 	w.WriteHeader(resp.StatusCode)
+	if fl, ok := w.(http.Flusher); ok && sse {
+		fl.Flush()
+		_, _ = io.Copy(flushWriter{w: w, fl: fl}, resp.Body)
+		return
+	}
 	_, _ = io.Copy(w, resp.Body)
+}
+
+// flushWriter flushes after every write, for live stream relays.
+type flushWriter struct {
+	w  io.Writer
+	fl http.Flusher
+}
+
+func (f flushWriter) Write(b []byte) (int, error) {
+	n, err := f.w.Write(b)
+	f.fl.Flush()
+	return n, err
 }
 
 func (p *Proxy) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -439,6 +532,8 @@ func (p *Proxy) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp     service.BatchResponse
 		served   string
 		attempts int
+		start    time.Time
+		dur      time.Duration
 		err      error
 	}
 	results := make([]groupResult, len(order))
@@ -449,7 +544,8 @@ func (p *Proxy) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			g := groups[owner]
-			results[gi] = groupResult{g: g}
+			results[gi] = groupResult{g: g, start: time.Now()}
+			defer func() { results[gi].dur = time.Since(results[gi].start) }()
 			payload, err := json.Marshal(g.req)
 			if err != nil {
 				results[gi].err = err
@@ -459,6 +555,23 @@ func (p *Proxy) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 	wg.Wait()
+	// Spans are added after the barrier: a Trace is single-goroutine by
+	// contract, so the parallel dispatchers only record timings.
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		for _, gr := range results {
+			detail := fmt.Sprintf("%d sets, %d attempts", len(gr.g.origSets), gr.attempts)
+			if gr.err != nil {
+				detail = "error: " + gr.err.Error()
+			}
+			tr.AddSpan(obs.Span{
+				Name:    "sub-batch",
+				StartNS: gr.start.Sub(tr.Start()).Nanoseconds(),
+				DurNS:   gr.dur.Nanoseconds(),
+				Replica: gr.served,
+				Detail:  detail,
+			})
+		}
+	}
 
 	// Re-merge in deterministic set-major order: per-set job runs keep
 	// their within-set (analyzer) order, set indices are rewritten back to
@@ -683,7 +796,27 @@ func (p *Proxy) handleSession(w http.ResponseWriter, r *http.Request) {
 		body = nil
 	}
 	p.m.sessionRoutes.Add(1)
+	tr := obs.FromContext(r.Context())
+	if tr != nil {
+		tr.Session = id
+	}
+	start := time.Now()
 	resp, err := p.post(r.Context(), r.Method, owner, r.URL.Path, body)
+	if tr != nil {
+		detail := ""
+		if err != nil {
+			detail = "error: " + err.Error()
+		} else {
+			detail = "status " + strconv.Itoa(resp.StatusCode)
+		}
+		tr.AddSpan(obs.Span{
+			Name:    "route",
+			StartNS: start.Sub(tr.Start()).Nanoseconds(),
+			DurNS:   time.Since(start).Nanoseconds(),
+			Replica: owner,
+			Detail:  detail,
+		})
+	}
 	if err != nil {
 		p.m.sessionOrphans.Add(1)
 		w.Header().Set(HeaderOwner, owner)
@@ -747,9 +880,13 @@ func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			defer resp.Body.Close()
-			vals := parseMetrics(io.LimitReader(resp.Body, maxRequestBytes))
+			samples, types, err := parseScrape(io.LimitReader(resp.Body, maxRequestBytes))
+			if err != nil {
+				p.log.Warn("unparseable replica metrics page", "replica", rep, "err", err)
+				return
+			}
 			mu.Lock()
-			scrapes = append(scrapes, replicaScrape{replica: rep, values: vals})
+			scrapes = append(scrapes, replicaScrape{replica: rep, samples: samples, types: types})
 			mu.Unlock()
 		}()
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/demand"
+	"repro/internal/obs"
 )
 
 // Verdict is the outcome of a feasibility test.
@@ -132,6 +133,13 @@ type Options struct {
 	// time: callers sharing one across goroutines must serialize. When
 	// nil, the tests borrow one from an internal pool.
 	Scratch *demand.Scratch
+	// Stages, when non-nil, receives one record per analyzer stage the
+	// cascade runs — name, verdict, iterations, wall time — written into
+	// the log's preallocated slots, so tracing keeps the analysis hot
+	// paths allocation-free. Like Scratch, a StageLog serves one analysis
+	// at a time. The field never influences results and is excluded from
+	// analysis fingerprints.
+	Stages *obs.StageLog
 }
 
 // acquire returns opt with a Scratch attached, plus the borrowed scratch

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/eventstream"
@@ -61,23 +62,40 @@ func (c *Cascade) Info() Info {
 // accumulate across every stage that ran, so the result still reports the
 // paper's effort metric for the whole escalation.
 func (c *Cascade) Analyze(ts model.TaskSet, opt core.Options) core.Result {
-	return c.run(opt, func(a Analyzer) core.Result { return a.Analyze(ts, opt) })
+	return c.run(opt, func(a Analyzer) (core.Result, bool) {
+		return a.Analyze(ts, opt), true
+	})
 }
 
 // AnalyzeEvents escalates on event-driven task sets, skipping sufficient
 // stages without event support.
 func (c *Cascade) AnalyzeEvents(tasks []eventstream.Task, opt core.Options) core.Result {
-	return c.run(opt, func(a Analyzer) core.Result {
+	return c.run(opt, func(a Analyzer) (core.Result, bool) {
 		ea, ok := a.(EventAnalyzer)
 		if !ok {
-			return core.Result{Verdict: core.Undecided}
+			return core.Result{Verdict: core.Undecided}, false
 		}
-		return ea.AnalyzeEvents(tasks, opt)
+		return ea.AnalyzeEvents(tasks, opt), true
 	})
 }
 
-// run drives the escalation with a per-stage evaluator.
-func (c *Cascade) run(opt core.Options, eval func(Analyzer) core.Result) core.Result {
+// run drives the escalation with a per-stage evaluator; eval reports
+// whether the stage actually ran (an analyzer without event support is
+// skipped, not consulted). Stages that ran are recorded into opt.Stages
+// when the caller asked for tracing.
+func (c *Cascade) run(opt core.Options, eval func(Analyzer) (core.Result, bool)) core.Result {
+	evalStage := func(a Analyzer) core.Result {
+		if opt.Stages == nil {
+			r, _ := eval(a)
+			return r
+		}
+		start := time.Now()
+		r, ran := eval(a)
+		if ran {
+			opt.Stages.Record(a.Info().Name, r.Verdict.String(), r.Iterations, time.Since(start).Nanoseconds())
+		}
+		return r
+	}
 	var spent core.Result
 	accumulate := func(r core.Result) core.Result {
 		r.Iterations += spent.Iterations
@@ -89,7 +107,7 @@ func (c *Cascade) run(opt core.Options, eval func(Analyzer) core.Result) core.Re
 		if opt.Blocking != nil && !a.Info().Blocking {
 			continue // the guard would yield Undecided; skip straight on
 		}
-		r := eval(a)
+		r := evalStage(a)
 		if r.Verdict.Definite() {
 			return accumulate(r)
 		}
@@ -97,5 +115,5 @@ func (c *Cascade) run(opt core.Options, eval func(Analyzer) core.Result) core.Re
 		spent.Revisions += r.Revisions
 		spent.MaxLevel = max(spent.MaxLevel, r.MaxLevel)
 	}
-	return accumulate(eval(c.exact))
+	return accumulate(evalStage(c.exact))
 }

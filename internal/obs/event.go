@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event types of the admission feed.
+const (
+	EventOpen     = "open"     // session opened
+	EventAdmit    = "admit"    // proposal staged
+	EventReject   = "reject"   // proposal rejected
+	EventCommit   = "commit"   // pending tasks made permanent
+	EventRollback = "rollback" // pending tasks discarded
+	EventClose    = "close"    // session closed by the client
+	EventExpire   = "expire"   // session swept by the idle TTL
+)
+
+// Event is one admission decision on the feed. The zero value of every
+// optional field is omitted on the wire, so the common admit event stays
+// one short JSON line.
+type Event struct {
+	// Seq orders events within one publisher; the proxy fan-in keeps each
+	// replica's sequence and labels the replica, so (replica, seq) stays
+	// unique fleet-wide.
+	Seq uint64 `json:"seq"`
+	// TimeUnixNS is the publish instant.
+	TimeUnixNS int64 `json:"time_unix_ns"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Session is the admission session the decision belongs to.
+	Session string `json:"session"`
+	// Trace is the trace ID of the request that caused the decision; it
+	// resolves at GET /v1/traces/{id} on the server that published it.
+	Trace string `json:"trace,omitempty"`
+	// Path is the decision path of admit/reject events: "gate", "fast" or
+	// "cascade".
+	Path string `json:"path,omitempty"`
+	// Verdict is the deciding analysis verdict of admit/reject events.
+	Verdict string `json:"verdict,omitempty"`
+	// Admitted distinguishes admit from reject without string-matching.
+	Admitted bool `json:"admitted,omitempty"`
+	// Moved counts the tasks a commit/rollback moved.
+	Moved int `json:"moved,omitempty"`
+	// Utilization is the session utilization after the decision.
+	Utilization float64 `json:"utilization,omitempty"`
+	// LatencyNS is the server-side decision latency.
+	LatencyNS int64 `json:"latency_ns,omitempty"`
+	// Replica names the replica that published the event; stamped by the
+	// proxy fan-in, empty on a direct edfd feed.
+	Replica string `json:"replica,omitempty"`
+}
+
+// DefaultSubscriberBuffer is the per-subscriber channel depth when the
+// caller does not choose one.
+const DefaultSubscriberBuffer = 256
+
+// Hub fans admission events out to subscribers. Publishing never blocks:
+// a subscriber whose buffer is full loses the event and the loss is
+// counted, so a stalled SSE client cannot back-pressure the admission
+// path.
+type Hub struct {
+	mu   sync.Mutex
+	seq  uint64
+	subs map[*Subscriber]struct{}
+
+	published atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewHub builds an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[*Subscriber]struct{})}
+}
+
+// Subscriber is one feed consumer. Events arrive on Events(); Close
+// detaches from the hub and closes the channel.
+type Subscriber struct {
+	hub     *Hub
+	session string // "" subscribes to every session
+	ch      chan Event
+	once    sync.Once
+}
+
+// Subscribe registers a consumer for one session's events ("" for all)
+// with the given channel depth (<= 0 selects DefaultSubscriberBuffer).
+func (h *Hub) Subscribe(session string, buffer int) *Subscriber {
+	if buffer <= 0 {
+		buffer = DefaultSubscriberBuffer
+	}
+	s := &Subscriber{hub: h, session: session, ch: make(chan Event, buffer)}
+	h.mu.Lock()
+	h.subs[s] = struct{}{}
+	h.mu.Unlock()
+	return s
+}
+
+// Events is the subscriber's receive channel; it closes after Close.
+func (s *Subscriber) Events() <-chan Event { return s.ch }
+
+// Close detaches the subscriber and closes its channel. Safe to call
+// more than once.
+func (s *Subscriber) Close() {
+	s.once.Do(func() {
+		s.hub.mu.Lock()
+		delete(s.hub.subs, s)
+		s.hub.mu.Unlock()
+		close(s.ch)
+	})
+}
+
+// Publish stamps sequence and time onto ev and fans it out. The hub lock
+// spans the fan-out so sequence order equals delivery order on every
+// subscriber channel.
+func (h *Hub) Publish(ev Event) {
+	h.mu.Lock()
+	h.seq++
+	ev.Seq = h.seq
+	if ev.TimeUnixNS == 0 {
+		ev.TimeUnixNS = time.Now().UnixNano()
+	}
+	for s := range h.subs {
+		if s.session != "" && s.session != ev.Session {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+	h.published.Add(1)
+}
+
+// Stats returns lifetime published and dropped counts plus the current
+// subscriber count.
+func (h *Hub) Stats() (published, dropped uint64, subscribers int) {
+	h.mu.Lock()
+	subscribers = len(h.subs)
+	h.mu.Unlock()
+	return h.published.Load(), h.dropped.Load(), subscribers
+}

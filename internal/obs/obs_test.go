@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderEvictsOldest(t *testing.T) {
+	r := NewRecorder(2)
+	a := StartTrace("aa", "analyze")
+	b := StartTrace("bb", "analyze")
+	c := StartTrace("cc", "analyze")
+	r.Record(a)
+	r.Record(b)
+	r.Record(c)
+	if _, ok := r.Get("aa"); ok {
+		t.Fatalf("oldest trace survived eviction")
+	}
+	for _, id := range []string{"bb", "cc"} {
+		if _, ok := r.Get(id); !ok {
+			t.Fatalf("trace %s missing", id)
+		}
+	}
+	recent := r.Recent(0)
+	if len(recent) != 2 || recent[0].ID != "cc" || recent[1].ID != "bb" {
+		t.Fatalf("Recent = %+v, want cc then bb", recent)
+	}
+}
+
+func TestStageLogSpansInto(t *testing.T) {
+	var l StageLog
+	l.Record("liu-layland", "inconclusive", 1, 100)
+	l.Record("qpa", "feasible", 12, 400)
+	tr := StartTrace("aa", "propose")
+	end := tr.Start().Add(time.Microsecond)
+	l.SpansInto(tr, end)
+	if len(tr.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(tr.Spans))
+	}
+	first, second := tr.Spans[0], tr.Spans[1]
+	if first.Name != "stage:liu-layland" || second.Name != "stage:qpa" {
+		t.Fatalf("span names %q, %q", first.Name, second.Name)
+	}
+	if second.Detail != "feasible iters=12" {
+		t.Fatalf("detail = %q", second.Detail)
+	}
+	endNS := end.Sub(tr.Start()).Nanoseconds()
+	if first.StartNS != endNS-500 || second.StartNS != endNS-400 {
+		t.Fatalf("stages not laid back-to-back: %+v", tr.Spans)
+	}
+	if s := summary(tr); s.DurNS != endNS {
+		t.Fatalf("summary duration %d, want %d", s.DurNS, endNS)
+	}
+
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", l.Len())
+	}
+	for i := 0; i < 2*MaxStages; i++ {
+		l.Record("s", "v", 0, 0)
+	}
+	if l.Len() != MaxStages {
+		t.Fatalf("Len = %d, want cap %d", l.Len(), MaxStages)
+	}
+}
+
+func TestHubOrderingAndFiltering(t *testing.T) {
+	h := NewHub()
+	all := h.Subscribe("", 8)
+	defer all.Close()
+	one := h.Subscribe("s1", 8)
+	defer one.Close()
+
+	h.Publish(Event{Type: EventOpen, Session: "s1"})
+	h.Publish(Event{Type: EventAdmit, Session: "s2"})
+	h.Publish(Event{Type: EventCommit, Session: "s1"})
+
+	var allSeq []uint64
+	for i := 0; i < 3; i++ {
+		ev := <-all.Events()
+		allSeq = append(allSeq, ev.Seq)
+		if ev.TimeUnixNS == 0 {
+			t.Fatalf("event missing timestamp: %+v", ev)
+		}
+	}
+	if allSeq[0] != 1 || allSeq[1] != 2 || allSeq[2] != 3 {
+		t.Fatalf("sequence = %v", allSeq)
+	}
+	if ev := <-one.Events(); ev.Type != EventOpen {
+		t.Fatalf("filtered subscriber got %+v first", ev)
+	}
+	if ev := <-one.Events(); ev.Type != EventCommit {
+		t.Fatalf("filtered subscriber leaked other session: %+v", ev)
+	}
+	published, _, subs := h.Stats()
+	if published != 3 || subs != 2 {
+		t.Fatalf("Stats published=%d subs=%d", published, subs)
+	}
+}
+
+func TestHubDropsWhenSubscriberFull(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe("", 1)
+	defer s.Close()
+	h.Publish(Event{Type: EventAdmit, Session: "s"})
+	h.Publish(Event{Type: EventAdmit, Session: "s"})
+	_, dropped, _ := h.Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	if ev := <-s.Events(); ev.Seq != 1 {
+		t.Fatalf("kept event seq %d, want 1", ev.Seq)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, ok := <-s.Events(); ok {
+		t.Fatalf("channel open after Close")
+	}
+}
+
+func TestSSERoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	events := []Event{
+		{Seq: 1, Type: EventAdmit, Session: "s1", Trace: "aa", Path: "fast", Admitted: true},
+		{Seq: 2, Type: EventReject, Session: "s1", Verdict: "infeasible"},
+	}
+	for _, ev := range events {
+		if err := WriteSSEEvent(&buf, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.WriteString(": keep-alive\n\n")
+	sc := NewSSEScanner(&buf)
+	for i, want := range events {
+		got, err := sc.NextEvent()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("event %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := sc.NextEvent(); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestSSEScannerMultilineData(t *testing.T) {
+	sc := NewSSEScanner(strings.NewReader("data: a\ndata: b\n\n"))
+	got, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "a\nb" {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+func TestExpositionWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewExpositionWriter(&buf)
+	w.Family("edfd_requests_total", Counter, "HTTP requests served.")
+	w.Sample("edfd_requests_total", nil, 42)
+	w.Family("edfd_propose_ns", Histogram, "Propose latency.")
+	w.Sample("edfd_propose_ns_bucket", []Label{{"le", "1024"}}, 3)
+	w.Sample("edfd_propose_ns_bucket", []Label{{"le", "+Inf"}}, 5)
+	w.Sample("edfd_propose_ns_sum", nil, 4096)
+	w.Sample("edfd_propose_ns_count", nil, 5)
+	w.Family("edfd_weird", Gauge, "Label with \"quotes\" and\nnewline.")
+	w.SampleString("edfd_weird", []Label{{"path", `a\b"c`}}, "0.5000")
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+
+	if err := ValidateExposition(strings.NewReader(page)); err != nil {
+		t.Fatalf("writer output rejected: %v\n%s", err, page)
+	}
+	samples, err := ParseExposition(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 6 {
+		t.Fatalf("got %d samples: %+v", len(samples), samples)
+	}
+	if samples[0].Key() != "edfd_requests_total" || samples[0].Value != 42 {
+		t.Fatalf("first sample %+v", samples[0])
+	}
+	if got := samples[1].Key(); got != `edfd_propose_ns_bucket{le="1024"}` {
+		t.Fatalf("bucket key = %q", got)
+	}
+	last := samples[5]
+	if last.Label("path") != `a\b"c` || last.Value != 0.5 {
+		t.Fatalf("escaped label round trip failed: %+v", last)
+	}
+}
+
+func TestValidateExpositionRejections(t *testing.T) {
+	cases := map[string]string{
+		"bad name":             "0bad 1\n",
+		"bad value":            "edfd_x one\n",
+		"unterminated label":   "edfd_x{a=\"b 1\n",
+		"duplicate series":     "edfd_x 1\nedfd_x 2\n",
+		"interleaved families": "edfd_a 1\nedfd_b 1\nedfd_a 2\n",
+		"type after samples":   "edfd_a 1\n# TYPE edfd_a counter\n",
+		"bucket without le":    "# TYPE edfd_h histogram\nedfd_h_bucket 1\nedfd_h_count 1\n",
+		"missing +Inf bucket":  "# TYPE edfd_h histogram\nedfd_h_bucket{le=\"1\"} 1\nedfd_h_count 1\n",
+		"+Inf != count":        "# TYPE edfd_h histogram\nedfd_h_bucket{le=\"+Inf\"} 1\nedfd_h_count 2\n",
+		"unknown type":         "# TYPE edfd_a widget\n",
+	}
+	for name, page := range cases {
+		if err := ValidateExposition(strings.NewReader(page)); err == nil {
+			t.Errorf("%s: validated\n%s", name, page)
+		}
+	}
+	ok := "# HELP edfd_a ok\n# TYPE edfd_a counter\nedfd_a 1\nedfd_a{replica=\"r1\"} 1\n"
+	if err := ValidateExposition(strings.NewReader(ok)); err != nil {
+		t.Errorf("labeled variant rejected: %v", err)
+	}
+}
+
+func TestParseExpositionSpecials(t *testing.T) {
+	samples, err := ParseExposition(strings.NewReader(
+		"edfd_a{x=\"v\",} 1 1712345678\nedfd_b +Inf\nedfd_c NaN\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	if samples[0].Label("x") != "v" {
+		t.Fatalf("trailing-comma labels: %+v", samples[0])
+	}
+	if samples[1].Value != samples[1].Value+1 { // +Inf
+		t.Fatalf("b = %v, want +Inf", samples[1].Value)
+	}
+	if samples[2].Value == samples[2].Value { // NaN
+		t.Fatalf("c = %v, want NaN", samples[2].Value)
+	}
+}

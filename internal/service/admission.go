@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/demand"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/incremental"
 	"repro/internal/model"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -54,6 +56,14 @@ type ProposeOutcome struct {
 	// False means the decision came from the O(delta) paths: the
 	// utilization gate or the incremental certificate.
 	Escalated bool
+	// Path names the decision path: obs.PathGate, obs.PathFast or
+	// obs.PathCascade — the string form of Escalated plus the gate/fast
+	// distinction, carried onto traces and feed events.
+	Path string
+	// Stages holds the per-analyzer stage records of a cascade escalation
+	// (empty on the gate and fast paths). It is a fixed-size value copy,
+	// keeping the propose path allocation-free.
+	Stages obs.StageLog
 }
 
 // FinishOutcome reports a commit or rollback.
@@ -110,7 +120,12 @@ type Admission struct {
 	candTasks  model.TaskSet
 	candEvents []eventstream.Task
 	scratch    *demand.Scratch
-	stats      AdmissionStats
+	// stages is the reusable per-decision stage log handed to the analyzer
+	// via Options.Stages; like scratch it serves one analysis at a time
+	// under the mutex, and its preallocated slots keep stage capture off
+	// the heap.
+	stages obs.StageLog
+	stats  AdmissionStats
 	// inc, when non-nil, is the persistent incremental-analysis state
 	// that decides most proposals in O(delta): a sufficient certificate
 	// whose accepts provably agree with the cascade, escalating to the
@@ -202,6 +217,7 @@ func incrementalEligible(analyzer string, opt core.Options, disabled bool) bool 
 func (a *Admission) analyzeOptions() core.Options {
 	opt := a.opt
 	opt.Scratch = a.scratch
+	opt.Stages = &a.stages
 	return opt
 }
 
@@ -277,6 +293,7 @@ func (a *Admission) check(t workload.Task) error {
 // capability is fixed at construction) but kept for symmetry.
 func (a *Admission) proposeLocked(t workload.Task) (ProposeOutcome, error) {
 	a.stats.Proposed++
+	a.stages.Reset()
 
 	// Cheap gate: incremental utilization. U > 1 is exactly infeasible
 	// under either model, so this is a sound O(1) rejection, not a
@@ -285,7 +302,7 @@ func (a *Admission) proposeLocked(t workload.Task) (ProposeOutcome, error) {
 	cmp1 := grown.CmpInt(1)
 	if cmp1 > 0 {
 		a.stats.Rejected++
-		return a.outcome(false, core.Result{Verdict: core.Infeasible}, false), nil
+		return a.outcome(false, core.Result{Verdict: core.Infeasible}, obs.PathGate), nil
 	}
 
 	// Incremental fast path: with strictly sub-unit grown utilization the
@@ -303,27 +320,33 @@ func (a *Admission) proposeLocked(t workload.Task) (ProposeOutcome, error) {
 				MaxLevel:   engine.DefaultSuperPosLevel,
 			}
 			a.stats.FastAccepts++
-			return a.outcome(true, res, false), nil
+			return a.outcome(true, res, obs.PathFast), nil
 		}
 	}
 
+	start := time.Now()
 	res, err := engine.AnalyzeWorkload(a.analyzer, a.candidateLocked(t), a.analyzeOptions())
 	if err != nil {
 		a.retractCandidateLocked()
 		return ProposeOutcome{}, err
+	}
+	if a.stages.Len() == 0 {
+		// A non-cascade analyzer records no stages itself; log the whole
+		// run as its one stage so traces always name the deciding test.
+		a.stages.Record(a.analyzer.Info().Name, res.Verdict.String(), res.Iterations, time.Since(start).Nanoseconds())
 	}
 	a.stats.Iterations += res.Iterations
 	a.stats.Escalations++
 	if res.Verdict != core.Feasible {
 		a.stats.Rejected++
 		a.retractCandidateLocked()
-		return a.outcome(false, res, true), nil
+		return a.outcome(false, res, obs.PathCascade), nil
 	}
 	// Admitted: the candidate stays in the buffer (it is now the last
 	// pending task) and is mirrored into the pending workload.
 	a.retractCandidateLocked()
 	a.admitLocked(t, grown)
-	return a.outcome(true, res, true), nil
+	return a.outcome(true, res, obs.PathCascade), nil
 }
 
 // admitLocked stages an accepted task: appends it to the candidate buffer,
@@ -370,14 +393,16 @@ func (a *Admission) retractCandidateLocked() {
 }
 
 // outcome snapshots the decision state; the caller holds the mutex.
-func (a *Admission) outcome(admitted bool, res core.Result, escalated bool) ProposeOutcome {
+func (a *Admission) outcome(admitted bool, res core.Result, path string) ProposeOutcome {
 	return ProposeOutcome{
 		Admitted:    admitted,
 		Result:      res,
 		Utilization: a.util.Float(),
 		Committed:   a.committed.Len(),
 		Pending:     a.pending.Len(),
-		Escalated:   escalated,
+		Escalated:   path == obs.PathCascade,
+		Path:        path,
+		Stages:      a.stages,
 	}
 }
 

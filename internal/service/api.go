@@ -301,6 +301,9 @@ type ProposeResponse struct {
 	// Escalated reports that a full analyzer run decided this proposal
 	// instead of the incremental fast path.
 	Escalated bool `json:"escalated,omitempty"`
+	// Path names the decision path: "gate" (utilization rejection), "fast"
+	// (incremental certificate) or "cascade" (full escalation).
+	Path string `json:"path,omitempty"`
 }
 
 // ProposeBatchRequest stages several tasks in one round trip. The tasks

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -51,11 +52,15 @@ type Route struct {
 	Replica string
 	// Attempts is 1 plus the number of failovers the proxy needed.
 	Attempts int
+	// TraceID is the request's trace, minted (or adopted) by the server
+	// and echoed on the X-Edf-Trace response header. It resolves at
+	// Client.Trace against the same server.
+	TraceID string
 }
 
 // routeFrom extracts the proxy routing headers, if any.
 func routeFrom(h http.Header) Route {
-	rt := Route{Replica: h.Get("X-Edf-Replica")}
+	rt := Route{Replica: h.Get("X-Edf-Replica"), TraceID: h.Get(obs.TraceHeader)}
 	rt.Attempts, _ = strconv.Atoi(h.Get("X-Edf-Attempts"))
 	return rt
 }

@@ -1,0 +1,131 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// Feed reconnect pacing: a dropped stream is redialed after
+// feedBackoffMin, doubling up to feedBackoffMax between attempts.
+const (
+	feedBackoffMin = 200 * time.Millisecond
+	feedBackoffMax = 2 * time.Second
+)
+
+// Trace fetches one trace's span record. Against edfproxy the reply is
+// the merged fleet view — proxy routing spans plus replica spans labeled
+// with their origin; against a plain edfd it is the replica's own record.
+func (c *Client) Trace(ctx context.Context, id string) (obs.Trace, error) {
+	var out obs.Trace
+	err := c.do(ctx, http.MethodGet, "/v1/traces/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// Traces lists recent trace summaries, newest first (n <= 0 takes the
+// server default).
+func (c *Client) Traces(ctx context.Context, n int) ([]obs.TraceSummary, error) {
+	path := "/v1/traces"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	var out service.TracesResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out.Traces, err
+}
+
+// Events subscribes to one session's live admission feed. The first
+// connection is made synchronously — an unknown session errors here, not
+// on the channel — and the stream then reconnects on EOF with backoff
+// until ctx ends or the session disappears, at which point the channel
+// closes. Works identically against edfd and edfproxy (the proxy relays
+// the owner replica's stream).
+func (c *Client) Events(ctx context.Context, sessionID string) (<-chan obs.Event, error) {
+	return c.streamEvents(ctx, "/v1/sessions/"+url.PathEscape(sessionID)+"/events")
+}
+
+// FleetEvents subscribes to the server-wide admission feed: every
+// session's events on a plain edfd, every replica's events — labeled
+// with the publishing replica — on edfproxy. Reconnects on EOF like
+// Events.
+func (c *Client) FleetEvents(ctx context.Context) (<-chan obs.Event, error) {
+	return c.streamEvents(ctx, "/v1/events")
+}
+
+// streamEvents opens the SSE stream once (surfacing a first-connect
+// failure as an error) and pumps it into a channel, redialing dropped
+// connections until ctx ends or the server answers with a non-2xx
+// status.
+func (c *Client) streamEvents(ctx context.Context, path string) (<-chan obs.Event, error) {
+	body, err := c.openStream(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan obs.Event, obs.DefaultSubscriberBuffer)
+	go func() {
+		defer close(ch)
+		backoff := feedBackoffMin
+		for {
+			sc := obs.NewSSEScanner(body)
+			for {
+				ev, err := sc.NextEvent()
+				if err != nil {
+					break
+				}
+				backoff = feedBackoffMin
+				select {
+				case ch <- ev:
+				case <-ctx.Done():
+					body.Close()
+					return
+				}
+			}
+			body.Close()
+			// The stream broke (server restart, idle timeout, network blip):
+			// redial after a pause. A non-2xx answer — the session was
+			// closed or swept — ends the feed instead.
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff < feedBackoffMax {
+				backoff *= 2
+			}
+			if body, err = c.openStream(ctx, path); err != nil {
+				return
+			}
+		}
+	}()
+	return ch, nil
+}
+
+// openStream dials one SSE connection, returning its body on a 2xx.
+func (c *Client) openStream(ctx context.Context, path string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", obs.SSEContentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		defer resp.Body.Close()
+		msg := resp.Status
+		var er service.ErrorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return nil, &Error{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return resp.Body, nil
+}

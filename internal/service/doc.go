@@ -19,7 +19,19 @@
 //     feasible, /commit makes staged tasks permanent, /rollback discards
 //     them.
 //
+// Every /v1 request runs under a trace (internal/obs): the X-Edf-Trace
+// header is adopted from the caller — edfproxy propagates one — or
+// minted here, echoed on the response, and resolves at GET
+// /v1/traces/{id} to the request's span record (cache lookup, cascade
+// stages, incremental fast path vs escalation). Admission decisions
+// additionally publish to a live feed: GET /v1/sessions/{id}/events
+// streams one session's admit/reject/commit/rollback/close events as
+// server-sent events, GET /v1/events streams all sessions'. GET
+// /metrics is Prometheus text exposition; diagnostics go to log/slog
+// with trace and session attributes.
+//
 // The server wires in a concurrency limiter, per-request deadlines,
 // graceful shutdown, GET /healthz and GET /metrics. Package
-// service/client is the typed Go client.
+// service/client is the typed Go client (including Events, FleetEvents
+// and Trace for the feed and trace endpoints).
 package service

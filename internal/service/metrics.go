@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
-	"sort"
+	"strconv"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // histBuckets is the number of log2 latency buckets: bucket i counts
@@ -116,54 +118,63 @@ func (m *metrics) enter() {
 
 func (m *metrics) leave() { m.inflight.Add(-1) }
 
-// write renders every counter as "edfd_<name> <value>" lines, one metric
-// per line in sorted order — trivially scrapable, no client library
-// needed.
+// writeMetrics renders the server's counters as a valid Prometheus text
+// exposition page: one # HELP / # TYPE header per family, samples
+// unlabeled (the proxy adds replica labels when it aggregates). Metric
+// names are unchanged from the pre-exposition format, so existing
+// scrapers keep matching.
 func (s *Server) writeMetrics(w io.Writer) {
 	cs := s.cache.Stats()
 	active, created, expired := s.sessions.counts()
-	vals := map[string]any{
-		"requests_total":                      s.m.requests.Load(),
-		"requests_throttled":                  s.m.throttled.Load(),
-		"requests_errors":                     s.m.errors.Load(),
-		"requests_inflight":                   s.m.inflight.Load(),
-		"requests_inflight_peak":              s.m.maxInflight.Load(),
-		"analyses_total":                      s.m.analyses.Load(),
-		"analyses_events_total":               s.m.eventAnalyses.Load(),
-		"batch_jobs_total":                    s.m.batchJobs.Load(),
-		"session_proposals_total":             s.m.proposals.Load(),
-		"session_propose_batches_total":       s.m.proposeBatches.Load(),
-		"sessions_active":                     active,
-		"sessions_created":                    created,
-		"sessions_expired":                    expired,
-		"cache_hits":                          cs.Hits,
-		"cache_misses":                        cs.Misses,
-		"cache_evictions":                     cs.Evictions,
-		"cache_entries":                       cs.Entries,
-		"cache_capacity":                      cs.Capacity,
-		"cache_hit_rate":                      fmt.Sprintf("%.4f", cs.HitRate()),
-		"session_proposals_incremental_total": s.m.incremental.Load(),
-		"session_proposals_escalated_total":   s.m.escalated.Load(),
+	published, dropped, subscribers := s.hub.Stats()
+	ew := obs.NewExpositionWriter(w)
+	counter := func(name, help string, v uint64) {
+		ew.Family(name, obs.Counter, help)
+		ew.Sample(name, nil, float64(v))
 	}
+	gauge := func(name, help string, v float64) {
+		ew.Family(name, obs.Gauge, help)
+		ew.Sample(name, nil, v)
+	}
+	counter("edfd_requests_total", "Requests accepted into a handler.", s.m.requests.Load())
+	counter("edfd_requests_throttled", "Requests rejected by the concurrency limiter.", s.m.throttled.Load())
+	counter("edfd_requests_errors", "Requests answered with a 4xx/5xx error body.", s.m.errors.Load())
+	gauge("edfd_requests_inflight", "Requests currently inside a handler.", float64(s.m.inflight.Load()))
+	gauge("edfd_requests_inflight_peak", "High-water mark of concurrent requests.", float64(s.m.maxInflight.Load()))
+	counter("edfd_analyses_total", "Single analyses served, cache hits included.", s.m.analyses.Load())
+	counter("edfd_analyses_events_total", "Analyses on event-stream workloads.", s.m.eventAnalyses.Load())
+	counter("edfd_batch_jobs_total", "Batch jobs served, cache hits included.", s.m.batchJobs.Load())
+	counter("edfd_session_proposals_total", "Session proposals decided, bulk members included.", s.m.proposals.Load())
+	counter("edfd_session_propose_batches_total", "Propose-batch requests served.", s.m.proposeBatches.Load())
+	counter("edfd_session_proposals_incremental_total", "Proposals decided by the O(delta) paths (gate or certificate).", s.m.incremental.Load())
+	counter("edfd_session_proposals_escalated_total", "Proposals decided by a full analyzer run.", s.m.escalated.Load())
+	gauge("edfd_sessions_active", "Admission sessions currently open.", float64(active))
+	counter("edfd_sessions_created", "Admission sessions opened over the server's lifetime.", created)
+	counter("edfd_sessions_expired", "Admission sessions closed by the idle TTL sweeper.", expired)
+	counter("edfd_cache_hits", "Result cache hits.", cs.Hits)
+	counter("edfd_cache_misses", "Result cache misses.", cs.Misses)
+	counter("edfd_cache_evictions", "Result cache evictions.", cs.Evictions)
+	gauge("edfd_cache_entries", "Result cache entries resident.", float64(cs.Entries))
+	gauge("edfd_cache_capacity", "Result cache capacity.", float64(cs.Capacity))
+	ew.Family("edfd_cache_hit_rate", obs.Gauge, "Hits over lookups, 0 when the cache is idle.")
+	ew.SampleString("edfd_cache_hit_rate", nil, fmt.Sprintf("%.4f", cs.HitRate()))
+	counter("edfd_events_published_total", "Admission feed events published.", published)
+	counter("edfd_events_dropped_total", "Feed events dropped on saturated subscriber buffers.", dropped)
+	gauge("edfd_event_subscribers", "Feed subscribers currently connected.", float64(subscribers))
+
 	// Buckets are rendered cumulatively ("le" semantics): sums of
 	// cumulative counters across replicas stay cumulative, so the proxy
 	// can add them up and re-derive fleet quantiles.
 	hb, hcount, hsum := s.m.proposeNS.snapshot()
+	ew.Family("edfd_propose_ns", obs.Histogram, "Per-proposal decision latency in nanoseconds, log2 buckets.")
 	var cum uint64
 	for i := range hb {
 		cum += hb[i]
-		vals[fmt.Sprintf("propose_ns_bucket_le_%d", int64(1)<<i)] = cum
+		ew.Sample("edfd_propose_ns_bucket", []obs.Label{{Name: "le", Value: strconv.FormatInt(int64(1)<<i, 10)}}, float64(cum))
 	}
-	vals["propose_ns_count"] = hcount
-	vals["propose_ns_sum"] = hsum
-	vals["propose_ns_p50"] = histQuantile(hb, hcount, 0.50)
-	vals["propose_ns_p99"] = histQuantile(hb, hcount, 0.99)
-	names := make([]string, 0, len(vals))
-	for name := range vals {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Fprintf(w, "edfd_%s %v\n", name, vals[name])
-	}
+	ew.Sample("edfd_propose_ns_bucket", []obs.Label{{Name: "le", Value: "+Inf"}}, float64(hcount))
+	ew.Sample("edfd_propose_ns_sum", nil, float64(hsum))
+	ew.Sample("edfd_propose_ns_count", nil, float64(hcount))
+	gauge("edfd_propose_ns_p50", "Median proposal latency, derived from the histogram.", float64(histQuantile(hb, hcount, 0.50)))
+	gauge("edfd_propose_ns_p99", "99th-percentile proposal latency, derived from the histogram.", float64(histQuantile(hb, hcount, 0.99)))
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -119,11 +120,16 @@ func TestProposeLatencyMetrics(t *testing.T) {
 		"edfd_session_proposals_escalated_total 1",
 		"edfd_propose_ns_p50 ",
 		"edfd_propose_ns_p99 ",
-		"edfd_propose_ns_bucket_le_1 ",
-		"edfd_propose_ns_bucket_le_4294967296 4",
+		"# TYPE edfd_propose_ns histogram",
+		`edfd_propose_ns_bucket{le="1"} `,
+		`edfd_propose_ns_bucket{le="4294967296"} 4`,
+		`edfd_propose_ns_bucket{le="+Inf"} 4`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics page missing %q:\n%s", want, text)
 		}
+	}
+	if err := obs.ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Errorf("metrics page is not valid exposition format: %v\n%s", err, text)
 	}
 }

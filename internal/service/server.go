@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -38,6 +41,12 @@ type Config struct {
 	// default) disables sweeping, preserving the sessions-live-until-closed
 	// behavior.
 	SessionTTL time.Duration
+	// TraceCapacity bounds the retained request traces; 0 selects
+	// obs.DefaultTraceCapacity.
+	TraceCapacity int
+	// Logger receives structured request and session lifecycle logs
+	// (trace/session attrs attached); nil discards them.
+	Logger *slog.Logger
 }
 
 // Defaults for Config's zero values.
@@ -53,13 +62,19 @@ const (
 // Server is the edfd daemon: engine registry in, HTTP/JSON out. Construct
 // with New and mount Handler on an http.Server.
 type Server struct {
-	cfg       Config
-	cache     *Cache
-	sessions  *sessionStore
-	limiter   chan struct{}
-	m         metrics
-	started   time.Time
-	stopSweep chan struct{}
+	cfg      Config
+	cache    *Cache
+	sessions *sessionStore
+	limiter  chan struct{}
+	m        metrics
+	started  time.Time
+	log      *slog.Logger
+	hub      *obs.Hub
+	traces   *obs.Recorder
+	// stop ends the long-lived observability streams (SSE feeds) and the
+	// session sweeper so a graceful shutdown is not held open by them.
+	stop      chan struct{}
+	closeOnce sync.Once
 }
 
 // New builds a server from the config.
@@ -79,30 +94,36 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatchJobs <= 0 {
 		cfg.MaxBatchJobs = DefaultMaxBatchJobs
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheCapacity),
 		sessions: newSessionStore(cfg.MaxSessions),
 		limiter:  make(chan struct{}, cfg.MaxInFlight),
 		started:  time.Now(),
+		log:      log,
+		hub:      obs.NewHub(),
+		traces:   obs.NewRecorder(cfg.TraceCapacity),
+		stop:     make(chan struct{}),
 	}
+	s.sessions.onExpired = s.publishExpired
 	if cfg.SessionTTL > 0 {
-		s.stopSweep = make(chan struct{})
 		// Sweep a few times per TTL so expiry lags the deadline by at
 		// most ~a quarter of it.
 		interval := max(cfg.SessionTTL/4, 10*time.Millisecond)
-		go s.sessions.sweeper(cfg.SessionTTL, interval, s.stopSweep)
+		go s.sessions.sweeper(cfg.SessionTTL, interval, s.stop)
 	}
 	return s
 }
 
-// Close stops the background session sweeper (a no-op without one). The
-// server keeps serving; Close only releases the goroutine.
+// Close stops the background session sweeper and ends open SSE streams so
+// a graceful shutdown can drain. The request/response paths keep serving;
+// Close only releases the long-lived goroutines.
 func (s *Server) Close() {
-	if s.stopSweep != nil {
-		close(s.stopSweep)
-		s.stopSweep = nil
-	}
+	s.closeOnce.Do(func() { close(s.stop) })
 }
 
 // CacheStats exposes the cache counters (for in-process embedders).
@@ -121,12 +142,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/propose-batch", s.handleSessionProposeBatch)
 	mux.HandleFunc("POST /v1/sessions/{id}/commit", s.handleSessionCommit)
 	mux.HandleFunc("POST /v1/sessions/{id}/rollback", s.handleSessionRollback)
+	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleSessionEvents)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// Health and metrics bypass the limiter: they must answer even
-		// (especially) when the analysis path is saturated.
-		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		// (especially) when the analysis path is saturated. So do the
+		// observability reads — trace lookups and the SSE feeds, whose
+		// streams must also outlive the request timeout.
+		if !strings.HasPrefix(r.URL.Path, "/v1/") || StreamingPath(r.URL.Path) {
 			mux.ServeHTTP(w, r)
 			return
 		}
@@ -143,8 +170,21 @@ func (s *Server) Handler() http.Handler {
 		defer s.m.leave()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		// Adopt the caller's trace id (edfproxy propagates one) or mint a
+		// fresh one, and echo it so a direct caller learns the id. The
+		// trace is recorded after the handler returns — net/http flushes
+		// the buffered response after that, so by the time the client
+		// reads the response the trace is resolvable.
+		id := r.Header.Get(obs.TraceHeader)
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		tr := obs.StartTrace(id, OpFor(r))
+		w.Header().Set(obs.TraceHeader, id)
 		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
-		mux.ServeHTTP(w, r.WithContext(ctx))
+		mux.ServeHTTP(w, r.WithContext(obs.WithTrace(ctx, tr)))
+		s.traces.Record(tr)
+		s.log.Debug("request served", "op", tr.Op, "trace", tr.ID, "session", tr.Session, "path", tr.Path)
 	})
 }
 
@@ -153,15 +193,41 @@ func (s *Server) Handler() http.Handler {
 // batch runner (one job) so cancellation and wall-time telemetry stay
 // uniform with the batch path.
 func (s *Server) analyzeOne(ctx context.Context, wl workload.Workload, a engine.Analyzer, opt core.Options) (core.Result, time.Duration, bool, string, error) {
+	tr := obs.FromContext(ctx)
+	var lookup time.Time
+	if tr != nil {
+		lookup = time.Now()
+	}
 	fp, cacheable := engine.WorkloadFingerprint(wl, a.Info().Name, opt)
 	if cacheable {
 		if res, hit := s.cache.Get(fp); hit {
+			if tr != nil {
+				tr.EndSpan("cache", lookup, "hit")
+			}
 			return res, 0, true, fp, nil
 		}
 	}
+	var stages obs.StageLog
+	if tr != nil {
+		detail := "miss"
+		if !cacheable {
+			detail = "bypass"
+		}
+		tr.EndSpan("cache", lookup, detail)
+		opt.Stages = &stages
+	}
+	run := time.Now()
 	jr := engine.Run(ctx, []engine.Job{{Workload: wl, Analyzer: a, Opt: opt}}, engine.RunOptions{Workers: 1})[0]
 	if jr.Err != nil {
+		if tr != nil {
+			tr.EndSpan("analyze", run, "error")
+		}
 		return core.Result{}, 0, false, fp, jr.Err
+	}
+	if tr != nil {
+		end := time.Now()
+		stages.SpansInto(tr, end)
+		tr.EndSpan("analyze", run, jr.Result.Verdict.String())
 	}
 	if cacheable {
 		s.cache.Put(fp, jr.Result)
@@ -300,6 +366,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 || (s.cfg.Workers > 0 && workers > s.cfg.Workers) {
 		workers = s.cfg.Workers
 	}
+	run := time.Now()
 	for k, jr := range engine.Run(r.Context(), jobs, engine.RunOptions{Workers: workers}) {
 		j := &out[jobFor[k]]
 		j.Result = NewResultJSON(jr.Result)
@@ -311,6 +378,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if fps[k] != "" {
 			s.cache.Put(fps[k], jr.Result)
 		}
+	}
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		tr.EndSpan("batch", run, fmt.Sprintf("%d jobs, %d ran", len(out), len(jobs)))
 	}
 	s.m.batchJobs.Add(uint64(len(out)))
 	writeJSON(w, http.StatusOK, BatchResponse{Results: out})
@@ -333,6 +403,7 @@ func (s *Server) handleAnalyzers(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req SessionRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -352,7 +423,15 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusTooManyRequests, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, s.sessionState(id, adm))
+	tagTrace(r.Context(), id, "")
+	st := s.sessionState(id, adm)
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		tr.EndSpan("open", start, fmt.Sprintf("%s/%s, %d seeded", st.Analyzer, st.Model, st.Committed))
+	}
+	s.publish(r.Context(), obs.Event{Type: obs.EventOpen, Session: id, Utilization: st.Utilization})
+	s.log.Info("session opened", "session", id, "trace", traceID(r.Context()),
+		"analyzer", st.Analyzer, "model", st.Model, "seed", st.Committed)
+	writeJSON(w, http.StatusCreated, st)
 }
 
 // session resolves the {id} path value, answering 404 itself on a miss.
@@ -388,10 +467,18 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
-	if !s.sessions.close(r.PathValue("id")) {
+	start := time.Now()
+	id := r.PathValue("id")
+	if !s.sessions.close(id) {
 		s.fail(w, http.StatusNotFound, errSessionUnknown)
 		return
 	}
+	tagTrace(r.Context(), id, "")
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		tr.EndSpan("close", start, "")
+	}
+	s.publish(r.Context(), obs.Event{Type: obs.EventClose, Session: id})
+	s.log.Info("session closed", "session", id, "trace", traceID(r.Context()))
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -404,6 +491,7 @@ func newProposeResponse(out ProposeOutcome) ProposeResponse {
 		Committed:   out.Committed,
 		Pending:     out.Pending,
 		Escalated:   out.Escalated,
+		Path:        out.Path,
 	}
 }
 
@@ -418,7 +506,7 @@ func (s *Server) countProposePath(out ProposeOutcome) {
 }
 
 func (s *Server) handleSessionPropose(w http.ResponseWriter, r *http.Request) {
-	_, adm, release, ok := s.session(w, r)
+	id, adm, release, ok := s.session(w, r)
 	if !ok {
 		return
 	}
@@ -433,14 +521,21 @@ func (s *Server) handleSessionPropose(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.m.proposeNS.observe(time.Since(start).Nanoseconds(), 1)
+	latency := time.Since(start)
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		tr.Session, tr.Path = id, out.Path
+		out.Stages.SpansInto(tr, time.Now())
+		tr.EndSpan("propose", start, out.Path+" "+out.Result.Verdict.String())
+	}
+	s.m.proposeNS.observe(latency.Nanoseconds(), 1)
 	s.m.proposals.Add(1)
 	s.countProposePath(out)
+	s.publishDecision(r.Context(), id, out, latency)
 	writeJSON(w, http.StatusOK, newProposeResponse(out))
 }
 
 func (s *Server) handleSessionProposeBatch(w http.ResponseWriter, r *http.Request) {
-	_, adm, release, ok := s.session(w, r)
+	id, adm, release, ok := s.session(w, r)
 	if !ok {
 		return
 	}
@@ -458,34 +553,75 @@ func (s *Server) handleSessionProposeBatch(w http.ResponseWriter, r *http.Reques
 	// One wall-clock measurement spread evenly over the batch keeps the
 	// histogram's per-proposal semantics without timing each task inside
 	// the critical section.
-	s.m.proposeNS.observe(time.Since(start).Nanoseconds()/int64(len(outs)), len(outs))
+	perTask := time.Since(start) / time.Duration(len(outs))
+	tr := obs.FromContext(r.Context())
+	if tr != nil {
+		tr.Session = id
+	}
+	s.m.proposeNS.observe(perTask.Nanoseconds(), len(outs))
 	s.m.proposals.Add(uint64(len(outs)))
 	s.m.proposeBatches.Add(1)
 	resp := ProposeBatchResponse{Results: make([]ProposeResponse, len(outs))}
+	escalations := 0
 	for i, out := range outs {
 		s.countProposePath(out)
+		s.publishDecision(r.Context(), id, out, perTask)
+		if out.Escalated {
+			escalations++
+			// Stage spans of every escalation would swamp a large batch's
+			// trace; keep the first few, the count goes in the summary span.
+			if tr != nil && len(tr.Spans) < 64 {
+				outs[i].Stages.SpansInto(tr, time.Now())
+			}
+		}
 		resp.Results[i] = newProposeResponse(out)
+	}
+	if tr != nil {
+		// The batch's path is its most expensive member's.
+		tr.Path = obs.PathGate
+		for _, out := range outs {
+			if out.Path == obs.PathFast && tr.Path == obs.PathGate {
+				tr.Path = obs.PathFast
+			}
+			if out.Path == obs.PathCascade {
+				tr.Path = obs.PathCascade
+				break
+			}
+		}
+		tr.EndSpan("propose-batch", start, fmt.Sprintf("%d tasks, %d escalated", len(outs), escalations))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSessionCommit(w http.ResponseWriter, r *http.Request) {
-	s.finishPending(w, r, (*Admission).Commit)
+	s.finishPending(w, r, obs.EventCommit, (*Admission).Commit)
 }
 
 func (s *Server) handleSessionRollback(w http.ResponseWriter, r *http.Request) {
-	s.finishPending(w, r, (*Admission).Rollback)
+	s.finishPending(w, r, obs.EventRollback, (*Admission).Rollback)
 }
 
 // finishPending serves commit and rollback, which differ only in the
-// Admission method they invoke.
-func (s *Server) finishPending(w http.ResponseWriter, r *http.Request, move func(*Admission) FinishOutcome) {
-	_, adm, release, ok := s.session(w, r)
+// Admission method they invoke and the feed event they publish.
+func (s *Server) finishPending(w http.ResponseWriter, r *http.Request, event string, move func(*Admission) FinishOutcome) {
+	id, adm, release, ok := s.session(w, r)
 	if !ok {
 		return
 	}
 	defer release()
+	start := time.Now()
 	out := move(adm)
+	tagTrace(r.Context(), id, "")
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		tr.EndSpan(event, start, fmt.Sprintf("%d tasks moved", out.Moved))
+	}
+	s.publish(r.Context(), obs.Event{
+		Type:        event,
+		Session:     id,
+		Moved:       out.Moved,
+		Utilization: out.Utilization,
+		LatencyNS:   time.Since(start).Nanoseconds(),
+	})
 	writeJSON(w, http.StatusOK, CommitResponse{
 		Moved:       out.Moved,
 		Committed:   out.Committed,

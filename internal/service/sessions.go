@@ -35,6 +35,10 @@ type sessionStore struct {
 	limit    int
 	created  uint64
 	expired  uint64
+	// onExpired, when non-nil, receives the ids the sweeper removed, after
+	// the store lock is released — the server publishes expire events from
+	// it. Set before the sweeper starts; not guarded.
+	onExpired func(ids []string)
 }
 
 func newSessionStore(limit int) *sessionStore {
@@ -101,16 +105,19 @@ func (s *sessionStore) counts() (active int, created, expired uint64) {
 func (s *sessionStore) sweep(ttl time.Duration, now time.Time) int {
 	cutoff := now.Add(-ttl)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
+	var swept []string
 	for id, e := range s.sessions {
 		if e.inflight == 0 && e.lastUsed.Before(cutoff) {
 			delete(s.sessions, id)
-			n++
+			swept = append(swept, id)
 		}
 	}
-	s.expired += uint64(n)
-	return n
+	s.expired += uint64(len(swept))
+	s.mu.Unlock()
+	if s.onExpired != nil && len(swept) > 0 {
+		s.onExpired(swept)
+	}
+	return len(swept)
 }
 
 // sweeper runs sweep every interval until stop closes.
