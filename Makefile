@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-core bench-session bench-cluster serve smoke smoke-cluster lint-metrics fmt vet clean
+.PHONY: all build test bench bench-json bench-core bench-session bench-store bench-cluster serve smoke smoke-cluster lint-metrics fmt vet clean
 
 all: build test
 
@@ -9,7 +9,7 @@ build:
 
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/engine/ ./internal/service/... ./internal/cluster/
+	$(GO) test -race ./internal/engine/ ./internal/service/... ./internal/cluster/ ./internal/store/
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx . | tee bench.out
@@ -43,6 +43,16 @@ bench-session:
 	$(GO) test -run xxx -bench BenchmarkSession -benchmem -benchtime $(BENCHTIME) ./internal/service/ > bench-session.out
 	$(GO) run ./cmd/benchmerge -out BENCH_session.json $(if $(GATE),-gate $(GATE)) < bench-session.out
 	rm -f bench-session.out
+
+# Durable-store benchmarks (sync append latency p50/p99 and fsyncs/op
+# across group-commit batch sizes, plus cold journal replay), merged
+# into the committed trend file BENCH_store.json under the same
+# baseline/gate rules as bench-core. The fsyncs/op sweep is the tuning
+# evidence behind the -store-batch / -store-max-wait defaults.
+bench-store:
+	$(GO) test -run xxx -bench BenchmarkStore -benchmem -benchtime $(BENCHTIME) ./internal/store/ > bench-store.out
+	$(GO) run ./cmd/benchmerge -out BENCH_store.json $(if $(GATE),-gate $(GATE)) < bench-store.out
+	rm -f bench-store.out
 
 # Cluster benchmarks: 2 edfd replicas behind edfproxy vs a single direct
 # edfd, as machine-readable test2json events in the committed trend file
@@ -88,5 +98,5 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -f bench.out bench-core.out bench-session.out bench-cluster.out BENCH_service.json
+	rm -f bench.out bench-core.out bench-session.out bench-store.out bench-cluster.out BENCH_service.json
 	$(GO) clean ./...

@@ -7,6 +7,8 @@
 //
 //	edfd [-addr :8080] [-cache 4096] [-workers 0] [-inflight 256]
 //	     [-timeout 30s] [-sessions 1024] [-session-ttl 0]
+//	     [-store-dir ""] [-store-node ""] [-snapshot-interval 30s]
+//	     [-store-batch 64] [-store-max-wait 2ms]
 //
 // Endpoints:
 //
@@ -31,6 +33,14 @@
 // -session-ttl > 0 a background sweeper closes admission sessions idle
 // past the TTL (off by default).
 //
+// With -store-dir, admission decisions are journaled to a write-ahead
+// log in that directory (group-committed, compacted by periodic
+// snapshots) and a restarted edfd resumes its committed sessions.
+// Several replicas may share one directory — each journals to its own
+// per-node segment, named by -store-node (default: derived from the
+// resolved listen address) — which is what lets edfproxy hand a dead
+// replica's sessions to a surviving peer.
+//
 // Diagnostics go to stderr as JSON (log/slog) carrying trace/session
 // attributes; -log-level tunes the threshold. The stdout banner line
 // stays printf-style — scripts parse it for the listen address. With
@@ -50,10 +60,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -67,6 +79,11 @@ func main() {
 		sessionTTL = flag.Duration("session-ttl", 0, "close admission sessions idle past this duration (0 disables)")
 		logLevel   = flag.String("log-level", "info", "slog threshold: debug, info, warn or error")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (off when empty)")
+		storeDir   = flag.String("store-dir", "", "journal admission decisions to this directory (off when empty)")
+		storeNode  = flag.String("store-node", "", "segment name inside -store-dir (default: from the listen address)")
+		snapEvery  = flag.Duration("snapshot-interval", service.DefaultSnapshotInterval, "compacting store snapshot cadence")
+		storeBatch = flag.Int("store-batch", store.DefaultBatchSize, "records per group-commit fsync batch")
+		storeWait  = flag.Duration("store-max-wait", store.DefaultMaxWait, "max wait before a partial batch is fsynced")
 	)
 	flag.Parse()
 
@@ -75,15 +92,52 @@ func main() {
 		fmt.Fprintln(os.Stderr, "edfd:", err)
 		os.Exit(2)
 	}
-	srv := service.New(service.Config{
-		CacheCapacity:  *cache,
-		Workers:        *workers,
-		MaxInFlight:    *inflight,
-		RequestTimeout: *timeout,
-		MaxSessions:    *sessions,
-		SessionTTL:     *sessionTTL,
-		Logger:         log,
-	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// An explicit listener resolves ":0" to a real port before the
+	// banner prints, so scripts (make smoke) can parse the address —
+	// and before the store opens, so the default node name is stable
+	// for a fixed -addr.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edfd:", err)
+		os.Exit(1)
+	}
+
+	var st *store.DiskStore
+	if *storeDir != "" {
+		node := *storeNode
+		if node == "" {
+			node = "edfd-" + strings.ReplaceAll(ln.Addr().String(), ":", "-")
+		}
+		st, err = store.Open(*storeDir, node, store.Options{
+			BatchSize: *storeBatch,
+			MaxWait:   *storeWait,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edfd:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		log.Info("durable store open", "dir", *storeDir, "node", node,
+			"batch", *storeBatch, "max_wait", storeWait.String())
+	}
+	cfg := service.Config{
+		CacheCapacity:    *cache,
+		Workers:          *workers,
+		MaxInFlight:      *inflight,
+		RequestTimeout:   *timeout,
+		MaxSessions:      *sessions,
+		SessionTTL:       *sessionTTL,
+		SnapshotInterval: *snapEvery,
+		Logger:           log,
+	}
+	if st != nil {
+		cfg.Store = st
+	}
+	srv := service.New(cfg)
 	defer srv.Close()
 	if *debugAddr != "" {
 		go serveDebug(log, *debugAddr)
@@ -91,17 +145,6 @@ func main() {
 	hs := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
-	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	// An explicit listener resolves ":0" to a real port before the
-	// banner prints, so scripts (make smoke) can parse the address.
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "edfd:", err)
-		os.Exit(1)
 	}
 	errc := make(chan error, 1)
 	go func() {

@@ -15,6 +15,14 @@
 // cache, split batches re-merge deterministically, and the aggregate
 // /metrics page carries both proxy and fleet counters.
 //
+// Every daemon journals to a shared -store-dir, and the suite ends with
+// the durability phase: single mode kill -9s the edfd mid-session and
+// requires a restart on the same directory to resume the committed
+// admission state; cluster mode kills a session owner and requires the
+// proxy to drain every live session through a takeover peer with no
+// client-visible error. On failure the store directory listing and each
+// log tail are dumped alongside the daemon stderr.
+//
 // Without -edfd/-edfproxy the daemons are compiled from ./cmd into a
 // temp dir, so `go run ./cmd/edfsmoke` works from a clean checkout.
 // Every daemon's stderr is captured; when startup or any request fails,
@@ -217,8 +225,18 @@ func run(ctx context.Context, daemons *fleet, edfdPath, proxyPath string, cluste
 		}
 	}
 
+	// Every daemon journals into one shared store directory, so the
+	// whole suite runs with durability on, and the recovery/takeover
+	// phases at the end have state to replay.
+	storeDir, err := os.MkdirTemp("", "edfsmoke-store")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+
 	if clusterN <= 0 {
-		d, err := daemons.start(ctx, "edfd", edfdPath, "-addr", "127.0.0.1:0", "-session-ttl", "10m")
+		d, err := daemons.start(ctx, "edfd", edfdPath, "-addr", "127.0.0.1:0", "-session-ttl", "10m",
+			"-store-dir", storeDir, "-store-node", "edfd-smoke")
 		if err != nil {
 			return err
 		}
@@ -230,13 +248,22 @@ func run(ctx context.Context, daemons *fleet, edfdPath, proxyPath string, cluste
 		if err := drive(ctx, c); err != nil {
 			return err
 		}
-		return driveFeed(ctx, c, false)
+		if err := driveFeed(ctx, c, false); err != nil {
+			return err
+		}
+		if err := driveRecovery(ctx, daemons, edfdPath, storeDir, d); err != nil {
+			dumpStore(os.Stderr, storeDir)
+			return err
+		}
+		return nil
 	}
 
-	// Cluster mode: n real replicas behind a real proxy.
+	// Cluster mode: n real replicas behind a real proxy, each journaling
+	// to its own segment of the shared directory.
 	var replicas []string
 	for i := range clusterN {
-		d, err := daemons.start(ctx, "edfd", edfdPath, "-addr", "127.0.0.1:0", "-session-ttl", "10m")
+		d, err := daemons.start(ctx, "edfd", edfdPath, "-addr", "127.0.0.1:0", "-session-ttl", "10m",
+			"-store-dir", storeDir, "-store-node", fmt.Sprintf("edfd-%d", i))
 		if err != nil {
 			return fmt.Errorf("replica %d: %w", i, err)
 		}
@@ -260,7 +287,14 @@ func run(ctx context.Context, daemons *fleet, edfdPath, proxyPath string, cluste
 	if err := driveCluster(ctx, c, clusterN); err != nil {
 		return err
 	}
-	return driveFeed(ctx, c, true)
+	if err := driveFeed(ctx, c, true); err != nil {
+		return err
+	}
+	if err := driveTakeover(ctx, daemons, c); err != nil {
+		dumpStore(os.Stderr, storeDir)
+		return err
+	}
+	return nil
 }
 
 // drive runs the protocol suite — analyze with cache/fingerprint checks,
@@ -727,6 +761,172 @@ drain:
 	}
 	fmt.Printf("edfsmoke: feed ok (%d events traced, metrics page valid)\n", len(mine))
 	return nil
+}
+
+// driveRecovery is the single-daemon durability phase: open a session,
+// commit part of it, kill the edfd with SIGKILL mid-state, restart it on
+// the same store directory, and require the committed admission state
+// back — pending proposals dropped, further proposals deciding normally.
+func driveRecovery(ctx context.Context, daemons *fleet, edfdPath, storeDir string, d *daemon) error {
+	c := client.New("http://"+d.addr, nil)
+	h, _, err := c.OpenSession(ctx, service.SessionRequest{
+		Workload: edf.SporadicWorkload(edf.TaskSet{{Name: "seed", WCET: 10, Deadline: 90, Period: 100}}),
+	})
+	if err != nil {
+		return fmt.Errorf("recovery: open: %w", err)
+	}
+	for _, tk := range []edf.Task{
+		{Name: "a", WCET: 20, Deadline: 150, Period: 200},
+		{Name: "b", WCET: 5, Deadline: 40, Period: 50},
+	} {
+		if pr, err := h.Propose(ctx, service.ProposeRequest{Task: service.SporadicTask(tk)}); err != nil || !pr.Admitted {
+			return fmt.Errorf("recovery: propose %s: %+v, %v", tk.Name, pr, err)
+		}
+	}
+	if _, err := h.Commit(ctx); err != nil {
+		return fmt.Errorf("recovery: commit: %w", err)
+	}
+	// A pending proposal the crash must discard.
+	if pr, err := h.Propose(ctx, service.ProposeRequest{
+		Task: service.SporadicTask(edf.Task{Name: "pend", WCET: 1, Deadline: 100, Period: 100}),
+	}); err != nil || !pr.Admitted {
+		return fmt.Errorf("recovery: pending propose: %+v, %v", pr, err)
+	}
+
+	// kill -9: no drain, no goodbye — the log on disk is all that's left.
+	_ = d.cmd.Process.Kill()
+	_ = d.cmd.Wait()
+	fmt.Println("edfsmoke: killed edfd with SIGKILL, restarting on", storeDir)
+
+	d2, err := daemons.start(ctx, "edfd", edfdPath, "-addr", "127.0.0.1:0", "-session-ttl", "10m",
+		"-store-dir", storeDir, "-store-node", "edfd-smoke")
+	if err != nil {
+		return fmt.Errorf("recovery: restart: %w", err)
+	}
+	c2 := client.New("http://"+d2.addr, nil)
+	if err := waitHealthy(ctx, c2); err != nil {
+		return err
+	}
+	st, err := c2.Session(h.ID).State(ctx)
+	if err != nil {
+		return fmt.Errorf("recovery: session %s did not resume: %w", h.ID, err)
+	}
+	if st.Committed != 3 || st.Pending != 0 {
+		return fmt.Errorf("recovery: resumed state committed=%d pending=%d, want 3/0", st.Committed, st.Pending)
+	}
+	if pr, err := c2.Session(h.ID).Propose(ctx, service.ProposeRequest{
+		Task: service.SporadicTask(edf.Task{Name: "post", WCET: 1, Deadline: 200, Period: 200}),
+	}); err != nil || !pr.Admitted {
+		return fmt.Errorf("recovery: post-restart propose: %+v, %v", pr, err)
+	}
+	fmt.Printf("edfsmoke: recovery ok (session %s resumed with %d committed after kill -9)\n", h.ID, st.Committed)
+	return nil
+}
+
+// driveTakeover is the cluster durability phase: with live sessions on
+// every replica, kill one owner and require the proxy to drain every
+// session — the dead owner's via a takeover peer — with no client-visible
+// error.
+func driveTakeover(ctx context.Context, daemons *fleet, c *client.Client) error {
+	const sessions = 6
+	handles := make([]*client.Session, sessions)
+	for i := range handles {
+		h, _, err := c.OpenSession(ctx, service.SessionRequest{
+			Workload: edf.SporadicWorkload(edf.TaskSet{{Name: "seed", WCET: 1, Deadline: 400, Period: 500}}),
+		})
+		if err != nil {
+			return fmt.Errorf("takeover: open %d: %w", i, err)
+		}
+		if pr, err := h.Propose(ctx, service.ProposeRequest{
+			Task: service.SporadicTask(edf.Task{Name: "w", WCET: 2, Deadline: 300, Period: 300}),
+		}); err != nil || !pr.Admitted {
+			return fmt.Errorf("takeover: session %d propose: %+v, %v", i, pr, err)
+		}
+		if _, err := h.Commit(ctx); err != nil {
+			return fmt.Errorf("takeover: session %d commit: %w", i, err)
+		}
+		handles[i] = h
+	}
+	_, rt, err := handles[0].StateRouted(ctx)
+	if err != nil {
+		return fmt.Errorf("takeover: owner lookup: %w", err)
+	}
+	owner := rt.Owner
+	victim := daemons.byURL(owner)
+	if victim == nil {
+		return fmt.Errorf("takeover: owner %q is not a spawned daemon", owner)
+	}
+	_ = victim.cmd.Process.Kill()
+	_ = victim.cmd.Wait()
+	fmt.Println("edfsmoke: killed session owner", owner)
+
+	tookOver := 0
+	for i, h := range handles {
+		pr, prt, err := h.ProposeRouted(ctx, service.ProposeRequest{
+			Task: service.SporadicTask(edf.Task{Name: "x", WCET: 1, Deadline: 250, Period: 250}),
+		})
+		if err != nil {
+			return fmt.Errorf("takeover: session %d after owner death: %w", i, err)
+		}
+		if !pr.Admitted || pr.Committed != 2 {
+			return fmt.Errorf("takeover: session %d post-kill state: %+v", i, pr)
+		}
+		if prt.TakenOverFrom != "" {
+			if prt.TakenOverFrom != owner {
+				return fmt.Errorf("takeover: session %d taken over from %q, owner was %q", i, prt.TakenOverFrom, owner)
+			}
+			tookOver++
+		}
+		if err := h.Close(ctx); err != nil {
+			return fmt.Errorf("takeover: session %d close: %w", i, err)
+		}
+	}
+	if tookOver == 0 {
+		return fmt.Errorf("takeover: no session reported takeover attribution despite a dead owner")
+	}
+	fmt.Printf("edfsmoke: takeover ok (%d sessions drained, %d taken over from %s)\n",
+		sessions, tookOver, owner)
+	return nil
+}
+
+// byURL finds the daemon behind a base URL like "http://127.0.0.1:port".
+func (f *fleet) byURL(url string) *daemon {
+	for _, d := range f.daemons {
+		if "http://"+d.addr == url {
+			return d
+		}
+	}
+	return nil
+}
+
+// dumpStore prints the store directory listing and the tail of each log
+// segment, so a recovery failure is diagnosable from CI output alone.
+func dumpStore(w io.Writer, dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintf(w, "edfsmoke: store dir %s unreadable: %v\n", dir, err)
+		return
+	}
+	fmt.Fprintf(w, "edfsmoke: --- store dir %s ---\n", dir)
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			fmt.Fprintf(w, "  %s (stat: %v)\n", e.Name(), err)
+			continue
+		}
+		fmt.Fprintf(w, "  %s  %d bytes\n", e.Name(), info.Size())
+		if strings.HasPrefix(e.Name(), "wal-") {
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err == nil {
+				const tail = 512
+				if len(b) > tail {
+					b = b[len(b)-tail:]
+				}
+				fmt.Fprintf(w, "  tail: %q\n", b)
+			}
+		}
+	}
+	fmt.Fprintln(w, "edfsmoke: --- end store dir ---")
 }
 
 // waitHealthy polls /healthz until the daemon answers.

@@ -22,6 +22,8 @@ type proxyMetrics struct {
 	sessionCreates   atomic.Uint64 // sessions opened through the proxy
 	sessionRoutes    atomic.Uint64 // session requests routed to their owner
 	sessionOrphans   atomic.Uint64 // session requests whose owner was unavailable
+	takeovers        atomic.Uint64 // sessions reassigned to a takeover peer
+	takeoverFailed   atomic.Uint64 // takeover attempts no peer could serve
 	failovers        atomic.Uint64 // requests retried on the next ring node
 	ejections        atomic.Uint64 // replicas removed from the ring
 	readmissions     atomic.Uint64 // replicas re-added after recovering
@@ -59,6 +61,8 @@ func (p *Proxy) writeMetrics(w io.Writer, scrapes []replicaScrape) {
 	counter("session_creates_total", "Sessions opened through the proxy.", p.m.sessionCreates.Load())
 	counter("session_routes_total", "Session requests routed to their sticky owner.", p.m.sessionRoutes.Load())
 	counter("session_owner_unavailable", "Session requests whose owner replica was down.", p.m.sessionOrphans.Load())
+	counter("takeover_total", "Sessions reassigned to a takeover peer after their owner died.", p.m.takeovers.Load())
+	counter("takeover_failed_total", "Takeover attempts no surviving peer could serve.", p.m.takeoverFailed.Load())
 	counter("failovers_total", "Requests retried on the next ring node.", p.m.failovers.Load())
 	counter("replica_ejections_total", "Replicas removed from the ring.", p.m.ejections.Load())
 	counter("replica_readmissions_total", "Replicas re-added after recovering.", p.m.readmissions.Load())

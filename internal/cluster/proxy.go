@@ -28,9 +28,14 @@ import (
 const (
 	HeaderReplica  = "X-Edf-Replica"
 	HeaderAttempts = "X-Edf-Attempts"
-	// HeaderOwner names a sticky session's owner on 503 replies when the
-	// owner replica is unavailable.
+	// HeaderOwner names a sticky session's owner: the serving replica on
+	// session replies, or the unavailable owner on 503 replies when no
+	// takeover peer could inherit the session.
 	HeaderOwner = "X-Edf-Owner"
+	// HeaderTakeover names the dead replica a session was taken over
+	// from, on replies served by the takeover peer that rehydrated it
+	// from the shared store.
+	HeaderTakeover = "X-Edf-Takeover"
 )
 
 // Defaults for Config's zero values.
@@ -769,22 +774,17 @@ func (p *Proxy) dropOwner(id string) {
 }
 
 // handleSession routes every /v1/sessions/{id}[/...] verb to the sticky
-// owner. Sessions are stateful, so there is no failover: a dead owner is
-// a clear 503 naming the owner, not a silent re-route that would hand
-// the client an empty session on another replica.
+// owner. Sessions are stateful, so there is no blind failover — but when
+// the owner is dead, the proxy reassigns the session to the next healthy
+// ring node, which rehydrates it from the shared durable store. Only
+// when no peer can serve the session (no peer left, or the fleet runs
+// without a store) does the client see the 503 naming the owner.
 func (p *Proxy) handleSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	owner := p.ownerOf(id)
 	if owner == "" {
 		p.m.noReplica.Add(1)
 		p.fail(w, http.StatusServiceUnavailable, errors.New("no healthy replica on the ring"))
-		return
-	}
-	if !p.isHealthy(owner) {
-		p.m.sessionOrphans.Add(1)
-		w.Header().Set(HeaderOwner, owner)
-		p.fail(w, http.StatusServiceUnavailable,
-			fmt.Errorf("session %s is owned by replica %s, which is unavailable", id, owner))
 		return
 	}
 	body, err := io.ReadAll(r.Body)
@@ -795,11 +795,16 @@ func (p *Proxy) handleSession(w http.ResponseWriter, r *http.Request) {
 	if len(body) == 0 {
 		body = nil
 	}
-	p.m.sessionRoutes.Add(1)
 	tr := obs.FromContext(r.Context())
 	if tr != nil {
 		tr.Session = id
 	}
+	if !p.isHealthy(owner) {
+		p.orphanOrTakeover(w, r, id, owner, body,
+			fmt.Errorf("session %s is owned by replica %s, which is unavailable", id, owner))
+		return
+	}
+	p.m.sessionRoutes.Add(1)
 	start := time.Now()
 	resp, err := p.post(r.Context(), r.Method, owner, r.URL.Path, body)
 	if tr != nil {
@@ -818,9 +823,7 @@ func (p *Proxy) handleSession(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	if err != nil {
-		p.m.sessionOrphans.Add(1)
-		w.Header().Set(HeaderOwner, owner)
-		p.fail(w, http.StatusServiceUnavailable,
+		p.orphanOrTakeover(w, r, id, owner, body,
 			fmt.Errorf("session %s: owner replica %s failed: %v", id, owner, err))
 		return
 	}
@@ -831,8 +834,80 @@ func (p *Proxy) handleSession(w http.ResponseWriter, r *http.Request) {
 		p.dropOwner(id)
 	}
 	w.Header().Set(HeaderReplica, owner)
+	w.Header().Set(HeaderOwner, owner)
 	w.Header().Set(HeaderAttempts, "1")
 	p.stream(w, resp)
+}
+
+// orphanOrTakeover handles a dead session owner: try a takeover peer
+// first, and only 503 (naming the owner, so the typed client can
+// attribute the failure) when no peer could inherit the session.
+func (p *Proxy) orphanOrTakeover(w http.ResponseWriter, r *http.Request, id, owner string, body []byte, cause error) {
+	if p.takeover(w, r, id, owner, body) {
+		return
+	}
+	p.m.sessionOrphans.Add(1)
+	w.Header().Set(HeaderOwner, owner)
+	p.fail(w, http.StatusServiceUnavailable, cause)
+}
+
+// takeover reassigns a dead owner's session to the next healthy ring
+// node. The peer rehydrates the session from the shared store on the
+// miss path, so the request is served — not 503d — and later requests
+// stick to the new owner. A 404 from the peer means it could not
+// rehydrate (the fleet runs without a shared store, or the session
+// really is gone): the caller falls back to the orphan 503 so a
+// store-less cluster keeps its old contract.
+func (p *Proxy) takeover(w http.ResponseWriter, r *http.Request, id, deadOwner string, body []byte) bool {
+	var target string
+	for _, rep := range p.seqFor(id) {
+		if rep != deadOwner {
+			target = rep
+			break
+		}
+	}
+	if target == "" {
+		return false
+	}
+	start := time.Now()
+	resp, err := p.post(r.Context(), r.Method, target, r.URL.Path, body)
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		detail := "from " + deadOwner
+		if err != nil {
+			detail = "error: " + err.Error()
+		} else {
+			detail += ", status " + strconv.Itoa(resp.StatusCode)
+		}
+		tr.AddSpan(obs.Span{
+			Name:    "takeover",
+			StartNS: start.Sub(tr.Start()).Nanoseconds(),
+			DurNS:   time.Since(start).Nanoseconds(),
+			Replica: target,
+			Detail:  detail,
+		})
+	}
+	if err != nil {
+		p.m.takeoverFailed.Add(1)
+		return false
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		p.m.takeoverFailed.Add(1)
+		return false
+	}
+	p.m.takeovers.Add(1)
+	p.recordOwner(id, target)
+	p.log.Info("session taken over", "session", id, "from", deadOwner, "to", target)
+	if resp.StatusCode == http.StatusNoContent && r.Method == http.MethodDelete {
+		p.dropOwner(id)
+	}
+	w.Header().Set(HeaderReplica, target)
+	w.Header().Set(HeaderOwner, target)
+	w.Header().Set(HeaderTakeover, deadOwner)
+	w.Header().Set(HeaderAttempts, "2")
+	p.stream(w, resp)
+	return true
 }
 
 func (p *Proxy) handleHealthz(w http.ResponseWriter, _ *http.Request) {

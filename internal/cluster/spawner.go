@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // Replica is one in-process edfd instance under a Spawner.
@@ -16,6 +17,7 @@ type Replica struct {
 	srv *service.Server
 	hs  *http.Server
 	ln  net.Listener
+	st  store.Store
 
 	mu   sync.Mutex
 	dead bool
@@ -40,6 +42,9 @@ func (r *Replica) Kill() {
 	_ = r.hs.Close()
 	r.srv.Close()
 	<-r.done
+	if r.st != nil {
+		_ = r.st.Close()
+	}
 }
 
 // Spawner boots real edfd replicas in-process on ephemeral 127.0.0.1
@@ -86,6 +91,35 @@ func spawnOne(cfg service.Config) (*Replica, error) {
 		_ = rep.hs.Serve(ln)
 	}()
 	return rep, nil
+}
+
+// SpawnShared boots n replicas over one shared durable-store directory,
+// each journaling to its own per-node segment (wal-edfd-<i>.log) — the
+// deployment layout behind cluster session takeover, where a surviving
+// replica rehydrates a dead owner's sessions from the shared directory.
+func SpawnShared(n int, cfg service.Config, dir string) (*Spawner, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: spawn needs n > 0, got %d", n)
+	}
+	s := &Spawner{}
+	for i := 0; i < n; i++ {
+		st, err := store.Open(dir, fmt.Sprintf("edfd-%d", i), store.Options{})
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("replica %d store: %w", i, err)
+		}
+		c := cfg
+		c.Store = st
+		rep, err := spawnOne(c)
+		if err != nil {
+			_ = st.Close()
+			s.Close()
+			return nil, fmt.Errorf("replica %d: %w", i, err)
+		}
+		rep.st = st
+		s.Replicas = append(s.Replicas, rep)
+	}
+	return s, nil
 }
 
 // URLs returns every replica's base URL in spawn order, dead ones

@@ -15,6 +15,7 @@ const (
 	EventRollback = "rollback" // pending tasks discarded
 	EventClose    = "close"    // session closed by the client
 	EventExpire   = "expire"   // session swept by the idle TTL
+	EventResume   = "resume"   // session rehydrated from the durable store
 )
 
 // Event is one admission decision on the feed. The zero value of every

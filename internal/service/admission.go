@@ -35,6 +35,15 @@ type AdmissionConfig struct {
 	// exists for benchmarking the escalation path and as an operational
 	// escape hatch.
 	NoIncremental bool
+	// TrustedSeed skips the seed feasibility analysis (the structural
+	// validation still runs). Used by store recovery, where the seed is
+	// a replayed committed set that was verified feasible when admitted:
+	// re-proving it at restart would only burn startup time. All other
+	// construction — utilization accumulation order, candidate buffers,
+	// the incremental certificate — is identical, so a recovered
+	// controller decides subsequent proposals bit-identically to the
+	// uninterrupted one.
+	TrustedSeed bool
 }
 
 // ProposeOutcome reports one admission decision. Its counts are taken in
@@ -166,12 +175,14 @@ func NewAdmission(cfg AdmissionConfig) (*Admission, error) {
 		if err := seed.Validate(); err != nil {
 			return nil, fmt.Errorf("service: seed workload: %w", err)
 		}
-		res, err := engine.AnalyzeWorkload(a, seed, adm.analyzeOptions())
-		if err != nil {
-			return nil, fmt.Errorf("service: seed workload: %w", err)
-		}
-		if res.Verdict != core.Feasible {
-			return nil, fmt.Errorf("service: seed workload is not admissible (%s)", res.Verdict)
+		if !cfg.TrustedSeed {
+			res, err := engine.AnalyzeWorkload(a, seed, adm.analyzeOptions())
+			if err != nil {
+				return nil, fmt.Errorf("service: seed workload: %w", err)
+			}
+			if res.Verdict != core.Feasible {
+				return nil, fmt.Errorf("service: seed workload is not admissible (%s)", res.Verdict)
+			}
 		}
 		adm.committed = seed
 		adm.util = workloadUtilFast(seed)

@@ -36,10 +36,26 @@ func New(base string, httpClient *http.Client) *Client {
 type Error struct {
 	StatusCode int
 	Message    string
+	// Owner names the replica that owns the failed session when the
+	// cluster proxy attributed the failure (X-Edf-Owner); "" otherwise.
+	// A 503 with a non-empty Owner means the owner died and no takeover
+	// peer could inherit the session — transient if the fleet shares a
+	// store or the owner restarts, not a permanent rejection.
+	Owner string
 }
 
 func (e *Error) Error() string {
+	if e.Owner != "" {
+		return fmt.Sprintf("edfd: %d: %s (owner %s)", e.StatusCode, e.Message, e.Owner)
+	}
 	return fmt.Sprintf("edfd: %d: %s", e.StatusCode, e.Message)
+}
+
+// OwnerUnavailable reports whether the error is the cluster proxy saying
+// a session's owner replica is down with no takeover peer able to serve
+// it — worth retrying once the fleet recovers, unlike a 4xx rejection.
+func (e *Error) OwnerUnavailable() bool {
+	return e.StatusCode == http.StatusServiceUnavailable && e.Owner != ""
 }
 
 // Route describes how the cluster proxy served a request, parsed from
@@ -56,11 +72,27 @@ type Route struct {
 	// and echoed on the X-Edf-Trace response header. It resolves at
 	// Client.Trace against the same server.
 	TraceID string
+	// Owner is the replica owning the session (X-Edf-Owner) on session
+	// requests routed through the proxy.
+	Owner string
+	// TakenOverFrom names the dead replica this session was taken over
+	// from (X-Edf-Takeover) when the serving replica rehydrated it from
+	// the shared store; "" on a normal sticky route.
+	TakenOverFrom string
 }
+
+// TakenOver reports whether the request was served by a takeover peer
+// after the session's original owner died.
+func (r Route) TakenOver() bool { return r.TakenOverFrom != "" }
 
 // routeFrom extracts the proxy routing headers, if any.
 func routeFrom(h http.Header) Route {
-	rt := Route{Replica: h.Get("X-Edf-Replica"), TraceID: h.Get(obs.TraceHeader)}
+	rt := Route{
+		Replica:       h.Get("X-Edf-Replica"),
+		TraceID:       h.Get(obs.TraceHeader),
+		Owner:         h.Get("X-Edf-Owner"),
+		TakenOverFrom: h.Get("X-Edf-Takeover"),
+	}
 	rt.Attempts, _ = strconv.Atoi(h.Get("X-Edf-Attempts"))
 	return rt
 }
@@ -101,7 +133,7 @@ func (c *Client) doRoute(ctx context.Context, method, path string, in, out any) 
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
 			msg = er.Error
 		}
-		return rt, &Error{StatusCode: resp.StatusCode, Message: msg}
+		return rt, &Error{StatusCode: resp.StatusCode, Message: msg, Owner: rt.Owner}
 	}
 	if out == nil {
 		return rt, nil
@@ -187,20 +219,43 @@ func (c *Client) OpenSession(ctx context.Context, req service.SessionRequest) (*
 	return &Session{c: c, ID: out.ID}, out, nil
 }
 
+// Session reattaches to an existing session by id — after a process
+// restart, or to a session opened by another client. The server resolves
+// the id (rehydrating from the durable store if it has one); the first
+// call reports unknown ids as a 404 Error.
+func (c *Client) Session(id string) *Session {
+	return &Session{c: c, ID: id}
+}
+
 func (s *Session) path(suffix string) string { return "/v1/sessions/" + s.ID + suffix }
 
 // State fetches the session's current counts and utilization.
 func (s *Session) State(ctx context.Context) (service.SessionResponse, error) {
-	var out service.SessionResponse
-	err := s.c.do(ctx, http.MethodGet, s.path(""), nil, &out)
+	out, _, err := s.StateRouted(ctx)
 	return out, err
+}
+
+// StateRouted is State plus the cluster routing metadata — including
+// Route.Owner and, after an owner death, Route.TakenOverFrom.
+func (s *Session) StateRouted(ctx context.Context) (service.SessionResponse, Route, error) {
+	var out service.SessionResponse
+	rt, err := s.c.doRoute(ctx, http.MethodGet, s.path(""), nil, &out)
+	return out, rt, err
 }
 
 // Propose stages one task if the grown set stays feasible.
 func (s *Session) Propose(ctx context.Context, req service.ProposeRequest) (service.ProposeResponse, error) {
-	var out service.ProposeResponse
-	err := s.c.do(ctx, http.MethodPost, s.path("/propose"), req, &out)
+	out, _, err := s.ProposeRouted(ctx, req)
 	return out, err
+}
+
+// ProposeRouted is Propose plus the cluster routing metadata, so a
+// caller can observe which replica decided and whether the session was
+// just taken over from a dead owner.
+func (s *Session) ProposeRouted(ctx context.Context, req service.ProposeRequest) (service.ProposeResponse, Route, error) {
+	var out service.ProposeResponse
+	rt, err := s.c.doRoute(ctx, http.MethodPost, s.path("/propose"), req, &out)
+	return out, rt, err
 }
 
 // ProposeBatch stages several tasks in one round trip, returning one

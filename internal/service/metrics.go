@@ -101,6 +101,14 @@ type metrics struct {
 	proposeNS   latencyHist
 	incremental atomic.Uint64
 	escalated   atomic.Uint64
+
+	// Durable-store activity (only rendered when a store is configured).
+	// resumed counts sessions replayed at startup, rehydrated counts
+	// lazy takeover loads, journalErrors counts failed log/snapshot
+	// writes (each logged with its cause).
+	resumed       atomic.Uint64
+	rehydrated    atomic.Uint64
+	journalErrors atomic.Uint64
 }
 
 // enter records a request entering a handler and keeps the high-water
@@ -161,6 +169,20 @@ func (s *Server) writeMetrics(w io.Writer) {
 	counter("edfd_events_published_total", "Admission feed events published.", published)
 	counter("edfd_events_dropped_total", "Feed events dropped on saturated subscriber buffers.", dropped)
 	gauge("edfd_event_subscribers", "Feed subscribers currently connected.", float64(subscribers))
+
+	if s.store != nil {
+		st := s.store.Stats()
+		counter("edfd_store_records_total", "Decision records written to the write-ahead log.", st.Records)
+		counter("edfd_store_appends_total", "Append/Submit calls against the store.", st.Appends)
+		counter("edfd_store_flushes_total", "Group-commit batches flushed.", st.Flushes)
+		counter("edfd_store_syncs_total", "fsync calls amortized by group commit.", st.Syncs)
+		counter("edfd_store_bytes_total", "Bytes written to the write-ahead log.", st.Bytes)
+		counter("edfd_store_snapshots_total", "Compacting snapshots written.", st.Snapshots)
+		counter("edfd_store_truncations_total", "Damaged log tails truncated during replay.", st.Truncations)
+		counter("edfd_store_sessions_resumed_total", "Sessions replayed back to life at startup.", s.m.resumed.Load())
+		counter("edfd_store_sessions_rehydrated_total", "Sessions rehydrated on demand (takeover path).", s.m.rehydrated.Load())
+		counter("edfd_store_journal_errors_total", "Failed journal or snapshot writes.", s.m.journalErrors.Load())
+	}
 
 	// Buckets are rendered cumulatively ("le" semantics): sums of
 	// cumulative counters across replicas stay cumulative, so the proxy

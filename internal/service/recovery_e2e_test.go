@@ -1,0 +1,306 @@
+// Recovery end-to-end coverage: a store-backed server is restarted (or a
+// peer rehydrates its sessions) and must resume committed admission state
+// with bit-identical verdicts, driven only through the typed client.
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+
+	edf "repro"
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/store"
+)
+
+// recoveryStream generates a deterministic proposal stream mixing
+// admissible tasks (drawn from feasible sets) with overload tasks that
+// the session must reject, so a replayed session is exercised on both
+// verdicts.
+func recoveryStream(t *testing.T, seed int64, n int) []service.WorkloadTask {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var stream []service.WorkloadTask
+	for len(stream) < n {
+		ts, err := edf.Generate(edf.GenConfig{
+			N:           4 + rng.Intn(6),
+			Utilization: 0.25 + rng.Float64()*0.2,
+			PeriodMin:   100, PeriodMax: 10000,
+			GapMean: 0.2,
+		}, rng)
+		if err != nil {
+			continue
+		}
+		for _, tk := range ts {
+			stream = append(stream, service.SporadicTask(tk))
+		}
+		// One hog per generated set: as committed utilization grows these
+		// flip from admitted to rejected, covering both paths.
+		p := int64(100 + rng.Intn(1000))
+		stream = append(stream, service.SporadicTask(edf.Task{
+			WCET: p / 2, Deadline: p, Period: p,
+		}))
+	}
+	return stream[:n]
+}
+
+// proposeJSON proposes one task and returns the decision-relevant
+// projection of the response marshaled to JSON — the form compared
+// bit-for-bit between a restarted session and its uninterrupted oracle.
+// Effort metadata (path, escalated, iterations) is deliberately outside
+// the projection: the recovered certificate anchor is a fresh Rebuild
+// over the committed set while the oracle's evolved by per-admit folds,
+// so which fast path fires may differ — but both are sound and escalate
+// to the same exact analyzer, so the verdict, the utilization bits and
+// the counts cannot.
+func proposeJSON(t *testing.T, ctx context.Context, s *client.Session, tk service.WorkloadTask) string {
+	t.Helper()
+	resp, err := s.Propose(ctx, service.ProposeRequest{Task: tk})
+	if err != nil {
+		t.Fatalf("propose: %v", err)
+	}
+	b, err := json.Marshal(struct {
+		Admitted    bool    `json:"admitted"`
+		Verdict     string  `json:"verdict"`
+		Utilization float64 `json:"utilization"`
+		Committed   int     `json:"committed"`
+		Pending     int     `json:"pending"`
+	}{resp.Admitted, resp.Result.Verdict, resp.Utilization, resp.Committed, resp.Pending})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestE2ERecoveryDiskRestart drives the full restart story through HTTP
+// and a real disk store: committed sessions resume, pending proposals are
+// dropped, closed sessions stay closed.
+func TestE2ERecoveryDiskRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, "edfd-a", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, c := newTestServer(t, service.Config{Store: st})
+	ctx := context.Background()
+
+	sess, _, err := c.OpenSession(ctx, service.SessionRequest{
+		Workload: edf.SporadicWorkload(edf.TaskSet{{Name: "seed", WCET: 10, Deadline: 90, Period: 100}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range []edf.Task{
+		{Name: "a", WCET: 20, Deadline: 150, Period: 200},
+		{Name: "b", WCET: 5, Deadline: 40, Period: 50},
+	} {
+		if resp, err := sess.Propose(ctx, service.ProposeRequest{Task: service.SporadicTask(tk)}); err != nil || !resp.Admitted {
+			t.Fatalf("propose %s: %+v, %v", tk.Name, resp, err)
+		}
+	}
+	if _, err := sess.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// One pending (uncommitted) proposal: the restart must drop it.
+	if resp, err := sess.Propose(ctx, service.ProposeRequest{
+		Task: service.SporadicTask(edf.Task{Name: "pend", WCET: 1, Deadline: 100, Period: 100}),
+	}); err != nil || !resp.Admitted {
+		t.Fatalf("pending propose: %+v, %v", resp, err)
+	}
+	closed, _, err := c.OpenSession(ctx, service.SessionRequest{
+		Workload: edf.SporadicWorkload(edf.TaskSet{{Name: "x", WCET: 1, Deadline: 50, Period: 50}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closed.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": stop the process's view of the store, then restart a fresh
+	// server over the same directory.
+	srv.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(dir, "edfd-a", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	_, c2 := newTestServer(t, service.Config{Store: st2})
+
+	state, err := c2.Session(sess.ID).State(ctx)
+	if err != nil {
+		t.Fatalf("resumed session: %v", err)
+	}
+	if state.Committed != 3 || state.Pending != 0 {
+		t.Fatalf("resumed state: %+v, want committed=3 pending=0", state)
+	}
+	var ce *client.Error
+	if _, err := c2.Session(closed.ID).State(ctx); !asClientError(err, &ce) || ce.StatusCode != 404 {
+		t.Fatalf("closed session after restart: %v, want 404", err)
+	}
+	// The resumed session keeps working: further proposals commit.
+	if resp, err := c2.Session(sess.ID).Propose(ctx, service.ProposeRequest{
+		Task: service.SporadicTask(edf.Task{Name: "post", WCET: 1, Deadline: 200, Period: 200}),
+	}); err != nil || !resp.Admitted || resp.Committed != 3 {
+		t.Fatalf("post-restart propose: %+v, %v", resp, err)
+	}
+}
+
+// TestE2ERestartVerdictsBitIdentical is the property test pinning the
+// acceptance criterion: a session journaled, crashed mid-pending and
+// replayed answers the remaining proposal stream with responses that are
+// byte-identical to an uninterrupted oracle session (whose pending batch
+// was rolled back, mirroring the crash dropping it).
+func TestE2ERestartVerdictsBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	for trial := range 5 {
+		stream := recoveryStream(t, int64(1000+trial), 22)
+		commitN, pendN := 6+trial, 3
+
+		st := store.NewMem()
+		srv1, c1 := newTestServer(t, service.Config{Store: st})
+		osrv, oc := newTestServer(t, service.Config{})
+
+		open := func(c *client.Client) *client.Session {
+			s, _, err := c.OpenSession(ctx, service.SessionRequest{
+				Workload: edf.SporadicWorkload(edf.TaskSet{{Name: "seed", WCET: 5, Deadline: 400, Period: 500}}),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		live, oracle := open(c1), open(oc)
+
+		// Identical prefix on both: commitN proposals then a commit, then
+		// pendN proposals left pending.
+		for _, s := range []*client.Session{live, oracle} {
+			for _, tk := range stream[:commitN] {
+				proposeJSON(t, ctx, s, tk)
+			}
+			if _, err := s.Commit(ctx); err != nil {
+				t.Fatal(err)
+			}
+			for _, tk := range stream[commitN : commitN+pendN] {
+				proposeJSON(t, ctx, s, tk)
+			}
+		}
+
+		// Crash the journaled server; roll the oracle's pending back by
+		// hand — that is exactly what replay does to uncommitted state.
+		srv1.Close()
+		_, c2 := newTestServer(t, service.Config{Store: st})
+		if _, err := oracle.Rollback(ctx); err != nil {
+			t.Fatal(err)
+		}
+
+		resumed := c2.Session(live.ID)
+		for i, tk := range stream[commitN+pendN:] {
+			got := proposeJSON(t, ctx, resumed, tk)
+			want := proposeJSON(t, ctx, oracle, tk)
+			if got != want {
+				t.Fatalf("trial %d proposal %d diverged after restart:\n got  %s\n want %s", trial, i, got, want)
+			}
+		}
+		gc, err := resumed.Commit(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wc, err := oracle.Commit(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gc != wc {
+			t.Fatalf("trial %d final commit diverged: %+v vs %+v", trial, gc, wc)
+		}
+		osrv.Close()
+	}
+}
+
+// TestE2ERehydrateOnMiss is the takeover building block: a second server
+// sharing the store serves a session it has never seen by rehydrating it
+// on the miss path.
+func TestE2ERehydrateOnMiss(t *testing.T) {
+	ctx := context.Background()
+	st := store.NewMem()
+	_, c1 := newTestServer(t, service.Config{Store: st})
+	// The peer exists before the session does, so startup replay cannot
+	// have carried it over — only lazy rehydration can.
+	_, c2 := newTestServer(t, service.Config{Store: st})
+
+	sess, _, err := c1.OpenSession(ctx, service.SessionRequest{
+		Workload: edf.SporadicWorkload(edf.TaskSet{{Name: "seed", WCET: 10, Deadline: 90, Period: 100}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := sess.Propose(ctx, service.ProposeRequest{
+		Task: service.SporadicTask(edf.Task{Name: "a", WCET: 5, Deadline: 40, Period: 50}),
+	}); err != nil || !resp.Admitted {
+		t.Fatalf("propose: %+v, %v", resp, err)
+	}
+	if _, err := sess.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	state, err := c2.Session(sess.ID).State(ctx)
+	if err != nil {
+		t.Fatalf("peer rehydration: %v", err)
+	}
+	if state.Committed != 2 || state.Pending != 0 {
+		t.Fatalf("rehydrated state: %+v, want committed=2 pending=0", state)
+	}
+	if resp, err := c2.Session(sess.ID).Propose(ctx, service.ProposeRequest{
+		Task: service.SporadicTask(edf.Task{Name: "b", WCET: 1, Deadline: 200, Period: 200}),
+	}); err != nil || !resp.Admitted {
+		t.Fatalf("propose on peer: %+v, %v", resp, err)
+	}
+	// A bogus id still 404s — rehydration must not invent sessions.
+	var ce *client.Error
+	if _, err := c2.Session("s_nonexistent").State(ctx); !asClientError(err, &ce) || ce.StatusCode != 404 {
+		t.Fatalf("unknown session: %v, want 404", err)
+	}
+}
+
+// TestE2EExpiredSessionsStayDead pins the TTL/durability interaction: the
+// sweeper journals expire records, so neither a restart nor a peer can
+// resurrect a session the TTL already removed.
+func TestE2EExpiredSessionsStayDead(t *testing.T) {
+	ctx := context.Background()
+	st := store.NewMem()
+	srv1, c1 := newTestServer(t, service.Config{Store: st, SessionTTL: 25 * time.Millisecond})
+
+	sess, _, err := c1.OpenSession(ctx, service.SessionRequest{
+		Workload: edf.SporadicWorkload(edf.TaskSet{{Name: "seed", WCET: 1, Deadline: 50, Period: 50}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every touch refreshes the idle clock, so poll slower than the TTL:
+	// each 150ms gap leaves the session idle long past 25ms.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		time.Sleep(150 * time.Millisecond)
+		if _, err := sess.State(ctx); err != nil {
+			break // expired
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session never expired")
+		}
+	}
+	srv1.Close()
+
+	// Restart over the same store: replay must not resurrect it, on the
+	// startup path or the lazy rehydration path.
+	_, c2 := newTestServer(t, service.Config{Store: st})
+	var ce *client.Error
+	if _, err := c2.Session(sess.ID).State(ctx); !asClientError(err, &ce) || ce.StatusCode != 404 {
+		t.Fatalf("expired session after restart: %v, want 404", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -47,6 +48,15 @@ type Config struct {
 	// Logger receives structured request and session lifecycle logs
 	// (trace/session attrs attached); nil discards them.
 	Logger *slog.Logger
+	// Store, when non-nil, makes admission sessions durable: every
+	// open/admit/commit/rollback/close/expire decision is journaled to
+	// its write-ahead log, a restarting server replays its sessions back
+	// to life, and a session-miss rehydrates from the store — which,
+	// over a shared directory, is the cluster takeover path.
+	Store store.Store
+	// SnapshotInterval is the cadence of compacting store snapshots; 0
+	// selects DefaultSnapshotInterval. Only used when Store is set.
+	SnapshotInterval time.Duration
 }
 
 // Defaults for Config's zero values.
@@ -57,6 +67,9 @@ const (
 	DefaultMaxSessions    = 1024
 	DefaultMaxBatchJobs   = 4096
 	maxRequestBytes       = 8 << 20
+	// DefaultSnapshotInterval is the compacting-snapshot cadence when a
+	// store is configured without an explicit interval.
+	DefaultSnapshotInterval = 30 * time.Second
 )
 
 // Server is the edfd daemon: engine registry in, HTTP/JSON out. Construct
@@ -71,6 +84,10 @@ type Server struct {
 	log      *slog.Logger
 	hub      *obs.Hub
 	traces   *obs.Recorder
+	// store, when non-nil, journals session decisions durably (see
+	// Config.Store). The server does not own its lifecycle: the creator
+	// closes it after the HTTP server has drained.
+	store store.Store
 	// stop ends the long-lived observability streams (SSE feeds) and the
 	// session sweeper so a graceful shutdown is not held open by them.
 	stop      chan struct{}
@@ -110,6 +127,19 @@ func New(cfg Config) *Server {
 		stop:     make(chan struct{}),
 	}
 	s.sessions.onExpired = s.publishExpired
+	if cfg.Store != nil {
+		s.store = cfg.Store
+		// Replay the journal before any request (or the sweeper) can see
+		// the session map: a restarted edfd resumes exactly the sessions
+		// it had committed, then snapshots them periodically so the log
+		// stays compact.
+		s.recoverSessions()
+		interval := cfg.SnapshotInterval
+		if interval <= 0 {
+			interval = DefaultSnapshotInterval
+		}
+		go s.snapshotter(interval)
+	}
 	if cfg.SessionTTL > 0 {
 		// Sweep a few times per TTL so expiry lags the deadline by at
 		// most ~a quarter of it.
@@ -418,9 +448,17 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	id, err := s.sessions.open(adm)
+	id, e, err := s.sessions.open(adm, req.Analyzer, req.Options)
 	if err != nil {
 		s.fail(w, http.StatusTooManyRequests, err)
+		return
+	}
+	if err := s.journalOpen(id, e, req); err != nil {
+		// No durable open record, no session: handing out an id that a
+		// restart would forget is worse than failing the open.
+		s.sessions.close(id)
+		s.m.journalErrors.Add(1)
+		s.fail(w, http.StatusInternalServerError, fmt.Errorf("journaling session open: %w", err))
 		return
 	}
 	tagTrace(r.Context(), id, "")
@@ -435,16 +473,19 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 }
 
 // session resolves the {id} path value, answering 404 itself on a miss.
-// The session is held in-flight (safe from the TTL sweeper) until the
-// returned release runs; the caller must defer it on success.
-func (s *Server) session(w http.ResponseWriter, r *http.Request) (string, *Admission, func(), bool) {
+// With a store configured, a miss first tries to rehydrate the session
+// from the shared directory — the takeover path, where this replica
+// inherits a dead owner's session. The session is held in-flight (safe
+// from the TTL sweeper) until the returned release runs; the caller
+// must defer it on success.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (string, *sessionEntry, func(), bool) {
 	id := r.PathValue("id")
-	adm, release, err := s.sessions.acquire(id)
+	e, release, err := s.ensureSession(id)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, err)
 		return "", nil, nil, false
 	}
-	return id, adm, release, true
+	return id, e, release, true
 }
 
 func (s *Server) sessionState(id string, adm *Admission) SessionResponse {
@@ -460,9 +501,9 @@ func (s *Server) sessionState(id string, adm *Admission) SessionResponse {
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
-	if id, adm, release, ok := s.session(w, r); ok {
+	if id, e, release, ok := s.session(w, r); ok {
 		defer release()
-		writeJSON(w, http.StatusOK, s.sessionState(id, adm))
+		writeJSON(w, http.StatusOK, s.sessionState(id, e.adm))
 	}
 }
 
@@ -470,9 +511,15 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	id := r.PathValue("id")
 	if !s.sessions.close(id) {
-		s.fail(w, http.StatusNotFound, errSessionUnknown)
-		return
+		// A store-backed replica may be asked to close a session it never
+		// held live (the owner died after opening it): rehydrate, then
+		// close, so the close record lands in the log.
+		if !s.rehydrate(id) || !s.sessions.close(id) {
+			s.fail(w, http.StatusNotFound, errSessionUnknown)
+			return
+		}
 	}
+	s.journalClose(id)
 	tagTrace(r.Context(), id, "")
 	if tr := obs.FromContext(r.Context()); tr != nil {
 		tr.EndSpan("close", start, "")
@@ -506,7 +553,7 @@ func (s *Server) countProposePath(out ProposeOutcome) {
 }
 
 func (s *Server) handleSessionPropose(w http.ResponseWriter, r *http.Request) {
-	id, adm, release, ok := s.session(w, r)
+	id, e, release, ok := s.session(w, r)
 	if !ok {
 		return
 	}
@@ -516,7 +563,7 @@ func (s *Server) handleSessionPropose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	out, err := adm.ProposeTask(req.Task)
+	out, err := s.proposeJournaled(e, id, req.Task)
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
@@ -535,7 +582,7 @@ func (s *Server) handleSessionPropose(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionProposeBatch(w http.ResponseWriter, r *http.Request) {
-	id, adm, release, ok := s.session(w, r)
+	id, e, release, ok := s.session(w, r)
 	if !ok {
 		return
 	}
@@ -545,7 +592,7 @@ func (s *Server) handleSessionProposeBatch(w http.ResponseWriter, r *http.Reques
 		return
 	}
 	start := time.Now()
-	outs, err := adm.ProposeBatch(req.Tasks)
+	outs, err := s.proposeBatchJournaled(e, id, req.Tasks)
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
@@ -604,13 +651,13 @@ func (s *Server) handleSessionRollback(w http.ResponseWriter, r *http.Request) {
 // finishPending serves commit and rollback, which differ only in the
 // Admission method they invoke and the feed event they publish.
 func (s *Server) finishPending(w http.ResponseWriter, r *http.Request, event string, move func(*Admission) FinishOutcome) {
-	id, adm, release, ok := s.session(w, r)
+	id, e, release, ok := s.session(w, r)
 	if !ok {
 		return
 	}
 	defer release()
 	start := time.Now()
-	out := move(adm)
+	out := s.finishJournaled(e, id, event, move)
 	tagTrace(r.Context(), id, "")
 	if tr := obs.FromContext(r.Context()); tr != nil {
 		tr.EndSpan(event, start, fmt.Sprintf("%d tasks moved", out.Moved))

@@ -15,7 +15,8 @@ var errSessionLimit = fmt.Errorf("service: session limit reached")
 var errSessionUnknown = fmt.Errorf("service: unknown session")
 
 // sessionEntry pairs a controller with its last-touched time for idle-TTL
-// sweeping.
+// sweeping and, when the server has a durable store, the session's
+// journaling state.
 type sessionEntry struct {
 	adm      *Admission
 	lastUsed time.Time
@@ -23,6 +24,17 @@ type sessionEntry struct {
 	// never expires a busy session: a propose that slips past its TTL
 	// mid-request must still find its controller alive.
 	inflight int
+
+	// Journaling state, used only when the server has a store. jmu
+	// serializes (decision, log record, watermark) triples so the log
+	// preserves per-session decision order and a snapshot capture sees a
+	// consistent (state, lastSeq) pair. analyzer/options reproduce the
+	// session's config in open records and snapshots; lastSeq is the
+	// store sequence of the session's latest record.
+	jmu      sync.Mutex
+	analyzer string
+	options  OptionsJSON
+	lastSeq  uint64
 }
 
 // sessionStore is a bounded, concurrency-safe id -> admission controller
@@ -45,17 +57,20 @@ func newSessionStore(limit int) *sessionStore {
 	return &sessionStore{sessions: make(map[string]*sessionEntry), limit: limit}
 }
 
-// open registers a controller under a fresh random id.
-func (s *sessionStore) open(adm *Admission) (string, error) {
+// open registers a controller under a fresh random id. analyzer and
+// options reproduce the session's config for the journal; they are unset
+// (and unused) when the server has no store.
+func (s *sessionStore) open(adm *Admission, analyzer string, options OptionsJSON) (string, *sessionEntry, error) {
 	id := newSessionID()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.sessions) >= s.limit {
-		return "", errSessionLimit
+		return "", nil, errSessionLimit
 	}
-	s.sessions[id] = &sessionEntry{adm: adm, lastUsed: time.Now()}
+	e := &sessionEntry{adm: adm, lastUsed: time.Now(), analyzer: analyzer, options: options}
+	s.sessions[id] = e
 	s.created++
-	return id, nil
+	return id, e, nil
 }
 
 // acquire looks a session up, refreshes its idle clock and marks it
@@ -63,7 +78,7 @@ func (s *sessionStore) open(adm *Admission) (string, error) {
 // must invoke the returned release exactly once when done with the
 // controller; release refreshes the clock again so the idle TTL measures
 // time since the request finished, not since it started.
-func (s *sessionStore) acquire(id string) (*Admission, func(), error) {
+func (s *sessionStore) acquire(id string) (*sessionEntry, func(), error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.sessions[id]
@@ -78,7 +93,37 @@ func (s *sessionStore) acquire(id string) (*Admission, func(), error) {
 		e.lastUsed = time.Now()
 		s.mu.Unlock()
 	}
-	return e.adm, release, nil
+	return e, release, nil
+}
+
+// restore registers a recovered controller under its original id (the
+// store replay and takeover-rehydration path). When the id is already
+// live — two requests racing to rehydrate the same session — the
+// existing entry wins and restored is false.
+func (s *sessionStore) restore(id string, e *sessionEntry) (*sessionEntry, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.sessions[id]; ok {
+		return cur, false, nil
+	}
+	if len(s.sessions) >= s.limit {
+		return nil, false, errSessionLimit
+	}
+	e.lastUsed = time.Now()
+	s.sessions[id] = e
+	s.created++
+	return e, true, nil
+}
+
+// entries returns the live (id, entry) pairs for a snapshot capture.
+func (s *sessionStore) entries() map[string]*sessionEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*sessionEntry, len(s.sessions))
+	for id, e := range s.sessions {
+		out[id] = e
+	}
+	return out
 }
 
 // close removes a session; ok is false when it did not exist.

@@ -19,7 +19,7 @@ func TestSweepSkipsInflight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := store.open(adm)
+	id, _, err := store.open(adm, "", OptionsJSON{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestSweepInflightRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := store.open(adm)
+	id, _, err := store.open(adm, "", OptionsJSON{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestSweepInflightRace(t *testing.T) {
 				tk := workload.SporadicTask(model.Task{
 					WCET: 1, Deadline: 50 + r.Int63n(1000), Period: 50 + r.Int63n(1000),
 				})
-				if _, err := a.ProposeTask(tk); err != nil {
+				if _, err := a.adm.ProposeTask(tk); err != nil {
 					t.Error(err)
 				}
 				release()

@@ -102,6 +102,9 @@ func (s *Server) publishDecision(ctx context.Context, session string, out Propos
 // minted trace that records the expiry itself — every feed event resolves
 // to a trace, without exceptions for server-initiated decisions.
 func (s *Server) publishExpired(ids []string) {
+	// The sweep is a decision too: journal expire records so a restart
+	// cannot resurrect sessions the TTL already removed.
+	s.journalExpired(ids)
 	for _, id := range ids {
 		tr := obs.StartTrace(obs.NewTraceID(), "session.expire")
 		tr.Session = id
@@ -143,7 +146,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	// Subscribe before the existence check so no decision can fall between
 	// the check and the subscription.
 	sub := s.hub.Subscribe(id, 0)
-	_, release, err := s.sessions.acquire(id)
+	_, release, err := s.ensureSession(id)
 	if err != nil {
 		sub.Close()
 		s.fail(w, http.StatusNotFound, err)

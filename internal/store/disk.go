@@ -1,0 +1,362 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var errClosed = errors.New("store: closed")
+
+// Options tune the disk store's group-commit batcher.
+type Options struct {
+	// BatchSize flushes the write-ahead batch when it reaches this many
+	// records (default DefaultBatchSize). 1 disables group commit: every
+	// record is its own write+fsync.
+	BatchSize int
+	// MaxWait flushes a non-empty batch after this long even if it has
+	// not filled (default DefaultMaxWait).
+	MaxWait time.Duration
+	// NoSync skips fsync after batch writes (tests/benchmarks only;
+	// crash durability is lost).
+	NoSync bool
+}
+
+// DiskStore is the production Store backend: a directory holding one
+// write-ahead segment (wal-<node>.log) and one snapshot
+// (snap-<node>.json) per node. Several processes may share the
+// directory — each writes only its own pair, and Load reads all of
+// them, which is what lets a takeover peer rehydrate a dead node's
+// sessions.
+type DiskStore struct {
+	dir    string
+	node   string
+	noSync bool
+
+	seqMu   sync.Mutex
+	lastSeq uint64
+
+	fileMu sync.Mutex
+	f      *os.File
+
+	b *batcher
+
+	closeOnce sync.Once
+	closedCh  chan struct{}
+
+	stRecords     atomic.Uint64
+	stAppends     atomic.Uint64
+	stFlushes     atomic.Uint64
+	stSyncs       atomic.Uint64
+	stBytes       atomic.Uint64
+	stSnapshots   atomic.Uint64
+	stTruncations atomic.Uint64
+}
+
+// Open creates or reopens a disk store rooted at dir. node names this
+// process's segment files; it must be unique among processes sharing
+// dir and stable across restarts of the same logical replica (edfd uses
+// a hash of the listen address).
+func Open(dir, node string, opts Options) (*DiskStore, error) {
+	if node == "" {
+		node = "0"
+	}
+	if strings.ContainsAny(node, "/\\ ") {
+		return nil, fmt.Errorf("store: invalid node name %q", node)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	s := &DiskStore{dir: dir, node: node, noSync: opts.NoSync, closedCh: make(chan struct{})}
+	f, err := os.OpenFile(s.walPath(node), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	s.f = f
+	s.b = newBatcher(s, opts.BatchSize, opts.MaxWait)
+	return s, nil
+}
+
+func (s *DiskStore) walPath(node string) string  { return filepath.Join(s.dir, "wal-"+node+".log") }
+func (s *DiskStore) snapPath(node string) string { return filepath.Join(s.dir, "snap-"+node+".json") }
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// nextSeqs assigns n hybrid-clock sequence numbers: monotonically
+// increasing within the process and, because the base is wall-clock
+// nanoseconds, ordered across processes sharing the directory without
+// coordination (modulo clock skew, which only affects cross-node tie
+// ordering, never correctness of a single session's records — a
+// session is journaled by one node at a time).
+func (s *DiskStore) nextSeqs(n int) uint64 {
+	s.seqMu.Lock()
+	base := uint64(time.Now().UnixNano())
+	if base <= s.lastSeq {
+		base = s.lastSeq + 1
+	}
+	s.lastSeq = base + uint64(n-1)
+	s.seqMu.Unlock()
+	return base
+}
+
+func (s *DiskStore) stamp(recs []Record) uint64 {
+	base := s.nextSeqs(len(recs))
+	now := time.Now().UnixNano()
+	for i := range recs {
+		recs[i].Seq = base + uint64(i)
+		if recs[i].Time == 0 {
+			recs[i].Time = now
+		}
+	}
+	return base + uint64(len(recs)-1)
+}
+
+// Append writes records and blocks until they are durable.
+func (s *DiskStore) Append(recs ...Record) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	last := s.stamp(recs)
+	s.stAppends.Add(1)
+	done, err := s.b.enqueue(recs, true)
+	if err != nil {
+		return 0, err
+	}
+	if err := <-done; err != nil {
+		return 0, err
+	}
+	return last, nil
+}
+
+// Submit enqueues records in order and returns immediately.
+func (s *DiskStore) Submit(recs ...Record) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	last := s.stamp(recs)
+	s.stAppends.Add(1)
+	if _, err := s.b.enqueue(recs, false); err != nil {
+		return 0, err
+	}
+	return last, nil
+}
+
+// writeBatch is the batcher sink: one write + one fsync per batch.
+func (s *DiskStore) writeBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil // drain barrier: ordering is all the caller needs
+	}
+	buf, err := encodeRecords(recs)
+	if err != nil {
+		return err
+	}
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	if _, err := s.f.Write(buf); err != nil {
+		return fmt.Errorf("store: wal write: %w", err)
+	}
+	if !s.noSync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: wal sync: %w", err)
+		}
+		s.stSyncs.Add(1)
+	}
+	s.stFlushes.Add(1)
+	s.stRecords.Add(uint64(len(recs)))
+	s.stBytes.Add(uint64(len(buf)))
+	return nil
+}
+
+// WriteSnapshot persists the image under this node's snapshot file
+// (write-temp + rename) and compacts this node's segment, dropping
+// records the snapshot covers. Close/expire records are always
+// retained so a stale image in another node's files cannot resurrect a
+// dead session.
+func (s *DiskStore) WriteSnapshot(snap Snapshot) error {
+	data, err := json.MarshalIndent(&snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	path := s.snapPath(s.node)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	s.stSnapshots.Add(1)
+	return s.compact(snap)
+}
+
+// compact rewrites this node's segment keeping only records the
+// snapshot does not cover.
+func (s *DiskStore) compact(snap Snapshot) error {
+	marks := make(map[string]uint64, len(snap.Sessions))
+	for _, img := range snap.Sessions {
+		marks[img.ID] = img.Seq
+	}
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	path := s.walPath(s.node)
+	recs, truncated, err := readLogFile(path, true)
+	if err != nil {
+		return err
+	}
+	if truncated {
+		s.stTruncations.Add(1)
+	}
+	var keep []Record
+	for _, rec := range recs {
+		switch {
+		case rec.Type == TypeClose || rec.Type == TypeExpire:
+			keep = append(keep, rec)
+		case rec.Seq > snap.Seq:
+			keep = append(keep, rec)
+		default:
+			if mark, ok := marks[rec.Session]; ok && rec.Seq > mark {
+				keep = append(keep, rec)
+			}
+		}
+	}
+	buf, err := encodeRecords(keep)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// Reopen the handle on the new inode; queued batches flush to it.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen wal after compaction: %w", err)
+	}
+	s.f.Close()
+	s.f = f
+	return nil
+}
+
+// Load replays every snapshot and segment in the directory. Damaged
+// tails on this node's own segment are truncated; damage on a foreign
+// segment stops that segment's replay without modifying it.
+func (s *DiskStore) Load() (map[string]*SessionState, uint64, error) {
+	// Flush queued submissions first so Load observes everything this
+	// process has written (tests reuse one store across "restarts").
+	s.drain()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	r := newReplayer()
+	var all []Record
+	var snapFiles, walFiles []string
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".json"):
+			snapFiles = append(snapFiles, name)
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			walFiles = append(walFiles, name)
+		}
+	}
+	sort.Strings(snapFiles)
+	sort.Strings(walFiles)
+	for _, name := range snapFiles {
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			return nil, 0, err
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			// A half-written foreign snapshot (rename is atomic, so this
+			// means external damage): skip it, the log still replays.
+			continue
+		}
+		r.note(snap.Seq)
+		for _, img := range snap.Sessions {
+			r.foldSnapshot(img)
+		}
+	}
+	for _, name := range walFiles {
+		own := name == "wal-"+s.node+".log"
+		recs, truncated, err := readLogFile(filepath.Join(s.dir, name), own)
+		if err != nil {
+			return nil, 0, err
+		}
+		if truncated {
+			s.stTruncations.Add(1)
+		}
+		all = append(all, recs...)
+	}
+	sortRecords(all)
+	for _, rec := range all {
+		if err := r.foldRecord(rec); err != nil {
+			return nil, 0, err
+		}
+	}
+	sessions, maxSeq := r.result()
+	s.seqMu.Lock()
+	if maxSeq > s.lastSeq {
+		s.lastSeq = maxSeq
+	}
+	s.seqMu.Unlock()
+	return sessions, maxSeq, nil
+}
+
+// LoadSession replays the directory and returns one session's state,
+// or nil when it is unknown or closed.
+func (s *DiskStore) LoadSession(id string) (*SessionState, error) {
+	sessions, _, err := s.Load()
+	if err != nil {
+		return nil, err
+	}
+	return sessions[id], nil
+}
+
+// drain blocks until the batcher has flushed everything enqueued so
+// far, by appending an empty durable batch behind it.
+func (s *DiskStore) drain() {
+	done, err := s.b.enqueue(nil, true)
+	if err != nil {
+		return
+	}
+	<-done
+}
+
+// Stats reports the store's counters.
+func (s *DiskStore) Stats() Stats {
+	return Stats{
+		Records:     s.stRecords.Load(),
+		Appends:     s.stAppends.Load(),
+		Flushes:     s.stFlushes.Load(),
+		Syncs:       s.stSyncs.Load(),
+		Bytes:       s.stBytes.Load(),
+		Snapshots:   s.stSnapshots.Load(),
+		Truncations: s.stTruncations.Load(),
+	}
+}
+
+// Close flushes pending submissions and closes the segment.
+func (s *DiskStore) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		s.b.close()
+		s.fileMu.Lock()
+		err = s.f.Close()
+		s.fileMu.Unlock()
+		close(s.closedCh)
+	})
+	return err
+}

@@ -1,0 +1,53 @@
+// Package store is the durable-state subsystem for admission sessions:
+// an append-only write-ahead decision log with group-commit batching,
+// periodic compacting snapshots, and a pluggable Store interface with an
+// in-memory backend for tests and a disk-directory backend for
+// production (edfd -store-dir).
+//
+// # Log format
+//
+// The disk log is a sequence of length-prefixed, CRC-framed records:
+//
+//	[4B little-endian payload length][4B little-endian CRC32 (IEEE) of payload][payload]
+//
+// where payload is the JSON encoding of a Record. Replay reads records
+// until the first torn, truncated or CRC-corrupt frame and truncates the
+// log there — a crash can only lose an ordered suffix of unsynced
+// records, never corrupt earlier state, and replay never panics on a
+// damaged tail.
+//
+// # Group commit
+//
+// Appends ride a batcher that coalesces concurrent records into one
+// write+fsync (flushing when the batch reaches a size threshold or a
+// max-wait deadline, whichever first). Append blocks until its record is
+// durable; Submit enqueues in order and returns immediately — callers
+// use Submit for records whose loss is tolerable as a suffix (admit,
+// rollback, expire) and Append for durability points (open, commit,
+// close).
+//
+// # Records and replay
+//
+// One record per session decision: open (carries the session config,
+// i.e. the seed workload), admit (a proposed task, pending), commit
+// (pending tasks become committed), rollback (pending tasks dropped),
+// close and expire (session gone; replay excludes it so a restart
+// cannot resurrect a swept session). Load folds the snapshot and log
+// into per-session SessionState values; the service layer rebuilds live
+// Admission controllers from them and gets bit-identical verdicts
+// because the committed task order is preserved exactly.
+//
+// # Snapshots and shared directories
+//
+// WriteSnapshot persists the committed state of live sessions along
+// with a per-session sequence watermark; replay skips log records at or
+// below a session's watermark. After a snapshot the store compacts its
+// own log segment, dropping records the snapshot covers.
+//
+// A store directory may be shared by several processes (the cluster
+// takeover path): each node writes its own wal-<node>.log and
+// snap-<node>.json so writers never contend, while Load and LoadSession
+// read every segment. Sequence numbers are hybrid-clock values
+// (max(last+1, unixNano)) so records from different nodes order
+// correctly without coordination.
+package store

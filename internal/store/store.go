@@ -1,0 +1,47 @@
+package store
+
+// Store is the pluggable durable-state backend for admission sessions.
+// Implementations must be safe for concurrent use.
+type Store interface {
+	// Append writes records to the log and returns after they are
+	// durable (fsynced, for disk backends). The store assigns Seq to
+	// each record in order; the returned seq is the last one assigned.
+	Append(recs ...Record) (uint64, error)
+	// Submit enqueues records in order and returns without waiting for
+	// durability. A crash loses at most an ordered suffix of submitted
+	// records. Use for records whose loss is recoverable (admit,
+	// rollback, expire); use Append for durability points.
+	Submit(recs ...Record) (uint64, error)
+	// WriteSnapshot persists a compacting image of live session state
+	// and drops log records it covers.
+	WriteSnapshot(snap Snapshot) error
+	// Load replays snapshot + log into per-session states and returns
+	// the highest sequence number seen.
+	Load() (map[string]*SessionState, uint64, error)
+	// LoadSession replays a single session (the cluster takeover path:
+	// a peer rehydrates one session from the shared directory). Returns
+	// nil state when the session is unknown or closed.
+	LoadSession(id string) (*SessionState, error)
+	// Stats reports counters for /metrics.
+	Stats() Stats
+	// Close flushes pending submissions and releases resources.
+	Close() error
+}
+
+// Stats are monotonic counters exposed as edfd_store_* metrics.
+type Stats struct {
+	// Records appended (log records written, durable or queued).
+	Records uint64
+	// Appends is the number of Append/Submit calls.
+	Appends uint64
+	// Flushes is the number of group-commit batches written.
+	Flushes uint64
+	// Syncs is the number of fsync calls (0 for the memory backend).
+	Syncs uint64
+	// Bytes written to the log.
+	Bytes uint64
+	// Snapshots written.
+	Snapshots uint64
+	// Truncations performed during replay (torn/corrupt tails dropped).
+	Truncations uint64
+}

@@ -1,0 +1,405 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, dir, node string) *DiskStore {
+	t.Helper()
+	s, err := Open(dir, node, Options{BatchSize: 4, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func cfg(tasks ...string) json.RawMessage {
+	raw, _ := json.Marshal(map[string]any{"analyzer": "auto", "model": "sporadic", "tasks": tasks})
+	return raw
+}
+
+func task(name string) json.RawMessage {
+	raw, _ := json.Marshal(name)
+	return raw
+}
+
+// journal writes a typical session history: open, two admits, commit,
+// one more admit (left pending).
+func journal(t *testing.T, s Store, id string) {
+	t.Helper()
+	must := func(_ uint64, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	must(s.Append(Record{Type: TypeOpen, Session: id, Config: cfg("seed")}))
+	must(s.Submit(Record{Type: TypeAdmit, Session: id, Task: task("t1")}))
+	must(s.Submit(Record{Type: TypeAdmit, Session: id, Task: task("t2")}))
+	must(s.Append(Record{Type: TypeCommit, Session: id}))
+	must(s.Submit(Record{Type: TypeAdmit, Session: id, Task: task("t3")}))
+}
+
+func wantState(t *testing.T, st *SessionState, wantTasks []string, wantPending []string) {
+	t.Helper()
+	if st == nil {
+		t.Fatalf("session state missing")
+	}
+	var c struct {
+		Tasks []string `json:"tasks"`
+	}
+	if err := json.Unmarshal(st.Config, &c); err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	if fmt.Sprint(c.Tasks) != fmt.Sprint(wantTasks) {
+		t.Fatalf("committed tasks = %v, want %v", c.Tasks, wantTasks)
+	}
+	var pend []string
+	for _, p := range st.Pending {
+		var v string
+		if err := json.Unmarshal(p, &v); err != nil {
+			t.Fatalf("pending: %v", err)
+		}
+		pend = append(pend, v)
+	}
+	if fmt.Sprint(pend) != fmt.Sprint(wantPending) {
+		t.Fatalf("pending = %v, want %v", pend, wantPending)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, "a")
+	journal(t, s, "s1")
+	sessions, _, err := s.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(sessions) != 1 {
+		t.Fatalf("sessions = %d, want 1", len(sessions))
+	}
+	wantState(t, sessions["s1"], []string{"seed", "t1", "t2"}, []string{"t3"})
+
+	// Restart: a fresh store over the same dir sees the same state.
+	s.Close()
+	s2 := openTest(t, dir, "a")
+	sessions, _, err = s2.Load()
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	wantState(t, sessions["s1"], []string{"seed", "t1", "t2"}, []string{"t3"})
+}
+
+func TestCloseAndExpireExcludeFromReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, "a")
+	journal(t, s, "s1")
+	journal(t, s, "s2")
+	if _, err := s.Append(Record{Type: TypeClose, Session: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(Record{Type: TypeExpire, Session: "s2"}); err != nil {
+		t.Fatal(err)
+	}
+	sessions, _, err := s.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(sessions) != 0 {
+		t.Fatalf("closed/expired sessions resurrected: %v", sessions)
+	}
+}
+
+// corruptTail opens the single wal file in dir and mutates it.
+func walFile(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("wal files = %v (err %v), want exactly 1", matches, err)
+	}
+	return matches[0]
+}
+
+func TestRecoverTornTailRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, "a")
+	journal(t, s, "s1")
+	s.Close()
+
+	// Tear the last record: chop bytes off the end, mid-payload.
+	path := walFile(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, "a")
+	sessions, _, err := s2.Load()
+	if err != nil {
+		t.Fatalf("load after torn tail: %v", err)
+	}
+	// The torn record is the pending t3 admit: committed state survives.
+	wantState(t, sessions["s1"], []string{"seed", "t1", "t2"}, nil)
+	if s2.Stats().Truncations == 0 {
+		t.Fatalf("expected a truncation to be counted")
+	}
+	// The file was repaired: a re-read is clean and appends still work.
+	if _, err := s2.Append(Record{Type: TypeAdmit, Session: "s1", Task: task("t4")}); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	sessions, _, err = s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState(t, sessions["s1"], []string{"seed", "t1", "t2"}, []string{"t4"})
+}
+
+func TestRecoverTruncatedLengthPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, "a")
+	journal(t, s, "s1")
+	s.Close()
+
+	// Leave only 3 bytes of the final record's 8-byte header.
+	path := walFile(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, valid, clean, err := readLog(bytes.NewReader(data))
+	if err != nil || !clean || len(recs) != 5 {
+		t.Fatalf("precondition: recs=%d clean=%v err=%v", len(recs), clean, err)
+	}
+	// valid == len(data); compute the start of the last frame.
+	lastStart := frameStart(data, len(recs)-1)
+	if err := os.WriteFile(path, data[:lastStart+3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_ = valid
+
+	s2 := openTest(t, dir, "a")
+	sessions, _, err := s2.Load()
+	if err != nil {
+		t.Fatalf("load after truncated prefix: %v", err)
+	}
+	wantState(t, sessions["s1"], []string{"seed", "t1", "t2"}, nil)
+}
+
+func TestRecoverCRCCorruptMidLog(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, "a")
+	journal(t, s, "s1")
+	s.Close()
+
+	// Flip a payload byte inside the commit record (4th of 5). Replay
+	// must stop at the last valid record before it — the t2 admit — so
+	// the commit and the t3 admit are both lost (an ordered suffix).
+	path := walFile(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := frameStart(data, 3)
+	data[start+frameHeader+2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, "a")
+	sessions, _, err := s2.Load()
+	if err != nil {
+		t.Fatalf("load after mid-log corruption: %v", err)
+	}
+	wantState(t, sessions["s1"], []string{"seed"}, []string{"t1", "t2"})
+}
+
+// frameStart returns the byte offset of the idx-th frame.
+func frameStart(data []byte, idx int) int {
+	off := 0
+	for i := 0; i < idx; i++ {
+		length := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		off += frameHeader + length
+	}
+	return off
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, "a")
+	journal(t, s, "s1")
+	sessions, maxSeq, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sessions["s1"]
+	snap := Snapshot{Seq: maxSeq, Sessions: []SessionSnapshot{{
+		ID: "s1", Seq: st.Seq, Config: st.Config, Pending: st.Pending,
+	}}}
+	if err := s.WriteSnapshot(snap); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	// The segment compacted away the covered records.
+	info, err := os.Stat(walFile(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 0 {
+		t.Fatalf("wal size after compaction = %d, want 0", info.Size())
+	}
+	// State still replays (from the snapshot) and appends continue.
+	if _, err := s.Append(Record{Type: TypeCommit, Session: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	sessions, _, err = s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState(t, sessions["s1"], []string{"seed", "t1", "t2", "t3"}, nil)
+
+	// Restart replays snapshot + post-snapshot log.
+	s.Close()
+	s2 := openTest(t, dir, "a")
+	sessions, _, err = s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState(t, sessions["s1"], []string{"seed", "t1", "t2", "t3"}, nil)
+}
+
+func TestSnapshotDoesNotResurrectClosed(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, "a")
+	journal(t, s, "s1")
+	sessions, maxSeq, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sessions["s1"]
+	snap := Snapshot{Seq: maxSeq, Sessions: []SessionSnapshot{{ID: "s1", Seq: st.Seq, Config: st.Config, Pending: st.Pending}}}
+	if err := s.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(Record{Type: TypeExpire, Session: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := openTest(t, dir, "a")
+	sessions, _, err = s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 0 {
+		t.Fatalf("expired session resurrected from snapshot: %v", sessions)
+	}
+}
+
+func TestSharedDirTwoNodes(t *testing.T) {
+	dir := t.TempDir()
+	a := openTest(t, dir, "a")
+	b := openTest(t, dir, "b")
+	journal(t, a, "s1")
+	journal(t, b, "s2")
+
+	// Each node sees both sessions (shared directory).
+	for _, s := range []*DiskStore{a, b} {
+		sessions, _, err := s.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sessions) != 2 {
+			t.Fatalf("sessions = %d, want 2", len(sessions))
+		}
+	}
+
+	// Takeover: node b rehydrates node a's session.
+	st, err := b.LoadSession("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState(t, st, []string{"seed", "t1", "t2"}, []string{"t3"})
+
+	// Corruption in a's segment must not be repaired by b...
+	a.Close()
+	pathA := filepath.Join(dir, "wal-a.log")
+	data, err := os.ReadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(pathA, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Load(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(data)-5 {
+		t.Fatalf("foreign segment was modified: %d -> %d bytes", len(data)-5, len(after))
+	}
+}
+
+func TestMemStoreMatchesDisk(t *testing.T) {
+	disk := openTest(t, t.TempDir(), "a")
+	mem := NewMem()
+	for _, s := range []Store{disk, mem} {
+		journal(t, s, "s1")
+		sessions, _, err := s.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantState(t, sessions["s1"], []string{"seed", "t1", "t2"}, []string{"t3"})
+	}
+}
+
+func TestMemDropTail(t *testing.T) {
+	mem := NewMem()
+	journal(t, mem, "s1")
+	mem.DropTail(2) // lose the commit and the trailing admit
+	sessions, _, err := mem.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState(t, sessions["s1"], []string{"seed"}, []string{"t1", "t2"})
+}
+
+func TestGroupCommitAmortizesFsync(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "a", Options{BatchSize: 64, MaxWait: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Append(Record{Type: TypeOpen, Session: "s1", Config: cfg()}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := s.Submit(Record{Type: TypeAdmit, Session: "s1", Task: task("t")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Append(Record{Type: TypeCommit, Session: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Records != 66 {
+		t.Fatalf("records = %d, want 66", st.Records)
+	}
+	// 64 submits + 2 appends in at most a handful of flushes; without
+	// group commit this would be up to 66.
+	if st.Syncs > 8 {
+		t.Fatalf("syncs = %d, want <= 8 (group commit not amortizing)", st.Syncs)
+	}
+}
