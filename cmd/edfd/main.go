@@ -37,9 +37,10 @@
 // log in that directory (group-committed, compacted by periodic
 // snapshots) and a restarted edfd resumes its committed sessions.
 // Several replicas may share one directory — each journals to its own
-// per-node segment, named by -store-node (default: derived from the
-// resolved listen address) — which is what lets edfproxy hand a dead
-// replica's sessions to a surviving peer.
+// per-node segment, named by -store-node (default: a stable name
+// persisted in the directory's node-id file; replicas sharing a
+// directory must set distinct explicit names) — which is what lets
+// edfproxy hand a dead replica's sessions to a surviving peer.
 //
 // Diagnostics go to stderr as JSON (log/slog) carrying trace/session
 // attributes; -log-level tunes the threshold. The stdout banner line
@@ -60,7 +61,6 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
@@ -80,7 +80,7 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "slog threshold: debug, info, warn or error")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (off when empty)")
 		storeDir   = flag.String("store-dir", "", "journal admission decisions to this directory (off when empty)")
-		storeNode  = flag.String("store-node", "", "segment name inside -store-dir (default: from the listen address)")
+		storeNode  = flag.String("store-node", "", "segment name inside -store-dir (default: persisted node-id file)")
 		snapEvery  = flag.Duration("snapshot-interval", service.DefaultSnapshotInterval, "compacting store snapshot cadence")
 		storeBatch = flag.Int("store-batch", store.DefaultBatchSize, "records per group-commit fsync batch")
 		storeWait  = flag.Duration("store-max-wait", store.DefaultMaxWait, "max wait before a partial batch is fsynced")
@@ -97,9 +97,7 @@ func main() {
 	defer stop()
 
 	// An explicit listener resolves ":0" to a real port before the
-	// banner prints, so scripts (make smoke) can parse the address —
-	// and before the store opens, so the default node name is stable
-	// for a fixed -addr.
+	// banner prints, so scripts (make smoke) can parse the address.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edfd:", err)
@@ -108,9 +106,18 @@ func main() {
 
 	var st *store.DiskStore
 	if *storeDir != "" {
+		// The default node name is persisted in the store dir (node-id
+		// file), NOT derived from the listen address: with -addr :0 the
+		// address changes every restart, which would orphan the previous
+		// run's segments — replayed forever, compacted never. Fleets
+		// sharing one directory must pass explicit -store-node values.
 		node := *storeNode
 		if node == "" {
-			node = "edfd-" + strings.ReplaceAll(ln.Addr().String(), ":", "-")
+			node, err = store.DefaultNode(*storeDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "edfd:", err)
+				os.Exit(1)
+			}
 		}
 		st, err = store.Open(*storeDir, node, store.Options{
 			BatchSize: *storeBatch,

@@ -774,11 +774,13 @@ func (p *Proxy) dropOwner(id string) {
 }
 
 // handleSession routes every /v1/sessions/{id}[/...] verb to the sticky
-// owner. Sessions are stateful, so there is no blind failover — but when
-// the owner is dead, the proxy reassigns the session to the next healthy
-// ring node, which rehydrates it from the shared durable store. Only
-// when no peer can serve the session (no peer left, or the fleet runs
-// without a store) does the client see the 503 naming the owner.
+// owner. Sessions are stateful, so there is no blind failover — a
+// takeover happens only when the owner is actually down (marked
+// unhealthy, or failing a request AND the confirming health probe), and
+// then the proxy reassigns the session to the next healthy ring node,
+// which rehydrates it from the shared durable store. Only when no peer
+// can serve the session (no peer left, or the fleet runs without a
+// store) does the client see the 503 naming the owner.
 func (p *Proxy) handleSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	owner := p.ownerOf(id)
@@ -823,8 +825,27 @@ func (p *Proxy) handleSession(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	if err != nil {
-		p.orphanOrTakeover(w, r, id, owner, body,
-			fmt.Errorf("session %s: owner replica %s failed: %v", id, owner, err))
+		// A failed request does not prove the owner is dead: it may have
+		// applied the decision with only the response lost (timeout,
+		// reset), and re-executing it on a takeover peer would duplicate
+		// the admit/commit while the live owner keeps its own copy of the
+		// session. Probe the owner before any takeover: only a
+		// confirmed-dead owner loses the session; a live one is
+		// re-admitted and the client gets the 503 naming it, so a retry
+		// lands back on the same replica.
+		if r.Context().Err() != nil {
+			p.fail(w, http.StatusServiceUnavailable, fmt.Errorf("client canceled: %w", err))
+			return
+		}
+		if p.confirmDead(owner) {
+			p.orphanOrTakeover(w, r, id, owner, body,
+				fmt.Errorf("session %s: owner replica %s failed: %v", id, owner, err))
+			return
+		}
+		p.m.sessionOrphans.Add(1)
+		w.Header().Set(HeaderOwner, owner)
+		p.fail(w, http.StatusServiceUnavailable,
+			fmt.Errorf("session %s: request to owner replica %s failed but the owner is alive, retry: %v", id, owner, err))
 		return
 	}
 	// The owner no longer knows the session (closed, TTL-swept) — or the
@@ -837,6 +858,32 @@ func (p *Proxy) handleSession(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(HeaderOwner, owner)
 	w.Header().Set(HeaderAttempts, "1")
 	p.stream(w, resp)
+}
+
+// confirmDead probes a failed owner's /healthz synchronously. post
+// already ejected the replica passively; this distinguishes a dead
+// process (probe fails too — takeover may proceed) from a transient
+// request failure against a live one (probe answers — the failed
+// request may have been applied there, so the session must stay put).
+// An answering owner is re-admitted to the ring on the spot.
+func (p *Proxy) confirmDead(owner string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), defaultHealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return true
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		p.setHealthy(owner, true)
+		return false
+	}
+	return true
 }
 
 // orphanOrTakeover handles a dead session owner: try a takeover peer

@@ -1,0 +1,135 @@
+package cluster_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestTransientOwnerErrorDoesNotTakeover pins the duplicate-execution
+// guard: one failed request to an owner that still answers /healthz is
+// NOT a death — the request may have been applied with only the
+// response lost, so re-executing it on a takeover peer would duplicate
+// the decision and fork the session. The client must get a 503 naming
+// the live owner, the peer must never see the request, and the next
+// request must go straight back to the owner.
+func TestTransientOwnerErrorDoesNotTakeover(t *testing.T) {
+	var fail atomic.Bool
+	var ownerHits, peerHits atomic.Int64
+	healthz := func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	}
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			healthz(w)
+			return
+		}
+		ownerHits.Add(1)
+		if fail.Load() {
+			// Abort the connection before any response bytes: the proxy
+			// sees a transport error and cannot know whether the request
+			// was applied — the lost-reply shape.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("test server does not support hijacking")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"id":"probe"}`))
+	}))
+	defer owner.Close()
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			healthz(w)
+			return
+		}
+		peerHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"id":"peer"}`))
+	}))
+	defer peer.Close()
+
+	p, err := cluster.New(cluster.Config{Replicas: []string{owner.URL, peer.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	hs := httptest.NewServer(p.Handler())
+	defer hs.Close()
+
+	// Find a session id the ring assigns to the failure-injecting
+	// replica (unknown ids route by ring hash, which depends on the
+	// ephemeral port in the URL).
+	var id string
+	for i := range 64 {
+		cand := fmt.Sprintf("s_route_probe_%d", i)
+		before := ownerHits.Load()
+		resp, err := hs.Client().Get(hs.URL + "/v1/sessions/" + cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if ownerHits.Load() > before {
+			id = cand
+			break
+		}
+	}
+	if id == "" {
+		t.Fatal("no probe id hashed onto the first replica")
+	}
+
+	peerHits.Store(0)
+	fail.Store(true)
+	resp, err := hs.Client().Get(hs.URL + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status after transient owner error = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get(cluster.HeaderOwner); got != owner.URL {
+		t.Fatalf("X-Edf-Owner = %q, want the live owner %q", got, owner.URL)
+	}
+	if got := resp.Header.Get(cluster.HeaderTakeover); got != "" {
+		t.Fatalf("X-Edf-Takeover = %q on a transient error, want none", got)
+	}
+	if n := peerHits.Load(); n != 0 {
+		t.Fatalf("takeover peer served %d session requests though the owner is alive", n)
+	}
+
+	// The owner answered its confirming health probe, so it was
+	// re-admitted on the spot: the retry lands back on it, unmoved.
+	fail.Store(false)
+	resp2, err := hs.Client().Get(hs.URL + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("retry after transient error = %d, want 200 from the same owner", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get(cluster.HeaderReplica); got != owner.URL {
+		t.Fatalf("retry served by %q, want the original owner %q", got, owner.URL)
+	}
+	if n := peerHits.Load(); n != 0 {
+		t.Fatalf("session moved to the peer (%d requests) despite a live owner", n)
+	}
+}

@@ -233,13 +233,66 @@ func (s *Server) recoverSessions() {
 	}
 }
 
+// Negative rehydrate-cache tuning: a store lookup that found nothing is
+// remembered this long, and at most this many ids are tracked. Every
+// /v1/sessions/{id} miss otherwise costs a full directory replay, which
+// would make bogus ids an easy resource-exhaustion vector.
+const (
+	rehydrateMissTTL = 2 * time.Second
+	maxTrackedMisses = 4096
+)
+
+// recentMiss reports whether id was recently looked up in the store and
+// found absent; such ids 404 again without another full replay.
+func (s *Server) recentMiss(id string) bool {
+	s.missMu.Lock()
+	defer s.missMu.Unlock()
+	t, ok := s.misses[id]
+	if !ok {
+		return false
+	}
+	if time.Since(t) > rehydrateMissTTL {
+		delete(s.misses, id)
+		return false
+	}
+	return true
+}
+
+// noteMiss records a store lookup that found nothing, bounding the map:
+// expired entries go first, arbitrary ones if the map is still full.
+func (s *Server) noteMiss(id string) {
+	s.missMu.Lock()
+	defer s.missMu.Unlock()
+	if s.misses == nil {
+		s.misses = make(map[string]time.Time)
+	}
+	if len(s.misses) >= maxTrackedMisses {
+		for k, t := range s.misses {
+			if time.Since(t) > rehydrateMissTTL {
+				delete(s.misses, k)
+			}
+		}
+		for k := range s.misses {
+			if len(s.misses) < maxTrackedMisses {
+				break
+			}
+			delete(s.misses, k)
+		}
+	}
+	s.misses[id] = time.Now()
+}
+
 // rehydrate loads one session this replica has never seen from the
 // shared store — the takeover path: the proxy reassigned a dead owner's
 // session here, and the store directory both replicas share has its
 // decision history. Returns false when the session is unknown, closed,
-// or cannot be rebuilt.
+// or cannot be rebuilt. Absent and unrebuildable ids are remembered
+// briefly so repeated misses skip the full directory replay.
 func (s *Server) rehydrate(id string) bool {
 	if s.store == nil {
+		return false
+	}
+	if s.recentMiss(id) {
 		return false
 	}
 	st, err := s.store.LoadSession(id)
@@ -248,10 +301,12 @@ func (s *Server) rehydrate(id string) bool {
 		return false
 	}
 	if st == nil {
+		s.noteMiss(id)
 		return false
 	}
 	e, err := s.rebuildEntry(st)
 	if err != nil {
+		s.noteMiss(id)
 		s.log.Error("session not rehydrated", "session", id, "err", err)
 		return false
 	}
@@ -300,12 +355,16 @@ func (s *Server) ensureSession(id string) (*sessionEntry, func(), error) {
 	return s.sessions.acquire(id)
 }
 
-// captureSnapshot builds a compacting image of live sessions. A session
-// whose open record has not landed yet (lastSeq == 0) is skipped: its
-// records carry sequence numbers above this capture's watermark, so
-// compaction cannot touch them.
+// captureSnapshot builds a compacting image of live sessions. snap.Seq
+// is a store watermark taken BEFORE any session is read: a record
+// stamped while the capture walks the map always carries a higher seq,
+// so compacting up to snap.Seq can never drop a record the image does
+// not cover. A session whose open record has not landed yet
+// (lastSeq == 0) is skipped — stamping happens under the same jmu this
+// capture takes, so its records are stamped strictly after the
+// watermark and survive both compaction and replay on their own.
 func (s *Server) captureSnapshot() (store.Snapshot, bool) {
-	var snap store.Snapshot
+	snap := store.Snapshot{Seq: s.store.LastSeq()}
 	for id, e := range s.sessions.entries() {
 		e.jmu.Lock()
 		seq := e.lastSeq
@@ -328,9 +387,6 @@ func (s *Server) captureSnapshot() (store.Snapshot, bool) {
 				continue
 			}
 			img.Pending = append(img.Pending, raw)
-		}
-		if seq > snap.Seq {
-			snap.Seq = seq
 		}
 		snap.Sessions = append(snap.Sessions, img)
 	}

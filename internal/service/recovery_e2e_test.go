@@ -7,6 +7,7 @@ import (
 	"context"
 	"encoding/json"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -265,6 +266,67 @@ func TestE2ERehydrateOnMiss(t *testing.T) {
 	var ce *client.Error
 	if _, err := c2.Session("s_nonexistent").State(ctx); !asClientError(err, &ce) || ce.StatusCode != 404 {
 		t.Fatalf("unknown session: %v, want 404", err)
+	}
+}
+
+// TestCloseWritesFinalSnapshot pins the shutdown ordering: Close must
+// not return before the snapshotter's final compacting snapshot has
+// been written, because callers (edfd main, the cluster spawner) close
+// the store immediately after Close.
+func TestCloseWritesFinalSnapshot(t *testing.T) {
+	ctx := context.Background()
+	st := store.NewMem()
+	// An hour-long interval guarantees the only snapshot is the
+	// shutdown one.
+	srv, c := newTestServer(t, service.Config{Store: st, SnapshotInterval: time.Hour})
+	sess, _, err := c.OpenSession(ctx, service.SessionRequest{
+		Workload: edf.SporadicWorkload(edf.TaskSet{{Name: "seed", WCET: 1, Deadline: 50, Period: 50}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := sess.Propose(ctx, service.ProposeRequest{
+		Task: service.SporadicTask(edf.Task{Name: "a", WCET: 1, Deadline: 40, Period: 40}),
+	}); err != nil || !resp.Admitted {
+		t.Fatalf("propose: %+v, %v", resp, err)
+	}
+	if _, err := sess.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if st.Stats().Snapshots == 0 {
+		t.Fatal("Close returned before the final snapshot was written")
+	}
+}
+
+// countingStore counts single-session store lookups, the expensive
+// full-directory replays behind the rehydrate miss path.
+type countingStore struct {
+	store.Store
+	loads atomic.Int64
+}
+
+func (c *countingStore) LoadSession(id string) (*store.SessionState, error) {
+	c.loads.Add(1)
+	return c.Store.LoadSession(id)
+}
+
+// TestRepeatedMissesSkipReplay pins the negative rehydrate cache: a
+// bogus session id costs one store replay, not one per request —
+// without it, unauthenticated 404 traffic is a resource-exhaustion
+// vector (every miss replays every segment in the directory).
+func TestRepeatedMissesSkipReplay(t *testing.T) {
+	ctx := context.Background()
+	cs := &countingStore{Store: store.NewMem()}
+	_, c := newTestServer(t, service.Config{Store: cs})
+	for i := range 5 {
+		var ce *client.Error
+		if _, err := c.Session("s_bogus").State(ctx); !asClientError(err, &ce) || ce.StatusCode != 404 {
+			t.Fatalf("request %d for a bogus id: %v, want 404", i, err)
+		}
+	}
+	if n := cs.loads.Load(); n != 1 {
+		t.Fatalf("store lookups for a repeated bogus id = %d, want 1 (negative cache)", n)
 	}
 }
 

@@ -88,10 +88,18 @@ type Server struct {
 	// Config.Store). The server does not own its lifecycle: the creator
 	// closes it after the HTTP server has drained.
 	store store.Store
+	// missMu guards misses, the negative rehydrate cache: session ids a
+	// store lookup recently found absent (see recentMiss/noteMiss).
+	missMu sync.Mutex
+	misses map[string]time.Time
 	// stop ends the long-lived observability streams (SSE feeds) and the
 	// session sweeper so a graceful shutdown is not held open by them.
 	stop      chan struct{}
 	closeOnce sync.Once
+	// snapdone waits for the snapshotter, whose shutdown path writes a
+	// final compacting snapshot; Close blocks on it so the creator can
+	// close the store right after Close returns.
+	snapdone sync.WaitGroup
 }
 
 // New builds a server from the config.
@@ -138,7 +146,11 @@ func New(cfg Config) *Server {
 		if interval <= 0 {
 			interval = DefaultSnapshotInterval
 		}
-		go s.snapshotter(interval)
+		s.snapdone.Add(1)
+		go func() {
+			defer s.snapdone.Done()
+			s.snapshotter(interval)
+		}()
 	}
 	if cfg.SessionTTL > 0 {
 		// Sweep a few times per TTL so expiry lags the deadline by at
@@ -151,9 +163,12 @@ func New(cfg Config) *Server {
 
 // Close stops the background session sweeper and ends open SSE streams so
 // a graceful shutdown can drain. The request/response paths keep serving;
-// Close only releases the long-lived goroutines.
+// Close only releases the long-lived goroutines — but it does wait for
+// the snapshotter's final compacting snapshot, so a caller may close the
+// store as soon as Close returns without racing that write.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.stop) })
+	s.snapdone.Wait()
 }
 
 // CacheStats exposes the cache counters (for in-process embedders).

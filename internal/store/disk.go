@@ -1,6 +1,8 @@
 package store
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -75,6 +77,17 @@ func Open(dir, node string, opts Options) (*DiskStore, error) {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
 	s := &DiskStore{dir: dir, node: node, noSync: opts.NoSync, closedCh: make(chan struct{})}
+	// Recovery-time repair: truncate any torn tail a crash left before
+	// the segment goes live for appends. This is the only point where
+	// the own segment may be truncated — once the batcher is running the
+	// file can be mid-write, and a concurrent reader "repairing" it
+	// would destroy records whose Append callers were already told are
+	// durable.
+	if _, truncated, err := readLogFile(s.walPath(node), true); err != nil {
+		return nil, err
+	} else if truncated {
+		s.stTruncations.Add(1)
+	}
 	f, err := os.OpenFile(s.walPath(node), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open wal: %w", err)
@@ -248,9 +261,11 @@ func (s *DiskStore) compact(snap Snapshot) error {
 	return nil
 }
 
-// Load replays every snapshot and segment in the directory. Damaged
-// tails on this node's own segment are truncated; damage on a foreign
-// segment stops that segment's replay without modifying it.
+// Load replays every snapshot and segment in the directory. A damaged
+// frame stops that segment's replay without modifying the file: the own
+// segment was repaired at Open and is read under fileMu here (so a
+// batch mid-write can never be observed, let alone "repaired" away),
+// and a foreign segment belongs to a process that repairs it itself.
 func (s *DiskStore) Load() (map[string]*SessionState, uint64, error) {
 	// Flush queued submissions first so Load observes everything this
 	// process has written (tests reuse one store across "restarts").
@@ -289,14 +304,17 @@ func (s *DiskStore) Load() (map[string]*SessionState, uint64, error) {
 			r.foldSnapshot(img)
 		}
 	}
+	ownWal := "wal-" + s.node + ".log"
 	for _, name := range walFiles {
-		own := name == "wal-"+s.node+".log"
-		recs, truncated, err := readLogFile(filepath.Join(s.dir, name), own)
+		if name == ownWal {
+			s.fileMu.Lock()
+		}
+		recs, _, err := readLogFile(filepath.Join(s.dir, name), false)
+		if name == ownWal {
+			s.fileMu.Unlock()
+		}
 		if err != nil {
 			return nil, 0, err
-		}
-		if truncated {
-			s.stTruncations.Add(1)
 		}
 		all = append(all, recs...)
 	}
@@ -313,6 +331,14 @@ func (s *DiskStore) Load() (map[string]*SessionState, uint64, error) {
 	}
 	s.seqMu.Unlock()
 	return sessions, maxSeq, nil
+}
+
+// LastSeq implements Store: the highest sequence number assigned (or
+// observed via Load) so far.
+func (s *DiskStore) LastSeq() uint64 {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	return s.lastSeq
 }
 
 // LoadSession replays the directory and returns one session's state,
@@ -346,6 +372,56 @@ func (s *DiskStore) Stats() Stats {
 		Snapshots:   s.stSnapshots.Load(),
 		Truncations: s.stTruncations.Load(),
 	}
+}
+
+// DefaultNode returns a stable default node name for dir: the name
+// persisted in dir/node-id, minting and persisting a random one on
+// first use. A restarted process reuses its segment files even when its
+// listen address changes between runs (edfd -addr :0); processes
+// SHARING a directory must pass explicit, distinct node names instead —
+// they would otherwise all adopt the same persisted default.
+func DefaultNode(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("store: create dir: %w", err)
+	}
+	path := filepath.Join(dir, "node-id")
+	if data, err := os.ReadFile(path); err == nil {
+		if name := strings.TrimSpace(string(data)); name != "" {
+			return name, nil
+		}
+	} else if !os.IsNotExist(err) {
+		return "", err
+	}
+	var buf [6]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "", err
+	}
+	name := "edfd-" + hex.EncodeToString(buf[:])
+	// O_EXCL arbitrates concurrent first runs: exactly one process mints
+	// the id, a loser adopts the winner's — or, in the unlikely window
+	// before the winner's write lands, is told to name itself.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if !os.IsExist(err) {
+			return "", err
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return "", rerr
+		}
+		if n := strings.TrimSpace(string(data)); n != "" {
+			return n, nil
+		}
+		return "", fmt.Errorf("store: node-id in %s is being initialized by another process; pass an explicit node name", dir)
+	}
+	if _, err := f.WriteString(name + "\n"); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return name, nil
 }
 
 // Close flushes pending submissions and closes the segment.

@@ -11,10 +11,12 @@
 //	[4B little-endian payload length][4B little-endian CRC32 (IEEE) of payload][payload]
 //
 // where payload is the JSON encoding of a Record. Replay reads records
-// until the first torn, truncated or CRC-corrupt frame and truncates the
-// log there — a crash can only lose an ordered suffix of unsynced
-// records, never corrupt earlier state, and replay never panics on a
-// damaged tail.
+// until the first torn, truncated or CRC-corrupt frame and stops there;
+// Open repairs the process's own segment by truncating the damaged tail
+// before the segment goes live for appends (recovery is the only safe
+// time to truncate — a live segment may be mid-write). A crash can only
+// lose an ordered suffix of unsynced records, never corrupt earlier
+// state, and replay never panics on a damaged tail.
 //
 // # Group commit
 //

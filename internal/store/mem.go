@@ -46,6 +46,13 @@ func (s *MemStore) Append(recs ...Record) (uint64, error) { return s.append(recs
 // Submit implements Store; in memory there is nothing async about it.
 func (s *MemStore) Submit(recs ...Record) (uint64, error) { return s.append(recs) }
 
+// LastSeq implements Store.
+func (s *MemStore) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
 // WriteSnapshot implements Store, compacting the in-memory log the same
 // way DiskStore compacts its segment.
 func (s *MemStore) WriteSnapshot(snap Snapshot) error {

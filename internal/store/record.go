@@ -52,10 +52,11 @@ type SessionSnapshot struct {
 
 // Snapshot is a compacting image of live session state.
 type Snapshot struct {
-	// Seq is the store sequence observed before the sessions were
-	// captured: every record with Seq <= this value for a session in the
-	// snapshot is covered by that session's own watermark, so the log can
-	// be compacted up to it.
+	// Seq is a store watermark taken BEFORE any session was captured
+	// (Store.LastSeq): a record stamped while the capture ran always
+	// carries a higher seq, so compacting records at or below Seq (per
+	// the session marks) can never drop one the snapshot does not cover
+	// — not even a session whose first record landed mid-capture.
 	Seq      uint64            `json:"seq"`
 	Sessions []SessionSnapshot `json:"sessions"`
 }

@@ -12,6 +12,12 @@ type Store interface {
 	// records. Use for records whose loss is recoverable (admit,
 	// rollback, expire); use Append for durability points.
 	Submit(recs ...Record) (uint64, error)
+	// LastSeq returns the highest sequence number the store has assigned
+	// (or observed via Load) so far. Snapshot captures read it as a
+	// watermark BEFORE walking session state: any record stamped
+	// afterwards is guaranteed a higher seq, so compacting up to the
+	// watermark can never drop a record the snapshot does not cover.
+	LastSeq() uint64
 	// WriteSnapshot persists a compacting image of live session state
 	// and drops log records it covers.
 	WriteSnapshot(snap Snapshot) error

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -373,6 +375,159 @@ func TestMemDropTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantState(t, sessions["s1"], []string{"seed"}, []string{"t1", "t2"})
+}
+
+// TestConcurrentLoadDuringAppends hammers Load while appends are in
+// flight: a live Load must never observe a batch mid-write — and above
+// all must never "repair" (truncate) the segment it races with, which
+// would destroy records whose Append callers were already told are
+// durable.
+func TestConcurrentLoadDuringAppends(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, "a")
+	if _, err := s.Append(Record{Type: TypeOpen, Session: "s1", Config: cfg("seed")}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var loads sync.WaitGroup
+	for range 2 {
+		loads.Add(1)
+		go func() {
+			defer loads.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := s.Load(); err != nil {
+					t.Errorf("concurrent load: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	const n = 200
+	for i := range n {
+		if _, err := s.Append(Record{Type: TypeAdmit, Session: "s1", Task: task(fmt.Sprintf("t%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	loads.Wait()
+	if tr := s.Stats().Truncations; tr != 0 {
+		t.Fatalf("live Load truncated the segment %d times", tr)
+	}
+	sessions, _, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sessions["s1"].Pending); got != n {
+		t.Fatalf("pending after concurrent loads = %d, want %d (durable records lost)", got, n)
+	}
+}
+
+// TestLiveLoadLeavesMidWriteTailAlone is the deterministic version of
+// the race above: a partial frame is appended to the live segment out
+// of band — byte-for-byte what a reader racing writeBatch could
+// observe mid-write — and Load must replay up to it WITHOUT repairing
+// the file. Truncating here would destroy the batch the writer is
+// about to finish (and has possibly already acked as durable).
+func TestLiveLoadLeavesMidWriteTailAlone(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, "a")
+	journal(t, s, "s1")
+	s.drain()
+	path := walFile(t, dir)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0, 0, 1, 2}); err != nil { // header fragment
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions, _, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState(t, sessions["s1"], []string{"seed", "t1", "t2"}, []string{"t3"})
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() {
+		t.Fatalf("live Load modified the segment: %d -> %d bytes", before.Size(), after.Size())
+	}
+	if tr := s.Stats().Truncations; tr != 0 {
+		t.Fatalf("live Load counted %d truncations, want 0", tr)
+	}
+}
+
+// TestSnapshotWatermarkKeepsLaterRecords pins the capture protocol: a
+// snapshot whose Seq watermark was read before later records were
+// stamped must not compact those records away — the shape of a session
+// whose open record lands while a snapshot capture is walking the
+// session map.
+func TestSnapshotWatermarkKeepsLaterRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, "a")
+	journal(t, s, "s1")
+	wm := s.LastSeq()
+	if _, err := s.Append(Record{Type: TypeOpen, Session: "s2", Config: cfg("late")}); err != nil {
+		t.Fatal(err)
+	}
+	sessions, _, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sessions["s1"]
+	snap := Snapshot{Seq: wm, Sessions: []SessionSnapshot{{
+		ID: "s1", Seq: st.Seq, Config: st.Config, Pending: st.Pending,
+	}}}
+	if err := s.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := openTest(t, dir, "a")
+	sessions, _, err = s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sessions["s2"] == nil {
+		t.Fatal("open record stamped after the snapshot watermark was compacted away")
+	}
+	wantState(t, sessions["s1"], []string{"seed", "t1", "t2"}, []string{"t3"})
+}
+
+// TestDefaultNodeStable pins the default node-name contract: minted
+// once, persisted in the directory, identical on every later call — so
+// a restarted edfd with an ephemeral listen address keeps its segments.
+func TestDefaultNodeStable(t *testing.T) {
+	dir := t.TempDir()
+	a, err := DefaultNode(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == "" || strings.ContainsAny(a, "/\\ ") {
+		t.Fatalf("bad default node name %q", a)
+	}
+	b, err := DefaultNode(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("default node name changed across calls: %q then %q", a, b)
+	}
+	st, err := Open(dir, a, Options{})
+	if err != nil {
+		t.Fatalf("open with default node: %v", err)
+	}
+	st.Close()
 }
 
 func TestGroupCommitAmortizesFsync(t *testing.T) {
