@@ -14,11 +14,13 @@
 // file, every benchmark present in both sections is compared and the
 // tool exits with status 2 when any current ns/op exceeds its frozen
 // baseline by more than pct percent. Allocations gate harder: a
-// benchmark whose baseline is 0 allocs/op fails on ANY allocation
-// (machine-independent, so this check is stable across runner hardware),
-// and a non-zero baseline fails past the same pct threshold. Wall-clock
-// comparisons assume the baseline was frozen on comparable hardware —
-// after a machine change, re-anchor with -reset-baseline.
+// benchmark whose baseline is 0 allocs/op fails on ANY allocation, and a
+// 0 B/op baseline fails on ANY bytes (catching fractional allocations
+// that amortize below one per op and round allocs/op down to zero); both
+// checks are machine-independent, so they are stable across runner
+// hardware. A non-zero alloc baseline fails past the same pct threshold.
+// Wall-clock comparisons assume the baseline was frozen on comparable
+// hardware — after a machine change, re-anchor with -reset-baseline.
 //
 // Only lines of the canonical benchmark form are consumed; everything
 // else (PASS, ok, custom metrics on separate lines) is echoed to stderr
@@ -134,6 +136,16 @@ func gateCheck(f *File, pct float64) (violations []string, checked int) {
 				violations = append(violations, fmt.Sprintf(
 					"%s: %.0f ns/op is %.1f%% above the baseline %.0f ns/op (threshold %g%%)",
 					name, cur.NsPerOp, excess, base.NsPerOp, pct))
+			}
+		}
+		// A fractional allocation amortized below one op rounds allocs/op
+		// down to 0 but still surfaces as bytes: a 0-byte baseline failing
+		// on any bytes at all closes that blind spot with the same exact,
+		// hardware-independent contract as the 0-alloc check.
+		if base.BytesPerOp != nil && cur.BytesPerOp != nil {
+			if b, c := *base.BytesPerOp, *cur.BytesPerOp; b == 0 && c > 0 {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %.0f B/op on a frozen 0-byte baseline", name, c))
 			}
 		}
 		if base.AllocsPerOp == nil || cur.AllocsPerOp == nil {

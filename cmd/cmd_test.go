@@ -188,6 +188,56 @@ func TestEdfgenRoundTripsThroughEdffeas(t *testing.T) {
 	}
 }
 
+// TestEdfgenSpreadFlag pins -spread: periods land log-uniformly inside
+// [tmin, tmin*10^decades] and actually cover the range (the shape that
+// stresses the bounded-denominator arithmetic), and the set still
+// round-trips through edffeas.
+func TestEdfgenSpreadFlag(t *testing.T) {
+	gen := buildTool(t, "edfgen")
+	feas := buildTool(t, "edffeas")
+	set := filepath.Join(t.TempDir(), "spread.json")
+	if out, err := run(t, gen, "-n", "30", "-u", "0.9", "-seed", "7", "-tmin", "1000", "-spread", "4", "-o", set); err != nil {
+		t.Fatalf("edfgen -spread: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Tasks []struct {
+			Period int64 `json:"period"`
+		} `json:"tasks"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("generated file: %v\n%s", err, raw)
+	}
+	if len(parsed.Tasks) != 30 {
+		t.Fatalf("got %d tasks, want 30", len(parsed.Tasks))
+	}
+	lo, hi := parsed.Tasks[0].Period, parsed.Tasks[0].Period
+	for _, task := range parsed.Tasks {
+		if task.Period < 1000 || task.Period > 10_000_000 {
+			t.Fatalf("period %d outside [1e3, 1e7]", task.Period)
+		}
+		lo, hi = min(lo, task.Period), max(hi, task.Period)
+	}
+	// 30 log-uniform draws over 4 decades must span most of the range;
+	// a uniform draw would almost surely leave the bottom decades empty.
+	if lo >= 10_000 || hi <= 1_000_000 {
+		t.Errorf("periods span only [%d, %d] — not a 4-decade spread", lo, hi)
+	}
+	if out, err := run(t, feas, "-set", set, "-test", "pd"); err != nil {
+		t.Fatalf("edffeas on spread set: %v\n%s", err, out)
+	}
+
+	// The overriding shorthand must reject impossible ranges.
+	if out, err := run(t, gen, "-spread", "19"); err == nil {
+		t.Fatalf("-spread 19 should overflow:\n%s", out)
+	} else if !strings.Contains(out, "overflow") {
+		t.Errorf("overflow message missing:\n%s", out)
+	}
+}
+
 func TestEdfexpTable1(t *testing.T) {
 	bin := buildTool(t, "edfexp")
 	out, err := run(t, bin, "-exp", "table1", "-quiet")
@@ -260,6 +310,16 @@ func TestBenchmergeGate(t *testing.T) {
 		t.Fatalf("allocation on 0-alloc baseline passed the gate:\n%s", o)
 	} else if !strings.Contains(o, "0-alloc baseline") {
 		t.Errorf("alloc violation message:\n%s", o)
+	}
+
+	// A fractional allocation amortized below one op shows 0 allocs/op
+	// but non-zero B/op: the 0-byte baseline must still catch it.
+	amortized := "BenchmarkHot-8  1000  100000 ns/op  1 B/op  0 allocs/op\n" +
+		"BenchmarkWarm-8  500  200000 ns/op  64 B/op  4 allocs/op\n"
+	if o, err := feed(t, amortized, "-gate", "25"); err == nil {
+		t.Fatalf("bytes on 0-byte baseline passed the gate:\n%s", o)
+	} else if !strings.Contains(o, "0-byte baseline") {
+		t.Errorf("byte violation message:\n%s", o)
 	}
 
 	// The gate must not have clobbered the frozen baseline.

@@ -23,12 +23,18 @@
 // propose/commit/rollback steps, the replayable input behind `make
 // bench-session` and the smoke harness's session phase. It composes with
 // -events for event-stream scenarios.
+//
+// -spread D is shorthand for the denominator-stress shape the bounded
+// arithmetic fast path is benchmarked on: periods drawn log-uniformly
+// across D decades starting at -tmin. It implies -log and overrides
+// -tmax with tmin*10^D, and composes with -events and -churn.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 
@@ -52,11 +58,27 @@ func main() {
 		spacing = flag.Int64("spacing", 0, "burst event spacing in -events mode (0 = period/(4*burst))")
 		doChurn = flag.Bool("churn", false, "emit a session-churn scenario (seed workload + propose/commit/rollback ops)")
 		ops     = flag.Int("ops", 2000, "ops per scenario in -churn mode")
+		spread  = flag.Int("spread", 0, "spread periods log-uniformly across this many decades above -tmin (implies -log, overrides -tmax)")
 	)
 	flag.Parse()
 
 	if *burst < 1 {
 		fmt.Fprintln(os.Stderr, "edfgen: -burst must be at least 1")
+		os.Exit(2)
+	}
+	if *spread > 0 {
+		scale := int64(1)
+		for range *spread {
+			if scale > math.MaxInt64/10 || *tmin > math.MaxInt64/(scale*10) {
+				fmt.Fprintf(os.Stderr, "edfgen: -spread %d overflows the period range above -tmin %d\n", *spread, *tmin)
+				os.Exit(2)
+			}
+			scale *= 10
+		}
+		*tmax = *tmin * scale
+		*logU = true
+	} else if *spread < 0 {
+		fmt.Fprintln(os.Stderr, "edfgen: -spread must be non-negative")
 		os.Exit(2)
 	}
 

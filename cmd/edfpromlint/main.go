@@ -181,6 +181,12 @@ func lintPage(daemon, page string) (families, samples int, err error) {
 			return 0, 0, fmt.Errorf("family %q lacks the edfd_/edfproxy_ prefix", name)
 		}
 	}
+	// Fast-path observability contract: every page must export the
+	// bounded-denominator promotion counter — replicas natively, the
+	// proxy as a fleet sum next to its replica-labeled samples.
+	if _, ok := types["edfd_arith_promotions_total"]; !ok {
+		return 0, 0, fmt.Errorf("page lacks the edfd_arith_promotions_total family")
+	}
 	// The proxy page must also carry fleet aggregation: replica-labeled
 	// samples next to their sums.
 	if daemon == "edfproxy" {

@@ -408,7 +408,68 @@ func drive(ctx context.Context, c *client.Client) error {
 		fmt.Printf("edfsmoke: %s session propose-batch ok (%d verdicts)\n",
 			sess.name, len(presp.Results))
 	}
-	return driveChurn(ctx, c)
+	if err := driveChurn(ctx, c); err != nil {
+		return err
+	}
+	return driveSpread(ctx, c)
+}
+
+// driveSpread pushes a log-uniform spread workload — the `edfgen -spread`
+// shape whose period denominators stress the bounded-arithmetic fast
+// path — through analyze and a full session propose/commit cycle, and
+// requires conclusive verdicts end to end: a daemon that silently lost
+// exact arithmetic on wide period ranges would surface here first.
+func driveSpread(ctx context.Context, c *client.Client) error {
+	ts, err := edf.Generate(edf.GenConfig{
+		N: 24, Utilization: 0.9,
+		PeriodMin: 1_000, PeriodMax: 10_000_000, // edfgen -tmin 1000 -spread 4
+		LogUniformPeriods: true, GapMean: 0.2,
+	}, newDeterministicRand())
+	if err != nil {
+		return fmt.Errorf("spread: generate: %w", err)
+	}
+	wl := edf.SporadicWorkload(ts)
+	resp, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "spread", Workload: wl})
+	if err != nil {
+		return fmt.Errorf("spread: analyze: %w", err)
+	}
+	if v := resp.Result.Verdict; v != "feasible" && v != "infeasible" {
+		return fmt.Errorf("spread: analyze verdict %q is not conclusive", v)
+	}
+	h, state, err := c.OpenSession(ctx, service.SessionRequest{Workload: wl})
+	if err != nil {
+		return fmt.Errorf("spread: open session: %w", err)
+	}
+	if state.Committed != len(ts) {
+		return fmt.Errorf("spread: session opened with %d committed tasks, want %d", state.Committed, len(ts))
+	}
+	// Propose across the whole period range: the shortest and longest
+	// decades share one demand walk inside the admission analyzer.
+	admitted := 0
+	for _, task := range []edf.Task{
+		{Name: "spread-lo", WCET: 1, Deadline: 900, Period: 1_000},
+		{Name: "spread-hi", WCET: 1000, Deadline: 9_000_000, Period: 10_000_000},
+	} {
+		pr, err := h.Propose(ctx, service.ProposeRequest{Task: service.SporadicTask(task)})
+		if err != nil {
+			return fmt.Errorf("spread: propose %s: %w", task.Name, err)
+		}
+		if pr.Admitted {
+			admitted++
+		}
+	}
+	if admitted == 0 {
+		return fmt.Errorf("spread: no probe task admitted against a U=0.9 seed")
+	}
+	if _, err := h.Commit(ctx); err != nil {
+		return fmt.Errorf("spread: commit: %w", err)
+	}
+	if err := h.Close(ctx); err != nil {
+		return fmt.Errorf("spread: close: %w", err)
+	}
+	fmt.Printf("edfsmoke: spread workload ok (analyze %s, %d of 2 probes admitted)\n",
+		resp.Result.Verdict, admitted)
+	return nil
 }
 
 // driveChurn replays generated churn scenarios (the `edfgen -churn`

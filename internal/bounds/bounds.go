@@ -252,20 +252,7 @@ func BestSources(ts model.TaskSet, srcs []demand.Source) (bound int64, kind Kind
 	case 1:
 		return 0, KindNone, false
 	case 0:
-		h, okH := Hyperperiod(ts)
-		if !okH {
-			return 0, KindNone, false
-		}
-		b, okB := numeric.AddChecked(h, ts.MaxDeadline())
-		if !okB {
-			return 0, KindNone, false
-		}
-		// Exclusive bound: candidate violations lie at I <= H + Dmax.
-		b, okB = numeric.AddChecked(b, 1)
-		if !okB {
-			return 0, KindNone, false
-		}
-		return b, KindHyperperiod, true
+		return fullUtilBound(ts)
 	}
 	bound, kind, ok = 0, KindNone, false
 	consider := func(b int64, k Kind, okB bool) {
@@ -279,4 +266,136 @@ func BestSources(ts model.TaskSet, srcs []demand.Source) (bound int64, kind Kind
 	consider(bg, KindGeorge, okG)
 	consider(bs, KindSuperposition, okS)
 	return bound, kind, ok
+}
+
+// fullUtilBound is the U == 1 fallback of Best: hyperperiod + Dmax + 1.
+func fullUtilBound(ts model.TaskSet) (int64, Kind, bool) {
+	h, okH := Hyperperiod(ts)
+	if !okH {
+		return 0, KindNone, false
+	}
+	b, okB := numeric.AddChecked(h, ts.MaxDeadline())
+	if !okB {
+		return 0, KindNone, false
+	}
+	// Exclusive bound: candidate violations lie at I <= H + Dmax.
+	b, okB = numeric.AddChecked(b, 1)
+	if !okB {
+		return 0, KindNone, false
+	}
+	return b, KindHyperperiod, true
+}
+
+// BestSourcesScratch is BestSources on the scratch's bounded-denominator
+// registers: when the chunk plan covers the workload, every slope sum
+// and quotient runs in chunked int64 arithmetic, so the bound stays
+// allocation-free on spread-period sets whose slopes overflow the Fast
+// representation. Both paths are exact, so the result always equals
+// BestSources.
+func BestSourcesScratch(ts model.TaskSet, srcs []demand.Source, sc *demand.Scratch) (bound int64, kind Kind, ok bool) {
+	if sc.Arith(srcs) == nil {
+		return BestSources(ts, srcs)
+	}
+	u := sc.Reg(0)
+	for _, s := range srcs {
+		u.AddRat(s.UtilRat())
+	}
+	switch u.CmpInt(1) {
+	case 1:
+		return 0, KindNone, false
+	case 0:
+		return fullUtilBound(ts)
+	}
+	bound, kind, ok = 0, KindNone, false
+	consider := func(b int64, k Kind, okB bool) {
+		if okB && (!ok || b < bound) {
+			bound, kind, ok = b, k, true
+		}
+	}
+	b, okB := baruahChunked(ts, u, sc)
+	consider(b, KindBaruah, okB)
+	bg, okG, bs, okS := linearBoundsChunked(srcs, u, sc)
+	consider(bg, KindGeorge, okG)
+	consider(bs, KindSuperposition, okS)
+	return bound, kind, ok
+}
+
+// LinearBoundsScratch is LinearBounds on the scratch registers when the
+// chunk plan covers the sources, with identical results.
+func LinearBoundsScratch(srcs []demand.Source, sc *demand.Scratch) (george int64, okG bool, superpos int64, okS bool) {
+	if sc.Arith(srcs) == nil {
+		return LinearBounds(srcs)
+	}
+	u := sc.Reg(0)
+	for _, s := range srcs {
+		u.AddRat(s.UtilRat())
+	}
+	if u.CmpInt(1) >= 0 {
+		return 0, false, 0, false
+	}
+	return linearBoundsChunked(srcs, u, sc)
+}
+
+// baruahChunked mirrors baruahU on chunk registers. It requires U < 1
+// (the caller dispatched on the utilization) and clobbers registers 4-6.
+func baruahChunked(ts model.TaskSet, u *numeric.Chunked, sc *demand.Scratch) (int64, bool) {
+	if !ts.Constrained() {
+		return 0, false
+	}
+	var maxGap int64
+	for _, t := range ts {
+		maxGap = max(maxGap, t.Period-t.Deadline)
+	}
+	if maxGap == 0 {
+		return 0, true
+	}
+	// ceil(U*maxGap / (1-U))
+	num := sc.Reg(4)
+	num.CopyFrom(u)
+	num.MulInt(maxGap)
+	return ceilQuoChunked(num, u, sc)
+}
+
+// georgeTermChunked computes C - F*num/den into the register t.
+func georgeTermChunked(t *numeric.Chunked, s demand.Source) {
+	num, den := s.UtilRat()
+	t.SetZero()
+	t.AddRat(num, den)
+	t.MulInt(s.JobDeadline(1))
+	t.Neg()
+	t.AddInt(s.WCET())
+}
+
+// linearBoundsChunked mirrors linearBoundsU on chunk registers. It
+// requires U < 1 and clobbers registers 1-6 (register 0 conventionally
+// holds u).
+func linearBoundsChunked(srcs []demand.Source, u *numeric.Chunked, sc *demand.Scratch) (george int64, okG bool, superpos int64, okS bool) {
+	sumPos, sumAll, term := sc.Reg(1), sc.Reg(2), sc.Reg(3)
+	var dmax int64
+	for _, s := range srcs {
+		georgeTermChunked(term, s)
+		sumAll.Add(term)
+		if term.Sign() > 0 {
+			sumPos.Add(term)
+		}
+		dmax = max(dmax, s.JobDeadline(1))
+	}
+	george, okG = ceilQuoChunked(sumPos, u, sc)
+	b, okB := ceilQuoChunked(sumAll, u, sc)
+	if !okB {
+		return george, okG, 0, false
+	}
+	return george, okG, max(b, dmax), true
+}
+
+// ceilQuoChunked is ceilQuo on chunk registers: ceil(sum/(1-u)) with
+// non-positive sums yielding 0. It clobbers registers 5 and 6.
+func ceilQuoChunked(sum, u *numeric.Chunked, sc *demand.Scratch) (int64, bool) {
+	if sum.Sign() <= 0 {
+		return 0, true
+	}
+	den := sc.Reg(5)
+	den.SetInt(1)
+	den.Sub(u)
+	return numeric.QuoCeilChunked(sum, den, sc.Reg(6))
 }

@@ -22,7 +22,7 @@ import (
 func AllApprox(ts model.TaskSet, opt Options) Result {
 	opt, borrowed := opt.acquire()
 	defer release(borrowed)
-	if taskUtilCmpOne(ts) > 0 {
+	if taskUtilCmpOneScratch(ts, opt.Scratch) > 0 {
 		return Result{Verdict: Infeasible, Iterations: 1}
 	}
 	stopAt, kind, ok := fullUtilizationHorizon(ts)
@@ -58,7 +58,7 @@ func fullUtilizationHorizon(ts model.TaskSet) (int64, bounds.Kind, bool) {
 func AllApproxSources(srcs []demand.Source, stopAt int64, opt Options) Result {
 	opt, borrowed := opt.acquire()
 	defer release(borrowed)
-	switch utilCmpOne(srcs) {
+	switch utilCmpOneScratch(srcs, opt.Scratch) {
 	case 1:
 		return Result{Verdict: Infeasible, Iterations: 1}
 	case 0:
@@ -74,6 +74,9 @@ func AllApproxSources(srcs []demand.Source, stopAt int64, opt Options) Result {
 	case ArithBigRat:
 		return allApprox(numeric.Rat{}, srcs, stopAt, opt)
 	default:
+		if opt.Scratch.Arith(srcs) != nil {
+			return allApproxChunked(srcs, stopAt, opt)
+		}
 		return allApprox(numeric.Fast{}, srcs, stopAt, opt)
 	}
 }
@@ -129,6 +132,67 @@ func allApprox[S numeric.Scalar[S]](zero S, srcs []demand.Source, stopAt int64, 
 		// Approximate the source whose interval was just verified.
 		if num, den := s.UtilRat(); num > 0 {
 			uready = uready.AddRat(num, den)
+			approx.add(e.Src)
+		}
+		iold = I
+	}
+	return Result{Verdict: Feasible, Iterations: iterations, Revisions: revisions}
+}
+
+// allApproxChunked is allApprox on the scratch's bounded-denominator
+// registers (see superPosChunked); structure and verdicts match the
+// generic exact implementation bit for bit. The caller guarantees the
+// scratch plan covers the sources.
+func allApproxChunked(srcs []demand.Source, stopAt int64, opt Options) Result {
+	tl := opt.Scratch.TestList(len(srcs))
+	jobs := opt.Scratch.Jobs(len(srcs))
+	for i, s := range srcs {
+		tl.Add(s.JobDeadline(1), i)
+	}
+	approx := newApproxTracker(opt.Scratch, len(srcs))
+	dbf, uready := opt.Scratch.Reg(0), opt.Scratch.Reg(1)
+	var iold, iterations, revisions int64
+	for !tl.Empty() {
+		e := tl.Next()
+		I := e.I
+		if stopAt > 0 && I >= stopAt {
+			return Result{Verdict: Feasible, Iterations: iterations, Revisions: revisions}
+		}
+		iterations++
+		if opt.capped(iterations) {
+			return Result{Verdict: Undecided, Iterations: iterations, Revisions: revisions}
+		}
+		s := srcs[e.Src]
+		jobs[e.Src]++
+		dbf.AddInt(s.WCET())
+		dbf.AddScaled(uready, I-iold)
+		capacity := opt.capacityAt(I)
+		for dbf.CmpInt(capacity) > 0 {
+			j, ok := approx.pick(opt.RevisionOrder, srcs, I)
+			if !ok {
+				// Nothing is approximated: the accounted demand is exact.
+				exact := accountedDemand(srcs, jobs)
+				if exact > capacity {
+					return Result{Verdict: Infeasible, Iterations: iterations,
+						Revisions: revisions, FailureInterval: I}
+				}
+				dbf.SetInt(exact)
+				break
+			}
+			// Revise j: replace its approximated cost by the real cost at I
+			// and queue its next job deadline as a new test interval.
+			sj := srcs[j]
+			num, den := sj.UtilRat()
+			uready.SubRat(num, den)
+			an, ad := sj.ApproxError(I)
+			dbf.SubRat(an, ad)
+			jobs[j] = sj.JobsUpTo(I)
+			tl.Add(sj.NextDeadline(I), j)
+			revisions++
+		}
+		// Approximate the source whose interval was just verified.
+		if num, den := s.UtilRat(); num > 0 {
+			uready.AddRat(num, den)
 			approx.add(e.Src)
 		}
 		iold = I

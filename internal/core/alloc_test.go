@@ -54,6 +54,44 @@ func TestQPAZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSpreadZeroAlloc pins 0 allocs/op on the log-uniform spread set —
+// the shape that used to fall off the int64 fast path into big.Rat on
+// every slope sum. With the bounded-denominator plan it must stay
+// allocation-free end to end; this is the PR-9 acceptance pin behind the
+// BenchmarkSuperPosSpread / BenchmarkProcessorDemandSpread numbers.
+func TestSpreadZeroAlloc(t *testing.T) {
+	ts := benchSpreadSet(50, 95, 13)
+	opt := Options{Scratch: demand.NewScratch()}
+	if r := ProcessorDemand(ts, opt); !r.Verdict.Definite() {
+		t.Fatalf("spread set must be decided, got %+v", r)
+	}
+	for name, run := range map[string]func(){
+		"ProcessorDemand": func() { ProcessorDemand(ts, opt) },
+		"SuperPos":        func() { SuperPos(ts, 3, opt) },
+	} {
+		if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+			t.Errorf("%s on the spread set allocates %.1f/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestDeviZeroAlloc pins 0 allocs/op for Devi's sufficient test with a
+// reused Scratch, on both the grid and the spread shape (the latter
+// exercises the chunk-register prefix accumulators).
+func TestDeviZeroAlloc(t *testing.T) {
+	opt := Options{Scratch: demand.NewScratch()}
+	grid := benchGridSet(50, 95, 11)
+	spread := benchSpreadSet(50, 95, 13)
+	DeviOpt(grid, opt)
+	DeviOpt(spread, opt)
+	if allocs := testing.AllocsPerRun(100, func() { DeviOpt(grid, opt) }); allocs != 0 {
+		t.Errorf("Devi on the grid set allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { DeviOpt(spread, opt) }); allocs != 0 {
+		t.Errorf("Devi on the spread set allocates %.1f/op, want 0", allocs)
+	}
+}
+
 // TestSuperPosSourcesZeroAlloc covers the generic-source entry point used
 // by event workloads (sources prebuilt, scratch reused).
 func TestSuperPosSourcesZeroAlloc(t *testing.T) {

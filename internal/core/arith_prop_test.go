@@ -15,6 +15,7 @@ import (
 	"repro/internal/demand"
 	"repro/internal/eventstream"
 	"repro/internal/model"
+	"repro/internal/numeric"
 )
 
 // randomSporadicSet draws a set biased toward the decision boundary
@@ -104,6 +105,104 @@ func TestFastArithmeticMatchesBigRatEvents(t *testing.T) {
 			DynamicErrorSources(srcs, 0, fast), DynamicErrorSources(srcs, 0, ref))
 		compareResults(t, "pd-sources",
 			ProcessorDemandSources(srcs, fast), ProcessorDemandSources(srcs, ref))
+	}
+}
+
+// spreadSet draws a set with log-uniform periods across the given number
+// of decades above 1000 — the `edfgen -spread` shape whose wide period
+// mix is what the bounded-denominator plan exists for — with utilization
+// biased toward the decision boundary.
+func spreadSet(rng *rand.Rand, decades int) model.TaskSet {
+	n := rng.Intn(24) + 4
+	lo := 3.0
+	hi := lo + float64(decades)
+	target := 0.8 + rng.Float64()*0.25
+	ts := make(model.TaskSet, 0, n)
+	for range n {
+		t := int64(math.Pow(10, lo+rng.Float64()*(hi-lo)))
+		c := int64(target / float64(n) * float64(t))
+		if c < 1 {
+			c = 1
+		}
+		d := c + rng.Int63n(t)
+		ts = append(ts, model.Task{WCET: c, Deadline: d, Period: t})
+	}
+	return ts
+}
+
+// TestFastArithmeticMatchesBigRatSpread runs every analyzer on
+// log-uniform spread corpora of 4, 6 and 8 decades under both exact
+// arithmetic modes. These are the denominator-stress shapes the chunked
+// fast path is built for; the reference must stay bit-identical whether
+// an analysis runs on chunk registers, numeric.Fast, or the big.Rat
+// fallback.
+func TestFastArithmeticMatchesBigRatSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	fast := Options{Arithmetic: ArithExact, MaxIterations: 200000}
+	ref := Options{Arithmetic: ArithBigRat, MaxIterations: 200000}
+	for _, decades := range []int{4, 6, 8} {
+		for range 80 {
+			ts := spreadSet(rng, decades)
+			for _, level := range []int64{1, 3, 7} {
+				compareResults(t, "superpos", SuperPos(ts, level, fast), SuperPos(ts, level, ref))
+			}
+			compareResults(t, "allapprox", AllApprox(ts, fast), AllApprox(ts, ref))
+			compareResults(t, "dynamic", DynamicError(ts, fast), DynamicError(ts, ref))
+			compareResults(t, "pd", ProcessorDemand(ts, fast), ProcessorDemand(ts, ref))
+			compareResults(t, "qpa", QPA(ts, fast), QPA(ts, ref))
+		}
+	}
+}
+
+// capBoundaryPrimes returns n primes just above 2^31: any two multiply
+// past the 2^62 chunk denominator cap, so each needs its own chunk and a
+// set of n of them needs exactly n chunks.
+func capBoundaryPrimes(n int) []int64 {
+	isPrime := func(v int64) bool {
+		for d := int64(3); d*d <= v; d += 2 {
+			if v%d == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	out := make([]int64, 0, n)
+	for p := int64(1)<<31 + 1; len(out) < n; p += 2 {
+		if isPrime(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TestChunkPlanCapBoundary pins both sides of the plan-capacity edge
+// with directed sets: one prime per chunk at exactly the chunk budget
+// (plannable, zero promotions) and one past it (every analysis falls
+// off the fast path and counts promotions) — with bit-identical results
+// against the big.Rat reference either way.
+func TestChunkPlanCapBoundary(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		primes   int
+		promoted bool
+	}{
+		{"at-cap", numeric.MaxChunks, false},
+		{"past-cap", numeric.MaxChunks + 1, true},
+	} {
+		var ts model.TaskSet
+		for _, p := range capBoundaryPrimes(tc.primes) {
+			ts = append(ts, model.Task{WCET: 1, Deadline: p - 1, Period: p})
+		}
+		sc := demand.NewScratch()
+		fast := Options{Arithmetic: ArithExact, Scratch: sc}
+		ref := Options{Arithmetic: ArithBigRat}
+		compareResults(t, tc.name+"/superpos", SuperPos(ts, 3, fast), SuperPos(ts, 3, ref))
+		compareResults(t, tc.name+"/allapprox", AllApprox(ts, fast), AllApprox(ts, ref))
+		compareResults(t, tc.name+"/devi", DeviOpt(ts, fast), DeviOpt(ts, ref))
+		if promoted := sc.ArithPromotions() > 0; promoted != tc.promoted {
+			t.Fatalf("%s: promotions=%d, want promoted=%v",
+				tc.name, sc.ArithPromotions(), tc.promoted)
+		}
 	}
 }
 

@@ -10,7 +10,8 @@ package core
 //     int64 and the tests exercise the allocation-free fast path.
 //   - spread: log-uniform periods over four decades, the paper's
 //     Figure 9 regime, where slope denominators overflow int64 and the
-//     arithmetic must fall back to big.Rat.
+//     bounded-denominator chunk plan has to keep the walk exact and
+//     allocation-free.
 //
 // The benchmark names are stable identifiers: BENCH_core.json records
 // their ns/op and allocs/op across PRs.

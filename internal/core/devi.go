@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/demand"
 	"repro/internal/model"
 	"repro/internal/numeric"
 )
@@ -11,17 +12,34 @@ import (
 //
 //	Σ_{i<=k} Ci/Ti  +  (1/Dk)·Σ_{i<=k} ((Ti - min(Ti,Di))/Ti)·Ci  <=  1.
 //
-// The test is evaluated in exact rational arithmetic (fast int64
-// rationals with big.Rat fallback); the prefix condition is checked in
-// the division-free form Σ Ci/Ti · Dk + Σ gap-terms <= Dk. Iterations
-// counts the prefix conditions checked, one per task up to and including
-// the first failing one, matching the iteration metric of the paper's
-// Table 1.
-func Devi(ts model.TaskSet) Result {
-	if taskUtilCmpOne(ts) > 0 {
+// The test is evaluated in exact rational arithmetic; the prefix
+// condition is checked in the division-free form
+// Σ Ci/Ti · Dk + Σ gap-terms <= Dk. Iterations counts the prefix
+// conditions checked, one per task up to and including the first failing
+// one, matching the iteration metric of the paper's Table 1.
+func Devi(ts model.TaskSet) Result { return DeviOpt(ts, Options{}) }
+
+// DeviOpt is Devi honoring Options: with a reused Scratch the test runs
+// allocation-free — the deadline-sorted copy lives in a scratch buffer
+// and the prefix accumulators in the chunk register bank (falling back
+// to numeric.Fast when the denominator plan cannot cover the periods).
+// Only the Scratch field influences the execution; the verdict is
+// identical for any Options value.
+func DeviOpt(ts model.TaskSet, opt Options) Result {
+	opt, borrowed := opt.acquire()
+	defer release(borrowed)
+	if taskUtilCmpOneScratch(ts, opt.Scratch) > 0 {
 		return Result{Verdict: Infeasible, Iterations: 1}
 	}
-	sorted := ts.SortedByDeadline()
+	sorted := opt.Scratch.SortedByDeadline(ts)
+	if opt.Scratch.ArithTasks(ts) != nil {
+		return deviChunked(sorted, opt.Scratch)
+	}
+	return deviFast(sorted)
+}
+
+// deviFast evaluates the prefix conditions in numeric.Fast arithmetic.
+func deviFast(sorted model.TaskSet) Result {
 	var cumU numeric.Fast   // Σ Ci/Ti
 	var cumGap numeric.Fast // Σ (Ti - min(Ti,Di))/Ti · Ci
 	var iterations int64
@@ -33,6 +51,39 @@ func Devi(ts model.TaskSet) Result {
 		}
 		// cumU + cumGap/Dk <= 1  ⇔  cumU·Dk + cumGap <= Dk (Dk > 0).
 		cond := cumU.MulInt(t.Deadline).Add(cumGap)
+		if cond.CmpInt(t.Deadline) > 0 {
+			return Result{
+				Verdict:         NotAccepted,
+				Iterations:      iterations,
+				FailureInterval: t.Deadline,
+			}
+		}
+	}
+	return Result{Verdict: Feasible, Iterations: iterations}
+}
+
+// deviChunked evaluates the prefix conditions on the chunk registers.
+// The caller guarantees the scratch plan covers the task periods.
+func deviChunked(sorted model.TaskSet, sc *demand.Scratch) Result {
+	cumU, cumGap, cond, tmp := sc.Reg(0), sc.Reg(1), sc.Reg(2), sc.Reg(3)
+	var iterations int64
+	for _, t := range sorted {
+		iterations++
+		cumU.AddRat(t.WCET, t.Period)
+		if gap := t.Period - min(t.Period, t.Deadline); gap > 0 {
+			if num, ok := numeric.MulChecked(gap, t.WCET); ok {
+				cumGap.AddRat(num, t.Period)
+			} else {
+				tmp.SetZero()
+				tmp.AddRat(gap, t.Period)
+				tmp.MulInt(t.WCET)
+				cumGap.Add(tmp)
+			}
+		}
+		// cumU + cumGap/Dk <= 1  ⇔  cumU·Dk + cumGap <= Dk (Dk > 0).
+		cond.CopyFrom(cumU)
+		cond.MulInt(t.Deadline)
+		cond.Add(cumGap)
 		if cond.CmpInt(t.Deadline) > 0 {
 			return Result{
 				Verdict:         NotAccepted,

@@ -13,6 +13,20 @@ func utilCmpOne(srcs []demand.Source) int {
 	return demand.UtilCmpOne(srcs)
 }
 
+// utilCmpOneScratch is utilCmpOne on the scratch's chunk registers when
+// the plan covers the sources — exact either way, but allocation-free
+// even when the slope sum overflows the Fast representation.
+func utilCmpOneScratch(srcs []demand.Source, sc *demand.Scratch) int {
+	if sc.Arith(srcs) == nil {
+		return demand.UtilCmpOne(srcs)
+	}
+	u := sc.Reg(0)
+	for _, s := range srcs {
+		u.AddRat(s.UtilRat())
+	}
+	return u.CmpInt(1)
+}
+
 // taskUtilCmpOne compares Σ Ci/Ti with 1 exactly without adapting the
 // tasks to sources first.
 func taskUtilCmpOne(ts model.TaskSet) int {
@@ -23,11 +37,23 @@ func taskUtilCmpOne(ts model.TaskSet) int {
 	return u.CmpInt(1)
 }
 
+// taskUtilCmpOneScratch is taskUtilCmpOne on the chunk registers.
+func taskUtilCmpOneScratch(ts model.TaskSet, sc *demand.Scratch) int {
+	if sc.ArithTasks(ts) == nil {
+		return taskUtilCmpOne(ts)
+	}
+	u := sc.Reg(0)
+	for _, t := range ts {
+		u.AddRat(t.WCET, t.Period)
+	}
+	return u.CmpInt(1)
+}
+
 // sourceBound returns the smallest applicable feasibility bound over plain
 // sources (George or superposition; Baruah and hyperperiod need the task
 // structure). Requires U < 1.
-func sourceBound(srcs []demand.Source) (int64, bounds.Kind, bool) {
-	bg, okG, bs, okS := bounds.LinearBounds(srcs)
+func sourceBound(srcs []demand.Source, sc *demand.Scratch) (int64, bounds.Kind, bool) {
+	bg, okG, bs, okS := bounds.LinearBoundsScratch(srcs, sc)
 	switch {
 	case okG && okS:
 		if bs <= bg {
@@ -50,7 +76,7 @@ func sourceBound(srcs []demand.Source) (int64, bounds.Kind, bool) {
 func taskBound(ts model.TaskSet, srcs []demand.Source, opt Options) (int64, bounds.Kind, bool) {
 	switch opt.Bound {
 	case "", bounds.KindNone:
-		return bounds.BestSources(ts, srcs)
+		return bounds.BestSourcesScratch(ts, srcs, opt.Scratch)
 	case bounds.KindBaruah:
 		b, ok := bounds.Baruah(ts)
 		return b, bounds.KindBaruah, ok
@@ -80,7 +106,7 @@ func taskBound(ts model.TaskSet, srcs []demand.Source, opt Options) (int64, boun
 func ProcessorDemand(ts model.TaskSet, opt Options) Result {
 	opt, borrowed := opt.acquire()
 	defer release(borrowed)
-	if taskUtilCmpOne(ts) > 0 {
+	if taskUtilCmpOneScratch(ts, opt.Scratch) > 0 {
 		return Result{Verdict: Infeasible, Iterations: 1}
 	}
 	srcs := opt.Scratch.Sources(ts)
@@ -103,7 +129,7 @@ func ProcessorDemand(ts model.TaskSet, opt Options) Result {
 func ProcessorDemandSources(srcs []demand.Source, opt Options) Result {
 	opt, borrowed := opt.acquire()
 	defer release(borrowed)
-	switch utilCmpOne(srcs) {
+	switch utilCmpOneScratch(srcs, opt.Scratch) {
 	case 1:
 		return Result{Verdict: Infeasible, Iterations: 1}
 	case 0:
@@ -111,7 +137,7 @@ func ProcessorDemandSources(srcs []demand.Source, opt Options) Result {
 		// sources; report Undecided instead of running an unbounded walk.
 		return Result{Verdict: Undecided}
 	}
-	bound, kind, ok := sourceBound(srcs)
+	bound, kind, ok := sourceBound(srcs, opt.Scratch)
 	if !ok {
 		return Result{Verdict: Undecided}
 	}
@@ -124,6 +150,11 @@ func ProcessorDemandSources(srcs []demand.Source, opt Options) Result {
 // I < bound, walking deadlines in ascending order through the scratch
 // heap. The caller must have attached a Scratch to opt.
 func processorDemand(srcs []demand.Source, bound int64, opt Options) Result {
+	if opt.Blocking == nil && opt.MaxIterations == 0 {
+		if c, sep, ok := opt.Scratch.UniformShapes(srcs); ok {
+			return processorDemandUniform(srcs, c, sep, bound, opt.Scratch)
+		}
+	}
 	tl := opt.Scratch.TestList(len(srcs))
 	for i, s := range srcs {
 		if d := s.JobDeadline(1); d < bound {
@@ -135,11 +166,16 @@ func processorDemand(srcs []demand.Source, bound int64, opt Options) Result {
 		I := tl.Peek().I
 		// Merge every job whose deadline is exactly I: they form one test
 		// interval.
-		for !tl.Empty() && tl.Peek().I == I {
-			e := tl.Next()
+		for {
+			e := tl.Peek()
 			dem += srcs[e.Src].WCET()
 			if nd := srcs[e.Src].NextDeadline(I); nd < bound {
-				tl.Add(nd, e.Src)
+				tl.Replace(nd, e.Src)
+			} else {
+				tl.Next()
+			}
+			if tl.Empty() || tl.Peek().I != I {
+				break
 			}
 		}
 		iterations++
@@ -149,6 +185,79 @@ func processorDemand(srcs []demand.Source, bound int64, opt Options) Result {
 		if dem > opt.capacityAt(I) {
 			return Result{Verdict: Infeasible, Iterations: iterations, FailureInterval: I}
 		}
+	}
+	return Result{Verdict: Feasible, Iterations: iterations}
+}
+
+// processorDemandUniform is the demand walk specialized to uniformly
+// repeating sources with no blocking and no iteration cap: per-source
+// WCET and deadline separation live in flat arrays and the next test
+// interval comes from a loser tree, whose replace-min costs one
+// comparison per level instead of the heap's four-child sift.
+//
+// When the source just advanced wins the tournament again it is the sole
+// owner of every interval up to the runner-up entry, and the run drains
+// in one batch. The batch verifies only its first interval, which is
+// sound because C <= Sep (guaranteed by U <= 1) makes the slack
+// I - dbf(I) non-decreasing along the run; iterations still counts every
+// interval, so results are identical to the generic walk. Detecting runs
+// this way keeps the runner-up probe off the common path where sources
+// interleave and runs never form.
+func processorDemandUniform(srcs []demand.Source, c, sep []int64, bound int64, sc *demand.Scratch) Result {
+	lt := sc.MergeTree(len(srcs))
+	for i, s := range srcs {
+		if d := s.JobDeadline(1); d < bound {
+			lt.Set(i, d)
+		}
+	}
+	lt.Build()
+	var dem, iterations int64
+	I, src := lt.Min()
+	for I != demand.MaxInterval {
+		cur := I
+		last := src
+		// Merge every job whose deadline is exactly cur: one test interval.
+		for {
+			dem += c[src]
+			last = src
+			nd := int64(demand.MaxInterval)
+			if v, ok := numeric.AddChecked(I, sep[src]); ok && v < bound {
+				nd = v
+			}
+			lt.ReplaceMin(nd)
+			I, src = lt.Min()
+			if I != cur {
+				break
+			}
+		}
+		iterations++
+		if dem > cur {
+			return Result{Verdict: Infeasible, Iterations: iterations, FailureInterval: cur}
+		}
+		if src != last || I == demand.MaxInterval || c[src] > sep[src] {
+			continue
+		}
+		// The advanced source won again: sole owner of every interval in
+		// [I, limit) — batch-drain the run.
+		limit := min(lt.SecondMin(), bound)
+		if limit <= I {
+			continue
+		}
+		n := (limit-1-I)/sep[src] + 1
+		dem += c[src]
+		iterations++
+		if dem > I {
+			return Result{Verdict: Infeasible, Iterations: iterations, FailureInterval: I}
+		}
+		dem += (n - 1) * c[src]
+		iterations += n - 1
+		lastI := I + (n-1)*sep[src]
+		nd := int64(demand.MaxInterval)
+		if v, ok := numeric.AddChecked(lastI, sep[src]); ok && v < bound {
+			nd = v
+		}
+		lt.ReplaceMin(nd)
+		I, src = lt.Min()
 	}
 	return Result{Verdict: Feasible, Iterations: iterations}
 }

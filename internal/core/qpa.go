@@ -38,7 +38,7 @@ func QPA(ts model.TaskSet, opt Options) Result {
 	}
 	opt, borrowed := opt.acquire()
 	defer release(borrowed)
-	if taskUtilCmpOne(ts) > 0 {
+	if taskUtilCmpOneScratch(ts, opt.Scratch) > 0 {
 		return Result{Verdict: Infeasible, Iterations: 1}
 	}
 	srcs := opt.Scratch.Sources(ts)

@@ -76,6 +76,40 @@ func (tl *TestList) Next() Entry {
 // It must not be called on an empty list.
 func (tl *TestList) Peek() Entry { return tl.h[0] }
 
+// Replace swaps the root for the interval I of the same source and
+// restores heap order with one sift-down — the pop-then-push every walk
+// loop performs, fused so the entry is moved once instead of twice.
+// Replacing with MaxInterval drops the root ("no further deadline").
+// It must not be called on an empty list.
+func (tl *TestList) Replace(I int64, src int) {
+	if I == MaxInterval {
+		tl.Next()
+		return
+	}
+	tl.h[0] = Entry{I: I, Src: src}
+	if len(tl.h) > 1 {
+		tl.down(0)
+	}
+}
+
+// SecondMin returns the smallest interval excluding the root, or
+// MaxInterval when the root is the only entry. With a 4-ary heap the
+// runner-up sits among the root's direct children, so the scan is O(1).
+// It must not be called on an empty list.
+func (tl *TestList) SecondMin() int64 {
+	h := tl.h
+	if len(h) <= 1 {
+		return MaxInterval
+	}
+	best := h[1]
+	for c := 2; c < 5 && c < len(h); c++ {
+		if h[c].less(best) {
+			best = h[c]
+		}
+	}
+	return best.I
+}
+
 // Len returns the number of pending entries.
 func (tl *TestList) Len() int { return len(tl.h) }
 

@@ -1,0 +1,116 @@
+package demand
+
+// LoserTree is a tournament selection tree over one pending interval per
+// source — the k-way-merge structure of the uniform demand walk. Where
+// the 4-ary TestList heap re-sorts a replaced root by scanning up to
+// four children per level, the loser tree replays exactly one match per
+// level: replacing the minimum costs ceil(log2 k) key comparisons, which
+// is what makes walks over tens of thousands of intervals cheap. Keys
+// are stored inside the nodes, so a match is one contiguous load and a
+// register compare — a parked loser's key cannot change, only the
+// winner's does.
+//
+// Ties order by source index, the same (I, Src) total order as
+// TestList, so the pop sequence of the two structures is identical. A
+// key of MaxInterval marks an exhausted source; the tree is drained when
+// the winner's key is MaxInterval.
+type LoserTree struct {
+	k int
+	// node[0] is the tournament winner; node[1..k-1] hold the loser
+	// parked at that internal match. leaf -1 marks a not-yet-played
+	// node during Build.
+	node []treeEntry
+	// keys stages the per-leaf seeds between Reset/Set and Build.
+	keys []int64
+}
+
+// treeEntry is a tournament contender: a pending interval and the
+// source (leaf index) it belongs to.
+type treeEntry struct {
+	key  int64
+	leaf int32
+}
+
+// beats reports whether contender a orders before contender b.
+func (a treeEntry) beats(b treeEntry) bool {
+	return a.key < b.key || (a.key == b.key && a.leaf < b.leaf)
+}
+
+// Reset prepares the tree for k sources. Keys default to MaxInterval;
+// the caller sets real keys with Set and then calls Build.
+func (t *LoserTree) Reset(k int) {
+	t.k = k
+	if cap(t.node) < k {
+		t.node = make([]treeEntry, k)
+		t.keys = make([]int64, k)
+	}
+	t.node = t.node[:k]
+	t.keys = t.keys[:k]
+	for i := range t.keys {
+		t.keys[i] = MaxInterval
+	}
+}
+
+// Set assigns source i's first pending interval (MaxInterval = none).
+func (t *LoserTree) Set(i int, I int64) { t.keys[i] = I }
+
+// Build plays the initial tournament. Leaves are seeded in index order,
+// so every internal node sees its left subtree's winner parked before
+// any right-subtree contender arrives (the classic replacement-selection
+// initialization).
+func (t *LoserTree) Build() {
+	if t.k == 0 {
+		return
+	}
+	for i := 1; i < t.k; i++ {
+		t.node[i].leaf = -1
+	}
+	for j := 0; j < t.k; j++ {
+		w := treeEntry{key: t.keys[j], leaf: int32(j)}
+		parked := false
+		for i := (j + t.k) >> 1; i >= 1; i >>= 1 {
+			if t.node[i].leaf < 0 {
+				t.node[i] = w
+				parked = true
+				break
+			}
+			if t.node[i].beats(w) {
+				w, t.node[i] = t.node[i], w
+			}
+		}
+		if !parked {
+			t.node[0] = w
+		}
+	}
+}
+
+// Min returns the smallest pending interval and its source. A drained
+// tree reports MaxInterval.
+func (t *LoserTree) Min() (int64, int) {
+	return t.node[0].key, int(t.node[0].leaf)
+}
+
+// ReplaceMin gives the winning source a new pending interval
+// (MaxInterval = exhausted) and replays its path: one match per level.
+func (t *LoserTree) ReplaceMin(I int64) {
+	w := treeEntry{key: I, leaf: t.node[0].leaf}
+	for i := (int(w.leaf) + t.k) >> 1; i >= 1; i >>= 1 {
+		if t.node[i].beats(w) {
+			w, t.node[i] = t.node[i], w
+		}
+	}
+	t.node[0] = w
+}
+
+// SecondMin returns the smallest pending interval excluding the winner,
+// or MaxInterval. The runner-up lost its only match directly against the
+// winner, so it is parked on the winner's path — ceil(log2 k) probes.
+func (t *LoserTree) SecondMin() int64 {
+	best := treeEntry{key: MaxInterval, leaf: -1}
+	for i := (int(t.node[0].leaf) + t.k) >> 1; i >= 1; i >>= 1 {
+		if t.node[i].beats(best) {
+			best = t.node[i]
+		}
+	}
+	return best.key
+}

@@ -1,0 +1,151 @@
+package demand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refSecondMin returns the runner-up key of a live key set, excluding
+// the single winner leaf, by linear scan.
+func refSecondMin(keys []int64, winner int) int64 {
+	best := MaxInterval
+	for i, k := range keys {
+		if i != winner && k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// TestLoserTreeMatchesTestList drives random uniform-walk workloads
+// (per-source first deadline plus separation) through both selection
+// structures and requires bit-identical pop sequences — the loser tree
+// must preserve the heap's (I, Src) total order, including ties — and
+// agreeing SecondMin at every step.
+func TestLoserTreeMatchesTestList(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := range 300 {
+		k := 1 + rng.Intn(64)
+		first := make([]int64, k)
+		sep := make([]int64, k)
+		keys := make([]int64, k)
+		var lt LoserTree
+		lt.Reset(k)
+		tl := NewTestList(k)
+		for i := range k {
+			// Small ranges force frequent (I, Src) ties.
+			first[i] = 1 + rng.Int63n(20)
+			sep[i] = 1 + rng.Int63n(10)
+			keys[i] = first[i]
+			lt.Set(i, first[i])
+			tl.Add(first[i], i)
+		}
+		lt.Build()
+		bound := int64(200)
+		for step := 0; ; step++ {
+			I, src := lt.Min()
+			if tl.Empty() {
+				if I != MaxInterval {
+					t.Fatalf("round %d step %d: heap drained but tree min %d/%d", round, step, I, src)
+				}
+				break
+			}
+			if e := tl.Peek(); I != e.I || src != e.Src {
+				t.Fatalf("round %d step %d: tree min (%d,%d), heap min (%d,%d)", round, step, I, src, e.I, e.Src)
+			}
+			if got, want := lt.SecondMin(), refSecondMin(keys, src); got != want {
+				t.Fatalf("round %d step %d: tree second %d, want %d", round, step, got, want)
+			}
+			if got, want := tl.SecondMin(), refSecondMin(keys, src); got != want {
+				t.Fatalf("round %d step %d: heap second %d, want %d", round, step, got, want)
+			}
+			nd := I + sep[src]
+			if nd >= bound {
+				nd = MaxInterval
+			}
+			keys[src] = nd
+			lt.ReplaceMin(nd)
+			tl.Replace(nd, src)
+		}
+	}
+}
+
+// TestLoserTreeTieOrder pins the tie-break: equal intervals pop in
+// ascending source order, exactly like Entry.less.
+func TestLoserTreeTieOrder(t *testing.T) {
+	var lt LoserTree
+	lt.Reset(5)
+	for i := range 5 {
+		lt.Set(i, 10)
+	}
+	lt.Build()
+	for want := range 5 {
+		I, src := lt.Min()
+		if I != 10 || src != want {
+			t.Fatalf("tie pop %d: got (%d,%d)", want, I, src)
+		}
+		lt.ReplaceMin(MaxInterval)
+	}
+	if I, _ := lt.Min(); I != MaxInterval {
+		t.Fatalf("tree not drained: min %d", I)
+	}
+}
+
+// TestLoserTreeSingle pins the degenerate one-source tree: SecondMin has
+// no runner-up and replacement cycles the sole leaf.
+func TestLoserTreeSingle(t *testing.T) {
+	var lt LoserTree
+	lt.Reset(1)
+	lt.Set(0, 3)
+	lt.Build()
+	if I, src := lt.Min(); I != 3 || src != 0 {
+		t.Fatalf("min = (%d,%d), want (3,0)", I, src)
+	}
+	if s := lt.SecondMin(); s != MaxInterval {
+		t.Fatalf("second = %d, want MaxInterval", s)
+	}
+	lt.ReplaceMin(8)
+	if I, _ := lt.Min(); I != 8 {
+		t.Fatalf("after replace: min %d, want 8", I)
+	}
+	lt.ReplaceMin(MaxInterval)
+	if I, _ := lt.Min(); I != MaxInterval {
+		t.Fatalf("tree not drained: min %d", I)
+	}
+}
+
+// TestTestListReplace pins Replace against the equivalent Next+Add pair
+// on random streams, including the MaxInterval drop contract.
+func TestTestListReplace(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := range 100 {
+		a := NewTestList(8)
+		b := NewTestList(8)
+		for i := range 8 {
+			d := rng.Int63n(30)
+			a.Add(d, i)
+			b.Add(d, i)
+		}
+		for !a.Empty() {
+			nd := int64(MaxInterval)
+			if rng.Intn(4) > 0 {
+				nd = a.Peek().I + rng.Int63n(15)
+			}
+			src := a.Peek().Src
+			a.Replace(nd, src)
+			b.Next()
+			if nd != MaxInterval {
+				b.Add(nd, src)
+			}
+			if a.Len() != b.Len() {
+				t.Fatalf("round %d: len %d vs %d", round, a.Len(), b.Len())
+			}
+			if !a.Empty() && a.Peek() != b.Peek() {
+				t.Fatalf("round %d: peek %+v vs %+v", round, a.Peek(), b.Peek())
+			}
+		}
+		if !b.Empty() {
+			t.Fatalf("round %d: reference heap not drained", round)
+		}
+	}
+}

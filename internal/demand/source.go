@@ -46,6 +46,17 @@ type Source interface {
 	ApproxError(I int64) (num, den int64)
 }
 
+// UniformShaped is the optional Source extension of endlessly repeating
+// equidistant streams. The demand walks use it to run on flat int64
+// arrays — deadline advance becomes one addition — instead of interface
+// calls per job.
+type UniformShaped interface {
+	// UniformShape returns the per-job WCET and the constant deadline
+	// separation. ok is false for one-shot sources (finitely many jobs),
+	// which the uniform walk cannot model.
+	UniformShape() (wcet, sep int64, ok bool)
+}
+
 // Sporadic is the Source for a sporadic task in the synchronous arrival
 // sequence: deadlines D, D+T, D+2T, ...
 type Sporadic struct {
@@ -64,6 +75,9 @@ func (s Sporadic) WCET() int64 { return s.C }
 
 // UtilRat returns C/T.
 func (s Sporadic) UtilRat() (num, den int64) { return s.C, s.T }
+
+// UniformShape returns C and T: a sporadic source repeats forever.
+func (s Sporadic) UniformShape() (wcet, sep int64, ok bool) { return s.C, s.T, true }
 
 // JobDeadline returns D + (k-1)*T, or MaxInterval on overflow.
 func (s Sporadic) JobDeadline(k int64) int64 {
@@ -158,6 +172,10 @@ func (s Uniform) UtilRat() (num, den int64) {
 	}
 	return s.C, s.Sep
 }
+
+// UniformShape returns C and Sep; one-shot sources (Sep == 0) do not
+// repeat and report ok false.
+func (s Uniform) UniformShape() (wcet, sep int64, ok bool) { return s.C, s.Sep, s.Sep != 0 }
 
 // JobDeadline returns First + (k-1)*Sep, or MaxInterval past the last
 // job or on overflow.

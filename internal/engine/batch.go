@@ -47,6 +47,10 @@ type JobResult struct {
 	Result core.Result
 	// Wall is the job's wall-clock duration.
 	Wall time.Duration
+	// Promotions counts the job's exits from the bounded-denominator
+	// fast path (see demand.Scratch.ArithPromotions), measured against
+	// the worker's scratch around the run.
+	Promotions uint64
 	// Err is non-nil when the batch context was canceled before the job
 	// ran, or when the job paired an event workload with an analyzer
 	// lacking event support (*EventsUnsupportedError); the Result is then
@@ -106,7 +110,9 @@ func Run(ctx context.Context, jobs []Job, ro RunOptions) []JobResult {
 			for i := range next {
 				job := jobs[i]
 				job.Opt.Scratch = scratch
+				p0 := scratch.ArithPromotions()
 				out[i] = runJob(ctx, job)
+				out[i].Promotions = scratch.ArithPromotions() - p0
 				// Do not leak the pooled scratch to the caller through the
 				// echoed Job: it is recycled when this worker exits.
 				out[i].Job.Opt.Scratch = nil

@@ -90,9 +90,17 @@ func (c *Cascade) run(opt core.Options, eval func(Analyzer) (core.Result, bool))
 			return r
 		}
 		start := time.Now()
+		var p0 uint64
+		if opt.Scratch != nil {
+			p0 = opt.Scratch.ArithPromotions()
+		}
 		r, ran := eval(a)
 		if ran {
-			opt.Stages.Record(a.Info().Name, r.Verdict.String(), r.Iterations, time.Since(start).Nanoseconds())
+			var promos uint64
+			if opt.Scratch != nil {
+				promos = opt.Scratch.ArithPromotions() - p0
+			}
+			opt.Stages.Record(a.Info().Name, r.Verdict.String(), r.Iterations, time.Since(start).Nanoseconds(), promos)
 		}
 		return r
 	}

@@ -111,8 +111,8 @@ func NewLiuLayland() Analyzer {
 func NewDevi() Analyzer {
 	return funcAnalyzer{
 		info: Info{Name: "devi", Label: "devi", Kind: Sufficient},
-		fn: func(ts model.TaskSet, _ core.Options) core.Result {
-			return core.Devi(ts)
+		fn: func(ts model.TaskSet, opt core.Options) core.Result {
+			return core.DeviOpt(ts, opt)
 		},
 	}
 }

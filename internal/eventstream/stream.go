@@ -141,6 +141,12 @@ func (s elemSource) UtilRat() (num, den int64) {
 	return s.c, s.cycle
 }
 
+// UniformShape lets the demand walks run event-stream elements on the
+// flat uniform fast path; one-shot elements (cycle 0) do not qualify.
+func (s elemSource) UniformShape() (wcet, sep int64, ok bool) {
+	return s.c, s.cycle, s.cycle != 0
+}
+
 func (s elemSource) JobDeadline(k int64) int64 {
 	if k < 1 {
 		return 0

@@ -32,8 +32,8 @@ func TestRecorderEvictsOldest(t *testing.T) {
 
 func TestStageLogSpansInto(t *testing.T) {
 	var l StageLog
-	l.Record("liu-layland", "inconclusive", 1, 100)
-	l.Record("qpa", "feasible", 12, 400)
+	l.Record("liu-layland", "inconclusive", 1, 100, 0)
+	l.Record("qpa", "feasible", 12, 400, 2)
 	tr := StartTrace("aa", "propose")
 	end := tr.Start().Add(time.Microsecond)
 	l.SpansInto(tr, end)
@@ -44,8 +44,14 @@ func TestStageLogSpansInto(t *testing.T) {
 	if first.Name != "stage:liu-layland" || second.Name != "stage:qpa" {
 		t.Fatalf("span names %q, %q", first.Name, second.Name)
 	}
-	if second.Detail != "feasible iters=12" {
+	if second.Detail != "feasible iters=12 promotions=2" {
 		t.Fatalf("detail = %q", second.Detail)
+	}
+	if first.Detail != "inconclusive iters=1" {
+		t.Fatalf("detail = %q", first.Detail)
+	}
+	if got := l.Promotions(); got != 2 {
+		t.Fatalf("Promotions = %d, want 2", got)
 	}
 	endNS := end.Sub(tr.Start()).Nanoseconds()
 	if first.StartNS != endNS-500 || second.StartNS != endNS-400 {
@@ -60,7 +66,7 @@ func TestStageLogSpansInto(t *testing.T) {
 		t.Fatalf("Len after Reset = %d", l.Len())
 	}
 	for i := 0; i < 2*MaxStages; i++ {
-		l.Record("s", "v", 0, 0)
+		l.Record("s", "v", 0, 0, 0)
 	}
 	if l.Len() != MaxStages {
 		t.Fatalf("Len = %d, want cap %d", l.Len(), MaxStages)

@@ -220,6 +220,12 @@ type StageRecord struct {
 	Iterations int64
 	// DurNS is the stage's wall time.
 	DurNS int64
+	// Promotions counts the stage's exits from the bounded-denominator
+	// fast path: values promoted to big rationals plus analyses that fell
+	// back wholesale because no chunk plan fit the workload. Zero on the
+	// overwhelming majority of workloads; a persistent non-zero stream
+	// means the workload's periods exceed the chunk cap.
+	Promotions uint64
 }
 
 // StageLog captures per-stage spans of one analysis into preallocated
@@ -236,12 +242,21 @@ type StageLog struct {
 func (l *StageLog) Reset() { l.n = 0 }
 
 // Record appends one stage, silently dropping past MaxStages.
-func (l *StageLog) Record(name, verdict string, iterations, durNS int64) {
+func (l *StageLog) Record(name, verdict string, iterations, durNS int64, promotions uint64) {
 	if l.n >= MaxStages {
 		return
 	}
-	l.stages[l.n] = StageRecord{Name: name, Verdict: verdict, Iterations: iterations, DurNS: durNS}
+	l.stages[l.n] = StageRecord{Name: name, Verdict: verdict, Iterations: iterations, DurNS: durNS, Promotions: promotions}
 	l.n++
+}
+
+// Promotions sums the fast-path exits over the recorded stages.
+func (l *StageLog) Promotions() uint64 {
+	var total uint64
+	for i := range l.n {
+		total += l.stages[i].Promotions
+	}
+	return total
 }
 
 // Len returns the number of recorded stages.
@@ -265,11 +280,15 @@ func (l *StageLog) SpansInto(t *Trace, end time.Time) {
 	start := endNS - total
 	for i := range l.n {
 		st := l.stages[i]
+		detail := st.Verdict + " iters=" + strconv.FormatInt(st.Iterations, 10)
+		if st.Promotions > 0 {
+			detail += " promotions=" + strconv.FormatUint(st.Promotions, 10)
+		}
 		t.AddSpan(Span{
 			Name:    "stage:" + st.Name,
 			StartNS: start,
 			DurNS:   st.DurNS,
-			Detail:  st.Verdict + " iters=" + strconv.FormatInt(st.Iterations, 10),
+			Detail:  detail,
 		})
 		start += st.DurNS
 	}

@@ -73,6 +73,10 @@ type ProposeOutcome struct {
 	// (empty on the gate and fast paths). It is a fixed-size value copy,
 	// keeping the propose path allocation-free.
 	Stages obs.StageLog
+	// Promotions counts this decision's exits from the bounded-denominator
+	// fast path (zero on the gate and fast paths, which never run chunked
+	// arithmetic).
+	Promotions uint64
 }
 
 // FinishOutcome reports a commit or rollback.
@@ -336,28 +340,34 @@ func (a *Admission) proposeLocked(t workload.Task) (ProposeOutcome, error) {
 	}
 
 	start := time.Now()
+	p0 := a.scratch.ArithPromotions()
 	res, err := engine.AnalyzeWorkload(a.analyzer, a.candidateLocked(t), a.analyzeOptions())
 	if err != nil {
 		a.retractCandidateLocked()
 		return ProposeOutcome{}, err
 	}
+	promos := a.scratch.ArithPromotions() - p0
 	if a.stages.Len() == 0 {
 		// A non-cascade analyzer records no stages itself; log the whole
 		// run as its one stage so traces always name the deciding test.
-		a.stages.Record(a.analyzer.Info().Name, res.Verdict.String(), res.Iterations, time.Since(start).Nanoseconds())
+		a.stages.Record(a.analyzer.Info().Name, res.Verdict.String(), res.Iterations, time.Since(start).Nanoseconds(), promos)
 	}
 	a.stats.Iterations += res.Iterations
 	a.stats.Escalations++
 	if res.Verdict != core.Feasible {
 		a.stats.Rejected++
 		a.retractCandidateLocked()
-		return a.outcome(false, res, obs.PathCascade), nil
+		out := a.outcome(false, res, obs.PathCascade)
+		out.Promotions = promos
+		return out, nil
 	}
 	// Admitted: the candidate stays in the buffer (it is now the last
 	// pending task) and is mirrored into the pending workload.
 	a.retractCandidateLocked()
 	a.admitLocked(t, grown)
-	return a.outcome(true, res, obs.PathCascade), nil
+	out := a.outcome(true, res, obs.PathCascade)
+	out.Promotions = promos
+	return out, nil
 }
 
 // admitLocked stages an accepted task: appends it to the candidate buffer,

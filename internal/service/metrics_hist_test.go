@@ -118,6 +118,7 @@ func TestProposeLatencyMetrics(t *testing.T) {
 		"edfd_propose_ns_count 4",
 		"edfd_session_proposals_incremental_total 3",
 		"edfd_session_proposals_escalated_total 1",
+		"edfd_arith_promotions_total 0",
 		"edfd_propose_ns_p50 ",
 		"edfd_propose_ns_p99 ",
 		"# TYPE edfd_propose_ns histogram",

@@ -269,6 +269,7 @@ func (s *Server) analyzeOne(ctx context.Context, wl workload.Workload, a engine.
 		}
 		return core.Result{}, 0, false, fp, jr.Err
 	}
+	s.m.promotions.Add(jr.Promotions)
 	if tr != nil {
 		end := time.Now()
 		stages.SpansInto(tr, end)
@@ -416,6 +417,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		j := &out[jobFor[k]]
 		j.Result = NewResultJSON(jr.Result)
 		j.WallNS = jr.Wall.Nanoseconds()
+		s.m.promotions.Add(jr.Promotions)
 		if jr.Err != nil {
 			j.Err = jr.Err.Error()
 			continue
@@ -558,13 +560,14 @@ func newProposeResponse(out ProposeOutcome) ProposeResponse {
 }
 
 // countProposePath splits a decision into the incremental/escalated
-// telemetry counters.
+// telemetry counters and folds in its arithmetic fast-path exits.
 func (s *Server) countProposePath(out ProposeOutcome) {
 	if out.Escalated {
 		s.m.escalated.Add(1)
 	} else {
 		s.m.incremental.Add(1)
 	}
+	s.m.promotions.Add(out.Promotions)
 }
 
 func (s *Server) handleSessionPropose(w http.ResponseWriter, r *http.Request) {
