@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-core bench-session bench-store bench-cluster serve smoke smoke-cluster lint-metrics fmt vet clean
+.PHONY: all build test bench bench-json bench-core bench-session bench-store bench-partition bench-cluster serve smoke smoke-cluster lint-metrics fmt vet clean
 
 all: build test
 
@@ -54,6 +54,16 @@ bench-store:
 	$(GO) run ./cmd/benchmerge -out BENCH_store.json $(if $(GATE),-gate $(GATE)) < bench-store.out
 	rm -f bench-store.out
 
+# Partitioned-placement benchmarks (first-fit/worst-fit/balance over
+# m in {2,4,8,16} processors, cold and warm cache — the warm rows carry
+# the per-bin cache hit share in the hits/check metric), merged into the
+# committed trend file BENCH_partition.json under the same baseline/gate
+# rules as bench-core.
+bench-partition:
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./internal/partition/ > bench-partition.out
+	$(GO) run ./cmd/benchmerge -out BENCH_partition.json $(if $(GATE),-gate $(GATE)) < bench-partition.out
+	rm -f bench-partition.out
+
 # Cluster benchmarks: 2 edfd replicas behind edfproxy vs a single direct
 # edfd, as machine-readable test2json events in the committed trend file
 # BENCH_cluster.json. The output lands in a temp file first so a failed
@@ -98,5 +108,5 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -f bench.out bench-core.out bench-session.out bench-store.out bench-cluster.out BENCH_service.json
+	rm -f bench.out bench-core.out bench-session.out bench-store.out bench-partition.out bench-cluster.out BENCH_service.json
 	$(GO) clean ./...

@@ -28,6 +28,15 @@
 // arithmetic fast path is benchmarked on: periods drawn log-uniformly
 // across D decades starting at -tmin. It implies -log and overrides
 // -tmax with tmin*10^D, and composes with -events and -churn.
+//
+// -processors m emits a partitioned multiprocessor workload ({"model":
+// "partitioned", "processors": [...], "tasks": [...]}) for the edfd
+// service's /v1/partition endpoint: m generator draws of -n tasks each
+// at per-processor utilization -u, so the set totals about m*u and a
+// placement usually exists. -speeds gives comma-separated processor
+// speeds (default all unit), and -pin P pins that fraction of tasks to
+// a random processor via an affinity set. Incompatible with -events and
+// -churn.
 package main
 
 import (
@@ -37,6 +46,8 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
 	edf "repro"
 	"repro/internal/service"
@@ -59,6 +70,9 @@ func main() {
 		doChurn = flag.Bool("churn", false, "emit a session-churn scenario (seed workload + propose/commit/rollback ops)")
 		ops     = flag.Int("ops", 2000, "ops per scenario in -churn mode")
 		spread  = flag.Int("spread", 0, "spread periods log-uniformly across this many decades above -tmin (implies -log, overrides -tmax)")
+		procs   = flag.Int("processors", 0, "emit a partitioned workload over this many processors (-u is per-processor)")
+		speeds  = flag.String("speeds", "", "comma-separated processor speeds in -processors mode (default all 1)")
+		pin     = flag.Float64("pin", 0, "fraction of tasks pinned to a random processor in -processors mode")
 	)
 	flag.Parse()
 
@@ -88,6 +102,34 @@ func main() {
 		PeriodMin: *tmin, PeriodMax: *tmax,
 		LogUniformPeriods: *logU,
 		GapMean:           *gap,
+	}
+	if *procs > 0 {
+		if *events || *doChurn {
+			fmt.Fprintln(os.Stderr, "edfgen: -processors is incompatible with -events and -churn")
+			os.Exit(2)
+		}
+		platform, err := parsePlatform(*procs, *speeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edfgen:", err)
+			os.Exit(2)
+		}
+		for i := range *count {
+			wl, err := generatePartitioned(platform, cfg, *pin, rng)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "edfgen:", err)
+				os.Exit(2)
+			}
+			path := *out
+			if path != "" && *count > 1 {
+				path = fmt.Sprintf("%s_%03d.json", trimJSON(*out), i+1)
+			}
+			ws := service.WorkloadSet{Name: fmt.Sprintf("partitioned-%d", i+1), Workload: wl}
+			if err := emitJSON(path, ws); err != nil {
+				fmt.Fprintln(os.Stderr, "edfgen:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 	if *doChurn {
 		ccfg := edf.ChurnConfig{
@@ -156,7 +198,12 @@ func emit(path, name string, ts edf.TaskSet, events bool, burst int, spacing int
 		return ts.SaveFile(path, name)
 	}
 	ws := service.WorkloadSet{Name: name, Workload: edf.EventWorkload(eventTasks(ts, burst, spacing))}
-	data, err := json.MarshalIndent(ws, "", "  ")
+	return emitJSON(path, ws)
+}
+
+// emitJSON writes one JSON value to path (stdout when empty).
+func emitJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -166,6 +213,55 @@ func emit(path, name string, ts edf.TaskSet, events bool, burst int, spacing int
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// parsePlatform builds the processor list for -processors mode: m unit
+// processors, or the speeds given as a comma-separated list (which must
+// then have exactly m entries).
+func parsePlatform(m int, speeds string) ([]edf.Processor, error) {
+	procs := make([]edf.Processor, m)
+	for i := range procs {
+		procs[i] = edf.Processor{Name: fmt.Sprintf("p%d", i), Speed: 1}
+	}
+	if speeds == "" {
+		return procs, nil
+	}
+	parts := strings.Split(speeds, ",")
+	if len(parts) != m {
+		return nil, fmt.Errorf("-speeds lists %d speeds for %d processors", len(parts), m)
+	}
+	for i, p := range parts {
+		s, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil || s < 1 {
+			return nil, fmt.Errorf("-speeds entry %q: want a positive integer", p)
+		}
+		procs[i].Speed = s
+	}
+	return procs, nil
+}
+
+// generatePartitioned draws one task set per processor at the generator's
+// per-processor utilization target and merges them into one partitioned
+// workload. With pin > 0, that fraction of tasks is given a singleton
+// affinity to a uniformly random processor — a stress knob for the
+// placement engine, not a feasibility guarantee.
+func generatePartitioned(procs []edf.Processor, cfg edf.GenConfig, pin float64, rng *rand.Rand) (edf.Workload, error) {
+	var tasks []edf.PartitionedTask
+	for pi := range procs {
+		ts, err := edf.Generate(cfg, rng)
+		if err != nil {
+			return edf.Workload{}, err
+		}
+		for ti, t := range ts {
+			t.Name = fmt.Sprintf("p%d-t%d", pi, ti)
+			pt := edf.PartitionedTask{Task: t}
+			if pin > 0 && rng.Float64() < pin {
+				pt.Affinity = []int{rng.Intn(len(procs))}
+			}
+			tasks = append(tasks, pt)
+		}
+	}
+	return edf.PartitionedWorkload(procs, tasks), nil
 }
 
 // eventTasks converts generated sporadic tasks to event-driven tasks.

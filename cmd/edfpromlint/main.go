@@ -129,11 +129,11 @@ func driveTraffic(ctx context.Context, c *client.Client) error {
 	}
 	wl := edf.SporadicWorkload(set)
 	for range 2 {
-		if _, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "lint", Workload: wl}); err != nil {
+		if _, _, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "lint", Workload: wl}); err != nil {
 			return fmt.Errorf("analyze: %w", err)
 		}
 	}
-	if _, err := c.Batch(ctx, service.BatchRequest{
+	if _, _, err := c.Batch(ctx, service.BatchRequest{
 		Sets:      []service.WorkloadSet{{Name: "lint", Workload: wl}},
 		Analyzers: []string{"cascade"},
 	}); err != nil {
@@ -158,6 +158,23 @@ func driveTraffic(ctx context.Context, c *client.Client) error {
 	}
 	if err := h.Close(ctx); err != nil {
 		return fmt.Errorf("close session: %w", err)
+	}
+	// One placement per replica: partition requests are fingerprint-sticky,
+	// so distinct workloads are needed to touch every replica's
+	// edfd_partition_ counters. More variants than replicas makes full
+	// coverage near-certain on the two-replica default.
+	procs := []edf.Processor{{Name: "p0"}, {Name: "p1", Speed: 2}}
+	for i := range 8 {
+		_, _, err := c.Partition(ctx, service.PartitionRequest{
+			Name: fmt.Sprintf("lint-%d", i),
+			Workload: edf.PartitionedWorkload(procs, []edf.PartitionedTask{
+				{Task: edf.Task{Name: "a", WCET: 6, Deadline: 10 + int64(i), Period: 10 + int64(i)}},
+				{Task: edf.Task{Name: "b", WCET: 6, Deadline: 10, Period: 10}},
+			}),
+		})
+		if err != nil {
+			return fmt.Errorf("partition %d: %w", i, err)
+		}
 	}
 	return nil
 }
@@ -186,6 +203,27 @@ func lintPage(daemon, page string) (families, samples int, err error) {
 	// proxy as a fleet sum next to its replica-labeled samples.
 	if _, ok := types["edfd_arith_promotions_total"]; !ok {
 		return 0, 0, fmt.Errorf("page lacks the edfd_arith_promotions_total family")
+	}
+	// Partitioned-placement observability contract: the partition counter
+	// families must appear on every page — replicas natively, the proxy as
+	// fleet sums — and the proxy must additionally export its own routing
+	// counter for the endpoint.
+	for _, fam := range []string{
+		"edfd_partition_requests_total",
+		"edfd_partition_feasible_total",
+		"edfd_partition_infeasible_total",
+		"edfd_partition_bin_checks_total",
+		"edfd_partition_bin_cache_hits_total",
+		"edfd_partition_gate_rejections_total",
+	} {
+		if _, ok := types[fam]; !ok {
+			return 0, 0, fmt.Errorf("page lacks the %s family", fam)
+		}
+	}
+	if daemon == "edfproxy" {
+		if _, ok := types["edfproxy_partition_routed_total"]; !ok {
+			return 0, 0, fmt.Errorf("proxy page lacks the edfproxy_partition_routed_total family")
+		}
 	}
 	// The proxy page must also carry fleet aggregation: replica-labeled
 	// samples next to their sums.

@@ -1,7 +1,8 @@
 // Command edfsmoke is the end-to-end smoke test behind `make smoke` and
 // `make smoke-cluster`: it builds and starts real daemons on ephemeral
-// ports, drives analyze, batch and session propose-batch with both
-// workload models through the typed client, and exits non-zero on any
+// ports, drives analyze, batch, session propose-batch and partitioned
+// placement with every workload model through the typed client, and
+// exits non-zero on any
 // non-2xx response or contract violation (missed cache hit, colliding
 // fingerprints, wrong verdict count, non-deterministic batch order).
 //
@@ -318,14 +319,14 @@ func drive(ctx context.Context, c *client.Client) error {
 		name string
 		w    edf.Workload
 	}{{"sporadic", edf.SporadicWorkload(sporadic)}, {"events", edf.EventWorkload(events)}} {
-		first, err := c.Analyze(ctx, service.AnalyzeRequest{Name: wl.name, Workload: wl.w})
+		first, _, err := c.Analyze(ctx, service.AnalyzeRequest{Name: wl.name, Workload: wl.w})
 		if err != nil {
 			return fmt.Errorf("analyze %s: %w", wl.name, err)
 		}
 		if first.Fingerprint == "" {
 			return fmt.Errorf("analyze %s: no fingerprint", wl.name)
 		}
-		again, err := c.Analyze(ctx, service.AnalyzeRequest{Name: wl.name, Workload: wl.w})
+		again, _, err := c.Analyze(ctx, service.AnalyzeRequest{Name: wl.name, Workload: wl.w})
 		if err != nil {
 			return fmt.Errorf("re-analyze %s: %w", wl.name, err)
 		}
@@ -341,7 +342,7 @@ func drive(ctx context.Context, c *client.Client) error {
 	}
 
 	// Batch: both models in one request.
-	bresp, err := c.Batch(ctx, service.BatchRequest{
+	bresp, _, err := c.Batch(ctx, service.BatchRequest{
 		Sets: []service.WorkloadSet{
 			{Name: "s", Workload: edf.SporadicWorkload(sporadic)},
 			{Name: "e", Workload: edf.EventWorkload(events)},
@@ -411,7 +412,89 @@ func drive(ctx context.Context, c *client.Client) error {
 	if err := driveChurn(ctx, c); err != nil {
 		return err
 	}
-	return driveSpread(ctx, c)
+	if err := driveSpread(ctx, c); err != nil {
+		return err
+	}
+	return drivePartition(ctx, c)
+}
+
+// drivePartition pushes a partitioned multiprocessor workload through
+// POST /v1/partition — directly or via the proxy, which routes it by
+// workload fingerprint — and checks the placement contract end to end:
+// the schema advertises the model, a feasible placement carries one
+// proven bin per processor and a trace whose span tree has one bin:pN
+// span per processor under the placement span, and an overloaded
+// workload comes back infeasible with the heuristic rejection trail.
+func drivePartition(ctx context.Context, c *client.Client) error {
+	sr, err := c.Schema(ctx)
+	if err != nil {
+		return fmt.Errorf("partition: schema: %w", err)
+	}
+	if !strings.Contains(strings.Join(sr.Models, ","), "partitioned") {
+		return fmt.Errorf("partition: schema models %v lack partitioned", sr.Models)
+	}
+
+	procs := []edf.Processor{{Name: "p0", Speed: 1}, {Name: "p1", Speed: 2}}
+	resp, rt, err := c.Partition(ctx, service.PartitionRequest{
+		Name: "smoke",
+		Workload: edf.PartitionedWorkload(procs, []edf.PartitionedTask{
+			{Task: edf.Task{Name: "a", WCET: 6, Deadline: 10, Period: 10}},
+			{Task: edf.Task{Name: "b", WCET: 6, Deadline: 10, Period: 10}},
+			{Task: edf.Task{Name: "pinned", WCET: 2, Deadline: 10, Period: 10}, Affinity: []int{0}},
+		}),
+	})
+	if err != nil {
+		return fmt.Errorf("partition: %w", err)
+	}
+	if !resp.Feasible || len(resp.Processors) != len(procs) {
+		return fmt.Errorf("partition: placement not proven: %+v", resp.Placement)
+	}
+	for _, rep := range resp.Processors {
+		if rep.Verdict != "feasible" {
+			return fmt.Errorf("partition: processor %d verdict %q", rep.Index, rep.Verdict)
+		}
+	}
+	if rt.TraceID == "" {
+		return fmt.Errorf("partition: no trace id on the route")
+	}
+	tr, err := c.Trace(ctx, rt.TraceID)
+	if err != nil {
+		return fmt.Errorf("partition: trace %s unresolvable: %w", rt.TraceID, err)
+	}
+	bins, place := 0, false
+	for _, sp := range tr.Spans {
+		if strings.HasPrefix(sp.Name, "bin:p") {
+			bins++
+		}
+		if sp.Name == "place" {
+			place = true
+		}
+	}
+	if !place || bins != len(resp.Processors) {
+		return fmt.Errorf("partition: trace %s spans place=%v bins=%d, want the placement span and %d bins",
+			rt.TraceID, place, bins, len(resp.Processors))
+	}
+
+	// Overload: four tasks of 0.7 utilization cannot share 1+2 capacity.
+	over := make([]edf.PartitionedTask, 4)
+	for i := range over {
+		over[i] = edf.PartitionedTask{Task: edf.Task{
+			Name: fmt.Sprintf("heavy-%d", i), WCET: 7, Deadline: 10, Period: 10,
+		}}
+	}
+	oresp, _, err := c.Partition(ctx, service.PartitionRequest{
+		Name:     "smoke-overload",
+		Workload: edf.PartitionedWorkload(procs, over),
+	})
+	if err != nil {
+		return fmt.Errorf("partition: overload: %w", err)
+	}
+	if oresp.Feasible || oresp.Counterexample == nil || len(oresp.Counterexample.Rejections) == 0 {
+		return fmt.Errorf("partition: overload not refuted with a counterexample: %+v", oresp.Placement)
+	}
+	fmt.Printf("edfsmoke: partition ok (%d bins proven and traced, overload refuted by %s after %d rejections)\n",
+		bins, oresp.Counterexample.Heuristic, len(oresp.Counterexample.Rejections))
+	return nil
 }
 
 // driveSpread pushes a log-uniform spread workload — the `edfgen -spread`
@@ -429,7 +512,7 @@ func driveSpread(ctx context.Context, c *client.Client) error {
 		return fmt.Errorf("spread: generate: %w", err)
 	}
 	wl := edf.SporadicWorkload(ts)
-	resp, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "spread", Workload: wl})
+	resp, _, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "spread", Workload: wl})
 	if err != nil {
 		return fmt.Errorf("spread: analyze: %w", err)
 	}
@@ -868,7 +951,7 @@ func driveRecovery(ctx context.Context, daemons *fleet, edfdPath, storeDir strin
 	if err := waitHealthy(ctx, c2); err != nil {
 		return err
 	}
-	st, err := c2.Session(h.ID).State(ctx)
+	st, _, err := c2.Session(h.ID).State(ctx)
 	if err != nil {
 		return fmt.Errorf("recovery: session %s did not resume: %w", h.ID, err)
 	}

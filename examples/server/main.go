@@ -44,12 +44,12 @@ func main() {
 		{Name: "io", WCET: 3, Deadline: 15, Period: 15},
 		{Name: "log", WCET: 10, Deadline: 80, Period: 100},
 	}
-	first, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "demo", Workload: edf.SporadicWorkload(ts)})
+	first, _, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "demo", Workload: edf.SporadicWorkload(ts)})
 	check(err)
 	fmt.Printf("analyze %q: %s in %d intervals (wall %s, cached %v)\n",
 		first.Name, first.Result.Verdict, first.Result.Iterations,
 		time.Duration(first.WallNS), first.Cached)
-	again, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "demo", Workload: edf.SporadicWorkload(ts)})
+	again, _, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "demo", Workload: edf.SporadicWorkload(ts)})
 	check(err)
 	fmt.Printf("analyze %q again: %s (cached %v, fingerprint %.12s...)\n\n",
 		again.Name, again.Result.Verdict, again.Cached, again.Fingerprint)
@@ -61,7 +61,7 @@ func main() {
 		{Name: "periodic", WCET: 2, Deadline: 9, Stream: edf.PeriodicStream(10)},
 		{Name: "burst", WCET: 1, Deadline: 24, Stream: edf.BurstStream(50, 3, 4)},
 	}
-	evResp, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "demo-events", Workload: edf.EventWorkload(ev)})
+	evResp, _, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "demo-events", Workload: edf.EventWorkload(ev)})
 	check(err)
 	fmt.Printf("analyze %q (model %s): %s via %s (fingerprint %.12s...)\n\n",
 		evResp.Name, evResp.Model, evResp.Result.Verdict, evResp.Analyzer, evResp.Fingerprint)
@@ -81,7 +81,7 @@ func main() {
 			Name: fmt.Sprintf("gen-%d", len(batch.Sets)), Workload: edf.SporadicWorkload(set),
 		})
 	}
-	bresp, err := c.Batch(ctx, batch)
+	bresp, _, err := c.Batch(ctx, batch)
 	check(err)
 	feasible := 0
 	for _, jr := range bresp.Results {

@@ -69,7 +69,7 @@ func BenchmarkClusterAnalyze(b *testing.B) {
 							ts = base.Clone()
 							ts[0].Period += ctr.Add(1)
 						}
-						if _, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.SporadicWorkload(ts)}); err != nil {
+						if _, _, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.SporadicWorkload(ts)}); err != nil {
 							b.Error(err)
 							return
 						}
@@ -118,12 +118,12 @@ func BenchmarkClusterBatch(b *testing.B) {
 		b.Run(topo.name, func(b *testing.B) {
 			target, _ := benchTarget(b, topo.replicas, topo.proxied)
 			c := client.New(target, nil)
-			if _, err := c.Batch(ctx, req); err != nil { // warm the caches
+			if _, _, err := c.Batch(ctx, req); err != nil { // warm the caches
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for b.Loop() {
-				resp, err := c.Batch(ctx, req)
+				resp, _, err := c.Batch(ctx, req)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -147,7 +147,7 @@ func TestSessionOwnerDown503(t *testing.T) {
 		t.Fatalf("503 message does not name the session %s: %q", h.ID, ce.Message)
 	}
 	// Analyze traffic keeps flowing throughout.
-	if _, err := tc.c.Analyze(ctx, service.AnalyzeRequest{
+	if _, _, err := tc.c.Analyze(ctx, service.AnalyzeRequest{
 		Workload: edf.SporadicWorkload(edf.TaskSet{{WCET: 1, Deadline: 9, Period: 10}}),
 	}); err != nil {
 		t.Fatalf("analyze while a replica is down: %v", err)
@@ -157,7 +157,7 @@ func TestSessionOwnerDown503(t *testing.T) {
 	if err != nil {
 		t.Fatalf("open session after owner death: %v", err)
 	}
-	if _, err := h2.State(ctx); err != nil {
+	if _, _, err := h2.State(ctx); err != nil {
 		t.Fatalf("new session unusable: %v", err)
 	}
 }

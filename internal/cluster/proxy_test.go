@@ -139,11 +139,11 @@ func TestProxyAnalyzeAffinity(t *testing.T) {
 func TestProxyAnalyzeEventsDomain(t *testing.T) {
 	tc := startCluster(t, 2, service.Config{})
 	ctx := context.Background()
-	ev, err := tc.c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.EventWorkload(eventSet())})
+	ev, _, err := tc.c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.EventWorkload(eventSet())})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := tc.c.Analyze(ctx, service.AnalyzeRequest{
+	sp, _, err := tc.c.Analyze(ctx, service.AnalyzeRequest{
 		Workload: edf.SporadicWorkload(edf.TaskSet{{WCET: 2, Deadline: 9, Period: 10}}),
 	})
 	if err != nil {
@@ -155,7 +155,7 @@ func TestProxyAnalyzeEventsDomain(t *testing.T) {
 	if ev.Model != "events" {
 		t.Fatalf("event analysis reported model %q", ev.Model)
 	}
-	again, err := tc.c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.EventWorkload(eventSet())})
+	again, _, err := tc.c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.EventWorkload(eventSet())})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestProxySessionSticky(t *testing.T) {
 	if _, err := h.Commit(ctx); err != nil {
 		t.Fatal(err)
 	}
-	st, err := h.State(ctx)
+	st, _, err := h.State(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +312,7 @@ func TestProxyMetricsAggregate(t *testing.T) {
 	ctx := context.Background()
 	wl := edf.SporadicWorkload(edf.TaskSet{{WCET: 2, Deadline: 9, Period: 10}})
 	for range 3 {
-		if _, err := tc.c.Analyze(ctx, service.AnalyzeRequest{Workload: wl}); err != nil {
+		if _, _, err := tc.c.Analyze(ctx, service.AnalyzeRequest{Workload: wl}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -387,7 +387,7 @@ func TestProxySplitBatchRelaysClientError(t *testing.T) {
 			Name: fmt.Sprintf("set-%d", i), Workload: edf.SporadicWorkload(ts),
 		})
 	}
-	_, err := tc.c.Batch(context.Background(), req)
+	_, _, err := tc.c.Batch(context.Background(), req)
 	var ce *client.Error
 	if !errors.As(err, &ce) {
 		t.Fatalf("err %v, want client.Error", err)

@@ -12,14 +12,15 @@ import (
 )
 
 // Domain tags of the canonical encodings; bump a tag whenever its
-// encoding below changes so stale cache entries can never alias. The two
-// tags are fixed NUL-free literals, neither a prefix of the other, and
-// every encoding starts with its tag followed by a NUL — so a sporadic
-// encoding can never equal an event-stream encoding and the two result
-// spaces cannot collide in a shared cache.
+// encoding below changes so stale cache entries can never alias. The
+// tags are fixed NUL-free literals, none a prefix of another, and every
+// encoding starts with its tag followed by a NUL — so encodings of
+// different models can never be equal and the result spaces cannot
+// collide in a shared cache.
 const (
-	fingerprintVersion      = "edf.fp.v1"
-	eventFingerprintVersion = "edf.fp.events.v1"
+	fingerprintVersion            = "edf.fp.v1"
+	eventFingerprintVersion       = "edf.fp.events.v1"
+	partitionedFingerprintVersion = "edf.fp.partitioned.v1"
 )
 
 // Fingerprint returns a content-addressed identity for a sporadic-set
@@ -46,7 +47,30 @@ func WorkloadFingerprint(wl workload.Workload, analyzer string, opt core.Options
 		return "", false
 	}
 	var buf []byte
-	if wl.Kind() == workload.Events {
+	if wl.Kind() == workload.Partitioned {
+		buf = make([]byte, 0, 64+24*len(wl.PartTasks))
+		buf = append(buf, partitionedFingerprintVersion...)
+		buf = appendAnalysisHeader(buf, analyzer, opt)
+		buf = binary.AppendVarint(buf, int64(len(wl.Processors)))
+		for _, p := range wl.Processors {
+			// Encode the effective speed so an omitted speed and an
+			// explicit 1 address the same result.
+			buf = binary.AppendVarint(buf, p.EffectiveSpeed())
+		}
+		buf = binary.AppendVarint(buf, int64(len(wl.PartTasks)))
+		for _, t := range wl.PartTasks {
+			buf = binary.AppendVarint(buf, t.WCET)
+			buf = binary.AppendVarint(buf, t.Deadline)
+			buf = binary.AppendVarint(buf, t.Period)
+			buf = binary.AppendVarint(buf, t.Phase)
+			buf = binary.AppendVarint(buf, t.CriticalSection)
+			buf = binary.AppendVarint(buf, t.SelfSuspension)
+			buf = binary.AppendVarint(buf, int64(len(t.Affinity)))
+			for _, a := range t.Affinity {
+				buf = binary.AppendVarint(buf, int64(a))
+			}
+		}
+	} else if wl.Kind() == workload.Events {
 		buf = make([]byte, 0, 64+32*len(wl.Events))
 		buf = append(buf, eventFingerprintVersion...)
 		buf = appendAnalysisHeader(buf, analyzer, opt)

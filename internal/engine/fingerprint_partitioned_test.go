@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func fpPartitioned() workload.Workload {
+	return workload.NewPartitioned(
+		[]workload.Processor{{Name: "p0"}, {Name: "p1", Speed: 2}},
+		[]workload.PartitionedTask{
+			{Task: fpSet()[0]},
+			{Task: fpSet()[1], Affinity: []int{1}},
+		},
+	)
+}
+
+// TestPartitionedFingerprintDomainSeparation pins the third fingerprint
+// domain: a partitioned workload on one unit-speed processor carries the
+// same task numbers as its sporadic twin but must never share its cache
+// identity, and the adversarial single-processor shape must not collide
+// with the event encoding either.
+func TestPartitionedFingerprintDomainSeparation(t *testing.T) {
+	ts := fpSet()
+	single := workload.NewPartitioned(
+		[]workload.Processor{{}},
+		[]workload.PartitionedTask{{Task: ts[0]}, {Task: ts[1]}},
+	)
+	pfp, ok := WorkloadFingerprint(single, "cascade", core.Options{})
+	if !ok || pfp == "" {
+		t.Fatal("partitioned fingerprint refused")
+	}
+	sfp, _ := Fingerprint(ts, "cascade", core.Options{})
+	if pfp == sfp {
+		t.Error("partitioned workload aliases its sporadic twin")
+	}
+	efp, _ := WorkloadFingerprint(workload.NewEvents(fpEvents()), "cascade", core.Options{})
+	if pfp == efp {
+		t.Error("partitioned workload aliases an event workload")
+	}
+	if fp, ok := WorkloadFingerprint(fpPartitioned(), "cascade",
+		core.Options{Blocking: func(int64) int64 { return 0 }}); ok || fp != "" {
+		t.Error("blocking options must not be content-addressable for partitioned workloads")
+	}
+}
+
+// TestPartitionedFingerprintSeparatesInputs checks every identity-relevant
+// field moves the fingerprint — and that names and the omitted-vs-explicit
+// default speed do not.
+func TestPartitionedFingerprintSeparatesInputs(t *testing.T) {
+	fp := func(w workload.Workload) string {
+		s, ok := WorkloadFingerprint(w, "cascade", core.Options{})
+		if !ok {
+			t.Fatal("partitioned fingerprint refused")
+		}
+		return s
+	}
+	base := fp(fpPartitioned())
+	if fp(fpPartitioned()) != base {
+		t.Error("partitioned fingerprint not deterministic")
+	}
+	renamed := fpPartitioned()
+	renamed.Processors[0].Name = "renamed"
+	renamed.PartTasks[0].Name = "renamed"
+	if fp(renamed) != base {
+		t.Error("names changed the partitioned fingerprint")
+	}
+	explicit := fpPartitioned()
+	explicit.Processors[0].Speed = 1
+	if fp(explicit) != base {
+		t.Error("explicit default speed changed the fingerprint")
+	}
+	seen := map[string]string{base: "base"}
+	mutate := func(label string, f func(w *workload.Workload)) {
+		t.Helper()
+		w := fpPartitioned()
+		f(&w)
+		s := fp(w)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("%s collides with %s", label, prev)
+		}
+		seen[s] = label
+	}
+	mutate("speed", func(w *workload.Workload) { w.Processors[1].Speed = 3 })
+	mutate("processor count", func(w *workload.Workload) {
+		w.Processors = append(w.Processors, workload.Processor{})
+	})
+	mutate("wcet", func(w *workload.Workload) { w.PartTasks[0].WCET++ })
+	mutate("deadline", func(w *workload.Workload) { w.PartTasks[1].Deadline++ })
+	mutate("period", func(w *workload.Workload) { w.PartTasks[0].Period++ })
+	mutate("affinity value", func(w *workload.Workload) { w.PartTasks[1].Affinity = []int{0} })
+	mutate("affinity present", func(w *workload.Workload) { w.PartTasks[0].Affinity = []int{0} })
+	mutate("task count", func(w *workload.Workload) {
+		w.PartTasks = append(w.PartTasks, w.PartTasks[0])
+	})
+}

@@ -18,12 +18,28 @@ func (e *EventsUnsupportedError) Error() string {
 	return fmt.Sprintf("engine: analyzer %q does not support event-stream workloads", e.Analyzer)
 }
 
+// PartitionedUnsupportedError reports that a uniprocessor analyzer entry
+// point was handed a whole partitioned workload. Partitioned workloads
+// are decomposed into per-processor bins by internal/partition (served
+// at /v1/partition); no analyzer consumes them directly.
+type PartitionedUnsupportedError struct {
+	// Analyzer is the registry name of the analyzer that was asked.
+	Analyzer string
+}
+
+func (e *PartitionedUnsupportedError) Error() string {
+	return fmt.Sprintf("engine: analyzer %q cannot analyze a partitioned workload directly; place it via internal/partition (/v1/partition)", e.Analyzer)
+}
+
 // AnalyzeWorkload dispatches a workload to the analyzer's matching entry
 // point: Analyze for sporadic workloads, AnalyzeEvents for event-stream
 // workloads. Event workloads on analyzers without event support fail with
 // an *EventsUnsupportedError (and an Undecided result), mirroring the
 // Info().Events capability flag.
 func AnalyzeWorkload(a Analyzer, wl workload.Workload, opt core.Options) (core.Result, error) {
+	if wl.Kind() == workload.Partitioned {
+		return core.Result{Verdict: core.Undecided}, &PartitionedUnsupportedError{Analyzer: a.Info().Name}
+	}
 	if wl.Kind() == workload.Events {
 		ea, ok := a.(EventAnalyzer)
 		if !ok {

@@ -1,0 +1,63 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// benchWorkload draws a deterministic m-processor workload at ~55% load
+// per processor — comfortably placeable under every heuristic, so the
+// benchmark measures placement cost, not failure trails.
+func benchWorkload(m int) workload.Workload {
+	rng := rand.New(rand.NewSource(int64(100 + m)))
+	procs := make([]workload.Processor, m)
+	tasks := make([]workload.PartitionedTask, 3*m)
+	periods := []int64{10, 20, 40, 50, 80, 100}
+	for i := range tasks {
+		period := periods[rng.Intn(len(periods))] * (1 + rng.Int63n(4))
+		wcet := max(period*18/100, 1)
+		deadline := period - period/10
+		tasks[i] = workload.PartitionedTask{
+			Task: model.Task{WCET: wcet, Deadline: deadline, Period: period},
+		}
+	}
+	return workload.NewPartitioned(procs, tasks)
+}
+
+// BenchmarkPlace measures placement latency and the per-bin cache hit
+// share across platform sizes and heuristics. The cache persists across
+// iterations, so the hit share reflects steady-state serving, where the
+// sharded LRU (or the fleet, via fingerprint routing) has seen the bins
+// before.
+func BenchmarkPlace(b *testing.B) {
+	for _, m := range []int{2, 4, 8, 16} {
+		wl := benchWorkload(m)
+		for _, h := range AllHeuristics() {
+			b.Run(fmt.Sprintf("m%d/%s", m, h), func(b *testing.B) {
+				cache := newMapCache()
+				cfg := Config{Cache: cache, Heuristics: []Heuristic{h}}
+				var checks, hits uint64
+				b.ReportAllocs()
+				for b.Loop() {
+					pl, err := Place(context.Background(), wl, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !pl.Feasible {
+						b.Fatalf("bench workload m=%d infeasible under %s", m, h)
+					}
+					checks += pl.Stats.BinChecks
+					hits += pl.Stats.CacheHits
+				}
+				if checks > 0 {
+					b.ReportMetric(float64(hits)/float64(checks), "hit-share")
+				}
+			})
+		}
+	}
+}

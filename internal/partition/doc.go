@@ -1,0 +1,45 @@
+// Package partition places partitioned multiprocessor workloads onto
+// processors and proves each placement feasible with the uniprocessor
+// feasibility tests the rest of the tree already trusts.
+//
+// # Design
+//
+// Partitioned multiprocessor EDF reduces to bin packing (Bonifaci &
+// Marchetti-Spaccamela): assign every task to exactly one processor so
+// that each processor's task set passes a uniprocessor EDF feasibility
+// test. Bin packing is NP-hard, so Place runs classic heuristics —
+// first-fit, worst-fit and utilization-balancing, all in decreasing
+// utilization order — and returns the first placement any of them can
+// prove feasible, or a counterexample naming the task no heuristic could
+// place together with its per-processor rejection trail.
+//
+// Heterogeneous speeds are handled by scaling: a task with WCET C on a
+// processor of relative speed s contributes ceil(C/s) execution units
+// (critical sections and self-suspensions scale the same way), so every
+// bin is analyzed as a plain sporadic set on a unit-speed processor.
+// The ceiling keeps the scaling conservative — a feasible verdict for
+// the scaled bin is sound for the real processor — and makes unit-speed
+// bins byte-identical to ordinary sporadic sets.
+//
+// # Candidate ordering and the utilization gate
+//
+// For each task the candidate processors are filtered first by affinity,
+// then by the O(1) utilization gate: a bin whose scaled utilization
+// would exceed 1 cannot be feasible and is rejected without running any
+// test. Surviving candidates are ordered by the active heuristic
+// (first-fit: lowest index; worst-fit: most remaining capacity
+// speed·(1−fill); balance: lowest resulting fill — the two differ only
+// on heterogeneous platforms) and the task lands on the first candidate
+// whose extended bin a full analyzer run proves feasible.
+//
+// # Verification, caching and parallelism
+//
+// Candidate bins are verified through the engine's parallel batch
+// runner, so per-bin verdicts reuse pooled Scratch memory and stay on
+// the allocation-free fast path. Every bin check is content-addressed
+// with the sporadic fingerprint of its scaled task set — the same
+// domain /v1/analyze uses — so an injected Cache (the service's sharded
+// LRU satisfies the interface directly) makes repeated bins free within
+// a placement, across requests, and across the fleet via the proxy's
+// fingerprint routing.
+package partition

@@ -1,0 +1,110 @@
+package partition
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// randomPartitioned draws a partitioned workload: 1-4 processors with
+// random speeds, 1-10 tasks, ~1/3 of them affinity-constrained.
+func randomPartitioned(rng *rand.Rand) workload.Workload {
+	m := 1 + rng.Intn(4)
+	procs := make([]workload.Processor, m)
+	for j := range procs {
+		if rng.Intn(2) == 0 {
+			procs[j].Speed = 1 + rng.Int63n(3)
+		}
+	}
+	n := 1 + rng.Intn(10)
+	tasks := make([]workload.PartitionedTask, n)
+	for i := range tasks {
+		wcet := 1 + rng.Int63n(20)
+		period := wcet + rng.Int63n(280)
+		deadline := wcet + rng.Int63n(period+period/4-wcet+1)
+		tasks[i] = workload.PartitionedTask{
+			Task: model.Task{WCET: wcet, Deadline: deadline, Period: period},
+		}
+		if rng.Intn(3) == 0 {
+			// A random non-empty, strictly increasing index subset.
+			for j := range m {
+				if rng.Intn(2) == 0 {
+					tasks[i].Affinity = append(tasks[i].Affinity, j)
+				}
+			}
+			if len(tasks[i].Affinity) == 0 {
+				tasks[i].Affinity = []int{rng.Intn(m)}
+			}
+		}
+	}
+	return workload.NewPartitioned(procs, tasks)
+}
+
+// TestPlacementConfirmedByFullAnalyzer is the oracle property over random
+// workloads, affinity-constrained and heterogeneous-speed sets included:
+// every placement declared feasible must be bit-identically confirmed by
+// re-running each processor's bin — rebuilt from the reported assignment
+// alone — through both the configured cascade and the full (non-cascade)
+// processor-demand analyzer.
+func TestPlacementConfirmedByFullAnalyzer(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	oracle := engine.MustGet("pd")
+	cascade := engine.MustGet("cascade")
+	cache := newMapCache()
+	feasible := 0
+	const trials = 250
+	for trial := range trials {
+		wl := randomPartitioned(rng)
+		cfg := Config{}
+		if trial%2 == 0 {
+			cfg.Cache = cache
+		}
+		if trial%5 == 0 {
+			cfg.Heuristics = []Heuristic{AllHeuristics()[trial/5%3]}
+		}
+		pl, err := Place(context.Background(), wl, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !pl.Feasible {
+			if pl.Counterexample == nil {
+				t.Fatalf("trial %d: infeasible without counterexample", trial)
+			}
+			if len(pl.Counterexample.Rejections) != len(wl.Processors) {
+				t.Fatalf("trial %d: rejection trail covers %d of %d processors",
+					trial, len(pl.Counterexample.Rejections), len(wl.Processors))
+			}
+			continue
+		}
+		feasible++
+		for i, j := range pl.Assignment {
+			if !wl.PartTasks[i].Allows(j) {
+				t.Fatalf("trial %d: task %d placed on %d against its affinity", trial, i, j)
+			}
+		}
+		for _, rep := range pl.Processors {
+			if len(rep.Tasks) == 0 {
+				continue
+			}
+			bin := BinTasks(wl, rep.Index, rep.Tasks)
+			if res := oracle.Analyze(bin, core.Options{}); res.Verdict != core.Feasible {
+				t.Fatalf("trial %d: oracle rejects processor %d: %s", trial, rep.Index, res.Verdict)
+			}
+			// The recorded verdict must be the cascade's own, bit for bit.
+			res := cascade.Analyze(bin, core.Options{})
+			if res.Verdict.String() != rep.Verdict || res.Iterations != rep.Iterations {
+				t.Fatalf("trial %d: processor %d recorded (%s, %d), cascade says (%s, %d)",
+					trial, rep.Index, rep.Verdict, rep.Iterations, res.Verdict, res.Iterations)
+			}
+		}
+	}
+	if feasible == 0 {
+		t.Fatal("no feasible trial — the generator is miscalibrated")
+	}
+	t.Logf("%d/%d trials feasible", feasible, trials)
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eventstream"
 	"repro/internal/model"
+	"repro/internal/partition"
 	"repro/internal/workload"
 )
 
@@ -27,6 +28,12 @@ func SporadicWorkload(ts model.TaskSet) Workload { return workload.NewSporadic(t
 
 // EventWorkload wraps an event-driven task set for a request.
 func EventWorkload(tasks []eventstream.Task) Workload { return workload.NewEvents(tasks) }
+
+// PartitionedWorkload wraps processors and placement-constrained tasks
+// for a partition request.
+func PartitionedWorkload(procs []workload.Processor, tasks []workload.PartitionedTask) Workload {
+	return workload.NewPartitioned(procs, tasks)
+}
 
 // SporadicTask wraps a sporadic task for a propose request.
 func SporadicTask(t model.Task) WorkloadTask { return workload.SporadicTask(t) }
@@ -189,10 +196,11 @@ func (s *WorkloadSet) UnmarshalJSON(data []byte) error {
 // MarshalJSON emits the flattened wire form.
 func (s WorkloadSet) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
-		Name  string         `json:"name,omitempty"`
-		Model workload.Model `json:"model,omitempty"`
-		Tasks any            `json:"tasks"`
-	}{s.Name, s.Workload.WireModel(), s.Workload.TasksJSON()})
+		Name       string               `json:"name,omitempty"`
+		Model      workload.Model       `json:"model,omitempty"`
+		Processors []workload.Processor `json:"processors,omitempty"`
+		Tasks      any                  `json:"tasks"`
+	}{s.Name, s.Workload.WireModel(), s.Workload.Processors, s.Workload.TasksJSON()})
 }
 
 // BatchRequest fans workloads x analyzers over the parallel batch runner.
@@ -328,6 +336,92 @@ type CommitResponse struct {
 	Utilization float64 `json:"utilization"`
 }
 
+// PartitionRequest asks for a feasible placement of a partitioned
+// workload onto its processors. On the wire the workload is flattened
+// into the request object: {"name": ..., "model": "partitioned",
+// "processors": [...], "tasks": [...], "analyzer": ..., "options":
+// {...}, "heuristics": [...], "workers": ...}.
+type PartitionRequest struct {
+	// Name optionally labels the workload in logs and responses.
+	Name string
+	// Workload is the partitioned workload to place.
+	Workload Workload
+	// Analyzer names the per-bin feasibility test; empty selects the
+	// cascade.
+	Analyzer string
+	// Options tune the per-bin tests.
+	Options OptionsJSON
+	// Heuristics orders the placement strategies tried ("first-fit",
+	// "worst-fit", "balance"); empty tries all three in that order.
+	Heuristics []string
+	// Workers bounds the per-bin verification pool; 0 selects the server
+	// default.
+	Workers int
+}
+
+// partitionShadow carries PartitionRequest's non-workload fields.
+type partitionShadow struct {
+	Name       string      `json:"name,omitempty"`
+	Analyzer   string      `json:"analyzer,omitempty"`
+	Options    OptionsJSON `json:"options,omitzero"`
+	Heuristics []string    `json:"heuristics,omitempty"`
+	Workers    int         `json:"workers,omitempty"`
+}
+
+// UnmarshalJSON flattens the workload out of the request object.
+func (r *PartitionRequest) UnmarshalJSON(data []byte) error {
+	var aux partitionShadow
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	r.Name, r.Analyzer, r.Options = aux.Name, aux.Analyzer, aux.Options
+	r.Heuristics, r.Workers = aux.Heuristics, aux.Workers
+	return json.Unmarshal(data, &r.Workload)
+}
+
+// MarshalJSON emits the flattened wire form.
+func (r PartitionRequest) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Name       string               `json:"name,omitempty"`
+		Model      workload.Model       `json:"model,omitempty"`
+		Processors []workload.Processor `json:"processors,omitempty"`
+		Tasks      any                  `json:"tasks"`
+		Analyzer   string               `json:"analyzer,omitempty"`
+		Options    OptionsJSON          `json:"options,omitzero"`
+		Heuristics []string             `json:"heuristics,omitempty"`
+		Workers    int                  `json:"workers,omitempty"`
+	}{r.Name, r.Workload.WireModel(), r.Workload.Processors, r.Workload.TasksJSON(),
+		r.Analyzer, r.Options, r.Heuristics, r.Workers})
+}
+
+// PartitionResponse reports a placement run: the proven placement with
+// its per-processor verdicts, or the counterexample trail.
+type PartitionResponse struct {
+	Name string `json:"name,omitempty"`
+	// Model echoes "partitioned".
+	Model string `json:"model"`
+	// Analyzer names the per-bin test that verified the placement.
+	Analyzer string `json:"analyzer"`
+	partition.Placement
+	// WallNS is the whole placement's wall time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// WireVersion identifies the request/response schema generation served
+// under /v1.
+const WireVersion = "edf.wire.v1"
+
+// SchemaResponse describes what this server speaks: the wire-schema
+// version, the workload models it accepts, the analyzer registry and
+// the partition heuristics. The cluster proxy uses it to reject
+// workload models its fleet cannot serve before forwarding.
+type SchemaResponse struct {
+	WireVersion string         `json:"wire_version"`
+	Models      []string       `json:"models"`
+	Analyzers   []AnalyzerJSON `json:"analyzers"`
+	Heuristics  []string       `json:"heuristics"`
+}
+
 // AnalyzerJSON describes one registered analyzer.
 type AnalyzerJSON struct {
 	Name     string `json:"name"`
@@ -337,7 +431,34 @@ type AnalyzerJSON struct {
 	Events   bool   `json:"events"`
 }
 
-// ErrorResponse is the uniform error body.
+// ErrorResponse is the uniform error body: the wire form of the typed
+// *Error. The "error" key has carried the message since the first wire
+// schema and always will, so clients that predate the typed shape keep
+// decoding; code/message/owner/retryable are the typed fields.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	Code      string `json:"code,omitempty"`
+	Message   string `json:"message,omitempty"`
+	Owner     string `json:"owner,omitempty"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
+// Err converts a decoded wire body back to the typed error, tolerating
+// legacy bodies that carry only the "error" key: the message falls back
+// to it, and code/retryable are derived from the HTTP status.
+func (e ErrorResponse) Err(status int) *Error {
+	msg := e.Message
+	if msg == "" {
+		msg = e.Error
+	}
+	code := e.Code
+	if code == "" {
+		code = CodeForStatus(status)
+	}
+	return &Error{
+		Code:      code,
+		Message:   msg,
+		Owner:     e.Owner,
+		Retryable: e.Retryable || RetryableStatus(status),
+	}
 }

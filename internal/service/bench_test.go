@@ -52,7 +52,7 @@ func BenchmarkServiceAnalyze(b *testing.B) {
 					ts = base.Clone()
 					ts[0].Period += int64(i)
 				}
-				if _, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.SporadicWorkload(ts)}); err != nil {
+				if _, _, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.SporadicWorkload(ts)}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -81,7 +81,7 @@ func BenchmarkServiceBatch(b *testing.B) {
 	for b.Loop() {
 		// A fresh server per iteration keeps the cache cold.
 		c := benchServer(b, service.Config{})
-		if _, err := c.Batch(ctx, req); err != nil {
+		if _, _, err := c.Batch(ctx, req); err != nil {
 			b.Fatal(err)
 		}
 	}

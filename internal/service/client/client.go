@@ -32,16 +32,30 @@ func New(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
 
-// Error is a non-2xx server reply.
+// Error is a non-2xx server reply. It wraps the server's typed
+// *service.Error, so both of these work:
+//
+//	var ce *client.Error
+//	errors.As(err, &ce) // HTTP-level view: status code included
+//
+//	var se *service.Error
+//	errors.As(err, &se) // wire-level view: code/message/owner/retryable
 type Error struct {
 	StatusCode int
 	Message    string
+	// Code classifies the failure (the service.Code* constants), derived
+	// from the status when the reply predates the typed error shape.
+	Code string
+	// Retryable reports whether the same request may succeed later.
+	Retryable bool
 	// Owner names the replica that owns the failed session when the
 	// cluster proxy attributed the failure (X-Edf-Owner); "" otherwise.
 	// A 503 with a non-empty Owner means the owner died and no takeover
 	// peer could inherit the session — transient if the fleet shares a
 	// store or the owner restarts, not a permanent rejection.
 	Owner string
+
+	cause *service.Error
 }
 
 func (e *Error) Error() string {
@@ -49,6 +63,14 @@ func (e *Error) Error() string {
 		return fmt.Sprintf("edfd: %d: %s (owner %s)", e.StatusCode, e.Message, e.Owner)
 	}
 	return fmt.Sprintf("edfd: %d: %s", e.StatusCode, e.Message)
+}
+
+// Unwrap exposes the server's typed error to errors.As.
+func (e *Error) Unwrap() error {
+	if e.cause == nil {
+		return nil
+	}
+	return e.cause
 }
 
 // OwnerUnavailable reports whether the error is the cluster proxy saying
@@ -129,11 +151,25 @@ func (c *Client) doRoute(ctx context.Context, method, path string, in, out any) 
 	rt := routeFrom(resp.Header)
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var er service.ErrorResponse
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			msg = er.Error
+		se := &service.Error{
+			Code:      service.CodeForStatus(resp.StatusCode),
+			Message:   resp.Status,
+			Retryable: service.RetryableStatus(resp.StatusCode),
 		}
-		return rt, &Error{StatusCode: resp.StatusCode, Message: msg, Owner: rt.Owner}
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && (er.Error != "" || er.Message != "") {
+			se = er.Err(resp.StatusCode)
+		}
+		if se.Owner == "" {
+			se.Owner = rt.Owner
+		}
+		return rt, &Error{
+			StatusCode: resp.StatusCode,
+			Message:    se.Message,
+			Code:       se.Code,
+			Retryable:  se.Retryable,
+			Owner:      se.Owner,
+			cause:      se,
+		}
 	}
 	if out == nil {
 		return rt, nil
@@ -144,32 +180,44 @@ func (c *Client) doRoute(ctx context.Context, method, path string, in, out any) 
 	return rt, nil
 }
 
-// Analyze runs one analysis.
-func (c *Client) Analyze(ctx context.Context, req service.AnalyzeRequest) (service.AnalyzeResponse, error) {
-	out, _, err := c.AnalyzeRouted(ctx, req)
-	return out, err
-}
-
-// AnalyzeRouted is Analyze plus the cluster routing metadata — which
-// replica served, after how many failovers — when the request went
-// through edfproxy (the Route is zero against a plain edfd).
-func (c *Client) AnalyzeRouted(ctx context.Context, req service.AnalyzeRequest) (service.AnalyzeResponse, Route, error) {
+// Analyze runs one analysis. The Route carries the cluster routing
+// metadata — which replica served, after how many failovers — when the
+// request went through edfproxy; against a plain edfd it is zero.
+func (c *Client) Analyze(ctx context.Context, req service.AnalyzeRequest) (service.AnalyzeResponse, Route, error) {
 	var out service.AnalyzeResponse
 	rt, err := c.doRoute(ctx, http.MethodPost, "/v1/analyze", req, &out)
 	return out, rt, err
 }
 
-// Batch fans sets x analyzers over the server's worker pool.
-func (c *Client) Batch(ctx context.Context, req service.BatchRequest) (service.BatchResponse, error) {
-	out, _, err := c.BatchRouted(ctx, req)
-	return out, err
+// AnalyzeRouted is Analyze.
+//
+// Deprecated: Analyze returns the Route itself.
+func (c *Client) AnalyzeRouted(ctx context.Context, req service.AnalyzeRequest) (service.AnalyzeResponse, Route, error) {
+	return c.Analyze(ctx, req)
 }
 
-// BatchRouted is Batch plus the cluster routing metadata; a batch split
-// across several replicas reports them comma-joined in Route.Replica.
-func (c *Client) BatchRouted(ctx context.Context, req service.BatchRequest) (service.BatchResponse, Route, error) {
+// Batch fans sets x analyzers over the server's worker pool. A batch
+// split across several replicas reports them comma-joined in
+// Route.Replica.
+func (c *Client) Batch(ctx context.Context, req service.BatchRequest) (service.BatchResponse, Route, error) {
 	var out service.BatchResponse
 	rt, err := c.doRoute(ctx, http.MethodPost, "/v1/batch", req, &out)
+	return out, rt, err
+}
+
+// BatchRouted is Batch.
+//
+// Deprecated: Batch returns the Route itself.
+func (c *Client) BatchRouted(ctx context.Context, req service.BatchRequest) (service.BatchResponse, Route, error) {
+	return c.Batch(ctx, req)
+}
+
+// Partition places a partitioned workload onto its processors: the
+// response is a feasible placement with per-processor verdicts, or a
+// counterexample naming the task no heuristic could place.
+func (c *Client) Partition(ctx context.Context, req service.PartitionRequest) (service.PartitionResponse, Route, error) {
+	var out service.PartitionResponse
+	rt, err := c.doRoute(ctx, http.MethodPost, "/v1/partition", req, &out)
 	return out, rt, err
 }
 
@@ -177,6 +225,14 @@ func (c *Client) BatchRouted(ctx context.Context, req service.BatchRequest) (ser
 func (c *Client) Analyzers(ctx context.Context) ([]service.AnalyzerJSON, error) {
 	var out []service.AnalyzerJSON
 	err := c.do(ctx, http.MethodGet, "/v1/analyzers", nil, &out)
+	return out, err
+}
+
+// Schema fetches the server's wire-schema declaration: supported
+// workload models, analyzers and partition heuristics.
+func (c *Client) Schema(ctx context.Context) (service.SchemaResponse, error) {
+	var out service.SchemaResponse
+	err := c.do(ctx, http.MethodGet, "/v1/schema", nil, &out)
 	return out, err
 }
 
@@ -229,18 +285,20 @@ func (c *Client) Session(id string) *Session {
 
 func (s *Session) path(suffix string) string { return "/v1/sessions/" + s.ID + suffix }
 
-// State fetches the session's current counts and utilization.
-func (s *Session) State(ctx context.Context) (service.SessionResponse, error) {
-	out, _, err := s.StateRouted(ctx)
-	return out, err
-}
-
-// StateRouted is State plus the cluster routing metadata — including
-// Route.Owner and, after an owner death, Route.TakenOverFrom.
-func (s *Session) StateRouted(ctx context.Context) (service.SessionResponse, Route, error) {
+// State fetches the session's current counts and utilization. The
+// Route includes Route.Owner and, after an owner death,
+// Route.TakenOverFrom.
+func (s *Session) State(ctx context.Context) (service.SessionResponse, Route, error) {
 	var out service.SessionResponse
 	rt, err := s.c.doRoute(ctx, http.MethodGet, s.path(""), nil, &out)
 	return out, rt, err
+}
+
+// StateRouted is State.
+//
+// Deprecated: State returns the Route itself.
+func (s *Session) StateRouted(ctx context.Context) (service.SessionResponse, Route, error) {
+	return s.State(ctx)
 }
 
 // Propose stages one task if the grown set stays feasible.

@@ -70,7 +70,7 @@ func TestE2EConcurrentAnalyze(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			si := i % len(sets)
-			resp, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.SporadicWorkload(sets[si])})
+			resp, _, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.SporadicWorkload(sets[si])})
 			if err != nil {
 				t.Errorf("request %d: %v", i, err)
 				return
@@ -159,7 +159,7 @@ func TestE2ESessionFlow(t *testing.T) {
 	if err != nil || rb.Moved != 1 || rb.Committed != 3 {
 		t.Fatalf("rollback: %+v, %v", rb, err)
 	}
-	state, err = sess.State(ctx)
+	state, _, err = sess.State(ctx)
 	if err != nil || state.Committed != 3 || state.Pending != 0 {
 		t.Fatalf("state after rollback: %+v, %v", state, err)
 	}
@@ -169,7 +169,7 @@ func TestE2ESessionFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	var ce *client.Error
-	if _, err := sess.State(ctx); !asClientError(err, &ce) || ce.StatusCode != 404 {
+	if _, _, err := sess.State(ctx); !asClientError(err, &ce) || ce.StatusCode != 404 {
 		t.Errorf("closed session: %v, want 404", err)
 	}
 }
@@ -191,7 +191,7 @@ func TestE2EBatch(t *testing.T) {
 	}
 	direct := edf.AnalyzeBatch(ctx, sets, analyzers, edf.Options{}, 0)
 
-	resp, err := c.Batch(ctx, req)
+	resp, _, err := c.Batch(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestE2EBatch(t *testing.T) {
 	}
 
 	// The same batch again must be served from the cache.
-	resp2, err := c.Batch(ctx, req)
+	resp2, _, err := c.Batch(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestE2EErrorsAndIntrospection(t *testing.T) {
 	}
 
 	// Unknown analyzer -> 400 with a JSON error body.
-	_, err = c.Analyze(ctx, service.AnalyzeRequest{
+	_, _, err = c.Analyze(ctx, service.AnalyzeRequest{
 		Workload: edf.SporadicWorkload(edf.TaskSet{{WCET: 1, Deadline: 2, Period: 3}}),
 		Analyzer: "no-such-test",
 	})
@@ -254,7 +254,7 @@ func TestE2EErrorsAndIntrospection(t *testing.T) {
 	}
 
 	// Structurally invalid set -> 422.
-	_, err = c.Analyze(ctx, service.AnalyzeRequest{
+	_, _, err = c.Analyze(ctx, service.AnalyzeRequest{
 		Workload: edf.SporadicWorkload(edf.TaskSet{{WCET: 5, Deadline: 2, Period: 3}}),
 	})
 	if !asClientError(err, &ce) || ce.StatusCode != 422 {
@@ -262,7 +262,7 @@ func TestE2EErrorsAndIntrospection(t *testing.T) {
 	}
 
 	// Bad options -> 400.
-	_, err = c.Analyze(ctx, service.AnalyzeRequest{
+	_, _, err = c.Analyze(ctx, service.AnalyzeRequest{
 		Workload: edf.SporadicWorkload(edf.TaskSet{{WCET: 1, Deadline: 2, Period: 3}}),
 		Options:  service.OptionsJSON{Arithmetic: "float32"},
 	})
@@ -271,13 +271,13 @@ func TestE2EErrorsAndIntrospection(t *testing.T) {
 	}
 
 	// Empty batch -> 422.
-	_, err = c.Batch(ctx, service.BatchRequest{})
+	_, _, err = c.Batch(ctx, service.BatchRequest{})
 	if !asClientError(err, &ce) || ce.StatusCode != 422 {
 		t.Errorf("empty batch: %v", err)
 	}
 
 	// Metrics render the cache and request counters as text.
-	if _, err := c.Analyze(ctx, service.AnalyzeRequest{
+	if _, _, err := c.Analyze(ctx, service.AnalyzeRequest{
 		Workload: edf.SporadicWorkload(edf.TaskSet{{WCET: 1, Deadline: 8, Period: 10}}),
 	}); err != nil {
 		t.Fatal(err)
@@ -321,7 +321,7 @@ func TestE2EThrottleAndDeadline(t *testing.T) {
 			defer wg.Done()
 			// The gated job itself runs to completion once started; the
 			// response arrives after the gate opens.
-			if _, err := c.Analyze(ctx, service.AnalyzeRequest{
+			if _, _, err := c.Analyze(ctx, service.AnalyzeRequest{
 				Workload: edf.SporadicWorkload(task), Analyzer: "e2e-gated",
 			}); err != nil {
 				t.Errorf("gated analyze: %v", err)
@@ -332,7 +332,7 @@ func TestE2EThrottleAndDeadline(t *testing.T) {
 	// (no probe may race them for a slot before that) ...
 	waitForInflight(t, c, 2)
 	// ... so a third request bounces with 429 instead of queueing.
-	_, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.SporadicWorkload(task)})
+	_, _, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.SporadicWorkload(task)})
 	var ce *client.Error
 	if !asClientError(err, &ce) || ce.StatusCode != 429 {
 		t.Fatalf("limiter did not engage: %v", err)
@@ -348,7 +348,7 @@ func TestE2EThrottleAndDeadline(t *testing.T) {
 	t.Cleanup(func() { gate2Once.Do(func() { close(gate2) }) })
 	setGate("e2e-gated-2", gate2)
 	time.AfterFunc(2*time.Second, func() { gate2Once.Do(func() { close(gate2) }) })
-	resp, err := c.Batch(ctx, service.BatchRequest{
+	resp, _, err := c.Batch(ctx, service.BatchRequest{
 		Sets:      []service.WorkloadSet{{Workload: edf.SporadicWorkload(task)}, {Workload: edf.SporadicWorkload(task)}},
 		Analyzers: []string{"e2e-gated-2"},
 		Workers:   1,

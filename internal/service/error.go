@@ -1,0 +1,108 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Error codes of the /v1 wire shape. Every handler (edfd's and the
+// cluster proxy's) maps its HTTP status to one of these, so a program
+// can switch on Code without parsing messages.
+const (
+	CodeBadRequest    = "bad_request"   // malformed body, unknown analyzer/heuristic
+	CodeNotFound      = "not_found"     // unknown session or trace
+	CodeUnprocessable = "unprocessable" // valid JSON, invalid workload or capability mismatch
+	CodeCapacity      = "capacity"      // concurrency limiter or session table full
+	CodeInternal      = "internal"      // journaling or other server-side failure
+	CodeUnavailable   = "unavailable"   // canceled analysis, dead replica, empty fleet
+)
+
+// Error is the typed error every /v1 endpoint returns — one wire shape
+// for edfd and edfproxy alike. Clients reach it with errors.As:
+//
+//	var se *service.Error
+//	if errors.As(err, &se) && se.Retryable { ... }
+type Error struct {
+	// Code classifies the failure (see the Code constants).
+	Code string `json:"code"`
+	// Message is the human-readable cause.
+	Message string `json:"message"`
+	// Owner names the replica that owned the failed session when the
+	// cluster proxy attributed the failure; "" otherwise.
+	Owner string `json:"owner,omitempty"`
+	// Retryable reports whether the same request may succeed later
+	// (capacity and availability failures) as opposed to a rejection
+	// that will repeat (malformed or infeasible input).
+	Retryable bool `json:"retryable,omitempty"`
+}
+
+func (e *Error) Error() string {
+	if e.Code == "" {
+		return e.Message
+	}
+	return e.Code + ": " + e.Message
+}
+
+// Response converts the typed error to its wire body.
+func (e *Error) Response() ErrorResponse {
+	return ErrorResponse{
+		Error:     e.Message,
+		Code:      e.Code,
+		Message:   e.Message,
+		Owner:     e.Owner,
+		Retryable: e.Retryable,
+	}
+}
+
+// CodeForStatus maps an HTTP status to its error code.
+func CodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusUnprocessableEntity:
+		return CodeUnprocessable
+	case http.StatusTooManyRequests:
+		return CodeCapacity
+	case http.StatusInternalServerError:
+		return CodeInternal
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return CodeUnavailable
+	default:
+		return fmt.Sprintf("http_%d", status)
+	}
+}
+
+// RetryableStatus reports whether a status signals a transient failure.
+func RetryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// ErrorFor wraps err as the typed error for a response with the given
+// status. An err that already is (or wraps) an *Error keeps its fields,
+// with the status filling whatever it left blank.
+func ErrorFor(status int, err error) *Error {
+	var se *Error
+	if errors.As(err, &se) {
+		out := *se
+		if out.Code == "" {
+			out.Code = CodeForStatus(status)
+		}
+		if out.Message == "" {
+			out.Message = err.Error()
+		}
+		return &out
+	}
+	return &Error{
+		Code:      CodeForStatus(status),
+		Message:   err.Error(),
+		Retryable: RetryableStatus(status),
+	}
+}

@@ -1,0 +1,93 @@
+// Back-compat pin for the error wire shape: bodies captured from the
+// PR-2-era service carried only {"error": ...}. The typed shape must
+// (a) decode those verbatim bodies into a usable *service.Error and
+// (b) keep emitting the legacy "error" key so PR-2-era clients that
+// only read it keep working.
+package service_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// pr2ErrorBodies are verbatim error replies of the PR-2-era service.
+var pr2ErrorBodies = []struct {
+	status int
+	body   string
+	code   string
+	retry  bool
+}{
+	{400, `{"error":"unknown analyzer \"nope\" (see GET /v1/analyzers)"}`, service.CodeBadRequest, false},
+	{404, `{"error":"unknown session"}`, service.CodeNotFound, false},
+	{422, `{"error":"task 0: wcet must be positive"}`, service.CodeUnprocessable, false},
+	{429, `{"error":"server at capacity, retry later"}`, service.CodeCapacity, true},
+	{503, `{"error":"analysis canceled: context deadline exceeded"}`, service.CodeUnavailable, true},
+}
+
+func TestCompatPR2ErrorBodiesDecode(t *testing.T) {
+	for _, tc := range pr2ErrorBodies {
+		var er service.ErrorResponse
+		if err := json.Unmarshal([]byte(tc.body), &er); err != nil {
+			t.Fatalf("%d: %v", tc.status, err)
+		}
+		se := er.Err(tc.status)
+		var legacy struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal([]byte(tc.body), &legacy)
+		if se.Message != legacy.Error {
+			t.Errorf("%d: message %q, want the legacy error text %q", tc.status, se.Message, legacy.Error)
+		}
+		if se.Code != tc.code {
+			t.Errorf("%d: code %q, want %q", tc.status, se.Code, tc.code)
+		}
+		if se.Retryable != tc.retry {
+			t.Errorf("%d: retryable %v, want %v", tc.status, se.Retryable, tc.retry)
+		}
+	}
+}
+
+// TestCompatErrorBodyKeepsLegacyKey hits the modern server with a bad
+// request and requires the raw reply to keep the "error" key equal to
+// the typed message — the shape a PR-2-era client decodes.
+func TestCompatErrorBodyKeepsLegacyKey(t *testing.T) {
+	srv := service.New(service.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	resp, err := hs.Client().Post(hs.URL+"/v1/analyze", "application/json",
+		strings.NewReader(`{"tasks":[{"wcet":1,"deadline":2,"period":2}],"analyzer":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var wire map[string]any
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire["error"] == "" || wire["error"] != wire["message"] {
+		t.Errorf("legacy key diverged from message: %s", raw)
+	}
+	if wire["code"] != service.CodeBadRequest {
+		t.Errorf("code %v, want %q", wire["code"], service.CodeBadRequest)
+	}
+
+	var er service.ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatal(err)
+	}
+	se := er.Err(resp.StatusCode)
+	if se.Code != service.CodeBadRequest || se.Message == "" || se.Retryable {
+		t.Errorf("typed decode: %+v", se)
+	}
+}

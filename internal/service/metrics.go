@@ -102,6 +102,17 @@ type metrics struct {
 	incremental atomic.Uint64
 	escalated   atomic.Uint64
 
+	// Partition activity: placement requests by outcome, plus how the
+	// per-bin verification work split between fresh analyzer runs and the
+	// content-addressed cache (the O(1) utilization gate rejections never
+	// reach either).
+	partitionRequests       atomic.Uint64
+	partitionFeasible       atomic.Uint64
+	partitionInfeasible     atomic.Uint64
+	partitionBinChecks      atomic.Uint64
+	partitionBinCacheHits   atomic.Uint64
+	partitionGateRejections atomic.Uint64
+
 	// promotions counts analyses (single, batch and proposal escalations)
 	// that left the bounded-denominator arithmetic fast path — values
 	// promoted to big rationals plus whole analyses falling back because
@@ -158,6 +169,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 	counter("edfd_analyses_total", "Single analyses served, cache hits included.", s.m.analyses.Load())
 	counter("edfd_analyses_events_total", "Analyses on event-stream workloads.", s.m.eventAnalyses.Load())
 	counter("edfd_batch_jobs_total", "Batch jobs served, cache hits included.", s.m.batchJobs.Load())
+	counter("edfd_partition_requests_total", "Partitioned placement requests served.", s.m.partitionRequests.Load())
+	counter("edfd_partition_feasible_total", "Placement requests answered with a proven placement.", s.m.partitionFeasible.Load())
+	counter("edfd_partition_infeasible_total", "Placement requests answered with a counterexample.", s.m.partitionInfeasible.Load())
+	counter("edfd_partition_bin_checks_total", "Per-bin feasibility verdicts consulted during placement.", s.m.partitionBinChecks.Load())
+	counter("edfd_partition_bin_cache_hits_total", "Bin verdicts served from the content-addressed cache.", s.m.partitionBinCacheHits.Load())
+	counter("edfd_partition_gate_rejections_total", "Candidate bins dismissed by the O(1) utilization gate.", s.m.partitionGateRejections.Load())
 	counter("edfd_session_proposals_total", "Session proposals decided, bulk members included.", s.m.proposals.Load())
 	counter("edfd_session_propose_batches_total", "Propose-batch requests served.", s.m.proposeBatches.Load())
 	counter("edfd_session_proposals_incremental_total", "Proposals decided by the O(delta) paths (gate or certificate).", s.m.incremental.Load())

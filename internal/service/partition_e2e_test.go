@@ -1,0 +1,228 @@
+// End-to-end coverage of POST /v1/partition, GET /v1/schema and the
+// typed error shape, driven only through the typed client.
+package service_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/workload"
+)
+
+func partWorkload(tasks ...workload.PartitionedTask) service.Workload {
+	return service.PartitionedWorkload([]workload.Processor{{Name: "p0"}, {Name: "p1", Speed: 2}}, tasks)
+}
+
+func partTask(name string, c, d, t int64, affinity ...int) workload.PartitionedTask {
+	return workload.PartitionedTask{
+		Task:     model.Task{Name: name, WCET: c, Deadline: d, Period: t},
+		Affinity: affinity,
+	}
+}
+
+func TestE2EPartitionFeasible(t *testing.T) {
+	srv, c := newTestServer(t, service.Config{})
+	ctx := context.Background()
+	resp, rt, err := c.Partition(ctx, service.PartitionRequest{
+		Name: "plant",
+		Workload: partWorkload(
+			partTask("a", 6, 10, 10),
+			partTask("b", 6, 10, 10),
+			partTask("pinned", 2, 10, 10, 0),
+		),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Against a bare edfd the Route carries no replica metadata — only
+	// the trace id the server echoes. This pins the collapsed-API
+	// contract: one method, Route zero-ish without a proxy in the path.
+	if rt.Replica != "" || rt.Attempts != 0 || rt.Owner != "" || rt.TakenOverFrom != "" {
+		t.Errorf("bare-edfd Route carries proxy metadata: %+v", rt)
+	}
+	if rt.TraceID == "" {
+		t.Error("no trace id echoed")
+	}
+	if !resp.Feasible || resp.Model != "partitioned" || resp.Analyzer != "cascade" {
+		t.Fatalf("placement: %+v", resp)
+	}
+	if resp.Assignment[2] != 0 {
+		t.Errorf("affinity-pinned task on processor %d", resp.Assignment[2])
+	}
+	if len(resp.Processors) != 2 {
+		t.Fatalf("processors: %+v", resp.Processors)
+	}
+	for _, rep := range resp.Processors {
+		if rep.Verdict != "feasible" {
+			t.Errorf("processor %d: verdict %s", rep.Index, rep.Verdict)
+		}
+		if len(rep.Tasks) > 0 && rep.Fingerprint == "" {
+			t.Errorf("processor %d: no fingerprint", rep.Index)
+		}
+	}
+	if resp.Stats.BinChecks == 0 {
+		t.Error("no bin checks counted")
+	}
+
+	// The placement trace must resolve, with the placement span and one
+	// bin span per processor.
+	tr, err := c.Trace(ctx, rt.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins, place := 0, false
+	for _, sp := range tr.Spans {
+		if strings.HasPrefix(sp.Name, "bin:p") {
+			bins++
+		}
+		if sp.Name == "place" {
+			place = true
+		}
+	}
+	if !place || bins != len(resp.Processors) {
+		t.Errorf("trace spans: place=%v bins=%d want %d", place, bins, len(resp.Processors))
+	}
+
+	// A repeated placement is served from the content-addressed cache.
+	again, _, err := c.Partition(ctx, service.PartitionRequest{Workload: partWorkload(
+		partTask("a", 6, 10, 10),
+		partTask("b", 6, 10, 10),
+		partTask("pinned", 2, 10, 10, 0),
+	)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats.CacheHits == 0 {
+		t.Errorf("warm placement hit no cache: %+v", again.Stats)
+	}
+
+	page, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"edfd_partition_requests_total 2",
+		"edfd_partition_feasible_total 2",
+		"edfd_partition_bin_checks_total",
+		"edfd_partition_bin_cache_hits_total",
+	} {
+		if !strings.Contains(page, name) {
+			t.Errorf("metrics page lacks %q", name)
+		}
+	}
+	_ = srv
+}
+
+func TestE2EPartitionCounterexample(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	// Three heavy tasks over (1 + 2) capacity that cannot coexist:
+	// per-task demand 0.7 of a unit processor, the speed-2 one can hold
+	// two but not three.
+	resp, _, err := c.Partition(context.Background(), service.PartitionRequest{
+		Workload: partWorkload(
+			partTask("a", 7, 10, 10),
+			partTask("b", 7, 10, 10),
+			partTask("c", 7, 10, 10),
+			partTask("d", 7, 10, 10),
+		),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Feasible {
+		t.Fatalf("overloaded workload placed: %+v", resp)
+	}
+	if resp.Counterexample == nil || len(resp.Attempts) == 0 {
+		t.Fatalf("no counterexample trail: %+v", resp)
+	}
+	ce := resp.Counterexample
+	if ce.FailedTaskName == "" || len(ce.Rejections) != 2 {
+		t.Errorf("counterexample: %+v", ce)
+	}
+}
+
+func TestE2EPartitionRejections(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	ctx := context.Background()
+	pw := partWorkload(partTask("a", 1, 10, 10))
+
+	// A partitioned workload is not accepted by the uniprocessor
+	// endpoints, and the typed error says so.
+	_, _, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: pw})
+	var se *service.Error
+	if !errors.As(err, &se) || se.Code != service.CodeUnprocessable {
+		t.Errorf("analyze(partitioned): %v", err)
+	}
+	_, _, err = c.Batch(ctx, service.BatchRequest{Sets: []service.WorkloadSet{{Workload: pw}}})
+	if !errors.As(err, &se) || se.Code != service.CodeUnprocessable {
+		t.Errorf("batch(partitioned): %v", err)
+	}
+	if _, _, err = c.OpenSession(ctx, service.SessionRequest{Workload: pw}); !errors.As(err, &se) ||
+		se.Code != service.CodeUnprocessable {
+		t.Errorf("session(partitioned): %v", err)
+	}
+
+	// And the partition endpoint rejects everything else.
+	_, _, err = c.Partition(ctx, service.PartitionRequest{
+		Workload: service.SporadicWorkload(model.TaskSet{{WCET: 1, Deadline: 2, Period: 2}}),
+	})
+	if !errors.As(err, &se) || se.Code != service.CodeUnprocessable {
+		t.Errorf("partition(sporadic): %v", err)
+	}
+	_, _, err = c.Partition(ctx, service.PartitionRequest{Workload: pw, Analyzer: "bogus"})
+	if !errors.As(err, &se) || se.Code != service.CodeBadRequest {
+		t.Errorf("partition(bogus analyzer): %v", err)
+	}
+	_, _, err = c.Partition(ctx, service.PartitionRequest{Workload: pw, Heuristics: []string{"bogus"}})
+	if !errors.As(err, &se) || se.Code != service.CodeBadRequest {
+		t.Errorf("partition(bogus heuristic): %v", err)
+	}
+}
+
+func TestE2ESchema(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	sr, err := c.Schema(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.WireVersion != service.WireVersion {
+		t.Errorf("wire version %q, want %q", sr.WireVersion, service.WireVersion)
+	}
+	models := strings.Join(sr.Models, ",")
+	for _, m := range []string{"sporadic", "events", "partitioned"} {
+		if !strings.Contains(models, m) {
+			t.Errorf("schema models %q lack %q", models, m)
+		}
+	}
+	if len(sr.Analyzers) == 0 || len(sr.Heuristics) != 3 {
+		t.Errorf("schema: %d analyzers, %d heuristics", len(sr.Analyzers), len(sr.Heuristics))
+	}
+}
+
+// TestE2ETypedErrorSurfaces pins the client error contract: both the
+// HTTP-level *client.Error and the wire-level *service.Error are
+// reachable with errors.As, and retryability follows the status.
+func TestE2ETypedErrorSurfaces(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	_, _, err := c.Analyze(context.Background(), service.AnalyzeRequest{
+		Workload: service.SporadicWorkload(model.TaskSet{{WCET: 1, Deadline: 2, Period: 2}}),
+		Analyzer: "nope",
+	})
+	var ce *client.Error
+	if !errors.As(err, &ce) || ce.StatusCode != http.StatusBadRequest || ce.Code != service.CodeBadRequest {
+		t.Fatalf("client error: %+v", ce)
+	}
+	if ce.Retryable {
+		t.Error("a 400 is not retryable")
+	}
+	var se *service.Error
+	if !errors.As(err, &se) || se.Code != service.CodeBadRequest || se.Message == "" {
+		t.Fatalf("service error not surfaced: %v", err)
+	}
+}

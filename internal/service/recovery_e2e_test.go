@@ -134,7 +134,7 @@ func TestE2ERecoveryDiskRestart(t *testing.T) {
 	defer st2.Close()
 	_, c2 := newTestServer(t, service.Config{Store: st2})
 
-	state, err := c2.Session(sess.ID).State(ctx)
+	state, _, err := c2.Session(sess.ID).State(ctx)
 	if err != nil {
 		t.Fatalf("resumed session: %v", err)
 	}
@@ -142,7 +142,7 @@ func TestE2ERecoveryDiskRestart(t *testing.T) {
 		t.Fatalf("resumed state: %+v, want committed=3 pending=0", state)
 	}
 	var ce *client.Error
-	if _, err := c2.Session(closed.ID).State(ctx); !asClientError(err, &ce) || ce.StatusCode != 404 {
+	if _, _, err := c2.Session(closed.ID).State(ctx); !asClientError(err, &ce) || ce.StatusCode != 404 {
 		t.Fatalf("closed session after restart: %v, want 404", err)
 	}
 	// The resumed session keeps working: further proposals commit.
@@ -250,7 +250,7 @@ func TestE2ERehydrateOnMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	state, err := c2.Session(sess.ID).State(ctx)
+	state, _, err := c2.Session(sess.ID).State(ctx)
 	if err != nil {
 		t.Fatalf("peer rehydration: %v", err)
 	}
@@ -264,7 +264,7 @@ func TestE2ERehydrateOnMiss(t *testing.T) {
 	}
 	// A bogus id still 404s — rehydration must not invent sessions.
 	var ce *client.Error
-	if _, err := c2.Session("s_nonexistent").State(ctx); !asClientError(err, &ce) || ce.StatusCode != 404 {
+	if _, _, err := c2.Session("s_nonexistent").State(ctx); !asClientError(err, &ce) || ce.StatusCode != 404 {
 		t.Fatalf("unknown session: %v, want 404", err)
 	}
 }
@@ -321,7 +321,7 @@ func TestRepeatedMissesSkipReplay(t *testing.T) {
 	_, c := newTestServer(t, service.Config{Store: cs})
 	for i := range 5 {
 		var ce *client.Error
-		if _, err := c.Session("s_bogus").State(ctx); !asClientError(err, &ce) || ce.StatusCode != 404 {
+		if _, _, err := c.Session("s_bogus").State(ctx); !asClientError(err, &ce) || ce.StatusCode != 404 {
 			t.Fatalf("request %d for a bogus id: %v, want 404", i, err)
 		}
 	}
@@ -349,7 +349,7 @@ func TestE2EExpiredSessionsStayDead(t *testing.T) {
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		time.Sleep(150 * time.Millisecond)
-		if _, err := sess.State(ctx); err != nil {
+		if _, _, err := sess.State(ctx); err != nil {
 			break // expired
 		}
 		if time.Now().After(deadline) {
@@ -362,7 +362,7 @@ func TestE2EExpiredSessionsStayDead(t *testing.T) {
 	// startup path or the lazy rehydration path.
 	_, c2 := newTestServer(t, service.Config{Store: st})
 	var ce *client.Error
-	if _, err := c2.Session(sess.ID).State(ctx); !asClientError(err, &ce) || ce.StatusCode != 404 {
+	if _, _, err := c2.Session(sess.ID).State(ctx); !asClientError(err, &ce) || ce.StatusCode != 404 {
 		t.Fatalf("expired session after restart: %v, want 404", err)
 	}
 }

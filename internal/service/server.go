@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/partition"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -179,7 +180,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/partition", s.handlePartition)
 	mux.HandleFunc("GET /v1/analyzers", s.handleAnalyzers)
+	mux.HandleFunc("GET /v1/schema", s.handleSchema)
 	mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
@@ -208,7 +211,7 @@ func (s *Server) Handler() http.Handler {
 		default:
 			s.m.throttled.Add(1)
 			writeJSON(w, http.StatusTooManyRequests,
-				ErrorResponse{Error: "server at capacity, retry later"})
+				ErrorFor(http.StatusTooManyRequests, errors.New("server at capacity, retry later")).Response())
 			return
 		}
 		s.m.enter()
@@ -285,12 +288,17 @@ func (s *Server) analyzeOne(ctx context.Context, wl workload.Workload, a engine.
 // the analyzer cannot run, 503 for a canceled request.
 func (s *Server) failAnalysis(w http.ResponseWriter, err error) {
 	var unsup *engine.EventsUnsupportedError
-	if errors.As(err, &unsup) {
+	var part *engine.PartitionedUnsupportedError
+	if errors.As(err, &unsup) || errors.As(err, &part) {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("analysis canceled: %w", err))
 }
+
+// errPartitionedEndpoint rejects partitioned workloads on the
+// uniprocessor endpoints.
+var errPartitionedEndpoint = errors.New("partitioned workloads are served by POST /v1/partition")
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
@@ -299,6 +307,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := req.Workload.Validate(); err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if req.Workload.Kind() == workload.Partitioned {
+		s.fail(w, http.StatusUnprocessableEntity, errPartitionedEndpoint)
 		return
 	}
 	a, opt, err := resolveAnalysis(req.Analyzer, req.Options)
@@ -359,6 +371,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wls[i] = ws.Workload
 		if err := wls[i].Validate(); err != nil {
 			s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("set %d: %w", i, err))
+			return
+		}
+		if wls[i].Kind() == workload.Partitioned {
+			s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("set %d: %w", i, errPartitionedEndpoint))
 			return
 		}
 	}
@@ -433,7 +449,97 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResponse{Results: out})
 }
 
-func (s *Server) handleAnalyzers(w http.ResponseWriter, _ *http.Request) {
+// handlePartition places a partitioned workload onto its processors,
+// verifying every bin through the cache-backed batch runner, and
+// reports either the proven placement or the counterexample trail.
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	var req PartitionRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Workload.Kind() != workload.Partitioned {
+		s.fail(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("partition needs a %q workload, got %q (uniprocessor workloads are served by POST /v1/analyze)",
+				workload.Partitioned, req.Workload.Kind()))
+		return
+	}
+	if err := req.Workload.Validate(); err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	a, opt, err := resolveAnalysis(req.Analyzer, req.Options)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	hs, err := partition.ParseHeuristics(req.Heuristics)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	// Same clamp as batch: callers may shrink the pool, never widen it.
+	workers := req.Workers
+	if workers <= 0 || (s.cfg.Workers > 0 && workers > s.cfg.Workers) {
+		workers = s.cfg.Workers
+	}
+	start := time.Now()
+	pl, err := partition.Place(r.Context(), req.Workload, partition.Config{
+		Analyzer:   a.Info().Name,
+		Options:    opt,
+		Workers:    workers,
+		Cache:      s.cache,
+		Heuristics: hs,
+	})
+	if err != nil {
+		s.failAnalysis(w, err)
+		return
+	}
+	s.m.partitionRequests.Add(1)
+	if pl.Feasible {
+		s.m.partitionFeasible.Add(1)
+	} else {
+		s.m.partitionInfeasible.Add(1)
+	}
+	s.m.partitionBinChecks.Add(pl.Stats.BinChecks)
+	s.m.partitionBinCacheHits.Add(pl.Stats.CacheHits)
+	s.m.partitionGateRejections.Add(pl.Stats.GateRejections)
+	s.m.promotions.Add(pl.Stats.Promotions)
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		// One span per processor under the placement span, so the trace
+		// tree shows every bin's verdict and verification cost.
+		off := start.Sub(tr.Start()).Nanoseconds()
+		for _, rep := range pl.Processors {
+			detail := fmt.Sprintf("%d tasks, %s", len(rep.Tasks), rep.Verdict)
+			if rep.CacheHit {
+				detail += " (cached)"
+			}
+			tr.AddSpan(obs.Span{
+				Name:    fmt.Sprintf("bin:p%d", rep.Index),
+				StartNS: off,
+				DurNS:   rep.WallNS,
+				Detail:  detail,
+			})
+		}
+		detail := fmt.Sprintf("feasible via %s, %d bin checks", pl.Heuristic, pl.Stats.BinChecks)
+		if !pl.Feasible {
+			detail = "infeasible"
+			if ce := pl.Counterexample; ce != nil {
+				detail = fmt.Sprintf("infeasible, task %d unplaceable after %d", ce.FailedTask, ce.Placed)
+			}
+		}
+		tr.EndSpan("place", start, detail)
+	}
+	writeJSON(w, http.StatusOK, PartitionResponse{
+		Name:      req.Name,
+		Model:     string(workload.Partitioned),
+		Analyzer:  a.Info().Name,
+		Placement: pl,
+		WallNS:    time.Since(start).Nanoseconds(),
+	})
+}
+
+// analyzersJSON renders the registry in wire form.
+func analyzersJSON() []AnalyzerJSON {
 	all := engine.All()
 	out := make([]AnalyzerJSON, len(all))
 	for i, a := range all {
@@ -446,7 +552,32 @@ func (s *Server) handleAnalyzers(w http.ResponseWriter, _ *http.Request) {
 			Events:   info.Events,
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
+}
+
+func (s *Server) handleAnalyzers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, analyzersJSON())
+}
+
+// handleSchema declares what this server speaks, so callers (the
+// cluster proxy included) can reject unsupported workload models
+// without a round trip per request.
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	hs := partition.AllHeuristics()
+	names := make([]string, len(hs))
+	for i, h := range hs {
+		names[i] = string(h)
+	}
+	writeJSON(w, http.StatusOK, SchemaResponse{
+		WireVersion: WireVersion,
+		Models: []string{
+			string(workload.Sporadic),
+			string(workload.Events),
+			string(workload.Partitioned),
+		},
+		Analyzers:  analyzersJSON(),
+		Heuristics: names,
+	})
 }
 
 func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
@@ -458,6 +589,10 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 	opt, err := req.Options.Core()
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Workload.Kind() == workload.Partitioned {
+		s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("sessions: %w", errPartitionedEndpoint))
 		return
 	}
 	adm, err := NewAdmission(AdmissionConfig{Analyzer: req.Analyzer, Options: opt, Seed: req.Workload})
@@ -728,10 +863,10 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// fail writes the uniform error body and counts the error.
+// fail writes the uniform typed error body and counts the error.
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 	s.m.errors.Add(1)
-	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+	writeJSON(w, code, ErrorFor(code, err).Response())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -36,7 +36,7 @@ func StreamingPath(p string) bool {
 func OpFor(r *http.Request) string {
 	p := strings.TrimPrefix(r.URL.Path, "/v1/")
 	switch {
-	case p == "analyze", p == "batch", p == "analyzers":
+	case p == "analyze", p == "batch", p == "partition", p == "analyzers", p == "schema":
 		return p
 	case p == "sessions":
 		return "session.open"

@@ -38,7 +38,7 @@ func TestE2EEventWorkloadAnalyze(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	first, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "ev", Workload: edf.EventWorkload(tasks)})
+	first, _, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "ev", Workload: edf.EventWorkload(tasks)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestE2EEventWorkloadAnalyze(t *testing.T) {
 	}
 
 	// The repeat must be a cache hit on the same address.
-	again, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "ev", Workload: edf.EventWorkload(tasks)})
+	again, _, err := c.Analyze(ctx, service.AnalyzeRequest{Name: "ev", Workload: edf.EventWorkload(tasks)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +67,11 @@ func TestE2EEventWorkloadAnalyze(t *testing.T) {
 	// Domain separation end to end: a sporadic set built from the same
 	// (C, D, T=cycle) numbers must get a different fingerprint.
 	sporadic := edf.TaskSet{{WCET: 2, Deadline: 9, Period: 10}}
-	sp, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.SporadicWorkload(sporadic)})
+	sp, _, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.SporadicWorkload(sporadic)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	evTwin, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.EventWorkload([]edf.EventTask{
+	evTwin, _, err := c.Analyze(ctx, service.AnalyzeRequest{Workload: edf.EventWorkload([]edf.EventTask{
 		{WCET: 2, Deadline: 9, Stream: edf.PeriodicStream(10)},
 	})})
 	if err != nil {
@@ -107,7 +107,7 @@ func TestE2EEventWorkloadBatch(t *testing.T) {
 		},
 		Analyzers: []string{"qpa", "allapprox"},
 	}
-	resp, err := c.Batch(ctx, req)
+	resp, _, err := c.Batch(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestE2EEventWorkloadBatch(t *testing.T) {
 
 	// The repeat caches the runnable jobs and re-reports the capability
 	// error deterministically.
-	resp2, err := c.Batch(ctx, req)
+	resp2, _, err := c.Batch(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestE2EEventWorkloadBatch(t *testing.T) {
 
 	// An event workload on an explicitly non-event analyzer via analyze
 	// is a client error, not a 5xx.
-	_, err = c.Analyze(ctx, service.AnalyzeRequest{
+	_, _, err = c.Analyze(ctx, service.AnalyzeRequest{
 		Workload: edf.EventWorkload(e2eEventTasks()), Analyzer: "qpa",
 	})
 	var ce *client.Error
@@ -258,7 +258,7 @@ func TestE2EProposeBatch(t *testing.T) {
 	if !asClientError(err, &ce) || ce.StatusCode != 422 {
 		t.Errorf("invalid member: %v", err)
 	}
-	state, err := sess.State(ctx)
+	state, _, err := sess.State(ctx)
 	if err != nil || state.Pending != 2 {
 		t.Errorf("state changed on failed batch: %+v, %v", state, err)
 	}
@@ -363,12 +363,12 @@ func TestSessionTTLSweep(t *testing.T) {
 	deadline := time.Now().Add(15 * time.Second)
 	lastIdleProbe := time.Time{}
 	for {
-		if _, err := busy.State(ctx); err != nil {
+		if _, _, err := busy.State(ctx); err != nil {
 			t.Fatalf("touched session died: %v", err)
 		}
 		if time.Since(lastIdleProbe) > 3*ttl/2 {
 			lastIdleProbe = time.Now()
-			_, err := idle.State(ctx)
+			_, _, err := idle.State(ctx)
 			var ce *client.Error
 			if asClientError(err, &ce) && ce.StatusCode == 404 {
 				break // swept

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/model"
+)
+
+// Processor is one processor of a partitioned platform. Speeds are
+// relative integers: a task with WCET C placed on a processor of speed s
+// executes for ceil(C/s) time units. Zero means the default speed 1, so
+// homogeneous platforms can omit the field entirely.
+type Processor struct {
+	// Name optionally identifies the processor in placements and traces.
+	Name string `json:"name,omitempty"`
+	// Speed is the relative speed (>= 1; 0 selects the default 1).
+	Speed int64 `json:"speed,omitempty"`
+}
+
+// EffectiveSpeed maps the omitted wire value to the default speed 1.
+func (p Processor) EffectiveSpeed() int64 {
+	if p.Speed == 0 {
+		return 1
+	}
+	return p.Speed
+}
+
+// PartitionedTask is a sporadic task plus an optional placement
+// constraint: the set of processor indices the task may be assigned to.
+// An empty affinity means "any processor".
+type PartitionedTask struct {
+	model.Task
+	// Affinity lists the allowed processor indices, strictly increasing.
+	// Empty (or absent on the wire) allows every processor.
+	Affinity []int `json:"affinity,omitempty"`
+}
+
+// Allows reports whether the task may run on processor proc.
+func (t PartitionedTask) Allows(proc int) bool {
+	if len(t.Affinity) == 0 {
+		return true
+	}
+	for _, a := range t.Affinity {
+		if a == proc {
+			return true
+		}
+	}
+	return false
+}
+
+// NewPartitioned wraps a partitioned workload: tasks to be placed on the
+// given processors.
+func NewPartitioned(procs []Processor, tasks []PartitionedTask) Workload {
+	return Workload{Model: Partitioned, Processors: procs, PartTasks: tasks}
+}
+
+// validatePartitioned reports the first structural problem of a
+// partitioned workload: at least one processor, non-negative speeds,
+// valid tasks, and affinity lists that are strictly increasing and in
+// range.
+func (w Workload) validatePartitioned() error {
+	if len(w.Processors) == 0 {
+		return fmt.Errorf("workload: partitioned workload needs at least one processor")
+	}
+	for i, p := range w.Processors {
+		if p.Speed < 0 {
+			return fmt.Errorf("workload: processor %d: speed %d must be non-negative", i, p.Speed)
+		}
+	}
+	if len(w.PartTasks) == 0 {
+		return fmt.Errorf("workload: empty partitioned task set")
+	}
+	for i, t := range w.PartTasks {
+		if err := t.Task.Validate(); err != nil {
+			return fmt.Errorf("task %d: %w", i, err)
+		}
+		for j, a := range t.Affinity {
+			if a < 0 || a >= len(w.Processors) {
+				return fmt.Errorf("workload: task %d: affinity index %d out of range [0, %d)", i, a, len(w.Processors))
+			}
+			if j > 0 && t.Affinity[j-1] >= a {
+				return fmt.Errorf("workload: task %d: affinity indices must be strictly increasing", i)
+			}
+		}
+	}
+	return nil
+}
+
+// partitionedUtilization is the exact total demand Σ C/T across all
+// tasks, independent of any placement. Compare against Capacity to get
+// the trivial O(1) infeasibility bound.
+func (w Workload) partitionedUtilization() *big.Rat {
+	u := new(big.Rat)
+	for _, t := range w.PartTasks {
+		u.Add(u, t.Task.Utilization())
+	}
+	return u
+}
+
+// Capacity returns the platform capacity Σ speeds as an exact rational
+// (zero for non-partitioned workloads). A partitioned workload whose
+// Utilization exceeds its Capacity is infeasible under any placement.
+func (w Workload) Capacity() *big.Rat {
+	c := new(big.Rat)
+	for _, p := range w.Processors {
+		c.Add(c, big.NewRat(p.EffectiveSpeed(), 1))
+	}
+	return c
+}
+
+// clonePartitioned deep-copies the partitioned payload into out.
+func (w Workload) clonePartitioned(out *Workload) {
+	if w.Processors != nil {
+		out.Processors = append([]Processor(nil), w.Processors...)
+	}
+	if w.PartTasks != nil {
+		out.PartTasks = make([]PartitionedTask, len(w.PartTasks))
+		for i, t := range w.PartTasks {
+			t.Affinity = append([]int(nil), t.Affinity...)
+			out.PartTasks[i] = t
+		}
+	}
+}

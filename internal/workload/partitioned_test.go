@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"encoding/json"
+	"math/big"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func partitionedSet() Workload {
+	return NewPartitioned(
+		[]Processor{{Name: "p0"}, {Name: "p1", Speed: 2}},
+		[]PartitionedTask{
+			{Task: model.Task{Name: "a", WCET: 2, Deadline: 8, Period: 10}},
+			{Task: model.Task{Name: "b", WCET: 3, Deadline: 15, Period: 15}, Affinity: []int{1}},
+		},
+	)
+}
+
+func TestPartitionedJSONRoundTrip(t *testing.T) {
+	w := partitionedSet()
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"model":"partitioned"`) {
+		t.Errorf("partitioned workload misses the model field: %s", data)
+	}
+	var back Workload
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, data)
+	}
+	if back.Kind() != Partitioned || back.Len() != 2 || len(back.Processors) != 2 {
+		t.Fatalf("round trip changed shape: %+v", back)
+	}
+	if back.Processors[1].Speed != 2 || back.PartTasks[1].Affinity[0] != 1 {
+		t.Errorf("round trip lost detail: %+v", back)
+	}
+	// Raw wire form decodes too, including omitted speeds.
+	payload := `{"model":"partitioned","processors":[{},{"speed":3}],
+		"tasks":[{"wcet":1,"deadline":4,"period":5,"affinity":[0]}]}`
+	var w2 Workload
+	if err := json.Unmarshal([]byte(payload), &w2); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Processors[0].EffectiveSpeed() != 1 || w2.Processors[1].EffectiveSpeed() != 3 {
+		t.Errorf("effective speeds: %+v", w2.Processors)
+	}
+	if len(w2.PartTasks) != 1 || !w2.PartTasks[0].Allows(0) || w2.PartTasks[0].Allows(1) {
+		t.Errorf("affinity decoded as %+v", w2.PartTasks)
+	}
+}
+
+func TestPartitionedValidate(t *testing.T) {
+	if err := partitionedSet().Validate(); err != nil {
+		t.Error(err)
+	}
+	cases := []struct {
+		name string
+		w    Workload
+	}{
+		{"no processors", NewPartitioned(nil, partitionedSet().PartTasks)},
+		{"no tasks", NewPartitioned([]Processor{{}}, nil)},
+		{"negative speed", NewPartitioned([]Processor{{Speed: -1}}, partitionedSet().PartTasks)},
+		{"bad task", NewPartitioned([]Processor{{}}, []PartitionedTask{{Task: model.Task{WCET: 0, Deadline: 1, Period: 1}}})},
+		{"affinity out of range", NewPartitioned([]Processor{{}}, []PartitionedTask{
+			{Task: model.Task{WCET: 1, Deadline: 2, Period: 2}, Affinity: []int{1}}})},
+		{"affinity not increasing", NewPartitioned([]Processor{{}, {}}, []PartitionedTask{
+			{Task: model.Task{WCET: 1, Deadline: 2, Period: 2}, Affinity: []int{1, 0}}})},
+	}
+	for _, c := range cases {
+		if err := c.w.Validate(); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+}
+
+func TestPartitionedUtilizationAndCapacity(t *testing.T) {
+	w := partitionedSet()
+	// 2/10 + 3/15 = 2/5; capacity 1 + 2 = 3.
+	if u := w.Utilization(); u.Cmp(big.NewRat(2, 5)) != 0 {
+		t.Errorf("utilization %s", u)
+	}
+	if c := w.Capacity(); c.Cmp(big.NewRat(3, 1)) != 0 {
+		t.Errorf("capacity %s", c)
+	}
+}
+
+func TestPartitionedCloneAndConcat(t *testing.T) {
+	w := partitionedSet()
+	c := w.Clone()
+	c.PartTasks[0].WCET = 99
+	c.PartTasks[1].Affinity[0] = 0
+	c.Processors[1].Speed = 7
+	if w.PartTasks[0].WCET == 99 || w.PartTasks[1].Affinity[0] == 0 || w.Processors[1].Speed == 7 {
+		t.Error("clone shares state with the original")
+	}
+	sum, err := w.Concat(partitionedSet())
+	if err != nil || sum.Len() != 4 {
+		t.Fatalf("concat: %v, len %d", err, sum.Len())
+	}
+	if _, err := w.Concat(NewSporadic(sporadicSet())); err == nil {
+		t.Error("cross-model concat accepted")
+	}
+	other := partitionedSet()
+	other.Processors = other.Processors[:1]
+	if _, err := w.Concat(other); err == nil {
+		t.Error("concat across differing processor sets accepted")
+	}
+}

@@ -20,6 +20,11 @@ const (
 	// Events is the Gresser event-stream model: each task is (C, D) plus
 	// an event stream of (cycle, offset) elements.
 	Events Model = "events"
+	// Partitioned is the partitioned multiprocessor model: sporadic tasks
+	// with optional placement constraints to be bin-packed onto m
+	// processors of (optionally heterogeneous) relative speeds, each bin
+	// checked by a uniprocessor EDF test.
+	Partitioned Model = "partitioned"
 )
 
 // ParseModel resolves the wire form of a model name. The empty string
@@ -30,14 +35,16 @@ func ParseModel(s string) (Model, error) {
 		return Sporadic, nil
 	case Events:
 		return Events, nil
+	case Partitioned:
+		return Partitioned, nil
 	default:
-		return "", fmt.Errorf("workload: unknown model %q (want %q or %q)", s, Sporadic, Events)
+		return "", fmt.Errorf("workload: unknown model %q (want %q, %q or %q)", s, Sporadic, Events, Partitioned)
 	}
 }
 
-// Workload is a task set under either activation model. Exactly one of
-// Tasks and Events is meaningful, selected by Model; the zero value is an
-// empty sporadic workload.
+// Workload is a task set under one of the activation models. Exactly one
+// of Tasks, Events and PartTasks is meaningful, selected by Model; the
+// zero value is an empty sporadic workload.
 type Workload struct {
 	// Model selects the activation model; empty means Sporadic.
 	Model Model
@@ -45,6 +52,10 @@ type Workload struct {
 	Tasks model.TaskSet
 	// Events is the event-driven task set (Model == Events).
 	Events []eventstream.Task
+	// Processors is the processor set (Model == Partitioned).
+	Processors []Processor
+	// PartTasks is the partitioned task set (Model == Partitioned).
+	PartTasks []PartitionedTask
 }
 
 // NewSporadic wraps a sporadic task set.
@@ -59,8 +70,11 @@ func NewEvents(tasks []eventstream.Task) Workload {
 
 // Kind returns the effective model, mapping the zero value to Sporadic.
 func (w Workload) Kind() Model {
-	if w.Model == Events {
+	switch w.Model {
+	case Events:
 		return Events
+	case Partitioned:
+		return Partitioned
 	}
 	return Sporadic
 }
@@ -68,13 +82,17 @@ func (w Workload) Kind() Model {
 // IsZero reports whether the workload is entirely unset (no model, no
 // tasks) — distinct from an explicitly empty sporadic workload.
 func (w Workload) IsZero() bool {
-	return w.Model == "" && w.Tasks == nil && w.Events == nil
+	return w.Model == "" && w.Tasks == nil && w.Events == nil &&
+		w.Processors == nil && w.PartTasks == nil
 }
 
 // Len returns the number of tasks under the effective model.
 func (w Workload) Len() int {
-	if w.Kind() == Events {
+	switch w.Kind() {
+	case Events:
 		return len(w.Events)
+	case Partitioned:
+		return len(w.PartTasks)
 	}
 	return len(w.Tasks)
 }
@@ -93,21 +111,27 @@ func (w Workload) Validate() error {
 			}
 		}
 		return nil
+	case Partitioned:
+		return w.validatePartitioned()
 	default:
 		return w.Tasks.Validate()
 	}
 }
 
 // Utilization returns the total utilization as an exact rational: Σ C/T
-// for sporadic tasks, Σ C · Σ 1/cycle per stream for event-driven tasks
-// (the asymptotic demand density; one-shot elements contribute nothing).
+// for sporadic and partitioned tasks (the latter regardless of
+// placement), Σ C · Σ 1/cycle per stream for event-driven tasks (the
+// asymptotic demand density; one-shot elements contribute nothing).
 func (w Workload) Utilization() *big.Rat {
-	if w.Kind() == Events {
+	switch w.Kind() {
+	case Events:
 		u := new(big.Rat)
 		for _, t := range w.Events {
 			u.Add(u, eventTaskUtilization(t))
 		}
 		return u
+	case Partitioned:
+		return w.partitionedUtilization()
 	}
 	return w.Tasks.Utilization()
 }
@@ -126,19 +150,32 @@ func (w Workload) Clone() Workload {
 			out.Events[i] = t
 		}
 	}
+	w.clonePartitioned(&out)
 	return out
 }
 
 // Concat appends v's tasks to a copy of w. Both workloads must share the
-// effective model.
+// effective model; partitioned workloads must also agree on the
+// processor set, which stays as w's.
 func (w Workload) Concat(v Workload) (Workload, error) {
 	if w.Kind() != v.Kind() {
 		return Workload{}, fmt.Errorf("workload: cannot concatenate %s and %s workloads", w.Kind(), v.Kind())
 	}
 	out := w.Clone()
-	if w.Kind() == Events {
+	switch w.Kind() {
+	case Events:
 		out.Events = append(out.Events, v.Clone().Events...)
-	} else {
+	case Partitioned:
+		if len(w.Processors) != len(v.Processors) {
+			return Workload{}, fmt.Errorf("workload: cannot concatenate partitioned workloads with %d and %d processors", len(w.Processors), len(v.Processors))
+		}
+		for i := range w.Processors {
+			if w.Processors[i].EffectiveSpeed() != v.Processors[i].EffectiveSpeed() {
+				return Workload{}, fmt.Errorf("workload: cannot concatenate partitioned workloads: processor %d speeds differ", i)
+			}
+		}
+		out.PartTasks = append(out.PartTasks, v.Clone().PartTasks...)
+	default:
 		out.Tasks = append(out.Tasks, v.Tasks...)
 	}
 	return out, nil
@@ -158,11 +195,13 @@ func (w Workload) With(t Task) Workload {
 }
 
 // workloadWire is the JSON layout: a model discriminator next to the task
-// array. Unknown sibling keys (name, analyzer, ...) are ignored, so a
-// Workload can decode itself out of any enclosing request object.
+// array (plus the processor array for partitioned workloads). Unknown
+// sibling keys (name, analyzer, ...) are ignored, so a Workload can
+// decode itself out of any enclosing request object.
 type workloadWire struct {
-	Model string          `json:"model"`
-	Tasks json.RawMessage `json:"tasks"`
+	Model      string          `json:"model"`
+	Tasks      json.RawMessage `json:"tasks"`
+	Processors json.RawMessage `json:"processors"`
 }
 
 // UnmarshalJSON decodes {"model": ..., "tasks": [...]}, dispatching the
@@ -179,6 +218,11 @@ func (w *Workload) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*w = Workload{Model: m}
+	if m == Partitioned && len(aux.Processors) != 0 && string(aux.Processors) != "null" {
+		if err := json.Unmarshal(aux.Processors, &w.Processors); err != nil {
+			return fmt.Errorf("workload: processors: %w", err)
+		}
+	}
 	if len(aux.Tasks) == 0 || string(aux.Tasks) == "null" {
 		return nil
 	}
@@ -186,6 +230,10 @@ func (w *Workload) UnmarshalJSON(data []byte) error {
 	case Events:
 		if err := json.Unmarshal(aux.Tasks, &w.Events); err != nil {
 			return fmt.Errorf("workload: events tasks: %w", err)
+		}
+	case Partitioned:
+		if err := json.Unmarshal(aux.Tasks, &w.PartTasks); err != nil {
+			return fmt.Errorf("workload: partitioned tasks: %w", err)
 		}
 	default:
 		if err := json.Unmarshal(aux.Tasks, &w.Tasks); err != nil {
@@ -197,13 +245,20 @@ func (w *Workload) UnmarshalJSON(data []byte) error {
 
 // MarshalJSON renders the workload in its wire form. Sporadic workloads
 // omit the discriminator so their payloads stay byte-compatible with the
-// pre-workload schema; event workloads carry "model": "events".
+// pre-workload schema; event and partitioned workloads carry their model.
 func (w Workload) MarshalJSON() ([]byte, error) {
-	if w.Kind() == Events {
+	switch w.Kind() {
+	case Events:
 		return json.Marshal(struct {
 			Model Model              `json:"model"`
 			Tasks []eventstream.Task `json:"tasks"`
 		}{Events, w.Events})
+	case Partitioned:
+		return json.Marshal(struct {
+			Model      Model             `json:"model"`
+			Processors []Processor       `json:"processors"`
+			Tasks      []PartitionedTask `json:"tasks"`
+		}{Partitioned, w.Processors, w.PartTasks})
 	}
 	return json.Marshal(struct {
 		Tasks model.TaskSet `json:"tasks"`
@@ -212,19 +267,26 @@ func (w Workload) MarshalJSON() ([]byte, error) {
 
 // TasksJSON returns the task array for hand-rolled encoders that flatten
 // the workload into an enclosing object (the model goes next to it via
-// Kind).
+// Kind; partitioned encoders must also emit Processors).
 func (w Workload) TasksJSON() any {
-	if w.Kind() == Events {
+	switch w.Kind() {
+	case Events:
 		return w.Events
+	case Partitioned:
+		return w.PartTasks
 	}
 	return w.Tasks
 }
 
 // WireModel returns the discriminator value to emit next to TasksJSON:
-// "events" for event workloads, empty (omittable) for sporadic ones.
+// the model for event and partitioned workloads, empty (omittable) for
+// sporadic ones.
 func (w Workload) WireModel() Model {
-	if w.Kind() == Events {
+	switch w.Kind() {
+	case Events:
 		return Events
+	case Partitioned:
+		return Partitioned
 	}
 	return ""
 }

@@ -1,0 +1,49 @@
+package edf_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	edf "repro"
+)
+
+func TestFacadeAnalyzePartitioned(t *testing.T) {
+	wl := edf.PartitionedWorkload(
+		[]edf.Processor{{Name: "p0"}, {Name: "p1", Speed: 2}},
+		[]edf.PartitionedTask{
+			{Task: edf.Task{Name: "a", WCET: 6, Deadline: 10, Period: 10}},
+			{Task: edf.Task{Name: "b", WCET: 6, Deadline: 10, Period: 10}},
+			{Task: edf.Task{Name: "pinned", WCET: 2, Deadline: 10, Period: 10}, Affinity: []int{0}},
+		})
+	pl, err := edf.AnalyzePartitioned(context.Background(), wl, edf.PlacementConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Feasible || len(pl.Processors) != 2 {
+		t.Fatalf("placement: %+v", pl)
+	}
+	if pl.Assignment[2] != 0 {
+		t.Errorf("affinity-pinned task placed on processor %d", pl.Assignment[2])
+	}
+
+	// The uniprocessor facade refuses partitioned workloads with the
+	// typed error.
+	a, _ := edf.AnalyzerByName("cascade")
+	_, err = edf.AnalyzeWorkload(a, wl, edf.Options{})
+	var pe *edf.PartitionedUnsupportedError
+	if !errors.As(err, &pe) {
+		t.Errorf("AnalyzeWorkload(partitioned): %v", err)
+	}
+
+	// Heuristic selection is honored and reported.
+	pl, err = edf.AnalyzePartitioned(context.Background(), wl, edf.PlacementConfig{
+		Heuristics: []edf.PlacementHeuristic{edf.PlaceWorstFit},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Heuristic != edf.PlaceWorstFit {
+		t.Errorf("heuristic %q, want worst-fit", pl.Heuristic)
+	}
+}
